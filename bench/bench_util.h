@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benchmarks.
+ *
+ * Every bench binary (one per paper table/figure) builds RunSpecs —
+ * (application, system, node count, concurrency) cells — executes them
+ * through the cluster + workload driver, and prints the corresponding
+ * paper-style table. Results also surface as google-benchmark counters
+ * so standard tooling can consume them.
+ */
+#ifndef PULSE_BENCH_BENCH_UTIL_H
+#define PULSE_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "core/cluster.h"
+#include "energy/energy_model.h"
+#include "isa/analysis.h"
+#include "workloads/driver.h"
+
+namespace pulse::bench {
+
+/** The evaluated applications (Table 2 rows). */
+enum class App { kUpc, kTc, kTsv75, kTsv15, kTsv30, kTsv60 };
+
+inline const char*
+app_name(App app)
+{
+    switch (app) {
+      case App::kUpc: return "UPC";
+      case App::kTc: return "TC";
+      case App::kTsv75: return "TSV-7.5s";
+      case App::kTsv15: return "TSV-15s";
+      case App::kTsv30: return "TSV-30s";
+      case App::kTsv60: return "TSV-60s";
+    }
+    return "?";
+}
+
+inline double
+tsv_window_seconds(App app)
+{
+    switch (app) {
+      case App::kTsv75: return 7.5;
+      case App::kTsv15: return 15.0;
+      case App::kTsv30: return 30.0;
+      case App::kTsv60: return 60.0;
+      default: return 0.0;
+    }
+}
+
+/** One experiment cell. */
+struct RunSpec
+{
+    App app = App::kUpc;
+    core::SystemKind system = core::SystemKind::kPulse;
+    std::uint32_t nodes = 1;
+    std::uint32_t concurrency = 1;
+    std::uint64_t warmup_ops = 100;
+    std::uint64_t measure_ops = 600;
+    bool pulse_acc = false;      ///< pulse-ACC ablation (Fig. 8)
+    bool uniform_alloc = false;  ///< supp. Fig. 2 allocation policy
+    apps::AppScale scale;
+
+    /** Extra cluster tweaks applied before construction. */
+    std::function<void(core::ClusterConfig&)> tweak;
+};
+
+/** Everything measured for one cell. */
+struct RunOutcome
+{
+    workloads::DriverResult driver;
+    double mem_bw = 0.0;          ///< achieved memory bandwidth (B/s)
+    double mem_bw_capacity = 0.0; ///< effective capacity (B/s)
+    double net_bw = 0.0;          ///< client port traffic (B/s)
+    double net_bw_capacity = 0.0; ///< client link capacity (B/s)
+    double joules_per_op = 0.0;   ///< energy model output
+    double avg_iterations = 0.0;
+    double mean_us = 0.0;
+    double p99_us = 0.0;
+    double kops = 0.0;            ///< throughput, K ops/s
+};
+
+/**
+ * Spec for the main-figure experiments (Figs. 4-7): UPC is key-
+ * partitioned (Table 2: partitionable), TC/TSV use the default
+ * glibc-like uniform allocation (Table 2 marks B+Trees as not
+ * partitionable; section 2.2: the paper does not innovate on
+ * allocation).
+ */
+inline RunSpec
+main_spec(App app, core::SystemKind system, std::uint32_t nodes)
+{
+    RunSpec spec;
+    spec.app = app;
+    spec.system = system;
+    spec.nodes = nodes;
+    spec.uniform_alloc = app != App::kUpc;
+    return spec;
+}
+
+inline Bytes
+app_data_bytes(const RunSpec& spec)
+{
+    switch (spec.app) {
+      case App::kUpc: return apps::upc_data_bytes(spec.scale);
+      case App::kTc: return apps::tc_data_bytes(spec.scale);
+      default: return apps::tsv_data_bytes(spec.scale);
+    }
+}
+
+/** Build the cluster config for a cell. */
+inline core::ClusterConfig
+make_config(const RunSpec& spec)
+{
+    core::ClusterConfig config;
+    config.num_mem_nodes = spec.nodes;
+    config.alloc_policy = spec.uniform_alloc
+                              ? mem::AllocPolicy::kUniform
+                              : mem::AllocPolicy::kPartitioned;
+    // Enough in-flight loads per core to cover the 120 ns access
+    // latency at full channel bandwidth (DESIGN.md deviation note).
+    config.accel.workspaces_per_logic = 16;
+    // Scale the client caches with the data set (paper: 2 GB/~120 GB).
+    const Bytes cache_bytes = std::max<Bytes>(
+        static_cast<Bytes>(static_cast<double>(app_data_bytes(spec)) *
+                           spec.scale.cache_fraction),
+        256 * kKiB);
+    config.cache.cache_bytes = cache_bytes;
+    config.aifm.cache_bytes = cache_bytes;
+    config.set_pulse_acc(spec.pulse_acc);
+    if (spec.tweak) {
+        spec.tweak(config);
+    }
+    return config;
+}
+
+/** Hold the cluster + app together (app owns remote structures). */
+struct Experiment
+{
+    std::unique_ptr<core::Cluster> cluster;
+    std::unique_ptr<apps::UpcApp> upc;
+    std::unique_ptr<apps::TcApp> tc;
+    std::unique_ptr<apps::TsvApp> tsv;
+    workloads::OpFactory factory;
+};
+
+inline Experiment
+make_experiment(const RunSpec& spec)
+{
+    Experiment experiment;
+    experiment.cluster =
+        std::make_unique<core::Cluster>(make_config(spec));
+    switch (spec.app) {
+      case App::kUpc:
+        experiment.upc = std::make_unique<apps::UpcApp>(
+            *experiment.cluster, spec.scale);
+        experiment.factory = experiment.upc->factory();
+        break;
+      case App::kTc:
+        experiment.tc = std::make_unique<apps::TcApp>(
+            *experiment.cluster, spec.scale, spec.uniform_alloc);
+        experiment.factory = experiment.tc->factory();
+        break;
+      default:
+        experiment.tsv = std::make_unique<apps::TsvApp>(
+            *experiment.cluster, spec.scale,
+            tsv_window_seconds(spec.app), spec.uniform_alloc);
+        experiment.factory = experiment.tsv->factory();
+        break;
+    }
+    return experiment;
+}
+
+/** Energy for the measured window (pulse / RPC / RPC-W / Cache+RPC). */
+inline double
+measure_energy_per_op(core::Cluster& cluster, core::SystemKind system,
+                      const workloads::DriverResult& result,
+                      std::uint32_t nodes)
+{
+    if (result.completed == 0 || result.measure_time <= 0) {
+        return 0.0;
+    }
+    double joules = 0.0;
+    if (system == core::SystemKind::kPulse) {
+        energy::AcceleratorPower power;
+        for (NodeId node = 0; node < nodes; node++) {
+            energy::AcceleratorActivity activity;
+            activity.run_time = result.measure_time;
+            const auto& stats = cluster.accelerator(node).stats();
+            activity.net_stack_busy_ps = stats.net_stack_time.sum();
+            // Physical DRAM busy time (bytes / bandwidth), not the
+            // latency-overlapped per-load sums used for Fig. 9.
+            activity.mem_pipeline_busy_ps = static_cast<double>(
+                cluster.channels(node).bytes_transferred()) /
+                cluster.channels(node).total_effective_bandwidth() *
+                static_cast<double>(kSecond);
+            // Occupancy integral, not the latency-overlapped per-
+            // iteration sums Fig. 9 reports.
+            activity.logic_pipeline_busy_ps =
+                stats.logic_busy_time.sum();
+            joules += accelerator_energy(power, activity);
+        }
+    } else {
+        energy::CpuPower power;
+        const bool wimpy = system == core::SystemKind::kRpcWimpy;
+        energy::CpuActivity activity;
+        activity.run_time = result.measure_time;
+        activity.clock_ghz = wimpy
+                                 ? cluster.config().rpc_wimpy.clock_ghz
+                                 : cluster.config().rpc.clock_ghz;
+        if (system == core::SystemKind::kCacheRpc) {
+            // Cache+RPC executes on the TCP-transport RPC runtime.
+            activity.worker_busy_ps =
+                cluster.rpc_tcp().stats().worker_busy_time.sum();
+        } else {
+            activity.worker_busy_ps =
+                cluster.rpc(wimpy).stats().worker_busy_time.sum();
+        }
+        joules = cpu_energy(power, activity) +
+                 power.idle_w * to_seconds(result.measure_time) *
+                     (nodes - 1);
+    }
+    return joules / static_cast<double>(result.completed);
+}
+
+/** Execute one cell. */
+inline RunOutcome
+run_spec(const RunSpec& spec)
+{
+    Experiment experiment = make_experiment(spec);
+    core::Cluster& cluster = *experiment.cluster;
+
+    workloads::DriverConfig driver;
+    driver.warmup_ops = spec.warmup_ops;
+    driver.measure_ops = spec.measure_ops;
+    driver.concurrency = spec.concurrency;
+    driver.on_measure_start = [&cluster] { cluster.reset_stats(); };
+
+    RunOutcome outcome;
+    outcome.driver = workloads::run_closed_loop(
+        cluster.queue(), cluster.submitter(spec.system),
+        experiment.factory, driver);
+
+    const Time window = outcome.driver.measure_time;
+    outcome.mem_bw = cluster.memory_bandwidth(window);
+    outcome.mem_bw_capacity = cluster.memory_bandwidth_capacity();
+    outcome.net_bw = window > 0
+                         ? static_cast<double>(
+                               cluster.client_network_bytes()) /
+                               to_seconds(window)
+                         : 0.0;
+    outcome.net_bw_capacity =
+        2.0 * cluster.config().network.link_bandwidth;  // full duplex
+    outcome.joules_per_op = measure_energy_per_op(
+        cluster, spec.system, outcome.driver, spec.nodes);
+    outcome.avg_iterations =
+        outcome.driver.completed
+            ? static_cast<double>(outcome.driver.iterations) /
+                  static_cast<double>(outcome.driver.completed)
+            : 0.0;
+    outcome.mean_us = to_micros(outcome.driver.latency.mean());
+    outcome.p99_us = to_micros(outcome.driver.latency.percentile(0.99));
+    outcome.kops = outcome.driver.throughput / 1e3;
+    return outcome;
+}
+
+/** Simple fixed-width table printer for the paper-style outputs. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    void
+    set_header(std::vector<std::string> header)
+    {
+        header_ = std::move(header);
+    }
+
+    void
+    add_row(std::vector<std::string> row)
+    {
+        rows_.push_back(std::move(row));
+    }
+
+    void
+    print() const
+    {
+        std::printf("\n=== %s ===\n", title_.c_str());
+        print_row(header_);
+        for (const auto& row : rows_) {
+            print_row(row);
+        }
+        std::fflush(stdout);
+    }
+
+  private:
+    static void
+    print_row(const std::vector<std::string>& row)
+    {
+        if (row.empty()) {
+            return;
+        }
+        std::printf("%-12s", row[0].c_str());
+        for (std::size_t i = 1; i < row.size(); i++) {
+            std::printf(" %12s", row[i].c_str());
+        }
+        std::printf("\n");
+    }
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string
+fmt(double value, const char* format = "%.1f")
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, value);
+    return buf;
+}
+
+}  // namespace pulse::bench
+
+#endif  // PULSE_BENCH_BENCH_UTIL_H

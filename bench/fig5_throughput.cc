@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fig. 5 — Application throughput.
+ *
+ * Closed-loop saturation throughput for every application x system x
+ * node-count cell. Paper shapes to reproduce:
+ *   - pulse 14.8-135.4x higher throughput than Cache-based;
+ *   - pulse ~= RPC on one node (both saturate the 25 GB/s node);
+ *   - pulse 1.14-2.28x over RPC with multiple nodes (continuation
+ *     bounces through the client cost RPC client-side work and extra
+ *     round trips);
+ *   - throughput scales with node count; UPC scales linearly
+ *     (partitioned, never crosses nodes).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace pulse;
+using namespace pulse::bench;
+using core::SystemKind;
+
+const std::vector<App> kApps = {App::kUpc,   App::kTc,
+                                App::kTsv75, App::kTsv15,
+                                App::kTsv30, App::kTsv60};
+
+std::map<std::string, double> g_kops;
+
+std::string
+cell_key(App app, SystemKind system, std::uint32_t nodes)
+{
+    return std::string(app_name(app)) + "/" +
+           core::system_name(system) + "/" + std::to_string(nodes);
+}
+
+void
+throughput_cell(benchmark::State& state, App app, SystemKind system,
+                std::uint32_t nodes)
+{
+    RunSpec spec = main_spec(app, system, nodes);
+    // Enough outstanding work to saturate the memory nodes (queueing
+    // inflates latency; the closed loop must out-supply capacity).
+    const bool slow = system == SystemKind::kCache;
+    spec.concurrency = slow ? 64 : 512 * nodes;
+    spec.warmup_ops = slow ? 64 : spec.concurrency;
+    spec.measure_ops =
+        slow ? 192 : std::max<std::uint64_t>(2 * spec.concurrency, 1200);
+
+    RunOutcome outcome;
+    for (auto _ : state) {
+        outcome = run_spec(spec);
+    }
+    state.counters["kops"] = outcome.kops;
+    state.counters["mem_bw_gbps"] = outcome.mem_bw / 1e9;
+    state.counters["errors"] =
+        static_cast<double>(outcome.driver.errors);
+    g_kops[cell_key(app, system, nodes)] = outcome.kops;
+}
+
+void
+print_tables()
+{
+    for (const std::uint32_t nodes : {1u, 2u, 4u}) {
+        Table table("Fig 5: application throughput, K ops/s (" +
+                    std::to_string(nodes) + " memory node" +
+                    (nodes > 1 ? "s" : "") + ")");
+        table.set_header({"app", "Cache", "RPC", "RPC-W", "Cache+RPC",
+                          "pulse", "pulse/RPC", "pulse/Cache"});
+        for (const App app : kApps) {
+            std::vector<std::string> row = {app_name(app)};
+            double rpc = 0.0;
+            double pulse_kops = 0.0;
+            double cache = 0.0;
+            for (const SystemKind system :
+                 {SystemKind::kCache, SystemKind::kRpc,
+                  SystemKind::kRpcWimpy, SystemKind::kCacheRpc,
+                  SystemKind::kPulse}) {
+                const auto it =
+                    g_kops.find(cell_key(app, system, nodes));
+                if (it == g_kops.end()) {
+                    row.push_back("-");
+                    continue;
+                }
+                row.push_back(fmt(it->second));
+                if (system == SystemKind::kRpc) {
+                    rpc = it->second;
+                } else if (system == SystemKind::kPulse) {
+                    pulse_kops = it->second;
+                } else if (system == SystemKind::kCache) {
+                    cache = it->second;
+                }
+            }
+            row.push_back(rpc > 0 ? fmt(pulse_kops / rpc, "%.2f")
+                                  : "-");
+            row.push_back(cache > 0 ? fmt(pulse_kops / cache, "%.1f")
+                                    : "-");
+            table.add_row(row);
+        }
+        table.print();
+    }
+}
+
+void
+register_benchmarks()
+{
+    for (const std::uint32_t nodes : {1u, 2u, 4u}) {
+        for (const App app : kApps) {
+            for (const SystemKind system :
+                 {SystemKind::kCache, SystemKind::kRpc,
+                  SystemKind::kRpcWimpy, SystemKind::kCacheRpc,
+                  SystemKind::kPulse}) {
+                if (system == SystemKind::kCacheRpc &&
+                    (app != App::kUpc || nodes != 1)) {
+                    continue;
+                }
+                benchmark::RegisterBenchmark(
+                    ("fig5/" + cell_key(app, system, nodes)).c_str(),
+                    [app, system, nodes](benchmark::State& state) {
+                        throughput_cell(state, app, system, nodes);
+                    })
+                    ->Iterations(1)
+                    ->Unit(benchmark::kMillisecond);
+            }
+        }
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    register_benchmarks();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    print_tables();
+    return 0;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Fig. 6 — Network and memory bandwidth utilization.
+ *
+ * At saturation, offload systems (pulse, RPC, RPC-W, Cache+RPC) should
+ * utilize >90% of the 25 GB/s per-node memory bandwidth while using
+ * only a few percent of the network; the Cache-based system is
+ * network/swap-bound, with network bandwidth equal to its memory
+ * bandwidth (every miss moves a whole page through both). A second
+ * table reproduces the observation that UPC's network usage grows
+ * linearly with node count (partitioned, no cross-node traversals).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace pulse;
+using namespace pulse::bench;
+using core::SystemKind;
+
+const std::vector<App> kApps = {App::kUpc,   App::kTc,
+                                App::kTsv75, App::kTsv15,
+                                App::kTsv30, App::kTsv60};
+
+struct Cell
+{
+    double mem_util = 0.0;  // fraction of memory-bandwidth capacity
+    double net_gbps = 0.0;  // client traffic in Gbit/s
+    double net_util = 0.0;  // fraction of 100 Gb/s full-duplex pair
+};
+
+std::map<std::string, Cell> g_cells;
+
+std::string
+cell_key(App app, SystemKind system, std::uint32_t nodes)
+{
+    return std::string(app_name(app)) + "/" +
+           core::system_name(system) + "/" + std::to_string(nodes);
+}
+
+void
+bandwidth_cell(benchmark::State& state, App app, SystemKind system,
+               std::uint32_t nodes)
+{
+    RunSpec spec = main_spec(app, system, nodes);
+    const bool slow = system == SystemKind::kCache;
+    spec.concurrency = slow ? 64 : 512 * nodes;
+    spec.warmup_ops = slow ? 64 : spec.concurrency;
+    spec.measure_ops =
+        slow ? 192 : std::max<std::uint64_t>(2 * spec.concurrency, 1200);
+
+    RunOutcome outcome;
+    for (auto _ : state) {
+        outcome = run_spec(spec);
+    }
+    Cell cell;
+    cell.mem_util = outcome.mem_bw_capacity > 0
+                        ? outcome.mem_bw / outcome.mem_bw_capacity
+                        : 0.0;
+    cell.net_gbps = outcome.net_bw * 8.0 / 1e9;
+    cell.net_util = outcome.net_bw_capacity > 0
+                        ? outcome.net_bw / outcome.net_bw_capacity
+                        : 0.0;
+    state.counters["mem_util"] = cell.mem_util;
+    state.counters["net_gbps"] = cell.net_gbps;
+    g_cells[cell_key(app, system, nodes)] = cell;
+}
+
+void
+print_tables()
+{
+    {
+        Table table("Fig 6a: memory-bandwidth utilization, % of "
+                    "25 GB/s per node (1 memory node)");
+        table.set_header(
+            {"app", "Cache", "RPC", "RPC-W", "Cache+RPC", "pulse"});
+        for (const App app : kApps) {
+            std::vector<std::string> row = {app_name(app)};
+            for (const SystemKind system :
+                 {SystemKind::kCache, SystemKind::kRpc,
+                  SystemKind::kRpcWimpy, SystemKind::kCacheRpc,
+                  SystemKind::kPulse}) {
+                const auto it = g_cells.find(cell_key(app, system, 1));
+                row.push_back(it == g_cells.end()
+                                  ? "-"
+                                  : fmt(it->second.mem_util * 100.0));
+            }
+            table.add_row(row);
+        }
+        table.print();
+    }
+    {
+        Table table("Fig 6b: client network bandwidth, Gbit/s "
+                    "(1 memory node; link pair = 200 Gbit/s)");
+        table.set_header(
+            {"app", "Cache", "RPC", "RPC-W", "Cache+RPC", "pulse",
+             "pulse net%"});
+        for (const App app : kApps) {
+            std::vector<std::string> row = {app_name(app)};
+            double pulse_util = 0.0;
+            for (const SystemKind system :
+                 {SystemKind::kCache, SystemKind::kRpc,
+                  SystemKind::kRpcWimpy, SystemKind::kCacheRpc,
+                  SystemKind::kPulse}) {
+                const auto it = g_cells.find(cell_key(app, system, 1));
+                if (it == g_cells.end()) {
+                    row.push_back("-");
+                    continue;
+                }
+                row.push_back(fmt(it->second.net_gbps, "%.2f"));
+                if (system == SystemKind::kPulse) {
+                    pulse_util = it->second.net_util;
+                }
+            }
+            row.push_back(fmt(pulse_util * 100.0, "%.2f"));
+            table.add_row(row);
+        }
+        table.print();
+    }
+    {
+        Table table("Fig 6c: pulse UPC network bandwidth vs node "
+                    "count (partitioned; scales linearly)");
+        table.set_header({"nodes", "net_gbps", "mem_util_%"});
+        for (const std::uint32_t nodes : {1u, 2u, 4u}) {
+            const auto it =
+                g_cells.find(cell_key(App::kUpc, SystemKind::kPulse,
+                                      nodes));
+            if (it == g_cells.end()) {
+                continue;
+            }
+            table.add_row({std::to_string(nodes),
+                           fmt(it->second.net_gbps, "%.2f"),
+                           fmt(it->second.mem_util * 100.0)});
+        }
+        table.print();
+    }
+}
+
+void
+register_benchmarks()
+{
+    for (const App app : kApps) {
+        for (const SystemKind system :
+             {SystemKind::kCache, SystemKind::kRpc,
+              SystemKind::kRpcWimpy, SystemKind::kCacheRpc,
+              SystemKind::kPulse}) {
+            if (system == SystemKind::kCacheRpc && app != App::kUpc) {
+                continue;
+            }
+            benchmark::RegisterBenchmark(
+                ("fig6/" + cell_key(app, system, 1)).c_str(),
+                [app, system](benchmark::State& state) {
+                    bandwidth_cell(state, app, system, 1);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    for (const std::uint32_t nodes : {2u, 4u}) {
+        benchmark::RegisterBenchmark(
+            ("fig6/" + cell_key(App::kUpc, SystemKind::kPulse, nodes))
+                .c_str(),
+            [nodes](benchmark::State& state) {
+                bandwidth_cell(state, App::kUpc, SystemKind::kPulse,
+                               nodes);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    register_benchmarks();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    print_tables();
+    return 0;
+}

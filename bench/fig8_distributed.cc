@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Fig. 8 — Impact of distributed pointer traversals (section 7.2).
+ *
+ * pulse vs pulse-ACC (the ablation that bounces off-node continuations
+ * through the CPU node instead of re-routing at the switch). Paper
+ * shapes to reproduce:
+ *   (a) identical latency on one memory node; pulse-ACC 1.9-2.7x
+ *       higher latency on two nodes;
+ *   (b) identical *throughput* either way — with sufficient load both
+ *       are bottlenecked by memory bandwidth, not by where
+ *       continuations route.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace pulse;
+using namespace pulse::bench;
+using core::SystemKind;
+
+const std::vector<App> kApps = {App::kTc, App::kTsv15, App::kTsv60};
+
+struct Cell
+{
+    double mean_us = 0.0;
+    double kops = 0.0;
+};
+
+std::map<std::string, Cell> g_cells;
+
+std::string
+cell_key(App app, bool acc, std::uint32_t nodes, const char* metric)
+{
+    return std::string(app_name(app)) + "/" +
+           (acc ? "pulse-ACC" : "pulse") + "/" +
+           std::to_string(nodes) + "/" + metric;
+}
+
+void
+latency_cell(benchmark::State& state, App app, bool acc,
+             std::uint32_t nodes)
+{
+    RunSpec spec = main_spec(app, SystemKind::kPulse, nodes);
+    spec.pulse_acc = acc;
+    spec.concurrency = 1;
+    spec.warmup_ops = 40;
+    spec.measure_ops = 300;
+    RunOutcome outcome;
+    for (auto _ : state) {
+        outcome = run_spec(spec);
+    }
+    state.counters["mean_us"] = outcome.mean_us;
+    g_cells[cell_key(app, acc, nodes, "lat")] =
+        Cell{outcome.mean_us, outcome.kops};
+}
+
+void
+throughput_cell(benchmark::State& state, App app, bool acc,
+                std::uint32_t nodes)
+{
+    RunSpec spec = main_spec(app, SystemKind::kPulse, nodes);
+    spec.pulse_acc = acc;
+    spec.concurrency = 512 * nodes;
+    spec.warmup_ops = spec.concurrency;
+    spec.measure_ops = 2 * spec.concurrency;
+    RunOutcome outcome;
+    for (auto _ : state) {
+        outcome = run_spec(spec);
+    }
+    state.counters["kops"] = outcome.kops;
+    g_cells[cell_key(app, acc, nodes, "thr")] =
+        Cell{outcome.mean_us, outcome.kops};
+}
+
+void
+print_tables()
+{
+    Table lat("Fig 8a: pulse vs pulse-ACC latency, mean us");
+    lat.set_header({"app", "pulse(1)", "ACC(1)", "pulse(2)", "ACC(2)",
+                    "ACC/pulse(2)"});
+    for (const App app : kApps) {
+        std::vector<std::string> row = {app_name(app)};
+        double pulse2 = 0.0;
+        double acc2 = 0.0;
+        for (const std::uint32_t nodes : {1u, 2u}) {
+            for (const bool acc : {false, true}) {
+                const auto it =
+                    g_cells.find(cell_key(app, acc, nodes, "lat"));
+                row.push_back(it == g_cells.end()
+                                  ? "-"
+                                  : fmt(it->second.mean_us));
+                if (it != g_cells.end() && nodes == 2) {
+                    (acc ? acc2 : pulse2) = it->second.mean_us;
+                }
+            }
+        }
+        row.push_back(pulse2 > 0 ? fmt(acc2 / pulse2, "%.2f") : "-");
+        lat.add_row(row);
+    }
+    lat.print();
+
+    Table thr("Fig 8b: pulse vs pulse-ACC throughput, K ops/s");
+    thr.set_header({"app", "pulse(1)", "ACC(1)", "pulse(2)", "ACC(2)",
+                    "ACC/pulse(2)"});
+    for (const App app : kApps) {
+        std::vector<std::string> row = {app_name(app)};
+        double pulse2 = 0.0;
+        double acc2 = 0.0;
+        for (const std::uint32_t nodes : {1u, 2u}) {
+            for (const bool acc : {false, true}) {
+                const auto it =
+                    g_cells.find(cell_key(app, acc, nodes, "thr"));
+                row.push_back(it == g_cells.end()
+                                  ? "-"
+                                  : fmt(it->second.kops));
+                if (it != g_cells.end() && nodes == 2) {
+                    (acc ? acc2 : pulse2) = it->second.kops;
+                }
+            }
+        }
+        row.push_back(pulse2 > 0 ? fmt(acc2 / pulse2, "%.2f") : "-");
+        thr.add_row(row);
+    }
+    thr.print();
+}
+
+void
+register_benchmarks()
+{
+    for (const App app : kApps) {
+        for (const std::uint32_t nodes : {1u, 2u}) {
+            for (const bool acc : {false, true}) {
+                benchmark::RegisterBenchmark(
+                    ("fig8/" + cell_key(app, acc, nodes, "lat"))
+                        .c_str(),
+                    [app, acc, nodes](benchmark::State& state) {
+                        latency_cell(state, app, acc, nodes);
+                    })
+                    ->Iterations(1)
+                    ->Unit(benchmark::kMillisecond);
+                benchmark::RegisterBenchmark(
+                    ("fig8/" + cell_key(app, acc, nodes, "thr"))
+                        .c_str(),
+                    [app, acc, nodes](benchmark::State& state) {
+                        throughput_cell(state, app, acc, nodes);
+                    })
+                    ->Iterations(1)
+                    ->Unit(benchmark::kMillisecond);
+            }
+        }
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    register_benchmarks();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    print_tables();
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fig. 9 — Latency breakdown for pulse accelerator components
+ * (section 7.2), on the hash-table data structure.
+ *
+ * Paper numbers: network stack ~430 ns per packet direction,
+ * scheduler dispatch ~4 ns, memory pipeline ~120 ns per iteration
+ * (translation + protection + aggregated load), logic pipeline ~7 ns
+ * per iteration for the hash-table program; response path symmetric.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ds/hash_table.h"
+
+namespace {
+
+using namespace pulse;
+using namespace pulse::bench;
+
+struct Breakdown
+{
+    double net_stack_ns = 0.0;
+    double scheduler_ns = 0.0;
+    double mem_per_iter_ns = 0.0;
+    double logic_per_iter_ns = 0.0;
+    double iters = 0.0;
+    double total_accel_us = 0.0;
+    double end_to_end_us = 0.0;
+};
+
+Breakdown g_result;
+
+void
+breakdown(benchmark::State& state)
+{
+    core::ClusterConfig config;
+    core::Cluster cluster(config);
+    ds::HashTableConfig ht;
+    ht.num_buckets = 512;
+    ds::HashTable table(cluster.memory(), cluster.allocator(), ht);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t i = 0; i < 50'000; i++) {
+        keys.push_back(workloads::key_of(i));
+    }
+    table.insert_many(keys);
+
+    Rng rng(17);
+    workloads::DriverConfig driver;
+    driver.warmup_ops = 20;
+    driver.measure_ops = 400;
+    driver.concurrency = 1;
+    driver.on_measure_start = [&cluster] { cluster.reset_stats(); };
+
+    workloads::DriverResult result;
+    for (auto _ : state) {
+        result = run_closed_loop(
+            cluster.queue(),
+            cluster.submitter(core::SystemKind::kPulse),
+            [&](std::uint64_t) {
+                return table.make_find(
+                    keys[rng.next_below(keys.size())], nullptr);
+            },
+            driver);
+    }
+
+    const auto& stats = cluster.accelerator(0).stats();
+    const double requests =
+        static_cast<double>(stats.requests_received.value());
+    const double iters =
+        static_cast<double>(stats.iterations.value());
+    const double loads = static_cast<double>(stats.loads.value());
+    g_result.net_stack_ns =
+        stats.net_stack_time.sum() / (2.0 * requests) / 1e3;
+    g_result.scheduler_ns =
+        stats.scheduler_time.sum() / requests / 1e3;
+    g_result.mem_per_iter_ns =
+        stats.mem_pipeline_time.sum() / loads / 1e3;
+    g_result.logic_per_iter_ns =
+        stats.logic_pipeline_time.sum() / iters / 1e3;
+    g_result.iters = iters / requests;
+    g_result.total_accel_us =
+        (stats.net_stack_time.sum() + stats.scheduler_time.sum() +
+         stats.mem_pipeline_time.sum() +
+         stats.logic_pipeline_time.sum()) /
+        requests / 1e6;
+    g_result.end_to_end_us = to_micros(result.latency.mean());
+
+    state.counters["net_stack_ns"] = g_result.net_stack_ns;
+    state.counters["scheduler_ns"] = g_result.scheduler_ns;
+    state.counters["mem_per_iter_ns"] = g_result.mem_per_iter_ns;
+    state.counters["logic_per_iter_ns"] = g_result.logic_per_iter_ns;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::RegisterBenchmark("fig9/hash_table_breakdown",
+                                 breakdown)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    Table table("Fig 9: pulse accelerator latency breakdown "
+                "(hash-table find)");
+    table.set_header({"component", "measured", "paper"});
+    table.add_row({"net stack/pkt",
+                   fmt(g_result.net_stack_ns, "%.0f ns"), "~430 ns"});
+    table.add_row({"scheduler",
+                   fmt(g_result.scheduler_ns, "%.0f ns"), "~4 ns"});
+    table.add_row({"mem pipe/iter",
+                   fmt(g_result.mem_per_iter_ns, "%.0f ns"),
+                   "~120 ns"});
+    table.add_row({"logic/iter",
+                   fmt(g_result.logic_per_iter_ns, "%.1f ns"),
+                   "~7 ns"});
+    table.add_row({"iters/req", fmt(g_result.iters, "%.1f"), "-"});
+    table.add_row({"accel total",
+                   fmt(g_result.total_accel_us, "%.1f us"), "-"});
+    table.add_row({"end-to-end",
+                   fmt(g_result.end_to_end_us, "%.1f us"), "-"});
+    table.print();
+    return 0;
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Parameter-sensitivity study (the supplementary material defers
+ * "some additional results on ADPDM's performance sensitivity to
+ * system parameters"; this bench fills in the three the design makes
+ * interesting).
+ *
+ * (a) Network propagation: pulse pays one round trip per request, the
+ *     Cache-based baseline one per miss — so pulse's advantage grows
+ *     linearly with network latency.
+ * (b) MAX_ITER: smaller per-request budgets force more client
+ *     continuations for long traversals; latency degrades in steps of
+ *     one round trip per continuation.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "bench_util.h"
+#include "ds/bptree.h"
+#include "ds/linked_list.h"
+
+namespace {
+
+using namespace pulse;
+using namespace pulse::bench;
+
+struct PropPoint
+{
+    double prop_us;
+    double pulse_us;
+    double cache_us;
+};
+
+struct IterPoint
+{
+    std::uint32_t max_iters;
+    double mean_us;
+    double continuations;
+};
+
+std::vector<PropPoint> g_prop;
+std::vector<IterPoint> g_iters;
+
+void
+propagation_cell(benchmark::State& state, double prop_us)
+{
+    PropPoint point;
+    point.prop_us = prop_us;
+    for (auto _ : state) {
+        RunSpec spec = main_spec(App::kUpc, core::SystemKind::kPulse,
+                                 1);
+        spec.concurrency = 1;
+        spec.warmup_ops = 20;
+        spec.measure_ops = 150;
+        spec.tweak = [prop_us](core::ClusterConfig& config) {
+            config.network.link_propagation = micros(prop_us);
+        };
+        point.pulse_us = run_spec(spec).mean_us;
+
+        RunSpec cache = spec;
+        cache.system = core::SystemKind::kCache;
+        cache.measure_ops = 60;
+        point.cache_us = run_spec(cache).mean_us;
+    }
+    state.counters["pulse_us"] = point.pulse_us;
+    state.counters["cache_us"] = point.cache_us;
+    g_prop.push_back(point);
+}
+
+void
+max_iter_cell(benchmark::State& state, std::uint32_t max_iters)
+{
+    IterPoint point;
+    point.max_iters = max_iters;
+    for (auto _ : state) {
+        core::ClusterConfig config;
+        core::Cluster cluster(config);
+        ds::LinkedList list(cluster.memory(), cluster.allocator());
+        std::vector<std::uint64_t> values(480);
+        for (std::size_t i = 0; i < values.size(); i++) {
+            values[i] = i;
+        }
+        list.build(values, 0);
+
+        // Rebuild the walk program with the requested budget.
+        isa::ProgramBuilder b;
+        b.load(16)
+            .move(isa::sp(8), isa::dat(0))
+            .sub(isa::sp(0), isa::sp(0), isa::imm(1))
+            .compare(isa::sp(0), isa::imm(0))
+            .jump_eq("done")
+            .compare(isa::imm(0), isa::dat(8))
+            .jump_eq("done")
+            .move(isa::cur(), isa::dat(8))
+            .next_iter()
+            .label("done")
+            .ret();
+        b.max_iters(max_iters);
+        auto program = std::make_shared<const isa::Program>(b.build());
+
+        Histogram latency;
+        std::uint64_t continuations = 0;
+        const int ops = 100;
+        int done = 0;
+        for (int i = 0; i < ops; i++) {
+            offload::Operation op;
+            op.program = program;
+            op.start_ptr = list.head();
+            op.init_scratch.assign(16, 0);
+            const std::uint64_t hops = 480;
+            std::memcpy(op.init_scratch.data(), &hops, 8);
+            op.done = [&](offload::Completion&& completion) {
+                latency.add(completion.latency);
+                continuations += completion.continuations;
+                done++;
+            };
+            cluster.submitter(core::SystemKind::kPulse)(std::move(op));
+            cluster.queue().run();
+        }
+        point.mean_us = to_micros(latency.mean());
+        point.continuations =
+            static_cast<double>(continuations) / done;
+    }
+    state.counters["mean_us"] = point.mean_us;
+    state.counters["continuations"] = point.continuations;
+    g_iters.push_back(point);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (const double prop : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+        benchmark::RegisterBenchmark(
+            ("sensitivity/propagation_" + fmt(prop, "%.1fus")).c_str(),
+            [prop](benchmark::State& state) {
+                propagation_cell(state, prop);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    for (const std::uint32_t cap : {32u, 64u, 128u, 256u, 512u}) {
+        benchmark::RegisterBenchmark(
+            ("sensitivity/max_iter_" + std::to_string(cap)).c_str(),
+            [cap](benchmark::State& state) {
+                max_iter_cell(state, cap);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    Table prop("Sensitivity: one-way link propagation vs UPC latency "
+               "(pulse pays ~2 hops/request; Cache ~2 per miss)");
+    prop.set_header({"prop_us", "pulse_us", "Cache_us", "Cache/pulse"});
+    for (const auto& point : g_prop) {
+        prop.add_row({fmt(point.prop_us), fmt(point.pulse_us),
+                      fmt(point.cache_us),
+                      fmt(point.cache_us / point.pulse_us)});
+    }
+    prop.print();
+
+    Table iters("Sensitivity: MAX_ITER vs 480-hop walk latency "
+                "(each continuation adds a round trip)");
+    iters.set_header({"max_iter", "mean_us", "continuations/op"});
+    for (const auto& point : g_iters) {
+        iters.add_row({std::to_string(point.max_iters),
+                       fmt(point.mean_us),
+                       fmt(point.continuations)});
+    }
+    iters.print();
+    return 0;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Supplementary Fig. 1 — Sensitivity to traversal length and core
+ * count.
+ *
+ * (a) End-to-end pulse latency for linked-list walks of increasing
+ *     length: must scale linearly with the number of nodes traversed.
+ * (b) Memory bandwidth achieved vs accelerator core count on a
+ *     low-eta linked-list workload: two cores saturate the node's
+ *     25 GB/s; with the vendor memory-interconnect IP removed
+ *     (dedicated channel per core) the board reaches ~34 GB/s.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ds/linked_list.h"
+
+namespace {
+
+using namespace pulse;
+using namespace pulse::bench;
+
+struct LengthPoint
+{
+    std::uint64_t hops = 0;
+    double mean_us = 0.0;
+};
+
+struct CorePoint
+{
+    std::uint32_t cores = 0;
+    bool interconnect = true;
+    double gbps = 0.0;
+};
+
+std::vector<LengthPoint> g_lengths;
+std::vector<CorePoint> g_cores;
+
+/** Build a big-node list so walks stress the memory pipeline. */
+std::unique_ptr<ds::LinkedList>
+build_list(core::Cluster& cluster, std::uint64_t nodes)
+{
+    auto list = std::make_unique<ds::LinkedList>(
+        cluster.memory(), cluster.allocator(), /*node_bytes=*/256);
+    std::vector<std::uint64_t> values;
+    values.reserve(nodes);
+    for (std::uint64_t i = 0; i < nodes; i++) {
+        values.push_back(i + 1);
+    }
+    list->build(values, 0);
+    return list;
+}
+
+void
+traversal_length(benchmark::State& state, std::uint64_t hops)
+{
+    core::ClusterConfig config;
+    core::Cluster cluster(config);
+    auto list = build_list(cluster, hops + 8);
+
+    workloads::DriverConfig driver;
+    driver.warmup_ops = 10;
+    driver.measure_ops = 150;
+    driver.concurrency = 1;
+    workloads::DriverResult result;
+    for (auto _ : state) {
+        result = run_closed_loop(
+            cluster.queue(),
+            cluster.submitter(core::SystemKind::kPulse),
+            [&](std::uint64_t) { return list->make_walk(hops, {}); },
+            driver);
+    }
+    const double mean_us = to_micros(result.latency.mean());
+    state.counters["mean_us"] = mean_us;
+    g_lengths.push_back({hops, mean_us});
+}
+
+void
+core_count(benchmark::State& state, std::uint32_t cores,
+           bool interconnect)
+{
+    core::ClusterConfig config;
+    config.accel.num_cores = cores;
+    config.accel.workspaces_per_logic = 16;
+    core::Cluster cluster(config);
+    cluster.channels(0).set_interconnect_enabled(interconnect);
+    auto list = build_list(cluster, 4096);
+
+    Rng rng(5);
+    workloads::DriverConfig driver;
+    driver.concurrency = 256;
+    driver.warmup_ops = 256;
+    driver.measure_ops = 1500;
+    driver.on_measure_start = [&cluster] { cluster.reset_stats(); };
+    workloads::DriverResult result;
+    for (auto _ : state) {
+        result = run_closed_loop(
+            cluster.queue(),
+            cluster.submitter(core::SystemKind::kPulse),
+            [&](std::uint64_t) {
+                // Short walks from the head keep requests flowing.
+                return list->make_walk(24 + rng.next_below(16), {});
+            },
+            driver);
+    }
+    const double gbps =
+        cluster.memory_bandwidth(result.measure_time) / 1e9;
+    state.counters["mem_gbps"] = gbps;
+    g_cores.push_back({cores, interconnect, gbps});
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (const std::uint64_t hops :
+         {8ull, 16ull, 32ull, 64ull, 128ull, 256ull, 512ull}) {
+        benchmark::RegisterBenchmark(
+            ("suppfig1a/length_" + std::to_string(hops)).c_str(),
+            [hops](benchmark::State& state) {
+                traversal_length(state, hops);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    for (const std::uint32_t cores : {1u, 2u, 3u, 4u}) {
+        for (const bool interconnect : {true, false}) {
+            benchmark::RegisterBenchmark(
+                ("suppfig1b/cores_" + std::to_string(cores) +
+                 (interconnect ? "" : "_no_interconnect"))
+                    .c_str(),
+                [cores, interconnect](benchmark::State& state) {
+                    core_count(state, cores, interconnect);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    Table lengths("Supp Fig 1a: latency vs traversal length "
+                  "(linear scaling expected)");
+    lengths.set_header({"hops", "mean_us", "us_per_hop"});
+    for (const auto& point : g_lengths) {
+        lengths.add_row(
+            {std::to_string(point.hops), fmt(point.mean_us, "%.1f"),
+             fmt(point.mean_us / static_cast<double>(point.hops),
+                 "%.3f")});
+    }
+    lengths.print();
+
+    Table cores("Supp Fig 1b: memory bandwidth vs cores "
+                "(paper: 2 cores saturate 25 GB/s; 34 GB/s w/o "
+                "interconnect)");
+    cores.set_header({"cores", "with_IC_GB/s", "no_IC_GB/s"});
+    for (const std::uint32_t count : {1u, 2u, 3u, 4u}) {
+        std::string with_ic = "-";
+        std::string without_ic = "-";
+        for (const auto& point : g_cores) {
+            if (point.cores == count) {
+                (point.interconnect ? with_ic : without_ic) =
+                    fmt(point.gbps);
+            }
+        }
+        cores.add_row({std::to_string(count), with_ic, without_ic});
+    }
+    cores.print();
+    return 0;
+}

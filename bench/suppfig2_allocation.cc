@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Supplementary Fig. 2 — Allocation policy.
+ *
+ * pulse latency for the B+Tree workloads (TC, TSV) across two memory
+ * nodes under (i) application-directed partitioned allocation (half
+ * the tree per node) and (ii) fully random per-allocation placement.
+ * Paper shape: random allocation is 3.7-10.8x slower because nearly
+ * every pointer hop crosses nodes. The glibc-like slab-granular
+ * placement the main figures use is reported as a third column for
+ * context.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace pulse;
+using namespace pulse::bench;
+
+enum class Policy { kPartitioned, kSlabUniform, kRandom };
+
+const char*
+policy_name(Policy policy)
+{
+    switch (policy) {
+      case Policy::kPartitioned: return "partitioned";
+      case Policy::kSlabUniform: return "slab-uniform";
+      case Policy::kRandom: return "random";
+    }
+    return "?";
+}
+
+std::map<std::string, double> g_mean_us;
+
+void
+allocation_cell(benchmark::State& state, App app, Policy policy)
+{
+    RunSpec spec = main_spec(app, core::SystemKind::kPulse, 2);
+    spec.concurrency = 1;
+    spec.warmup_ops = 30;
+    spec.measure_ops = 250;
+    spec.uniform_alloc = policy != Policy::kPartitioned;
+    if (policy == Policy::kRandom) {
+        spec.tweak = [](core::ClusterConfig& config) {
+            config.uniform_chunk_bytes = 0;  // node drawn per alloc
+        };
+    }
+
+    RunOutcome outcome;
+    for (auto _ : state) {
+        outcome = run_spec(spec);
+    }
+    state.counters["mean_us"] = outcome.mean_us;
+    g_mean_us[std::string(app_name(app)) + "/" +
+              policy_name(policy)] = outcome.mean_us;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::vector<App> apps = {App::kTc, App::kTsv75, App::kTsv15,
+                                   App::kTsv30, App::kTsv60};
+    for (const App app : apps) {
+        for (const Policy policy :
+             {Policy::kPartitioned, Policy::kSlabUniform,
+              Policy::kRandom}) {
+            benchmark::RegisterBenchmark(
+                (std::string("suppfig2/") + app_name(app) + "/" +
+                 policy_name(policy))
+                    .c_str(),
+                [app, policy](benchmark::State& state) {
+                    allocation_cell(state, app, policy);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    Table table("Supp Fig 2: pulse latency by allocation policy, "
+                "mean us (2 nodes; paper: random 3.7-10.8x slower "
+                "than partitioned)");
+    table.set_header({"app", "partitioned", "slab-uniform", "random",
+                      "random/part"});
+    for (const App app : apps) {
+        const auto get = [&](Policy policy) {
+            const auto it =
+                g_mean_us.find(std::string(app_name(app)) + "/" +
+                               policy_name(policy));
+            return it == g_mean_us.end() ? 0.0 : it->second;
+        };
+        const double partitioned = get(Policy::kPartitioned);
+        const double random = get(Policy::kRandom);
+        table.add_row(
+            {app_name(app), fmt(partitioned),
+             fmt(get(Policy::kSlabUniform)), fmt(random),
+             partitioned > 0 ? fmt(random / partitioned, "%.1f")
+                             : "-"});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Table 2 — Workload characterization.
+ *
+ * Regenerates the paper's per-workload table: the underlying data
+ * structure, whether it is partitionable across memory nodes, eta
+ * (the offload engine's statically-computed compute-to-memory-time
+ * ratio, t_c / t_d), and the measured average iterations per request.
+ * Paper values: UPC (hash, partitionable) eta 0.06, ~100 iterations;
+ * TC (B+Tree) eta 0.79, ~75; TSV (B+Tree) eta 0.89, 44/87/165/320
+ * for 7.5/15/30/60 s windows.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "isa/analysis.h"
+
+namespace {
+
+using namespace pulse;
+using namespace pulse::bench;
+
+struct Row
+{
+    std::string structure;
+    std::string partitionable;
+    double eta = 0.0;
+    double iterations = 0.0;
+    std::uint32_t program_insns = 0;
+    bool offloaded = true;
+};
+
+std::map<std::string, Row> g_rows;
+
+double
+program_eta(core::Cluster& cluster,
+            const std::shared_ptr<const isa::Program>& program)
+{
+    const auto& analysis =
+        cluster.offload_engine().analysis_for(program);
+    const auto& config = cluster.offload_engine().config();
+    return compute_eta(analysis, config.t_i, config.t_d);
+}
+
+void
+characterize(benchmark::State& state, App app)
+{
+    RunSpec spec = main_spec(app, core::SystemKind::kPulse, 1);
+    spec.concurrency = 4;
+    spec.warmup_ops = 20;
+    spec.measure_ops = 400;
+
+    Row row;
+    for (auto _ : state) {
+        Experiment experiment = make_experiment(spec);
+        core::Cluster& cluster = *experiment.cluster;
+
+        // eta from the offload engine's static analysis of the actual
+        // programs (worst program for multi-program apps, as the
+        // offload test must hold for each).
+        std::vector<std::shared_ptr<const isa::Program>> programs;
+        if (app == App::kUpc) {
+            row.structure = "Hash-table";
+            row.partitionable = "yes";
+            programs.push_back(experiment.upc->table().find_program());
+        } else if (app == App::kTc) {
+            row.structure = "B+Tree";
+            row.partitionable = "no";
+            programs.push_back(
+                experiment.tc->tree().scan_fold_program());
+        } else {
+            row.structure = "B+Tree";
+            row.partitionable = "no";
+            for (const ds::AggKind kind :
+                 {ds::AggKind::kSum, ds::AggKind::kMin,
+                  ds::AggKind::kMax}) {
+                programs.push_back(
+                    experiment.tsv->tree().aggregate_program(kind));
+            }
+        }
+        for (const auto& program : programs) {
+            row.eta = std::max(row.eta,
+                               program_eta(cluster, program));
+            row.program_insns =
+                std::max(row.program_insns, program->size());
+        }
+
+        workloads::DriverConfig driver;
+        driver.warmup_ops = spec.warmup_ops;
+        driver.measure_ops = spec.measure_ops;
+        driver.concurrency = spec.concurrency;
+        auto result = run_closed_loop(
+            cluster.queue(),
+            cluster.submitter(core::SystemKind::kPulse),
+            experiment.factory, driver);
+        row.iterations =
+            static_cast<double>(result.iterations) /
+            static_cast<double>(result.completed);
+        // Confirm the offload decision accepted everything.
+        row.offloaded =
+            cluster.offload_engine().stats().fallback.value() == 0;
+    }
+    state.counters["eta"] = row.eta;
+    state.counters["avg_iters"] = row.iterations;
+    g_rows[app_name(app)] = row;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (const App app : {App::kUpc, App::kTc, App::kTsv75,
+                          App::kTsv15, App::kTsv30, App::kTsv60}) {
+        benchmark::RegisterBenchmark(
+            (std::string("table2/") + app_name(app)).c_str(),
+            [app](benchmark::State& state) {
+                characterize(state, app);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    Table table("Table 2: workloads (paper: UPC eta 0.06/100 iters; "
+                "TC 0.79/75; TSV 0.89/44-320)");
+    table.set_header({"app", "structure", "partition", "eta",
+                      "avg_iters", "insns", "offloaded"});
+    for (const App app : {App::kUpc, App::kTc, App::kTsv75,
+                          App::kTsv15, App::kTsv30, App::kTsv60}) {
+        const auto it = g_rows.find(app_name(app));
+        if (it == g_rows.end()) {
+            continue;
+        }
+        const Row& row = it->second;
+        table.add_row({app_name(app), row.structure,
+                       row.partitionable, fmt(row.eta, "%.2f"),
+                       fmt(row.iterations, "%.1f"),
+                       std::to_string(row.program_insns),
+                       row.offloaded ? "yes" : "NO"});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,445 @@
+#include "accel/accelerator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pulse::accel {
+
+using isa::TraversalStatus;
+
+Accelerator::Accelerator(sim::EventQueue& queue, net::Network& network,
+                         mem::GlobalMemory& memory,
+                         mem::ChannelSet& channels, NodeId node,
+                         const AccelConfig& config)
+    : queue_(queue), network_(network), memory_(memory),
+      channels_(channels), node_(node), config_(config),
+      tcam_(config.tcam_entries), pending_(config.sched_policy)
+{
+    PULSE_ASSERT(config.num_cores > 0, "accelerator needs cores");
+    PULSE_ASSERT(config.eta_pipelines > 0, "eta must be >= 1");
+    cores_.resize(config.num_cores);
+    for (Core& core : cores_) {
+        core.logic_free.assign(config.eta_pipelines, 0);
+        core.workspaces.resize(config.workspaces_per_core());
+    }
+    network_.attach_traversal_sink(
+        net::EndpointAddr::mem_node(node_),
+        [this](net::TraversalPacket&& packet) {
+            on_packet(std::move(packet));
+        });
+}
+
+void
+Accelerator::reset_stats()
+{
+    stats_ = AccelStats{};
+}
+
+void
+Accelerator::register_stats(const std::string& prefix,
+                            StatRegistry& registry)
+{
+    registry.register_counter(prefix + ".requests",
+                              &stats_.requests_received);
+    registry.register_counter(prefix + ".responses",
+                              &stats_.responses_sent);
+    registry.register_counter(prefix + ".forwards",
+                              &stats_.forwards_sent);
+    registry.register_counter(prefix + ".iterations",
+                              &stats_.iterations);
+    registry.register_counter(prefix + ".loads", &stats_.loads);
+    registry.register_counter(prefix + ".stores", &stats_.stores);
+    registry.register_counter(prefix + ".protection_faults",
+                              &stats_.protection_faults);
+    registry.register_counter(prefix + ".queue_drops",
+                              &stats_.queue_drops);
+    registry.register_accumulator(prefix + ".net_stack_ps",
+                                  &stats_.net_stack_time);
+    registry.register_accumulator(prefix + ".scheduler_ps",
+                                  &stats_.scheduler_time);
+    registry.register_accumulator(prefix + ".mem_pipeline_ps",
+                                  &stats_.mem_pipeline_time);
+    registry.register_accumulator(prefix + ".logic_pipeline_ps",
+                                  &stats_.logic_pipeline_time);
+}
+
+std::size_t
+Accelerator::inflight() const
+{
+    std::size_t n = pending_.size();
+    for (const Core& core : cores_) {
+        for (const auto& ws : core.workspaces) {
+            if (ws) {
+                n++;
+            }
+        }
+    }
+    return n;
+}
+
+const isa::ProgramAnalysis*
+Accelerator::analysis_for(
+    const std::shared_ptr<const isa::Program>& program)
+{
+    const auto it = analysis_cache_.find(program.get());
+    if (it != analysis_cache_.end()) {
+        return &it->second;
+    }
+    auto [pos, inserted] =
+        analysis_cache_.emplace(program.get(), isa::analyze(*program));
+    (void)inserted;
+    return &pos->second;
+}
+
+void
+Accelerator::on_packet(net::TraversalPacket&& packet)
+{
+    stats_.requests_received.increment();
+    // Hardware network stack: parse the packet (rx side).
+    stats_.net_stack_time.add(
+        static_cast<double>(config_.net_stack_latency));
+    queue_.schedule_after(
+        config_.net_stack_latency,
+        [this, packet = std::move(packet)]() mutable {
+            admit(std::move(packet));
+        });
+}
+
+void
+Accelerator::admit(net::TraversalPacket&& packet)
+{
+    // Scheduler: parse payload, pick an idle workspace (4 ns, Fig. 9).
+    stats_.scheduler_time.add(
+        static_cast<double>(config_.scheduler_latency));
+    queue_.schedule_after(
+        config_.scheduler_latency,
+        [this, packet = std::move(packet)]() mutable {
+            if (!try_dispatch(packet)) {
+                if (pending_.size() >= config_.max_pending) {
+                    // Drop; the offload engine's timer retransmits.
+                    stats_.queue_drops.increment();
+                    return;
+                }
+                pending_.push(std::move(packet));
+            }
+        });
+}
+
+bool
+Accelerator::try_dispatch(net::TraversalPacket& packet)
+{
+    // Pick the core with the most free workspaces (load balance).
+    Core* best_core = nullptr;
+    CoreId best_id = 0;
+    std::size_t best_free = 0;
+    for (CoreId c = 0; c < cores_.size(); c++) {
+        std::size_t free_slots = 0;
+        for (const auto& ws : cores_[c].workspaces) {
+            if (!ws) {
+                free_slots++;
+            }
+        }
+        if (free_slots > best_free) {
+            best_free = free_slots;
+            best_core = &cores_[c];
+            best_id = c;
+        }
+    }
+    if (best_core == nullptr) {
+        return false;
+    }
+
+    WorkspaceId slot = 0;
+    while (best_core->workspaces[slot]) {
+        slot++;
+    }
+
+    auto context = std::make_unique<Context>();
+    context->packet = std::move(packet);
+    context->analysis = analysis_for(context->packet.code);
+    if (!context->analysis->valid) {
+        // Reject malformed programs with an execution fault response.
+        send_response(*context, TraversalStatus::kExecFault,
+                      isa::ExecFault::kIllegalInstruction);
+        return true;
+    }
+    context->workspace.configure(*context->packet.code);
+    context->workspace.cur_ptr = context->packet.cur_ptr;
+    std::copy_n(context->packet.scratch.begin(),
+                std::min(context->packet.scratch.size(),
+                         context->workspace.scratch.size()),
+                context->workspace.scratch.begin());
+
+    best_core->workspaces[slot] = std::move(context);
+    start_memory_phase(best_id, slot);
+    return true;
+}
+
+void
+Accelerator::start_memory_phase(CoreId core_id, WorkspaceId ws)
+{
+    Core& core = cores_[core_id];
+    Context& context = *core.workspaces[ws];
+    const Time now = queue_.now();
+    const std::uint32_t load_bytes = context.packet.code->load_bytes();
+
+    if (load_bytes == 0) {
+        start_logic_phase(core_id, ws, now);
+        return;
+    }
+
+    // Null-page semantics: a null cur_ptr loads zeros without touching
+    // DRAM, so programs can use cur_ptr == 0 as a termination test.
+    if (context.workspace.cur_ptr == kNullAddr) {
+        const Time tcam_cost = config_.mem_pipeline_latency / 4;
+        stats_.mem_pipeline_time.add(static_cast<double>(tcam_cost));
+        queue_.schedule_after(tcam_cost, [this, core_id, ws, load_bytes] {
+            Core& c = cores_[core_id];
+            Context& ctx = *c.workspaces[ws];
+            std::fill_n(ctx.workspace.data.begin(), load_bytes, 0);
+            start_logic_phase(core_id, ws, queue_.now());
+        });
+        return;
+    }
+
+    // Address translation + protection (TCAM, part of the memory
+    // pipeline's 120 ns). A miss means the pointer lives on another
+    // node: hierarchical translation hands the request back to the
+    // switch (section 5).
+    const auto translated = tcam_.translate_span(
+        context.workspace.cur_ptr, load_bytes, mem::Perm::kRead);
+    if (translated.status == mem::TranslateStatus::kMiss) {
+        const Time tcam_cost = config_.mem_pipeline_latency / 4;
+        stats_.mem_pipeline_time.add(static_cast<double>(tcam_cost));
+        queue_.schedule_after(tcam_cost, [this, core_id, ws] {
+            finish(core_id, ws, TraversalStatus::kNotLocal,
+                   isa::ExecFault::kNone);
+        });
+        return;
+    }
+    if (translated.status == mem::TranslateStatus::kProtectionFault) {
+        stats_.protection_faults.increment();
+        const Time tcam_cost = config_.mem_pipeline_latency / 4;
+        stats_.mem_pipeline_time.add(static_cast<double>(tcam_cost));
+        queue_.schedule_after(tcam_cost, [this, core_id, ws] {
+            finish(core_id, ws, TraversalStatus::kMemFault,
+                   isa::ExecFault::kNone);
+        });
+        return;
+    }
+
+    // Issue the aggregated load: the pipeline issues back-to-back at
+    // channel occupancy granularity (AXI bursts in flight), each load
+    // completing after the full access latency. The data registers
+    // receive a snapshot of memory as of the issue time — concurrent
+    // writers (STOREs, CAS) landing while the load is in flight are
+    // not observed, which is what makes CAS retry loops meaningful.
+    const Time start = std::max(now, core.mem_pipe_free);
+    const Time channel_done = channels_.access(start, load_bytes);
+    const Time done =
+        std::max(start + config_.mem_pipeline_latency, channel_done);
+    core.mem_pipe_free = channel_done;
+    stats_.loads.increment();
+    stats_.mem_pipeline_time.add(static_cast<double>(done - start));
+
+    memory_.node(node_).read(translated.phys,
+                             context.workspace.data.data(),
+                             load_bytes);
+    queue_.schedule_at(done, [this, core_id, ws] {
+        start_logic_phase(core_id, ws, queue_.now());
+    });
+}
+
+void
+Accelerator::start_logic_phase(CoreId core_id, WorkspaceId ws,
+                               Time mem_done)
+{
+    Core& core = cores_[core_id];
+
+    // Static workspace -> logic-pipeline binding (Fig. 3's staggered
+    // schedule: each logic pipeline multiplexes two workspaces). The
+    // functional execution happens at the logic pipeline's actual
+    // start time (a separate event), so memory effects from other
+    // in-flight iterators can interleave between a workspace's LOAD
+    // and its logic — which is what makes CAS contention observable.
+    const std::uint32_t lp = ws % config_.eta_pipelines;
+    const Time start = std::max(mem_done, core.logic_free[lp]);
+    if (start > queue_.now()) {
+        queue_.schedule_at(start, [this, core_id, ws] {
+            start_logic_phase(core_id, ws, queue_.now());
+        });
+        return;
+    }
+    Context& context = *core.workspaces[ws];
+
+    // Functional execution of the iteration's logic. The CAS
+    // extension performs its read-modify-write through the TCAM and
+    // channels right here; event-level execution makes it atomic.
+    const VirtAddr cas_base = context.packet.cur_ptr;
+    bool cas_fault = false;
+    isa::CasFn cas = [this, cas_base, &cas_fault](
+                         std::uint64_t mem_off, std::uint64_t expected,
+                         std::uint64_t desired) {
+        const auto translated = tcam_.translate_span(
+            cas_base + mem_off, 8, mem::Perm::kReadWrite);
+        if (translated.status != mem::TranslateStatus::kOk) {
+            cas_fault = true;
+            return false;
+        }
+        channels_.access(queue_.now(), 8);
+        const std::uint64_t current =
+            memory_.node(node_).read_as<std::uint64_t>(
+                translated.phys);
+        if (current != expected) {
+            return false;
+        }
+        memory_.node(node_).write_as<std::uint64_t>(translated.phys,
+                                                    desired);
+        stats_.cas_ops.increment();
+        return true;
+    };
+    isa::IterationResult iter =
+        run_iteration(*context.packet.code, context.workspace, cas);
+    const Time t_c = static_cast<Time>(iter.instructions_executed) *
+                     config_.logic_time_per_insn;
+    const Time done = start + t_c;
+    // The datapath is pipelined: the next iterator may enter after the
+    // initiation interval, not the full latency.
+    const Time interval = std::max<Time>(
+        t_c / std::max<std::uint32_t>(config_.logic_pipeline_depth, 1),
+        1);
+    core.logic_free[lp] = start + interval;
+    stats_.logic_pipeline_time.add(static_cast<double>(t_c));
+    stats_.logic_busy_time.add(static_cast<double>(interval));
+    stats_.iterations.increment();
+    context.packet.iterations_done++;
+    context.iterations_this_visit++;
+
+    // Apply write-backs through the memory channels.
+    bool store_fault = false;
+    const VirtAddr iter_ptr = context.packet.cur_ptr;
+    for (const isa::PendingStore& st : iter.stores) {
+        const auto translated = tcam_.translate_span(
+            iter_ptr + st.mem_offset, st.length, mem::Perm::kWrite);
+        if (translated.status != mem::TranslateStatus::kOk) {
+            stats_.protection_faults.increment();
+            store_fault = true;
+            break;
+        }
+        channels_.access(done, st.length);
+        memory_.node(node_).write(
+            translated.phys,
+            context.workspace.data.data() + st.data_offset, st.length);
+        stats_.stores.increment();
+    }
+
+    TraversalStatus status = TraversalStatus::kDone;
+    isa::ExecFault fault = isa::ExecFault::kNone;
+    bool continue_traversal = false;
+    if (cas_fault) {
+        stats_.protection_faults.increment();
+        store_fault = true;
+    }
+    if (store_fault) {
+        status = TraversalStatus::kMemFault;
+    } else if (iter.end == isa::IterEnd::kFault) {
+        status = TraversalStatus::kExecFault;
+        fault = iter.fault;
+    } else if (iter.end == isa::IterEnd::kReturn) {
+        status = TraversalStatus::kDone;
+    } else {
+        // MAX_ITER is a per-request (per-visit) budget (section 3.1):
+        // a continuation re-issued by the client or another node gets a
+        // fresh budget while iterations_done keeps the global count.
+        const std::uint64_t cap =
+            std::min<std::uint64_t>(context.packet.code->max_iters(),
+                                    config_.max_iters_cap);
+        if (context.iterations_this_visit >= cap) {
+            status = TraversalStatus::kMaxIter;
+        } else {
+            continue_traversal = true;
+        }
+    }
+
+    if (continue_traversal) {
+        // Commit the next pointer and hand back to the memory pipeline.
+        queue_.schedule_at(done, [this, core_id, ws] {
+            Core& c = cores_[core_id];
+            c.workspaces[ws]->packet.cur_ptr =
+                c.workspaces[ws]->workspace.cur_ptr;
+            start_memory_phase(core_id, ws);
+        });
+    } else {
+        queue_.schedule_at(done, [this, core_id, ws, status, fault] {
+            finish(core_id, ws, status, fault);
+        });
+    }
+}
+
+void
+Accelerator::finish(CoreId core_id, WorkspaceId ws,
+                    TraversalStatus status, isa::ExecFault fault)
+{
+    Core& core = cores_[core_id];
+    std::unique_ptr<Context> context = std::move(core.workspaces[ws]);
+    send_response(*context, status, fault);
+
+    if (!pending_.empty()) {
+        net::TraversalPacket next = pending_.pop();
+        const bool dispatched = try_dispatch(next);
+        PULSE_ASSERT(dispatched, "dispatch must succeed after a free");
+    }
+}
+
+void
+Accelerator::send_response(Context& context, TraversalStatus status,
+                           isa::ExecFault fault)
+{
+    net::TraversalPacket response;
+    response.id = context.packet.id;
+    response.origin = context.packet.origin;
+    response.is_response = true;
+    response.status = status;
+    response.fault = fault;
+    response.cur_ptr = (context.analysis != nullptr &&
+                        context.analysis->valid)
+                           ? context.workspace.cur_ptr
+                           : context.packet.cur_ptr;
+    response.iterations_done = context.packet.iterations_done;
+    response.code = context.packet.code;
+    // Responses and forwarded continuations reference installed code.
+    response.code_size = net::kCodeIdBytes;
+    response.allow_switch_continuation =
+        context.packet.allow_switch_continuation &&
+        config_.forward_via_switch;
+
+    // Ship the scratch_pad footprint (state travels with the request,
+    // section 5's stateful-continuation mechanism).
+    const std::size_t footprint =
+        context.analysis != nullptr
+            ? std::max<std::size_t>(context.analysis->scratch_footprint,
+                                    context.packet.scratch.size())
+            : context.packet.scratch.size();
+    response.scratch.assign(
+        context.workspace.scratch.begin(),
+        context.workspace.scratch.begin() +
+            std::min(footprint, context.workspace.scratch.size()));
+
+    if (status == TraversalStatus::kNotLocal &&
+        response.allow_switch_continuation) {
+        stats_.forwards_sent.increment();
+    } else {
+        stats_.responses_sent.increment();
+    }
+    stats_.net_stack_time.add(
+        static_cast<double>(config_.net_stack_latency));
+    queue_.schedule_after(
+        config_.net_stack_latency,
+        [this, response = std::move(response)]() mutable {
+            network_.send_traversal(net::EndpointAddr::mem_node(node_),
+                                    std::move(response));
+        });
+}
+
+}  // namespace pulse::accel

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The pulse accelerator at a memory node (paper section 4.2).
+ *
+ * Structure mirrors Fig. 2: a hardware network stack parses traversal
+ * packets; a scheduler assigns each request to a core workspace; every
+ * core couples one memory-access pipeline (TCAM translation + protection
+ * + aggregated 256 B load through the node's memory channels) with eta
+ * logic pipelines (the ISA interpreter, costed per instruction) and
+ * 2*eta workspaces, executing iterators in the staggered schedule of
+ * Fig. 3. Iterations alternate memory and logic phases until NEXT_ITER
+ * stops (RETURN / fault / iteration cap) or cur_ptr leaves the node, at
+ * which point a response packet carrying cur_ptr + scratch_pad goes back
+ * through the network stack — to the client, or via the switch to the
+ * next node (section 5).
+ *
+ * All functional effects (loads, stores) hit the node's real simulated
+ * DRAM, so accelerator results are actual traversal results.
+ */
+#ifndef PULSE_ACCEL_ACCELERATOR_H
+#define PULSE_ACCEL_ACCELERATOR_H
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "accel/accel_config.h"
+#include "accel/admission_queue.h"
+#include "common/stats.h"
+#include "isa/analysis.h"
+#include "mem/global_memory.h"
+#include "mem/memory_channel.h"
+#include "mem/range_tcam.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace pulse::accel {
+
+/** Aggregated accelerator statistics (drives Figs. 6, 7, 9). */
+struct AccelStats
+{
+    Counter requests_received;
+    Counter responses_sent;
+    Counter forwards_sent;        ///< kNotLocal continuations emitted
+    Counter iterations;
+    Counter loads;
+    Counter stores;
+    Counter cas_ops;  ///< successful atomic swaps (extension)
+    Counter protection_faults;
+    Counter queue_drops;
+
+    /** Busy-time integrals for utilization/energy (picoseconds). */
+    Accumulator net_stack_time;
+    Accumulator scheduler_time;
+    Accumulator mem_pipeline_time;   ///< latency portion per load
+    Accumulator logic_pipeline_time; ///< per-iteration latency (Fig 9)
+    Accumulator logic_busy_time;     ///< occupancy integral (energy)
+};
+
+/** One memory node's accelerator. */
+class Accelerator
+{
+  public:
+    /**
+     * @param queue    shared event queue
+     * @param network  rack fabric (this attaches itself as the node's
+     *                 traversal sink)
+     * @param memory   cluster memory (functional data path)
+     * @param channels the node's DRAM channels (bandwidth model)
+     * @param node     which memory node this accelerator serves
+     * @param config   timing/shape parameters
+     */
+    Accelerator(sim::EventQueue& queue, net::Network& network,
+                mem::GlobalMemory& memory, mem::ChannelSet& channels,
+                NodeId node, const AccelConfig& config);
+
+    /** The node-local translation/protection TCAM. */
+    mem::RangeTcam& tcam() { return tcam_; }
+    const mem::RangeTcam& tcam() const { return tcam_; }
+
+    /** Statistics. */
+    const AccelStats& stats() const { return stats_; }
+
+    /** Reset statistics (not in-flight state). */
+    void reset_stats();
+
+    /** Register statistics under @p prefix. */
+    void register_stats(const std::string& prefix,
+                        StatRegistry& registry);
+
+    /** Requests currently executing or queued. */
+    std::size_t inflight() const;
+
+    const AccelConfig& config() const { return config_; }
+
+  private:
+    /** One in-flight traversal bound to a workspace. */
+    struct Context
+    {
+        net::TraversalPacket packet;
+        isa::Workspace workspace;
+        const isa::ProgramAnalysis* analysis = nullptr;
+        std::uint64_t iterations_this_visit = 0;
+    };
+
+    /** One accelerator core (Fig. 2). */
+    struct Core
+    {
+        Time mem_pipe_free = 0;               // next load issue slot
+        std::vector<Time> logic_free;         // per logic pipeline
+        std::vector<std::unique_ptr<Context>> workspaces;
+    };
+
+    void on_packet(net::TraversalPacket&& packet);
+    void admit(net::TraversalPacket&& packet);
+    bool try_dispatch(net::TraversalPacket& packet);
+    void start_memory_phase(CoreId core, WorkspaceId ws);
+    void start_logic_phase(CoreId core, WorkspaceId ws, Time mem_done);
+    void finish(CoreId core, WorkspaceId ws, isa::TraversalStatus status,
+                isa::ExecFault fault);
+    void send_response(Context& context, isa::TraversalStatus status,
+                       isa::ExecFault fault);
+    const isa::ProgramAnalysis* analysis_for(
+        const std::shared_ptr<const isa::Program>& program);
+
+    sim::EventQueue& queue_;
+    net::Network& network_;
+    mem::GlobalMemory& memory_;
+    mem::ChannelSet& channels_;
+    NodeId node_;
+    AccelConfig config_;
+    mem::RangeTcam tcam_;
+    std::vector<Core> cores_;
+    AdmissionQueue pending_;
+    std::unordered_map<const isa::Program*, isa::ProgramAnalysis>
+        analysis_cache_;
+    AccelStats stats_;
+};
+
+}  // namespace pulse::accel
+
+#endif  // PULSE_ACCEL_ACCELERATOR_H

@@ -1,0 +1,57 @@
+#include "accel/admission_queue.h"
+
+#include "common/logging.h"
+
+namespace pulse::accel {
+
+AdmissionQueue::AdmissionQueue(SchedPolicy policy) : policy_(policy)
+{
+}
+
+void
+AdmissionQueue::push(net::TraversalPacket&& packet)
+{
+    if (policy_ == SchedPolicy::kFifo) {
+        fifo_.push_back(std::move(packet));
+    } else {
+        per_client_[packet.origin].push_back(std::move(packet));
+    }
+    size_++;
+}
+
+net::TraversalPacket
+AdmissionQueue::pop()
+{
+    PULSE_ASSERT(size_ > 0, "pop from empty admission queue");
+    size_--;
+    if (policy_ == SchedPolicy::kFifo) {
+        net::TraversalPacket packet = std::move(fifo_.front());
+        fifo_.pop_front();
+        return packet;
+    }
+
+    // Round-robin: serve the first non-empty client queue strictly
+    // after the cursor, wrapping around.
+    auto pos = per_client_.upper_bound(cursor_);
+    if (pos == per_client_.end()) {
+        pos = per_client_.begin();
+    }
+    // All remaining queues may sit at/before the cursor; the wrap
+    // above plus the erase-on-empty below guarantee pos is valid and
+    // non-empty.
+    while (pos->second.empty()) {
+        pos = std::next(pos);
+        if (pos == per_client_.end()) {
+            pos = per_client_.begin();
+        }
+    }
+    cursor_ = pos->first;
+    net::TraversalPacket packet = std::move(pos->second.front());
+    pos->second.pop_front();
+    if (pos->second.empty()) {
+        per_client_.erase(pos);
+    }
+    return packet;
+}
+
+}  // namespace pulse::accel

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Policy-driven admission queue for the accelerator scheduler.
+ *
+ * The paper's scheduler admits pending traversal requests in FIFO
+ * order; its supplementary material (section B) proposes extending the
+ * signal-driven scheduler with fairness/isolation policies for
+ * multi-tenant memory nodes. This queue implements both: kFifo
+ * (arrival order) and kFairShare (round-robin across origin clients,
+ * so one tenant's flood cannot starve another's requests).
+ */
+#ifndef PULSE_ACCEL_ADMISSION_QUEUE_H
+#define PULSE_ACCEL_ADMISSION_QUEUE_H
+
+#include <deque>
+#include <map>
+
+#include "accel/accel_config.h"
+#include "net/packet.h"
+
+namespace pulse::accel {
+
+/** Bounded, policy-driven request queue. */
+class AdmissionQueue
+{
+  public:
+    explicit AdmissionQueue(SchedPolicy policy);
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /** Enqueue a request (caller enforces the capacity bound). */
+    void push(net::TraversalPacket&& packet);
+
+    /** Dequeue the next request per the policy. empty() must be
+     *  false. */
+    net::TraversalPacket pop();
+
+  private:
+    SchedPolicy policy_;
+    std::size_t size_ = 0;
+    std::deque<net::TraversalPacket> fifo_;
+    /** kFairShare: one FIFO per origin client + round-robin cursor. */
+    std::map<ClientId, std::deque<net::TraversalPacket>> per_client_;
+    ClientId cursor_ = 0;
+};
+
+}  // namespace pulse::accel
+
+#endif  // PULSE_ACCEL_ADMISSION_QUEUE_H

@@ -1,0 +1,127 @@
+#include "apps/apps.h"
+
+#include "common/logging.h"
+
+namespace pulse::apps {
+
+Bytes
+upc_data_bytes(const AppScale& scale)
+{
+    // 256 B chain nodes + 8 B bucket slots.
+    return scale.upc_keys * 256 +
+           (scale.upc_keys / scale.upc_chain) * 8;
+}
+
+Bytes
+tc_data_bytes(const AppScale& scale)
+{
+    // 240 B value objects + leaf/inner nodes (~256 B per 7 entries).
+    return scale.tc_keys * (240 + 256 / 7 + 16);
+}
+
+Bytes
+tsv_data_bytes(const AppScale& scale)
+{
+    // Inline 16 B entries in 256 B leaves of 12.
+    return scale.tsv_samples * (256 / 12 + 8);
+}
+
+UpcApp::UpcApp(core::Cluster& cluster, const AppScale& scale,
+               std::uint64_t seed)
+    : generator_(scale.upc_keys), rng_(seed),
+      num_keys_(scale.upc_keys)
+{
+    ds::HashTableConfig config;
+    config.num_buckets =
+        std::max<std::uint64_t>(1, scale.upc_keys / scale.upc_chain);
+    config.value_bytes = 240;
+    // Key-partitioned across all memory nodes (Table 2: UPC is
+    // partitionable and never crosses nodes).
+    config.partitions = cluster.memory().num_nodes();
+    table_ = std::make_unique<ds::HashTable>(cluster.memory(),
+                                             cluster.allocator(),
+                                             config);
+    for (std::uint64_t i = 0; i < scale.upc_keys; i++) {
+        table_->insert(workloads::key_of(i));
+    }
+}
+
+workloads::OpFactory
+UpcApp::factory()
+{
+    return [this](std::uint64_t) {
+        const std::uint64_t key =
+            workloads::key_of(generator_.next_index(rng_));
+        offload::Operation op = table_->make_find(key, nullptr);
+        // Object identity for the Cache+RPC baseline's object cache.
+        op.object_id = key;
+        op.object_bytes = 256;
+        return op;
+    };
+}
+
+TcApp::TcApp(core::Cluster& cluster, const AppScale& scale,
+             bool uniform_alloc, std::uint64_t seed)
+    : generator_(scale.tc_keys), rng_(seed)
+{
+    ds::BPTreeConfig config;
+    config.inline_values = false;  // 240 B conversation records
+    config.leaf_slots = 8;
+    config.leaf_fill = 7;
+    config.partitioned = !uniform_alloc;
+    config.partitions = cluster.memory().num_nodes();
+    // A live store's records were written over time: scatter them.
+    config.scatter_values = true;
+    tree_ = std::make_unique<ds::BPTree>(cluster.memory(),
+                                         cluster.allocator(), config);
+    std::vector<ds::BPTreeEntry> entries;
+    entries.reserve(scale.tc_keys);
+    for (std::uint64_t i = 0; i < scale.tc_keys; i++) {
+        entries.push_back({workloads::key_of(i), 0});
+    }
+    tree_->build(entries);
+}
+
+workloads::OpFactory
+TcApp::factory()
+{
+    return [this](std::uint64_t) {
+        const workloads::YcsbE::Scan scan = generator_.next(rng_);
+        return tree_->make_scan(workloads::key_of(scan.start_index),
+                                scan.length, nullptr);
+    };
+}
+
+TsvApp::TsvApp(core::Cluster& cluster, const AppScale& scale,
+               double window_seconds, bool uniform_alloc,
+               std::uint64_t seed)
+    : rng_(seed)
+{
+    trace_ = std::make_unique<workloads::PmuTrace>(scale.tsv_samples);
+    ds::BPTreeConfig config;
+    config.inline_values = true;
+    config.leaf_slots = 12;
+    config.leaf_fill = 12;
+    config.partitioned = !uniform_alloc;
+    config.partitions = cluster.memory().num_nodes();
+    // A long-lived tree built by chronological insertion fragments its
+    // leaf allocations (DESIGN.md); model a ~0.9 KB average gap.
+    config.leaf_alloc_gap_max = 7 * 256;
+    tree_ = std::make_unique<ds::BPTree>(cluster.memory(),
+                                         cluster.allocator(), config);
+    tree_->build(trace_->entries());
+    queries_ = std::make_unique<workloads::TsvQueries>(*trace_,
+                                                       window_seconds);
+}
+
+workloads::OpFactory
+TsvApp::factory()
+{
+    return [this](std::uint64_t) {
+        const workloads::TsvQueries::Query query = queries_->next(rng_);
+        return tree_->make_aggregate(query.kind, query.lo, query.hi,
+                                     nullptr);
+    };
+}
+
+}  // namespace pulse::apps

@@ -1,0 +1,63 @@
+#include "baselines/page_cache.h"
+
+#include "common/logging.h"
+
+namespace pulse::baselines {
+
+PageCache::PageCache(Bytes capacity_bytes, Bytes page_bytes)
+    : page_bytes_(page_bytes),
+      capacity_pages_(static_cast<std::size_t>(
+          capacity_bytes / page_bytes))
+{
+    PULSE_ASSERT(page_bytes > 0 && (page_bytes & (page_bytes - 1)) == 0,
+                 "page size must be a power of two");
+    PULSE_ASSERT(capacity_pages_ > 0, "cache smaller than one page");
+}
+
+bool
+PageCache::access(VirtAddr va)
+{
+    const VirtAddr page = page_of(va);
+    const auto it = map_.find(page);
+    if (it == map_.end()) {
+        misses_.increment();
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    hits_.increment();
+    return true;
+}
+
+void
+PageCache::fill(VirtAddr va)
+{
+    const VirtAddr page = page_of(va);
+    if (map_.count(page)) {
+        return;  // raced fill (two faults on one page)
+    }
+    if (map_.size() >= capacity_pages_) {
+        const VirtAddr victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+        evictions_.increment();
+    }
+    lru_.push_front(page);
+    map_[page] = lru_.begin();
+}
+
+void
+PageCache::clear()
+{
+    lru_.clear();
+    map_.clear();
+}
+
+void
+PageCache::reset_stats()
+{
+    hits_.reset();
+    misses_.reset();
+    evictions_.reset();
+}
+
+}  // namespace pulse::baselines

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Client-side page cache (the Cache-based baseline's core, modelling
+ * Fastswap-style swap-backed far memory, paper section 7 "Cache-based").
+ *
+ * Timing-only model: it tracks page *presence* with LRU eviction; data
+ * always comes functionally from GlobalMemory (the measured workloads
+ * are read-only during measurement, so contents never diverge). The
+ * paper's key observation — pointer chasing has poor page locality, so
+ * nearly every hop faults — falls straight out of this structure.
+ */
+#ifndef PULSE_BASELINES_PAGE_CACHE_H
+#define PULSE_BASELINES_PAGE_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace pulse::baselines {
+
+/** LRU page cache keyed by page-aligned virtual address. */
+class PageCache
+{
+  public:
+    /**
+     * @param capacity_bytes cache size (the paper uses 2 GB against
+     *        ~120 GB of data; benches scale both together)
+     * @param page_bytes     page size (4 KB)
+     */
+    PageCache(Bytes capacity_bytes, Bytes page_bytes);
+
+    /** Page-align @p va. */
+    VirtAddr page_of(VirtAddr va) const { return va & ~(page_bytes_ - 1); }
+
+    /** Page size. */
+    Bytes page_bytes() const { return page_bytes_; }
+
+    /** Capacity in pages. */
+    std::size_t capacity_pages() const { return capacity_pages_; }
+
+    /** True (and LRU-refreshed) when @p va's page is resident. */
+    bool access(VirtAddr va);
+
+    /** Install @p va's page, evicting the LRU page if needed. */
+    void fill(VirtAddr va);
+
+    /** Resident page count. */
+    std::size_t resident() const { return map_.size(); }
+
+    /** Drop everything. */
+    void clear();
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t evictions() const { return evictions_.value(); }
+    void reset_stats();
+
+  private:
+    Bytes page_bytes_;
+    std::size_t capacity_pages_;
+    std::list<VirtAddr> lru_;  // front = most recent
+    std::unordered_map<VirtAddr, std::list<VirtAddr>::iterator> map_;
+    Counter hits_;
+    Counter misses_;
+    Counter evictions_;
+};
+
+}  // namespace pulse::baselines
+
+#endif  // PULSE_BASELINES_PAGE_CACHE_H

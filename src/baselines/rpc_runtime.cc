@@ -1,0 +1,285 @@
+#include "baselines/rpc_runtime.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "isa/analysis.h"
+#include "isa/interpreter.h"
+
+namespace pulse::baselines {
+
+using isa::TraversalStatus;
+
+namespace {
+
+constexpr std::uint64_t kIterationGuard = 1u << 20;
+
+}  // namespace
+
+struct RpcRuntime::OpState
+{
+    offload::Operation op;
+    isa::Workspace workspace;
+    Time submit_time = 0;
+    std::uint64_t iterations = 0;
+    std::uint32_t bounces = 0;
+    Bytes scratch_wire = 0;  ///< scratch bytes shipped per message
+};
+
+RpcRuntime::RpcRuntime(sim::EventQueue& queue, net::Network& network,
+                       mem::GlobalMemory& memory,
+                       std::vector<mem::ChannelSet*> node_channels,
+                       ClientId client, const RpcConfig& config)
+    : queue_(queue), network_(network), memory_(memory),
+      node_channels_(std::move(node_channels)), client_(client),
+      config_(config)
+{
+    PULSE_ASSERT(config.workers_per_node > 0, "need RPC workers");
+    PULSE_ASSERT(node_channels_.size() == memory.num_nodes(),
+                 "one channel set per node required");
+    servers_.resize(memory.num_nodes());
+    for (auto& server : servers_) {
+        server.busy.assign(config.workers_per_node, false);
+    }
+}
+
+void
+RpcRuntime::submit(offload::Operation&& op)
+{
+    inflight_++;
+    auto state = std::make_shared<OpState>();
+    state->op = std::move(op);
+    state->submit_time = queue_.now();
+    state->workspace.configure(*state->op.program);
+    state->workspace.cur_ptr = state->op.start_ptr;
+    std::copy_n(state->op.init_scratch.begin(),
+                std::min(state->op.init_scratch.size(),
+                         state->workspace.scratch.size()),
+                state->workspace.scratch.begin());
+    const auto analysis = isa::analyze(*state->op.program);
+    state->scratch_wire =
+        std::max<Bytes>(analysis.scratch_footprint,
+                        state->op.init_scratch.size());
+
+    const Time issue_cost =
+        state->op.init_cpu_time +
+        static_cast<Time>(static_cast<double>(config_.client_overhead) *
+                          config_.transport_overhead_factor / 2.0);
+    queue_.schedule_after(issue_cost, [this, state] { issue(state); });
+}
+
+void
+RpcRuntime::issue(const std::shared_ptr<OpState>& state)
+{
+    const auto node =
+        memory_.address_map().node_for(state->workspace.cur_ptr);
+    if (!node.has_value()) {
+        complete(state, TraversalStatus::kMemFault,
+                 isa::ExecFault::kNone);
+        return;
+    }
+    stats_.requests.increment();
+    const Bytes request_bytes = net::kNetHeaderBytes +
+                                config_.request_header_bytes +
+                                state->scratch_wire;
+    network_.send_message(net::EndpointAddr::client(client_),
+                          net::EndpointAddr::mem_node(*node),
+                          request_bytes, [this, state, node = *node] {
+                              serve(state, node);
+                          });
+}
+
+void
+RpcRuntime::serve(const std::shared_ptr<OpState>& state, NodeId node)
+{
+    NodeServer& server = servers_[node];
+    for (std::uint32_t w = 0; w < server.busy.size(); w++) {
+        if (!server.busy[w]) {
+            server.busy[w] = true;
+            begin_execution(state, node, w);
+            return;
+        }
+    }
+    server.pending.push_back(state);
+}
+
+void
+RpcRuntime::begin_execution(const std::shared_ptr<OpState>& state,
+                            NodeId node, std::uint32_t worker)
+{
+    const Time start = queue_.now();
+    const Time server_cost = static_cast<Time>(
+        static_cast<double>(config_.server_overhead) *
+        config_.transport_overhead_factor);
+    queue_.schedule_after(server_cost,
+                          [this, state, node, worker, start] {
+                              execute_step(state, node, worker, start);
+                          });
+}
+
+void
+RpcRuntime::execute_step(const std::shared_ptr<OpState>& state,
+                         NodeId node, std::uint32_t worker, Time start)
+{
+    // One iteration per event: load (DRAM latency + channel occupancy
+    // shared with every other worker), then the logic on this core.
+    const std::uint32_t load_bytes = state->op.program->load_bytes();
+    const VirtAddr ptr = state->workspace.cur_ptr;
+    Time iter_done = queue_.now();
+    if (ptr != kNullAddr && load_bytes > 0) {
+        const auto owner = memory_.address_map().node_for(ptr);
+        if (!owner.has_value()) {
+            finish_execution(state, node, worker, start,
+                             TraversalStatus::kMemFault,
+                             isa::ExecFault::kNone);
+            return;
+        }
+        if (*owner != node) {
+            finish_execution(state, node, worker, start,
+                             TraversalStatus::kNotLocal,
+                             isa::ExecFault::kNone);
+            return;
+        }
+        const Time channel_done =
+            node_channels_[node]->access(queue_.now(), load_bytes);
+        iter_done =
+            std::max(queue_.now() + config_.dram_latency, channel_done);
+        memory_.read(ptr, state->workspace.data.data(), load_bytes);
+    } else if (load_bytes > 0) {
+        std::fill_n(state->workspace.data.begin(), load_bytes, 0);
+    }
+
+    isa::CasFn cas = [this, ptr, node](std::uint64_t mem_off,
+                                       std::uint64_t expected,
+                                       std::uint64_t desired) {
+        const VirtAddr addr = ptr + mem_off;
+        const auto owner = memory_.address_map().node_for(addr);
+        if (!owner || *owner != node) {
+            return false;  // off-node CAS is not supported
+        }
+        node_channels_[node]->access(queue_.now(), 8);
+        const std::uint64_t current =
+            memory_.read_as<std::uint64_t>(addr);
+        if (current != expected) {
+            return false;
+        }
+        memory_.write_as<std::uint64_t>(addr, desired);
+        return true;
+    };
+    isa::IterationResult iter =
+        run_iteration(*state->op.program, state->workspace, cas);
+    state->iterations++;
+    stats_.iterations.increment();
+    iter_done += config_.cpu_time(iter.instructions_executed);
+    for (const isa::PendingStore& st : iter.stores) {
+        node_channels_[node]->access(iter_done, st.length);
+        memory_.write(ptr + st.mem_offset,
+                      state->workspace.data.data() + st.data_offset,
+                      st.length);
+    }
+
+    switch (iter.end) {
+      case isa::IterEnd::kReturn:
+        queue_.schedule_at(iter_done, [this, state, node, worker,
+                                       start] {
+            finish_execution(state, node, worker, start,
+                             TraversalStatus::kDone,
+                             isa::ExecFault::kNone);
+        });
+        return;
+      case isa::IterEnd::kFault: {
+        const isa::ExecFault fault = iter.fault;
+        queue_.schedule_at(iter_done, [this, state, node, worker,
+                                       start, fault] {
+            finish_execution(state, node, worker, start,
+                             TraversalStatus::kExecFault, fault);
+        });
+        return;
+      }
+      case isa::IterEnd::kNextIter:
+        if (state->iterations >= kIterationGuard) {
+            queue_.schedule_at(iter_done, [this, state, node, worker,
+                                           start] {
+                finish_execution(state, node, worker, start,
+                                 TraversalStatus::kMaxIter,
+                                 isa::ExecFault::kNone);
+            });
+            return;
+        }
+        queue_.schedule_at(iter_done,
+                           [this, state, node, worker, start] {
+                               execute_step(state, node, worker, start);
+                           });
+        return;
+    }
+}
+
+void
+RpcRuntime::finish_execution(const std::shared_ptr<OpState>& state,
+                             NodeId node, std::uint32_t worker,
+                             Time start, TraversalStatus status,
+                             isa::ExecFault fault)
+{
+    NodeServer& server = servers_[node];
+    stats_.worker_busy_time.add(
+        static_cast<double>(queue_.now() - start));
+    server.busy[worker] = false;
+    if (!server.pending.empty()) {
+        std::shared_ptr<OpState> next = server.pending.front();
+        server.pending.pop_front();
+        server.busy[worker] = true;
+        begin_execution(next, node, worker);
+    }
+
+    // Response (same wire format as the request).
+    const Bytes response_bytes = net::kNetHeaderBytes +
+                                 config_.request_header_bytes +
+                                 state->scratch_wire;
+    stats_.responses.increment();
+    network_.send_message(
+        net::EndpointAddr::mem_node(node),
+        net::EndpointAddr::client(client_), response_bytes,
+        [this, state, status, fault] {
+            if (status == TraversalStatus::kNotLocal &&
+                state->iterations < kIterationGuard) {
+                // Continuation bounce: the client re-issues to the
+                // owning node after its software overhead.
+                stats_.node_bounces.increment();
+                state->bounces++;
+                const Time bounce_cost = static_cast<Time>(
+                    static_cast<double>(config_.client_overhead) *
+                    config_.transport_overhead_factor);
+                queue_.schedule_after(bounce_cost, [this, state] {
+                    issue(state);
+                });
+                return;
+            }
+            complete(state, status, fault);
+        });
+}
+
+void
+RpcRuntime::complete(const std::shared_ptr<OpState>& state,
+                     TraversalStatus status, isa::ExecFault fault)
+{
+    const Time finish_cost = static_cast<Time>(
+        static_cast<double>(config_.client_overhead) *
+        config_.transport_overhead_factor / 2.0);
+    queue_.schedule_after(finish_cost, [this, state, status, fault] {
+        offload::Completion completion;
+        completion.status = status;
+        completion.fault = fault;
+        completion.final_ptr = state->workspace.cur_ptr;
+        completion.scratch = state->workspace.scratch;
+        completion.iterations = state->iterations;
+        completion.client_bounces = state->bounces;
+        completion.offloaded = true;
+        completion.latency = queue_.now() - state->submit_time;
+        inflight_--;
+        if (state->op.done) {
+            state->op.done(std::move(completion));
+        }
+    });
+}
+
+}  // namespace pulse::baselines

@@ -1,0 +1,77 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pulse {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char*
+level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+}
+
+void
+vlog(const char* prefix, const char* fmt, va_list args)
+{
+    std::fprintf(stderr, "[pulse %s] ", prefix);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+log_message(LogLevel level, const char* fmt, ...)
+{
+    if (level < g_level) {
+        return;
+    }
+    va_list args;
+    va_start(args, fmt);
+    vlog(level_name(level), fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlog("FATAL", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlog("PANIC", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+}  // namespace pulse

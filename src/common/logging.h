@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers.
+ *
+ * Follows the gem5 convention: fatal() for user/configuration errors that
+ * make continuing pointless, panic() for internal invariant violations
+ * (i.e. pulse bugs). Both are printf-style.
+ */
+#ifndef PULSE_COMMON_LOGGING_H
+#define PULSE_COMMON_LOGGING_H
+
+#include <cstdarg>
+
+namespace pulse {
+
+/** Log verbosity levels, in increasing severity. */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/** Set the minimum level that gets printed (default: kWarn). */
+void set_log_level(LogLevel level);
+
+/** Current minimum level. */
+LogLevel log_level();
+
+/** Emit a log line at @p level (printf-style). */
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Terminate with an error caused by invalid user input or configuration
+ * (exit code 1, no core dump).
+ */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate due to an internal invariant violation — a pulse bug. Calls
+ * abort() so a core/debugger can take over.
+ */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Check an invariant; panics with location info on failure. */
+#define PULSE_ASSERT(cond, fmt, ...)                                      \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::pulse::panic("assertion '%s' failed at %s:%d: " fmt, #cond, \
+                           __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__);\
+        }                                                                 \
+    } while (0)
+
+}  // namespace pulse
+
+#endif  // PULSE_COMMON_LOGGING_H

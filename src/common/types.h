@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fundamental identifier and address types shared across all pulse modules.
+ *
+ * pulse models a rack-scale disaggregated-memory cluster: one or more CPU
+ * (client) nodes, a programmable switch, and a set of memory nodes hosting
+ * pulse accelerators. The types here give those entities strongly-named
+ * identities so signatures stay self-documenting.
+ */
+#ifndef PULSE_COMMON_TYPES_H
+#define PULSE_COMMON_TYPES_H
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace pulse {
+
+/** A virtual address in the cluster-wide disaggregated address space. */
+using VirtAddr = std::uint64_t;
+
+/** A physical (node-local) byte offset into a memory node's DRAM. */
+using PhysAddr = std::uint64_t;
+
+/** The null virtual address: used as the "no next pointer" sentinel. */
+inline constexpr VirtAddr kNullAddr = 0;
+
+/** Identifies a memory node within the rack (dense, 0-based). */
+using NodeId = std::uint32_t;
+
+/** Identifies a CPU (client) node within the rack (dense, 0-based). */
+using ClientId = std::uint32_t;
+
+/** Identifies a switch port. */
+using PortId = std::uint32_t;
+
+/** Identifies an accelerator core within a memory node. */
+using CoreId = std::uint32_t;
+
+/** Identifies a workspace slot within an accelerator core. */
+using WorkspaceId = std::uint32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode =
+    std::numeric_limits<NodeId>::max();
+
+/**
+ * Cluster-unique request identifier (paper, section 4.1): the offload
+ * engine embeds the CPU-node id and a local counter into each request so
+ * that responses can be matched and timeouts retransmitted.
+ */
+struct RequestId
+{
+    ClientId client = 0;
+    std::uint64_t seq = 0;
+
+    friend bool operator==(const RequestId&, const RequestId&) = default;
+    friend auto operator<=>(const RequestId&, const RequestId&) = default;
+};
+
+}  // namespace pulse
+
+namespace std {
+
+template <>
+struct hash<pulse::RequestId>
+{
+    size_t
+    operator()(const pulse::RequestId& id) const noexcept
+    {
+        return hash<uint64_t>()(
+            (static_cast<uint64_t>(id.client) << 48) ^ id.seq);
+    }
+};
+
+}  // namespace std
+
+#endif  // PULSE_COMMON_TYPES_H

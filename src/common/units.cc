@@ -1,0 +1,42 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace pulse {
+
+std::string
+format_time(Time t)
+{
+    char buf[64];
+    const double ns = to_nanos(t);
+    if (ns < 1e3) {
+        std::snprintf(buf, sizeof(buf), "%.1f ns", ns);
+    } else if (ns < 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+    } else if (ns < 1e9) {
+        std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3f s", ns / 1e9);
+    }
+    return buf;
+}
+
+std::string
+format_bytes(Bytes b)
+{
+    char buf[64];
+    const double v = static_cast<double>(b);
+    if (b < kKiB) {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(b));
+    } else if (b < kMiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f KiB", v / kKiB);
+    } else if (b < kGiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f MiB", v / kMiB);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f GiB", v / kGiB);
+    }
+    return buf;
+}
+
+}  // namespace pulse

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Time and data-size units used throughout the simulator.
+ *
+ * Simulated time is kept as an integral count of picoseconds so that
+ * sub-nanosecond component latencies (e.g. the accelerator's 1.17 ns per
+ * logic instruction) accumulate without rounding drift. Helpers convert
+ * to/from the human-facing units used in the paper (ns, us, GB/s).
+ */
+#ifndef PULSE_COMMON_UNITS_H
+#define PULSE_COMMON_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace pulse {
+
+/** Simulated time, in picoseconds. */
+using Time = std::int64_t;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1000 * kPicosecond;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/** Construct a Time from nanoseconds (fractional allowed). */
+constexpr Time
+nanos(double ns)
+{
+    return static_cast<Time>(ns * kNanosecond);
+}
+
+/** Construct a Time from microseconds (fractional allowed). */
+constexpr Time
+micros(double us)
+{
+    return static_cast<Time>(us * kMicrosecond);
+}
+
+/** Convert a Time to (fractional) nanoseconds. */
+constexpr double
+to_nanos(Time t)
+{
+    return static_cast<double>(t) / kNanosecond;
+}
+
+/** Convert a Time to (fractional) microseconds. */
+constexpr double
+to_micros(Time t)
+{
+    return static_cast<double>(t) / kMicrosecond;
+}
+
+/** Convert a Time to (fractional) seconds. */
+constexpr double
+to_seconds(Time t)
+{
+    return static_cast<double>(t) / kSecond;
+}
+
+/** Data sizes, in bytes. */
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/**
+ * A transfer rate in bytes per second; used for memory channels, links,
+ * and bandwidth accounting. Stored as double since rates are only ever
+ * used to derive durations.
+ */
+using Rate = double;
+
+/** Rate helper: gigabytes (1e9 bytes) per second, as used in the paper. */
+constexpr Rate
+gbps_bytes(double gb_per_s)
+{
+    return gb_per_s * 1e9;
+}
+
+/** Rate helper: gigabits per second (network links). */
+constexpr Rate
+gbps_bits(double gbit_per_s)
+{
+    return gbit_per_s * 1e9 / 8.0;
+}
+
+/**
+ * Time to serialize @p bytes at @p rate. Returns at least 1 ps for any
+ * non-zero payload so event ordering stays strict.
+ */
+constexpr Time
+transfer_time(Bytes bytes, Rate rate)
+{
+    if (bytes == 0 || rate <= 0.0) {
+        return 0;
+    }
+    const double seconds = static_cast<double>(bytes) / rate;
+    const auto t = static_cast<Time>(seconds * kSecond);
+    return t > 0 ? t : 1;
+}
+
+/** Pretty-print a duration with an auto-selected unit (for reports). */
+std::string format_time(Time t);
+
+/** Pretty-print a byte count with an auto-selected unit (for reports). */
+std::string format_bytes(Bytes b);
+
+}  // namespace pulse
+
+#endif  // PULSE_COMMON_UNITS_H

@@ -1,0 +1,268 @@
+#include "core/cluster.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace pulse::core {
+
+const char*
+system_name(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::kPulse: return "pulse";
+      case SystemKind::kCache: return "Cache";
+      case SystemKind::kRpc: return "RPC";
+      case SystemKind::kRpcWimpy: return "RPC-W";
+      case SystemKind::kCacheRpc: return "Cache+RPC";
+    }
+    return "?";
+}
+
+ClusterConfig::ClusterConfig()
+{
+    // RPC-W: the paper emulates wimpy SmartNIC cores by down-clocking
+    // server cores to 1.0 GHz; being 2.6x slower per instruction, more
+    // of them are needed to saturate the node's memory bandwidth, and
+    // the per-request RPC software path slows with the clock.
+    rpc_wimpy.clock_ghz = 1.0;
+    rpc_wimpy.workers_per_node = 24;
+    rpc_wimpy.server_overhead = nanos(850.0 * 2.6);
+}
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config)
+{
+    PULSE_ASSERT(config.num_mem_nodes >= 1, "need a memory node");
+    PULSE_ASSERT(config.num_clients >= 1, "need a client");
+
+    memory_ = std::make_unique<mem::GlobalMemory>(config.num_mem_nodes,
+                                                  config.node_capacity);
+    allocator_ = std::make_unique<mem::ClusterAllocator>(
+        memory_->address_map(), config.alloc_policy, config.seed,
+        config.uniform_chunk_bytes);
+
+    net::NetworkConfig net_config = config.network;
+    net_config.num_clients = config.num_clients;
+    net_config.num_mem_nodes = config.num_mem_nodes;
+    network_ = std::make_unique<net::Network>(queue_, net_config);
+
+    std::vector<mem::ChannelSet*> channel_ptrs;
+    for (NodeId node = 0; node < config.num_mem_nodes; node++) {
+        channels_.push_back(std::make_unique<mem::ChannelSet>(
+            config.channels_per_node, config.channel_raw_bw,
+            config.interconnect_efficiency));
+        channel_ptrs.push_back(channels_.back().get());
+
+        accelerators_.push_back(std::make_unique<accel::Accelerator>(
+            queue_, *network_, *memory_, *channels_.back(), node,
+            config.accel));
+
+        // Hierarchical address translation (section 5): one cur_ptr
+        // rule per node at the switch; the node's full region in its
+        // accelerator TCAM (identity-mapped, read-write).
+        const mem::NodeRegion& region =
+            memory_->address_map().region(node);
+        network_->switch_table().add_rule(
+            net::SwitchRule{region.base, region.size, node});
+        const bool installed = accelerators_.back()->tcam().insert(
+            mem::RangeEntry{region.base, region.size, 0,
+                            mem::Perm::kReadWrite});
+        PULSE_ASSERT(installed, "TCAM rejected the node region");
+    }
+
+    for (ClientId client = 0; client < config.num_clients; client++) {
+        offload_.push_back(std::make_unique<offload::OffloadEngine>(
+            queue_, *network_, *memory_, client, config.offload));
+    }
+    cache_ = std::make_unique<baselines::CacheClient>(
+        queue_, *network_, *memory_, /*client=*/0, config.cache,
+        channel_ptrs);
+    rpc_ = std::make_unique<baselines::RpcRuntime>(
+        queue_, *network_, *memory_, channel_ptrs, /*client=*/0,
+        config.rpc);
+    rpc_wimpy_ = std::make_unique<baselines::RpcRuntime>(
+        queue_, *network_, *memory_, channel_ptrs, /*client=*/0,
+        config.rpc_wimpy);
+
+    // Cache+RPC rides a TCP-like transport (AIFM's stack, section 7.1).
+    baselines::RpcConfig tcp_rpc = config.rpc;
+    tcp_rpc.transport_overhead_factor = 3.0;
+    rpc_tcp_ = std::make_unique<baselines::RpcRuntime>(
+        queue_, *network_, *memory_, channel_ptrs, /*client=*/0,
+        tcp_rpc);
+    aifm_ = std::make_unique<baselines::AifmClient>(queue_, *rpc_tcp_,
+                                                    config.aifm);
+}
+
+accel::Accelerator&
+Cluster::accelerator(NodeId node)
+{
+    PULSE_ASSERT(node < accelerators_.size(), "bad node id %u", node);
+    return *accelerators_[node];
+}
+
+mem::ChannelSet&
+Cluster::channels(NodeId node)
+{
+    PULSE_ASSERT(node < channels_.size(), "bad node id %u", node);
+    return *channels_[node];
+}
+
+baselines::RpcRuntime&
+Cluster::rpc(bool wimpy)
+{
+    return wimpy ? *rpc_wimpy_ : *rpc_;
+}
+
+offload::OffloadEngine&
+Cluster::offload_engine(ClientId client)
+{
+    PULSE_ASSERT(client < offload_.size(), "bad client id %u", client);
+    return *offload_[client];
+}
+
+workloads::SubmitFn
+Cluster::submitter(SystemKind kind, ClientId client)
+{
+    PULSE_ASSERT(kind == SystemKind::kPulse || client == 0,
+                 "baseline systems are single-client");
+    switch (kind) {
+      case SystemKind::kPulse:
+        return [this, client](offload::Operation&& op) {
+            offload_[client]->submit(std::move(op));
+        };
+      case SystemKind::kCache:
+        return [this](offload::Operation&& op) {
+            cache_->submit(std::move(op));
+        };
+      case SystemKind::kRpc:
+        return [this](offload::Operation&& op) {
+            rpc_->submit(std::move(op));
+        };
+      case SystemKind::kRpcWimpy:
+        return [this](offload::Operation&& op) {
+            rpc_wimpy_->submit(std::move(op));
+        };
+      case SystemKind::kCacheRpc:
+        return [this](offload::Operation&& op) {
+            aifm_->submit(std::move(op));
+        };
+    }
+    panic("unknown system kind");
+}
+
+void
+Cluster::reset_stats()
+{
+    network_->reset_stats();
+    for (auto& channels : channels_) {
+        channels->reset_stats();
+    }
+    for (auto& accelerator : accelerators_) {
+        accelerator->reset_stats();
+    }
+    for (auto& engine : offload_) {
+        engine->reset_stats();
+    }
+    cache_->reset_stats();
+    rpc_->reset_stats();
+    rpc_wimpy_->reset_stats();
+    rpc_tcp_->reset_stats();
+    aifm_->reset_stats();
+}
+
+Rate
+Cluster::memory_bandwidth(Time window) const
+{
+    Rate total = 0;
+    for (const auto& channels : channels_) {
+        total += channels->achieved_bandwidth(window);
+    }
+    return total;
+}
+
+Rate
+Cluster::memory_bandwidth_capacity() const
+{
+    Rate total = 0;
+    for (const auto& channels : channels_) {
+        total += channels->total_effective_bandwidth();
+    }
+    return total;
+}
+
+Bytes
+Cluster::client_network_bytes() const
+{
+    const auto addr = net::EndpointAddr::client(0);
+    return network_->bytes_sent_by(addr) +
+           network_->bytes_received_by(addr);
+}
+
+void
+Cluster::register_stats(StatRegistry& registry)
+{
+    for (NodeId node = 0; node < accelerators_.size(); node++) {
+        accelerators_[node]->register_stats(
+            "node" + std::to_string(node) + ".accel", registry);
+    }
+    for (ClientId client = 0; client < offload_.size(); client++) {
+        const auto& stats = offload_[client]->stats();
+        const std::string prefix =
+            "client" + std::to_string(client) + ".offload.";
+        registry.register_counter(prefix + "submitted",
+                                  &stats.submitted);
+        registry.register_counter(prefix + "offloaded",
+                                  &stats.offloaded);
+        registry.register_counter(prefix + "fallback",
+                                  &stats.fallback);
+        registry.register_counter(prefix + "retransmits",
+                                  &stats.retransmits);
+        registry.register_counter(prefix + "client_bounces",
+                                  &stats.client_bounces);
+        registry.register_counter(prefix + "continuations",
+                                  &stats.continuations);
+        registry.register_counter(prefix + "failures",
+                                  &stats.failures);
+    }
+    {
+        const auto& stats = cache_->stats();
+        registry.register_counter("client0.cache.operations",
+                                  &stats.operations);
+        registry.register_counter("client0.cache.faults",
+                                  &stats.faults);
+        registry.register_counter("client0.cache.hits", &stats.hits);
+        registry.register_accumulator("client0.cache.fault_wait_ps",
+                                      &stats.fault_wait_time);
+    }
+    for (const auto& [name, runtime] :
+         {std::pair<const char*, baselines::RpcRuntime*>{
+              "rpc", rpc_.get()},
+          {"rpc_wimpy", rpc_wimpy_.get()},
+          {"rpc_tcp", rpc_tcp_.get()}}) {
+        const auto& stats = runtime->stats();
+        const std::string prefix = std::string(name) + ".";
+        registry.register_counter(prefix + "requests",
+                                  &stats.requests);
+        registry.register_counter(prefix + "responses",
+                                  &stats.responses);
+        registry.register_counter(prefix + "node_bounces",
+                                  &stats.node_bounces);
+        registry.register_counter(prefix + "iterations",
+                                  &stats.iterations);
+        registry.register_accumulator(prefix + "worker_busy_ps",
+                                      &stats.worker_busy_time);
+    }
+    {
+        const auto& stats = aifm_->stats();
+        registry.register_counter("client0.aifm.operations",
+                                  &stats.operations);
+        registry.register_counter("client0.aifm.hits", &stats.hits);
+        registry.register_counter("client0.aifm.misses",
+                                  &stats.misses);
+        registry.register_counter("client0.aifm.evictions",
+                                  &stats.evictions);
+    }
+}
+
+}  // namespace pulse::core

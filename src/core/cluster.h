@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The pulse cluster façade: one object that assembles the simulated
+ * rack (section 6's testbed) and exposes every compared system behind
+ * a single submit interface.
+ *
+ * Components wired together:
+ *   - discrete-event queue and rack network (clients + switch + memory
+ *     nodes);
+ *   - disaggregated memory with per-node DRAM channels (25 GB/s cap);
+ *   - pulse accelerators (one per memory node) with their TCAMs, plus
+ *     the switch's one-rule-per-node cur_ptr table (section 5);
+ *   - the client offload engine (pulse / pulse-ACC per config);
+ *   - all baselines: Cache-based (page cache), RPC, RPC-W, Cache+RPC.
+ *
+ * Benches pick a system via submitter(SystemKind) and drive it with
+ * the workload driver; every system executes the same ISA operations
+ * over the same memory bytes, so results are directly comparable.
+ */
+#ifndef PULSE_CORE_CLUSTER_H
+#define PULSE_CORE_CLUSTER_H
+
+#include <memory>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "baselines/aifm_client.h"
+#include "baselines/cache_client.h"
+#include "baselines/rpc_runtime.h"
+#include "common/stats.h"
+#include "mem/allocator.h"
+#include "mem/global_memory.h"
+#include "mem/memory_channel.h"
+#include "net/network.h"
+#include "offload/offload_engine.h"
+#include "sim/event_queue.h"
+#include "workloads/driver.h"
+
+namespace pulse::core {
+
+/** Which execution system serves a submitted operation. */
+enum class SystemKind {
+    kPulse,     ///< accelerator offload (pulse or pulse-ACC per config)
+    kCache,     ///< Cache-based (Fastswap-like page cache)
+    kRpc,       ///< RPC on memory-node CPUs (eRPC-like)
+    kRpcWimpy,  ///< RPC on down-clocked (wimpy) cores
+    kCacheRpc,  ///< Cache+RPC (AIFM-like object cache + TCP transport)
+};
+
+/** Human-readable system name (bench tables). */
+const char* system_name(SystemKind kind);
+
+/** Whole-rack configuration. */
+struct ClusterConfig
+{
+    std::uint32_t num_mem_nodes = 1;
+    std::uint32_t num_clients = 1;
+    Bytes node_capacity = 512 * kMiB;
+    mem::AllocPolicy alloc_policy = mem::AllocPolicy::kPartitioned;
+
+    /** Uniform-policy slab granularity (0 = per-allocation random;
+     *  see ClusterAllocator). */
+    Bytes uniform_chunk_bytes = 8 * kKiB;
+
+    std::uint64_t seed = 42;
+
+    /** Memory channels: 2 x 17 GB/s raw; the vendor interconnect IP
+     *  caps the effective node bandwidth at 25 GB/s (section 6 +
+     *  supp. Fig. 1b). */
+    std::uint32_t channels_per_node = 2;
+    Rate channel_raw_bw = gbps_bytes(17.0);
+    double interconnect_efficiency = 12.5 / 17.0;
+
+    accel::AccelConfig accel;
+    offload::OffloadConfig offload;
+    net::NetworkConfig network;  // endpoint counts filled in by Cluster
+    baselines::CacheClientConfig cache;
+    baselines::RpcConfig rpc;
+    baselines::RpcConfig rpc_wimpy;
+    baselines::AifmConfig aifm;
+
+    ClusterConfig();
+
+    /** Configure pulse-ACC (section 7.2): continuations bounce through
+     *  the client instead of the switch. */
+    void
+    set_pulse_acc(bool acc)
+    {
+        accel.forward_via_switch = !acc;
+        offload.switch_continuation = !acc;
+    }
+};
+
+/** The assembled rack. */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig& config);
+
+    sim::EventQueue& queue() { return queue_; }
+    mem::GlobalMemory& memory() { return *memory_; }
+    mem::ClusterAllocator& allocator() { return *allocator_; }
+    net::Network& network() { return *network_; }
+    accel::Accelerator& accelerator(NodeId node);
+    mem::ChannelSet& channels(NodeId node);
+
+    /** Offload engine of client @p client (one per CPU node). */
+    offload::OffloadEngine& offload_engine(ClientId client = 0);
+    baselines::CacheClient& cache_client() { return *cache_; }
+    baselines::RpcRuntime& rpc(bool wimpy = false);
+
+    /** The TCP-transport RPC runtime behind Cache+RPC. */
+    baselines::RpcRuntime& rpc_tcp() { return *rpc_tcp_; }
+
+    baselines::AifmClient& aifm() { return *aifm_; }
+
+    const ClusterConfig& config() const { return config_; }
+
+    /**
+     * Submit entry point for @p kind (bind to the workload driver).
+     * @p client selects the issuing CPU node for pulse; the baseline
+     * systems are single-client (client 0), as in the paper's testbed.
+     */
+    workloads::SubmitFn submitter(SystemKind kind, ClientId client = 0);
+
+    /** Reset every statistic (bandwidth, component busy, caches). */
+    void reset_stats();
+
+    /** Aggregate achieved memory bandwidth over @p window (bytes/s). */
+    Rate memory_bandwidth(Time window) const;
+
+    /** Aggregate effective memory-bandwidth capacity (bytes/s). */
+    Rate memory_bandwidth_capacity() const;
+
+    /** Client network traffic (tx + rx bytes) since the last reset. */
+    Bytes client_network_bytes() const;
+
+    /** Register all component stats under their canonical names. */
+    void register_stats(StatRegistry& registry);
+
+  private:
+    ClusterConfig config_;
+    sim::EventQueue queue_;
+    std::unique_ptr<mem::GlobalMemory> memory_;
+    std::unique_ptr<mem::ClusterAllocator> allocator_;
+    std::unique_ptr<net::Network> network_;
+    std::vector<std::unique_ptr<mem::ChannelSet>> channels_;
+    std::vector<std::unique_ptr<accel::Accelerator>> accelerators_;
+    std::vector<std::unique_ptr<offload::OffloadEngine>> offload_;
+    std::unique_ptr<baselines::CacheClient> cache_;
+    std::unique_ptr<baselines::RpcRuntime> rpc_;
+    std::unique_ptr<baselines::RpcRuntime> rpc_wimpy_;
+    std::unique_ptr<baselines::RpcRuntime> rpc_tcp_;  ///< Cache+RPC leg
+    std::unique_ptr<baselines::AifmClient> aifm_;
+};
+
+}  // namespace pulse::core
+
+#endif  // PULSE_CORE_CLUSTER_H

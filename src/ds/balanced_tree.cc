@@ -1,0 +1,174 @@
+#include "ds/balanced_tree.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pulse::ds {
+
+BalancedTree::BalancedTree(mem::GlobalMemory& memory,
+                           mem::ClusterAllocator& alloc,
+                           TreeFlavor flavor)
+    : memory_(memory), alloc_(alloc), flavor_(flavor)
+{
+}
+
+VirtAddr
+BalancedTree::build_subtree(const std::vector<std::uint64_t>& keys,
+                            std::size_t lo, std::size_t hi, NodeId node)
+{
+    if (lo >= hi) {
+        return kNullAddr;
+    }
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const VirtAddr addr =
+        node == kInvalidNode
+            ? alloc_.alloc(kNodeBytes, kNodeBytes)
+            : alloc_.alloc_on(node, kNodeBytes, kNodeBytes);
+    PULSE_ASSERT(addr != kNullAddr, "out of memory for tree node");
+
+    const VirtAddr left = build_subtree(keys, lo, mid, node);
+    const VirtAddr right = build_subtree(keys, mid + 1, hi, node);
+
+    // Flavor-specific bookkeeping word (unused on the read path, but
+    // present so the layout matches the intrusive containers).
+    std::uint64_t meta = 0;
+    switch (flavor_) {
+      case TreeFlavor::kAvl:
+        meta = 0;  // balance factor: balanced by construction
+        break;
+      case TreeFlavor::kSplay:
+        meta = 1;  // access epoch
+        break;
+      case TreeFlavor::kScapegoat:
+        meta = hi - lo;  // subtree size
+        break;
+    }
+
+    std::uint8_t buffer[kNodeBytes] = {};
+    const std::uint64_t value = value_pattern_word(keys[mid]);
+    std::memcpy(buffer + kMetaOff, &meta, 8);
+    std::memcpy(buffer + kKeyOff, &keys[mid], 8);
+    std::memcpy(buffer + kLeftOff, &left, 8);
+    std::memcpy(buffer + kRightOff, &right, 8);
+    std::memcpy(buffer + kValueOff, &value, 8);
+    memory_.write(addr, buffer, kNodeBytes);
+    return addr;
+}
+
+void
+BalancedTree::build(const std::vector<std::uint64_t>& sorted_keys,
+                    NodeId node)
+{
+    PULSE_ASSERT(root_ == kNullAddr, "tree already built");
+    PULSE_ASSERT(!sorted_keys.empty(), "empty build");
+    size_ = sorted_keys.size();
+    root_ = build_subtree(sorted_keys, 0, sorted_keys.size(), node);
+}
+
+std::shared_ptr<const isa::Program>
+BalancedTree::lower_bound_program() const
+{
+    if (program_) {
+        return program_;
+    }
+    using isa::cur;
+    using isa::dat;
+    using isa::imm;
+    using isa::sp;
+
+    // Listing 10's loop, with the branch order the Boost listing uses
+    // (test "key < search" first); a candidate-revisit phase returns
+    // key/value like the STL adapter.
+    isa::ProgramBuilder b;
+    b.load(40)
+        .compare(sp(kSpPhase), imm(1))
+        .jump_eq("emit")
+        .compare(cur(), imm(0))
+        .jump_eq("descended")
+        .compare(dat(kKeyOff), sp(kSpKey))
+        .jump_ge("go_left")
+        .move(cur(), dat(kRightOff))
+        .next_iter()
+        .label("go_left")
+        .move(sp(kSpCandidate), cur())
+        .move(cur(), dat(kLeftOff))
+        .next_iter()
+        .label("descended")
+        .compare(sp(kSpCandidate), imm(0))
+        .jump_eq("notfound")
+        .move(cur(), sp(kSpCandidate))
+        .move(sp(kSpPhase), imm(1))
+        .next_iter()
+        .label("notfound")
+        .move(sp(kSpDone), imm(kKeyNotFound))
+        .ret()
+        .label("emit")
+        .move(sp(kSpFoundKey), dat(kKeyOff))
+        .move(sp(kSpValue), dat(kValueOff))
+        .move(sp(kSpDone), imm(1))
+        .ret();
+    b.scratch_bytes(kSpBytes);
+    program_ = std::make_shared<const isa::Program>(b.build());
+    return program_;
+}
+
+offload::Operation
+BalancedTree::make_lower_bound(std::uint64_t key,
+                               offload::CompletionFn done) const
+{
+    offload::Operation op;
+    op.program = lower_bound_program();
+    op.start_ptr = root_;
+    op.init_scratch.assign(kSpBytes, 0);
+    std::memcpy(op.init_scratch.data() + kSpKey, &key, 8);
+    op.init_cpu_time = nanos(25.0);
+    op.done = std::move(done);
+    return op;
+}
+
+BalancedTree::Result
+BalancedTree::parse(const offload::Completion& completion)
+{
+    Result result;
+    if (completion.status != isa::TraversalStatus::kDone ||
+        completion.scratch.size() < kSpBytes) {
+        return result;
+    }
+    const auto word = [&](std::uint32_t off) {
+        std::uint64_t value = 0;
+        std::memcpy(&value, completion.scratch.data() + off, 8);
+        return value;
+    };
+    if (word(kSpDone) != 1) {
+        return result;
+    }
+    result.found = true;
+    result.key = word(kSpFoundKey);
+    result.value = word(kSpValue);
+    return result;
+}
+
+std::optional<std::pair<std::uint64_t, std::uint64_t>>
+BalancedTree::lower_bound_reference(std::uint64_t key) const
+{
+    VirtAddr x = root_;
+    VirtAddr y = kNullAddr;
+    while (x != kNullAddr) {
+        const std::uint64_t node_key =
+            memory_.read_as<std::uint64_t>(x + kKeyOff);
+        if (node_key >= key) {
+            y = x;
+            x = memory_.read_as<std::uint64_t>(x + kLeftOff);
+        } else {
+            x = memory_.read_as<std::uint64_t>(x + kRightOff);
+        }
+    }
+    if (y == kNullAddr) {
+        return std::nullopt;
+    }
+    return std::make_pair(memory_.read_as<std::uint64_t>(y + kKeyOff),
+                          memory_.read_as<std::uint64_t>(y + kValueOff));
+}
+
+}  // namespace pulse::ds

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Boost-intrusive-style balanced trees (supplementary Table 3: AVL,
+ * splay and scapegoat sets/multisets share the same lower_bound_loop —
+ * supp. Listings 9-10).
+ *
+ * All three flavors expose the identical read path the paper offloads;
+ * they differ only in rebalancing metadata maintained on insertion,
+ * which the read-only evaluation never executes. The node keeps that
+ * metadata word anyway so the layout is faithful:
+ *
+ *   meta  u64 @ 0   (AVL balance factor / splay epoch / scapegoat size)
+ *   key   u64 @ 8
+ *   left  u64 @ 16
+ *   right u64 @ 24
+ *   value u64 @ 32
+ *   (padding to 64)
+ */
+#ifndef PULSE_DS_BALANCED_TREE_H
+#define PULSE_DS_BALANCED_TREE_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ds/ds_common.h"
+#include "isa/program.h"
+#include "mem/allocator.h"
+#include "mem/global_memory.h"
+#include "offload/offload_engine.h"
+
+namespace pulse::ds {
+
+/** Which Boost intrusive container the instance models. */
+enum class TreeFlavor : std::uint8_t { kAvl, kSplay, kScapegoat };
+
+/** Balanced search tree with the Boost lower_bound_loop read path. */
+class BalancedTree
+{
+  public:
+    static constexpr Bytes kNodeBytes = 64;
+    static constexpr std::uint32_t kMetaOff = 0;
+    static constexpr std::uint32_t kKeyOff = 8;
+    static constexpr std::uint32_t kLeftOff = 16;
+    static constexpr std::uint32_t kRightOff = 24;
+    static constexpr std::uint32_t kValueOff = 32;
+
+    /** Scratch layout (mirrors BstMap's). */
+    static constexpr std::uint32_t kSpKey = 0;
+    static constexpr std::uint32_t kSpCandidate = 8;
+    static constexpr std::uint32_t kSpPhase = 16;
+    static constexpr std::uint32_t kSpFoundKey = 24;
+    static constexpr std::uint32_t kSpValue = 32;
+    static constexpr std::uint32_t kSpDone = 40;
+    static constexpr std::uint32_t kSpBytes = 48;
+
+    BalancedTree(mem::GlobalMemory& memory,
+                 mem::ClusterAllocator& alloc, TreeFlavor flavor);
+
+    /** Build balanced from strictly-increasing keys. */
+    void build(const std::vector<std::uint64_t>& sorted_keys,
+               NodeId node = kInvalidNode);
+
+    TreeFlavor flavor() const { return flavor_; }
+    VirtAddr root() const { return root_; }
+    std::uint64_t size() const { return size_; }
+
+    /** Listing-10-style lower_bound program. */
+    std::shared_ptr<const isa::Program> lower_bound_program() const;
+
+    offload::Operation make_lower_bound(
+        std::uint64_t key, offload::CompletionFn done) const;
+
+    struct Result
+    {
+        bool found = false;
+        std::uint64_t key = 0;
+        std::uint64_t value = 0;
+    };
+
+    static Result parse(const offload::Completion& completion);
+
+    std::optional<std::pair<std::uint64_t, std::uint64_t>>
+    lower_bound_reference(std::uint64_t key) const;
+
+  private:
+    VirtAddr build_subtree(const std::vector<std::uint64_t>& keys,
+                           std::size_t lo, std::size_t hi, NodeId node);
+
+    mem::GlobalMemory& memory_;
+    mem::ClusterAllocator& alloc_;
+    TreeFlavor flavor_;
+    VirtAddr root_ = kNullAddr;
+    std::uint64_t size_ = 0;
+    mutable std::shared_ptr<const isa::Program> program_;
+};
+
+}  // namespace pulse::ds
+
+#endif  // PULSE_DS_BALANCED_TREE_H

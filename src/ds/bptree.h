@@ -1,0 +1,246 @@
+/**
+ * @file
+ * B+Tree in disaggregated memory (the paper's TC and TSV workloads;
+ * covers the Google-btree adapter of supplementary Table 3,
+ * Listings 5-6).
+ *
+ * Node layouts (both fit the accelerator's 256 B aggregated load):
+ *   inner (256 B): meta u64 @0 (count<<8 | is_leaf=0) |
+ *                  keys[15] @8 | children[16] @128
+ *   leaf  (<=256 B): meta u64 @0 (count<<8 | 1) | next_leaf u64 @8 |
+ *                  slots @16, slot i = { key u64, payload u64 }
+ *
+ * Inner routing follows Google btree's internal_locate: child[i] for
+ * the first i with key <= keys[i] (keys[i] = max key of child i's
+ * subtree), else child[count]. The ISA programs unroll this with
+ * forward jumps only. Unused leaf slots are padded with kPadKey
+ * (INT64_MAX) so scans terminate on padding without per-slot count
+ * checks — which is what keeps eta below 1 (section 4.2.2).
+ *
+ * Payloads are either inline 64-bit words (TSV readings) or pointers
+ * to out-of-line 240 B value objects (TC conversations). Three offload
+ * programs are provided:
+ *   - find:      descend + exact leaf match (Listing 6's traversal);
+ *   - scan-fold: TC's YCSB-E scan — descend, then alternate between
+ *     leaf slot selection and value-object visits, folding each
+ *     value's head word (count + sum fold returned; the ISA's static
+ *     operand offsets preclude materializing N records in scratch, so
+ *     the scan returns a verifiable fold — see DESIGN.md);
+ *   - aggregate: TSV's windowed SUM/COUNT/MIN/MAX over inline values.
+ */
+#ifndef PULSE_DS_BPTREE_H
+#define PULSE_DS_BPTREE_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "ds/ds_common.h"
+#include "isa/program.h"
+#include "mem/allocator.h"
+#include "mem/global_memory.h"
+#include "offload/offload_engine.h"
+
+namespace pulse::ds {
+
+/** Windowed-aggregation kinds (TSV picks one per request). */
+enum class AggKind : std::uint8_t { kSum, kCount, kMin, kMax };
+
+/** B+Tree shape parameters. */
+struct BPTreeConfig
+{
+    /** Leaf slots per node (also the scan/aggregate unroll factor). */
+    std::uint32_t leaf_slots = 12;
+
+    /** Leaf entries used during bulk build (<= leaf_slots). */
+    std::uint32_t leaf_fill = 12;
+
+    /** Children used per inner node during bulk build (<= 16). */
+    std::uint32_t inner_fill = 14;
+
+    /** Inline u64 payloads (TSV) vs out-of-line value objects (TC). */
+    bool inline_values = true;
+
+    /** Value-object size when !inline_values. */
+    Bytes value_bytes = 240;
+
+    /**
+     * Partition leaves (and their subtrees/values) across this many
+     * memory nodes by contiguous key range (supp. Fig. 2's partitioned
+     * policy); when false the allocator's own policy places every node
+     * (glibc-like uniform when the allocator is kUniform).
+     */
+    bool partitioned = true;
+    std::uint32_t partitions = 1;
+
+    /**
+     * Allocate value objects in shuffled key order instead of scan
+     * order, modelling a store whose records were inserted and updated
+     * over time (the paper's YCSB-E store): adjacent keys' values then
+     * share neither pages (cache locality) nor, under uniform
+     * placement, memory nodes.
+     */
+    bool scatter_values = false;
+
+    /**
+     * Allocator-fragmentation model for incrementally-built trees:
+     * after each leaf allocation, skip a uniform-random gap in
+     * [0, leaf_alloc_gap_max] bytes. Zero (bulk build) packs leaves
+     * contiguously, giving the cache-based baseline near-perfect page
+     * locality on leaf chains; the TSV benches use a non-zero gap to
+     * model a long-lived tree built by chronological insertion and
+     * splits (see DESIGN.md).
+     */
+    Bytes leaf_alloc_gap_max = 0;
+};
+
+/** One (key, payload) pair for bulk building. */
+struct BPTreeEntry
+{
+    std::uint64_t key = 0;
+    std::uint64_t payload = 0;  ///< inline value; ignored for TC trees
+};
+
+/** The remote B+Tree. */
+class BPTree
+{
+  public:
+    /** Inner-node layout. */
+    static constexpr std::uint32_t kMetaOff = 0;
+    static constexpr std::uint32_t kInnerKeysOff = 8;
+    static constexpr std::uint32_t kInnerChildrenOff = 128;
+    static constexpr std::uint32_t kInnerMaxKeys = 15;
+
+    /** Leaf layout. */
+    static constexpr std::uint32_t kLeafNextOff = 8;
+    static constexpr std::uint32_t kLeafSlotsOff = 16;
+    static constexpr std::uint32_t kLeafSlotBytes = 16;
+
+    /** Scratch layout shared by all three programs. */
+    static constexpr std::uint32_t kSpKey = 0;    ///< search key / t_lo
+    static constexpr std::uint32_t kSpKey2 = 8;   ///< t_hi (aggregate)
+    static constexpr std::uint32_t kSpResult = 16;  ///< payload / acc
+    static constexpr std::uint32_t kSpFlag = 24;  ///< found / done
+    static constexpr std::uint32_t kSpCount = 32; ///< entries touched
+    static constexpr std::uint32_t kSpPhase = 40;
+    static constexpr std::uint32_t kSpTmp = 48;
+    static constexpr std::uint32_t kSpCnt = 56;   ///< node key count
+    static constexpr std::uint32_t kSpLeafPtr = 72;
+    static constexpr std::uint32_t kSpRemaining = 80;
+    static constexpr std::uint32_t kSpLastKey = 88;
+    /** Scan staging area: next-leaf pointer + a copy of the leaf slots
+     *  (one register-vector move), consumed by per-slot value phases. */
+    static constexpr std::uint32_t kSpNextStage = 96;
+    static constexpr std::uint32_t kSpStage = 104;
+    /** Scratch bytes for find/aggregate; scans add the staging area. */
+    static constexpr std::uint32_t kSpBytes = 96;
+
+    BPTree(mem::GlobalMemory& memory, mem::ClusterAllocator& alloc,
+           const BPTreeConfig& config);
+
+    /** Bulk build from strictly-increasing keys. */
+    void build(const std::vector<BPTreeEntry>& sorted_entries);
+
+    VirtAddr root() const { return root_; }
+    VirtAddr first_leaf() const { return first_leaf_; }
+    std::uint64_t size() const { return size_; }
+    std::uint32_t depth() const { return depth_; }
+    std::uint64_t num_leaves() const { return num_leaves_; }
+    const BPTreeConfig& config() const { return config_; }
+
+    /** Programs (cached; generated from the config's unroll factors). */
+    std::shared_ptr<const isa::Program> find_program() const;
+    std::shared_ptr<const isa::Program> scan_fold_program() const;
+    std::shared_ptr<const isa::Program> aggregate_program(
+        AggKind kind) const;
+
+    /** Operation: exact-match find. */
+    offload::Operation make_find(std::uint64_t key,
+                                 offload::CompletionFn done) const;
+
+    /** Operation: scan @p count entries starting at @p start_key. */
+    offload::Operation make_scan(std::uint64_t start_key,
+                                 std::uint64_t count,
+                                 offload::CompletionFn done) const;
+
+    /** Operation: aggregate payloads with keys in [lo, hi]. */
+    offload::Operation make_aggregate(AggKind kind, std::uint64_t lo,
+                                      std::uint64_t hi,
+                                      offload::CompletionFn done) const;
+
+    /** Parsed results. */
+    struct FindResult
+    {
+        bool found = false;
+        std::uint64_t payload = 0;
+    };
+    struct ScanResult
+    {
+        bool complete = false;       ///< done-flag observed
+        std::uint64_t count = 0;     ///< entries visited
+        std::uint64_t fold = 0;      ///< sum of value head words
+        std::uint64_t last_key = 0;  ///< last key consumed
+    };
+    struct AggResult
+    {
+        bool complete = false;
+        std::uint64_t count = 0;    ///< in-window entries
+        std::int64_t value = 0;     ///< sum / count / min / max
+    };
+
+    static FindResult parse_find(const offload::Completion& completion);
+    static ScanResult parse_scan(const offload::Completion& completion);
+    static AggResult parse_aggregate(
+        const offload::Completion& completion, AggKind kind);
+
+    /** Host-side references (plain remote reads, no ISA). */
+    std::optional<std::uint64_t> find_reference(std::uint64_t key) const;
+    ScanResult scan_reference(std::uint64_t start_key,
+                              std::uint64_t count) const;
+    AggResult aggregate_reference(AggKind kind, std::uint64_t lo,
+                                  std::uint64_t hi) const;
+
+    /** Memory node a key's leaf lives on (partitioned placement). */
+    NodeId node_of_key(std::uint64_t key) const;
+
+  private:
+    struct LevelNode
+    {
+        VirtAddr addr = kNullAddr;
+        std::uint64_t max_key = 0;
+        NodeId placed_on = 0;
+    };
+
+    /** Allocate one 256 B tree node per the placement policy. */
+    VirtAddr alloc_node(NodeId preferred, NodeId* placed);
+
+    /** Initial accumulator for @p kind. */
+    static std::uint64_t agg_init(AggKind kind);
+
+    /** Emit the shared descend section; falls through at @p on_leaf. */
+    void emit_descend(isa::ProgramBuilder& b,
+                      const std::string& leaf_label) const;
+
+    /** Leaf address + loaded bytes for host-side descends. */
+    VirtAddr descend_reference(std::uint64_t key) const;
+
+    mem::GlobalMemory& memory_;
+    mem::ClusterAllocator& alloc_;
+    BPTreeConfig config_;
+    Rng gap_rng_{0xB17EE};
+    VirtAddr root_ = kNullAddr;
+    VirtAddr first_leaf_ = kNullAddr;
+    std::uint64_t size_ = 0;
+    std::uint32_t depth_ = 0;
+    std::uint64_t num_leaves_ = 0;
+    /** Per-leaf (max key, placement) index for node_of_key(). */
+    std::vector<std::pair<std::uint64_t, NodeId>> leaf_index_;
+    mutable std::shared_ptr<const isa::Program> find_program_;
+    mutable std::shared_ptr<const isa::Program> scan_program_;
+    mutable std::shared_ptr<const isa::Program> agg_programs_[4];
+};
+
+}  // namespace pulse::ds
+
+#endif  // PULSE_DS_BPTREE_H

@@ -1,0 +1,168 @@
+#include "ds/bst_map.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pulse::ds {
+
+BstMap::BstMap(mem::GlobalMemory& memory, mem::ClusterAllocator& alloc)
+    : memory_(memory), alloc_(alloc)
+{
+}
+
+VirtAddr
+BstMap::build_subtree(const std::vector<std::uint64_t>& keys,
+                      std::size_t lo, std::size_t hi, NodeId node,
+                      std::uint32_t level)
+{
+    if (lo >= hi) {
+        return kNullAddr;
+    }
+    depth_ = std::max(depth_, level + 1);
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const VirtAddr addr =
+        node == kInvalidNode
+            ? alloc_.alloc(kNodeBytes, kNodeBytes)
+            : alloc_.alloc_on(node, kNodeBytes, kNodeBytes);
+    PULSE_ASSERT(addr != kNullAddr, "out of memory for BST node");
+
+    const VirtAddr left =
+        build_subtree(keys, lo, mid, node, level + 1);
+    const VirtAddr right =
+        build_subtree(keys, mid + 1, hi, node, level + 1);
+
+    std::uint8_t buffer[kNodeBytes] = {};
+    const std::uint64_t value = value_pattern_word(keys[mid]);
+    std::memcpy(buffer + kKeyOff, &keys[mid], 8);
+    std::memcpy(buffer + kLeftOff, &left, 8);
+    std::memcpy(buffer + kRightOff, &right, 8);
+    std::memcpy(buffer + kValueOff, &value, 8);
+    memory_.write(addr, buffer, kNodeBytes);
+    return addr;
+}
+
+void
+BstMap::build(const std::vector<std::uint64_t>& sorted_keys,
+              NodeId node)
+{
+    PULSE_ASSERT(root_ == kNullAddr, "tree already built");
+    PULSE_ASSERT(!sorted_keys.empty(), "empty build");
+    for (std::size_t i = 1; i < sorted_keys.size(); i++) {
+        PULSE_ASSERT(sorted_keys[i - 1] < sorted_keys[i],
+                     "keys must be strictly increasing");
+    }
+    size_ = sorted_keys.size();
+    root_ = build_subtree(sorted_keys, 0, sorted_keys.size(), node, 0);
+}
+
+std::shared_ptr<const isa::Program>
+BstMap::lower_bound_program() const
+{
+    if (program_) {
+        return program_;
+    }
+    using isa::cur;
+    using isa::dat;
+    using isa::imm;
+    using isa::sp;
+
+    isa::ProgramBuilder b;
+    b.load(32)
+        // Phase 1: cur_ptr points at the recorded candidate; emit it.
+        .compare(sp(kSpPhase), imm(1))
+        .jump_eq("emit")
+        // Listing 8's loop body. Null means the descent is over.
+        .compare(cur(), imm(0))
+        .jump_eq("descended")
+        .compare(dat(kKeyOff), sp(kSpKey))
+        .jump_lt("go_right")
+        // x->key >= key: x is the best candidate so far; go left.
+        .move(sp(kSpCandidate), cur())
+        .move(cur(), dat(kLeftOff))
+        .next_iter()
+        .label("go_right")
+        .move(cur(), dat(kRightOff))
+        .next_iter()
+        // Descent finished: revisit the candidate (if any) to fetch
+        // its key/value in one extra iteration.
+        .label("descended")
+        .compare(sp(kSpCandidate), imm(0))
+        .jump_eq("notfound")
+        .move(cur(), sp(kSpCandidate))
+        .move(sp(kSpPhase), imm(1))
+        .next_iter()
+        .label("notfound")
+        .move(sp(kSpDone), imm(kKeyNotFound))
+        .ret()
+        .label("emit")
+        .move(sp(kSpFoundKey), dat(kKeyOff))
+        .move(sp(kSpValue), dat(kValueOff))
+        .move(sp(kSpDone), imm(1))
+        .ret();
+    b.scratch_bytes(kSpBytes);
+    program_ = std::make_shared<const isa::Program>(b.build());
+    return program_;
+}
+
+offload::Operation
+BstMap::make_lower_bound(std::uint64_t key,
+                         offload::CompletionFn done) const
+{
+    offload::Operation op;
+    op.program = lower_bound_program();
+    op.start_ptr = root_;
+    op.init_scratch.assign(kSpBytes, 0);
+    std::memcpy(op.init_scratch.data() + kSpKey, &key, 8);
+    op.init_cpu_time = nanos(25.0);
+    op.done = std::move(done);
+    return op;
+}
+
+BstMap::LowerBoundResult
+BstMap::parse_lower_bound(const offload::Completion& completion)
+{
+    LowerBoundResult result;
+    if (completion.status != isa::TraversalStatus::kDone ||
+        completion.scratch.size() < kSpBytes) {
+        return result;
+    }
+    const auto word = [&](std::uint32_t off) {
+        std::uint64_t value = 0;
+        std::memcpy(&value, completion.scratch.data() + off, 8);
+        return value;
+    };
+    if (word(kSpDone) != 1) {
+        return result;
+    }
+    result.found = true;
+    result.key = word(kSpFoundKey);
+    result.value = word(kSpValue);
+    result.node = word(kSpCandidate);
+    return result;
+}
+
+std::optional<std::pair<std::uint64_t, std::uint64_t>>
+BstMap::lower_bound_reference(std::uint64_t key) const
+{
+    VirtAddr x = root_;
+    VirtAddr y = kNullAddr;
+    while (x != kNullAddr) {
+        const std::uint64_t node_key =
+            memory_.read_as<std::uint64_t>(x + kKeyOff);
+        if (node_key >= key) {
+            y = x;
+            x = memory_.read_as<std::uint64_t>(x + kLeftOff);
+        } else {
+            x = memory_.read_as<std::uint64_t>(x + kRightOff);
+        }
+    }
+    if (y == kNullAddr) {
+        return std::nullopt;
+    }
+    return std::make_pair(memory_.read_as<std::uint64_t>(y + kKeyOff),
+                          memory_.read_as<std::uint64_t>(y + kValueOff));
+}
+
+}  // namespace pulse::ds

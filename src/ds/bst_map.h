@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Binary-search-tree map in disaggregated memory (supplementary
+ * Table 3's STL tree category: std::map / set / multimap / multiset,
+ * whose find() shares the internal _M_lower_bound loop — supp.
+ * Listings 7-8).
+ *
+ * Node layout (64 B):
+ *   key   u64 @ 0
+ *   left  u64 @ 8
+ *   right u64 @ 16
+ *   value u64 @ 24
+ *   (padding to 64)
+ *
+ * The traversal is Listing 8's loop: descend comparing the search key,
+ * tracking the best lower-bound candidate (y) in the scratch_pad,
+ * terminating when cur_ptr goes null — which exercises the ISA's
+ * null-page LOAD semantics. A final phase revisits the candidate node
+ * to return its key and value, so exact-match find() needs no extra
+ * client round trip.
+ */
+#ifndef PULSE_DS_BST_MAP_H
+#define PULSE_DS_BST_MAP_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ds/ds_common.h"
+#include "isa/program.h"
+#include "mem/allocator.h"
+#include "mem/global_memory.h"
+#include "offload/offload_engine.h"
+
+namespace pulse::ds {
+
+/** Balanced (build-time) BST over disaggregated memory. */
+class BstMap
+{
+  public:
+    static constexpr Bytes kNodeBytes = 64;
+    static constexpr std::uint32_t kKeyOff = 0;
+    static constexpr std::uint32_t kLeftOff = 8;
+    static constexpr std::uint32_t kRightOff = 16;
+    static constexpr std::uint32_t kValueOff = 24;
+
+    /** Scratch layout. */
+    static constexpr std::uint32_t kSpKey = 0;
+    static constexpr std::uint32_t kSpCandidate = 8;  ///< y
+    static constexpr std::uint32_t kSpPhase = 16;
+    static constexpr std::uint32_t kSpFoundKey = 24;
+    static constexpr std::uint32_t kSpValue = 32;
+    static constexpr std::uint32_t kSpDone = 40;
+    static constexpr std::uint32_t kSpBytes = 48;
+
+    BstMap(mem::GlobalMemory& memory, mem::ClusterAllocator& alloc);
+
+    /**
+     * Build a balanced tree from strictly-increasing keys; values are
+     * derived deterministically (value_pattern_word).
+     */
+    void build(const std::vector<std::uint64_t>& sorted_keys,
+               NodeId node = kInvalidNode);
+
+    VirtAddr root() const { return root_; }
+    std::uint64_t size() const { return size_; }
+    std::uint32_t depth() const { return depth_; }
+
+    /** Listing-8-style lower_bound + candidate revisit program. */
+    std::shared_ptr<const isa::Program> lower_bound_program() const;
+
+    /** Operation: lower_bound(key). */
+    offload::Operation make_lower_bound(
+        std::uint64_t key, offload::CompletionFn done) const;
+
+    struct LowerBoundResult
+    {
+        bool found = false;       ///< some key >= search key exists
+        std::uint64_t key = 0;    ///< the lower-bound key
+        std::uint64_t value = 0;  ///< its value
+        VirtAddr node = kNullAddr;
+    };
+
+    static LowerBoundResult parse_lower_bound(
+        const offload::Completion& completion);
+
+    /** Host-side reference. */
+    std::optional<std::pair<std::uint64_t, std::uint64_t>>
+    lower_bound_reference(std::uint64_t key) const;
+
+  private:
+    VirtAddr build_subtree(const std::vector<std::uint64_t>& keys,
+                           std::size_t lo, std::size_t hi, NodeId node,
+                           std::uint32_t level);
+
+    mem::GlobalMemory& memory_;
+    mem::ClusterAllocator& alloc_;
+    VirtAddr root_ = kNullAddr;
+    std::uint64_t size_ = 0;
+    std::uint32_t depth_ = 0;
+    mutable std::shared_ptr<const isa::Program> program_;
+};
+
+}  // namespace pulse::ds
+
+#endif  // PULSE_DS_BST_MAP_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Singly-linked list in disaggregated memory.
+ *
+ * Covers the list-category adapters of supplementary Table 3: STL
+ * std::list / std::forward_list via std::find (supp. Listings 1-2).
+ * Also the substrate for the traversal-length sensitivity study (supp.
+ * Fig. 1a) via the fixed-hop walk program.
+ *
+ * Node layout (64 B):
+ *   value   u64 @ 0
+ *   next    u64 @ 8    (VirtAddr; 0 terminates)
+ *   payload 48 B @ 16  (pattern bytes derived from value)
+ */
+#ifndef PULSE_DS_LINKED_LIST_H
+#define PULSE_DS_LINKED_LIST_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ds/ds_common.h"
+#include "isa/program.h"
+#include "mem/allocator.h"
+#include "mem/global_memory.h"
+#include "offload/offload_engine.h"
+
+namespace pulse::ds {
+
+/** A build-once, read-mostly remote linked list. */
+class LinkedList
+{
+  public:
+    /** Default node size in remote memory. */
+    static constexpr Bytes kDefaultNodeBytes = 64;
+
+    /** Scratch layout for find(): search value @0, result @8. */
+    static constexpr std::uint32_t kSpValue = 0;
+    static constexpr std::uint32_t kSpResult = 8;
+
+    /** Scratch layout for walk(): remaining hops @0, last value @8. */
+    static constexpr std::uint32_t kSpRemaining = 0;
+    static constexpr std::uint32_t kSpLast = 8;
+
+    /**
+     * @param node_bytes node footprint (16..256): bigger nodes make
+     *        walks stress memory bandwidth (supp. Fig. 1b); find()
+     *        still coalesces only the 16 bytes it references.
+     */
+    LinkedList(mem::GlobalMemory& memory, mem::ClusterAllocator& alloc,
+               Bytes node_bytes = kDefaultNodeBytes);
+
+    /**
+     * Append values as new nodes; nodes are placed by the allocator's
+     * policy (@p node pins them when != kInvalidNode).
+     */
+    void build(const std::vector<std::uint64_t>& values,
+               NodeId node = kInvalidNode);
+
+    /** Head pointer (kNullAddr when empty). */
+    VirtAddr head() const { return head_; }
+
+    /** Number of nodes. */
+    std::uint64_t size() const { return size_; }
+
+    /**
+     * std::find-style program: walk until value matches or the list
+     * ends; scratch[kSpResult] gets the node address or kKeyNotFound.
+     */
+    std::shared_ptr<const isa::Program> find_program() const;
+
+    /**
+     * Fixed-hop walk: follow @c next for scratch[kSpRemaining] hops
+     * (or until the list ends), recording the last node's value. Drives
+     * the traversal-length sensitivity bench.
+     */
+    std::shared_ptr<const isa::Program> walk_program() const;
+
+    /** Operation for find(value), starting at the head. */
+    offload::Operation make_find(std::uint64_t value,
+                                 offload::CompletionFn done) const;
+
+    /** Operation walking @p hops nodes from the head. */
+    offload::Operation make_walk(std::uint64_t hops,
+                                 offload::CompletionFn done) const;
+
+    /** Parse a find completion: node address, or nullopt. */
+    static std::optional<VirtAddr> parse_find(
+        const offload::Completion& completion);
+
+    /** Host-side reference find (plain remote reads, no ISA). */
+    std::optional<VirtAddr> find_reference(std::uint64_t value) const;
+
+  private:
+    mem::GlobalMemory& memory_;
+    mem::ClusterAllocator& alloc_;
+    Bytes node_bytes_;
+    VirtAddr head_ = kNullAddr;
+    VirtAddr tail_ = kNullAddr;
+    std::uint64_t size_ = 0;
+    mutable std::shared_ptr<const isa::Program> find_program_;
+    mutable std::shared_ptr<const isa::Program> walk_program_;
+};
+
+}  // namespace pulse::ds
+
+#endif  // PULSE_DS_LINKED_LIST_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Proximity graph with greedy nearest-neighbour search — the "graph
+ * traversals in graph processing workloads" class the paper's section
+ * 2.1 motivates, expressed in the pulse iterator model.
+ *
+ * The structure is a 1-D small-world graph (HNSW-flavoured): every
+ * vertex stores its key and up to kNeighbors (key, pointer) links to
+ * vertices at exponentially growing key distances. Greedy search hops
+ * to whichever neighbour is closest to the target key and stops at a
+ * local minimum — each hop strictly decreases the distance, so the
+ * traversal is cycle-free and converges in O(log n) hops.
+ *
+ * Vertex layout (144 B, fits the 256 B aggregated load):
+ *   key       u64 @ 0
+ *   num_nbrs  u64 @ 8
+ *   links[8] @ 16: { nbr_key u64, nbr_ptr u64 }
+ * Unused link slots are padded with kPadKey so the unrolled scan never
+ * selects them (their distance is astronomically large).
+ */
+#ifndef PULSE_DS_PROX_GRAPH_H
+#define PULSE_DS_PROX_GRAPH_H
+
+#include <memory>
+#include <vector>
+
+#include "ds/ds_common.h"
+#include "isa/program.h"
+#include "mem/allocator.h"
+#include "mem/global_memory.h"
+#include "offload/offload_engine.h"
+
+namespace pulse::ds {
+
+/** Small-world proximity graph over disaggregated memory. */
+class ProxGraph
+{
+  public:
+    static constexpr std::uint32_t kNeighbors = 8;
+    static constexpr Bytes kNodeBytes = 16 + kNeighbors * 16;
+
+    /** Vertex field offsets. */
+    static constexpr std::uint32_t kKeyOff = 0;
+    static constexpr std::uint32_t kNumOff = 8;
+    static constexpr std::uint32_t kLinksOff = 16;
+
+    /** Scratch layout for greedy search. */
+    static constexpr std::uint32_t kSpTarget = 0;
+    static constexpr std::uint32_t kSpBestDist = 8;
+    static constexpr std::uint32_t kSpBestPtr = 16;
+    static constexpr std::uint32_t kSpCurDist = 24;
+    static constexpr std::uint32_t kSpFoundKey = 32;
+    static constexpr std::uint32_t kSpFoundPtr = 40;
+    static constexpr std::uint32_t kSpTmp = 48;
+    static constexpr std::uint32_t kSpBytes = 56;
+
+    ProxGraph(mem::GlobalMemory& memory, mem::ClusterAllocator& alloc);
+
+    /**
+     * Build from strictly-increasing keys: vertex i links to vertices
+     * i±1, i±2, i±4, i±8 (clamped), the classic 1-D small world.
+     * Placement follows the allocator's policy; @p node pins it.
+     */
+    void build(const std::vector<std::uint64_t>& sorted_keys,
+               NodeId node = kInvalidNode);
+
+    /** Entry vertex for searches (the middle vertex). */
+    VirtAddr entry() const { return entry_; }
+    std::uint64_t size() const { return size_; }
+
+    /** The greedy-descent program. */
+    std::shared_ptr<const isa::Program> greedy_program() const;
+
+    /** Operation: greedy nearest-neighbour search for @p target. */
+    offload::Operation make_search(std::uint64_t target,
+                                   offload::CompletionFn done) const;
+
+    struct SearchResult
+    {
+        bool complete = false;
+        std::uint64_t key = 0;       ///< key of the local minimum
+        VirtAddr vertex = kNullAddr;
+        std::uint64_t distance = 0;  ///< |key - target|
+    };
+
+    static SearchResult parse_search(
+        const offload::Completion& completion);
+
+    /** Host-side reference greedy search from the entry vertex. */
+    SearchResult search_reference(std::uint64_t target) const;
+
+  private:
+    mem::GlobalMemory& memory_;
+    mem::ClusterAllocator& alloc_;
+    VirtAddr entry_ = kNullAddr;
+    std::uint64_t size_ = 0;
+    mutable std::shared_ptr<const isa::Program> program_;
+};
+
+}  // namespace pulse::ds
+
+#endif  // PULSE_DS_PROX_GRAPH_H

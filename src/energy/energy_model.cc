@@ -1,0 +1,61 @@
+#include "energy/energy_model.h"
+
+#include <cmath>
+
+namespace pulse::energy {
+namespace {
+
+double
+ps_to_seconds(double ps)
+{
+    return ps / static_cast<double>(kSecond);
+}
+
+}  // namespace
+
+Joules
+accelerator_energy(const AcceleratorPower& power,
+                   const AcceleratorActivity& activity)
+{
+    const double run_s = to_seconds(activity.run_time);
+    return power.static_w * run_s +
+           power.net_stack_w * ps_to_seconds(activity.net_stack_busy_ps) +
+           power.mem_pipeline_w *
+               ps_to_seconds(activity.mem_pipeline_busy_ps) +
+           power.logic_pipeline_w *
+               ps_to_seconds(activity.logic_pipeline_busy_ps);
+}
+
+Joules
+cpu_energy(const CpuPower& power, const CpuActivity& activity)
+{
+    const double run_s = to_seconds(activity.run_time);
+    const double scale = std::pow(
+        activity.clock_ghz / power.nominal_clock_ghz, power.alpha);
+    const double per_core_w =
+        power.core_static_w + power.core_dynamic_w * scale;
+    return power.idle_w * run_s +
+           per_core_w * ps_to_seconds(activity.worker_busy_ps);
+}
+
+Joules
+per_request(Joules total, std::uint64_t requests)
+{
+    return requests == 0 ? 0.0
+                         : total / static_cast<double>(requests);
+}
+
+double
+perf_per_watt(std::uint64_t requests, Time run_time,
+              Joules total_energy)
+{
+    const double run_s = to_seconds(run_time);
+    if (run_s <= 0.0 || total_energy <= 0.0) {
+        return 0.0;
+    }
+    const double throughput = static_cast<double>(requests) / run_s;
+    const double watts = total_energy / run_s;
+    return throughput / watts;
+}
+
+}  // namespace pulse::energy

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Energy model (paper section 7.1, Fig. 7).
+ *
+ * The paper measures energy per request with XRT (pulse's FPGA, all
+ * power rails including static) and RAPL (RPC/RPC-W/Cache+RPC: CPU
+ * package + DRAM of the active workers). The decisive effects are:
+ *
+ *   - pulse's accelerator is a small fixed-function design: a low
+ *     static floor plus small per-pipeline activity power;
+ *   - RPC burns a general-purpose core per worker (package + DRAM
+ *     share), most of whose circuitry is idle for pointer chasing;
+ *   - RPC-W (the paper emulates wimpy cores by *down-clocking Xeon
+ *     cores*) keeps nearly the whole package power while running
+ *     slower, so energy *per request* gets worse, not better — the
+ *     counter-intuitive result the paper highlights for UPC.
+ *
+ * The model integrates static power over wall-clock run time and
+ * activity power over component busy time:
+ *
+ *   E = P_static * T + sum_i P_i * busy_i
+ *
+ * Default coefficients are calibrated to land the paper's ratios
+ * (pulse 4.56-7.14x less energy/request than RPC) and are documented
+ * as calibration constants, not measurements.
+ */
+#ifndef PULSE_ENERGY_ENERGY_MODEL_H
+#define PULSE_ENERGY_ENERGY_MODEL_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace pulse::energy {
+
+/** Watts. */
+using Watts = double;
+
+/** Joules. */
+using Joules = double;
+
+/** pulse accelerator power coefficients (per memory node). */
+struct AcceleratorPower
+{
+    /** Static rails: clocking, transceivers, idle fabric. */
+    Watts static_w = 11.0;
+
+    /** Network stack activity (per busy second). */
+    Watts net_stack_w = 2.0;
+
+    /** Memory pipeline + DRAM activity (per busy second). */
+    Watts mem_pipeline_w = 4.5;
+
+    /** Logic pipeline activity (per busy second). */
+    Watts logic_pipeline_w = 2.5;
+};
+
+/** Server-CPU power coefficients (per memory node, RAPL-style). */
+struct CpuPower
+{
+    /** Package + DRAM idle floor attributed to the RPC deployment. */
+    Watts idle_w = 22.0;
+
+    /**
+     * Clock-independent power share of a busy core: L3 slice, mesh
+     * stop, memory-controller and DRAM activity driven by the core's
+     * accesses. RAPL attributes all of it to the package.
+     */
+    Watts core_static_w = 3.5;
+
+    /** Clock-dependent core power at the nominal clock. */
+    Watts core_dynamic_w = 2.5;
+
+    /**
+     * Frequency-scaling exponent for the dynamic share:
+     * dynamic(clock) = core_dynamic_w * (clock/nominal)^alpha. The
+     * paper's wimpy emulation (intel_pstate down to 1.0 GHz) sits at
+     * the package's voltage floor where frequency scaling recovers
+     * almost no power — which is why RPC-W's energy *per request*
+     * ends up no better than RPC's (section 7.1, also noted by Clio).
+     */
+    double alpha = 0.13;
+
+    double nominal_clock_ghz = 2.6;
+};
+
+/** Accelerator busy-time inputs (from AccelStats, in picoseconds). */
+struct AcceleratorActivity
+{
+    Time run_time = 0;
+    double net_stack_busy_ps = 0;
+    double mem_pipeline_busy_ps = 0;
+    double logic_pipeline_busy_ps = 0;
+    std::uint64_t requests = 0;
+};
+
+/** CPU busy-time inputs (from RpcStats). */
+struct CpuActivity
+{
+    Time run_time = 0;
+    double worker_busy_ps = 0;  ///< summed over workers
+    double clock_ghz = 2.6;
+    std::uint32_t workers = 1;
+    std::uint64_t requests = 0;
+};
+
+/** Energy for a pulse accelerator run. */
+Joules accelerator_energy(const AcceleratorPower& power,
+                          const AcceleratorActivity& activity);
+
+/** Energy for an RPC(-W) run on one node's CPU. */
+Joules cpu_energy(const CpuPower& power, const CpuActivity& activity);
+
+/** Joules per request (0 when requests == 0). */
+Joules per_request(Joules total, std::uint64_t requests);
+
+/** Requests per second per watt (performance-per-watt, section 7.1). */
+double perf_per_watt(std::uint64_t requests, Time run_time,
+                     Joules total_energy);
+
+}  // namespace pulse::energy
+
+#endif  // PULSE_ENERGY_ENERGY_MODEL_H

@@ -1,0 +1,96 @@
+#include "isa/analysis.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace pulse::isa {
+
+ProgramAnalysis
+analyze(const Program& program)
+{
+    ProgramAnalysis analysis;
+    analysis.valid = program.verify(&analysis.error);
+    if (!analysis.valid) {
+        return analysis;
+    }
+
+    const auto& code = program.code();
+    analysis.num_instructions = static_cast<std::uint32_t>(code.size());
+    analysis.load_bytes = program.load_bytes();
+
+    for (const Instruction& insn : code) {
+        if (insn.op == Opcode::kStore) {
+            analysis.has_store = true;
+        }
+        if (insn.op == Opcode::kDiv) {
+            analysis.has_div = true;
+        }
+        if (insn.op == Opcode::kCas) {
+            analysis.has_cas = true;
+        }
+        for (const Operand* operand :
+             {&insn.dst, &insn.src1, &insn.src2}) {
+            if (operand->kind == OperandKind::kData) {
+                analysis.max_data_ref = std::max(
+                    analysis.max_data_ref,
+                    static_cast<std::uint32_t>(operand->value) +
+                        operand->width);
+            } else if (operand->kind == OperandKind::kScratch) {
+                analysis.scratch_footprint = std::max(
+                    analysis.scratch_footprint,
+                    static_cast<std::uint32_t>(operand->value) +
+                        operand->width);
+            }
+        }
+    }
+
+    // Longest logic path through the forward-jump DAG. longest[i] is the
+    // worst-case number of *logic* instructions executed starting at i.
+    // LOAD (handled by the memory pipeline) and terminals cost zero
+    // logic-pipeline slots beyond their dispatch, which we count as one
+    // to stay conservative.
+    const std::size_t n = code.size();
+    std::vector<std::uint32_t> longest(n + 1, 0);
+    for (std::size_t idx = n; idx-- > 0;) {
+        const Instruction& insn = code[idx];
+        switch (insn.op) {
+          case Opcode::kLoad:
+            longest[idx] = longest[idx + 1];  // memory pipeline's job
+            break;
+          case Opcode::kReturn:
+          case Opcode::kNextIter:
+            longest[idx] = 1;
+            break;
+          case Opcode::kJump: {
+            const std::uint32_t taken = longest[insn.target];
+            const std::uint32_t fall =
+                insn.cond == Cond::kAlways ? 0 : longest[idx + 1];
+            longest[idx] = 1 + std::max(taken, fall);
+            break;
+          }
+          default:
+            longest[idx] = 1 + longest[idx + 1];
+            break;
+        }
+    }
+    analysis.worst_path_instructions = longest[0];
+    return analysis;
+}
+
+Time
+compute_time(const ProgramAnalysis& analysis, Time t_i)
+{
+    return static_cast<Time>(analysis.worst_path_instructions) * t_i;
+}
+
+double
+compute_eta(const ProgramAnalysis& analysis, Time t_i, Time t_d)
+{
+    if (t_d <= 0) {
+        return 0.0;
+    }
+    return static_cast<double>(compute_time(analysis, t_i)) /
+           static_cast<double>(t_d);
+}
+
+}  // namespace pulse::isa

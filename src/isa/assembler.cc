@@ -1,0 +1,285 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace pulse::isa {
+namespace {
+
+/** Tokenized view of one source line. */
+std::vector<std::string>
+tokenize(const std::string& line)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (const char c : line) {
+        if (c == ';' || c == '#') {
+            break;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            if (!current.empty()) {
+                tokens.push_back(current);
+                current.clear();
+            }
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty()) {
+        tokens.push_back(current);
+    }
+    return tokens;
+}
+
+bool
+parse_u64(const std::string& text, std::uint64_t* out)
+{
+    if (text.empty()) {
+        return false;
+    }
+    char* end = nullptr;
+    const std::uint64_t value = std::strtoull(text.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0') {
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+bool
+parse_operand(const std::string& text, Operand* out)
+{
+    if (text == "cur_ptr") {
+        *out = cur();
+        return true;
+    }
+    for (const auto& [prefix, kind] :
+         {std::pair<std::string, OperandKind>{"sp[", OperandKind::kScratch},
+          {"data[", OperandKind::kData}}) {
+        if (text.rfind(prefix, 0) == 0 && text.back() == ']') {
+            const std::string inner =
+                text.substr(prefix.size(),
+                            text.size() - prefix.size() - 1);
+            const auto colon = inner.find(':');
+            std::uint64_t offset = 0;
+            std::uint64_t width = 8;
+            if (colon == std::string::npos) {
+                if (!parse_u64(inner, &offset)) {
+                    return false;
+                }
+            } else {
+                if (!parse_u64(inner.substr(0, colon), &offset) ||
+                    !parse_u64(inner.substr(colon + 1), &width)) {
+                    return false;
+                }
+            }
+            *out = Operand{kind, static_cast<std::uint16_t>(width),
+                           offset};
+            return true;
+        }
+    }
+    std::uint64_t value = 0;
+    if (parse_u64(text, &value)) {
+        *out = imm(value);
+        return true;
+    }
+    return false;
+}
+
+std::optional<Cond>
+parse_jump_cond(const std::string& mnemonic)
+{
+    static const std::map<std::string, Cond> conds = {
+        {"JUMP", Cond::kAlways},    {"JUMP_EQ", Cond::kEq},
+        {"JUMP_NEQ", Cond::kNeq},   {"JUMP_LT", Cond::kLt},
+        {"JUMP_GT", Cond::kGt},     {"JUMP_LE", Cond::kLe},
+        {"JUMP_GE", Cond::kGe},
+    };
+    const auto it = conds.find(mnemonic);
+    if (it == conds.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+std::optional<Opcode>
+parse_alu(const std::string& mnemonic)
+{
+    static const std::map<std::string, Opcode> ops = {
+        {"ADD", Opcode::kAdd}, {"SUB", Opcode::kSub},
+        {"MUL", Opcode::kMul}, {"DIV", Opcode::kDiv},
+        {"AND", Opcode::kAnd}, {"OR", Opcode::kOr},
+    };
+    const auto it = ops.find(mnemonic);
+    if (it == ops.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+AssembleResult
+error_at(int line_number, const std::string& message)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "line %d: %s", line_number,
+                  message.c_str());
+    return AssembleResult{std::nullopt, buf};
+}
+
+}  // namespace
+
+AssembleResult
+assemble(const std::string& source)
+{
+    struct PendingJump
+    {
+        std::size_t index;
+        std::string label;
+        int line;
+    };
+
+    std::vector<Instruction> code;
+    std::map<std::string, std::uint32_t> labels;
+    std::vector<PendingJump> pending;
+    std::uint32_t scratch_bytes = kDefaultScratchBytes;
+    std::uint32_t max_iters = kDefaultMaxIters;
+
+    std::istringstream stream(source);
+    std::string line;
+    int line_number = 0;
+    while (std::getline(stream, line)) {
+        line_number++;
+        auto tokens = tokenize(line);
+        if (tokens.empty()) {
+            continue;
+        }
+        // Label definitions: "name:" alone on a line.
+        if (tokens.size() == 1 && tokens[0].back() == ':') {
+            const std::string name =
+                tokens[0].substr(0, tokens[0].size() - 1);
+            if (labels.count(name)) {
+                return error_at(line_number,
+                                "duplicate label '" + name + "'");
+            }
+            labels[name] = static_cast<std::uint32_t>(code.size());
+            continue;
+        }
+
+        const std::string& mnemonic = tokens[0];
+        const auto need = [&](std::size_t n) {
+            return tokens.size() == n + 1;
+        };
+        const auto operand = [&](std::size_t i, Operand* out) {
+            return parse_operand(tokens[i], out);
+        };
+
+        if (mnemonic == ".scratch" || mnemonic == ".max_iters") {
+            std::uint64_t value = 0;
+            if (!need(1) || !parse_u64(tokens[1], &value)) {
+                return error_at(line_number, "directive needs a number");
+            }
+            if (mnemonic == ".scratch") {
+                scratch_bytes = static_cast<std::uint32_t>(value);
+            } else {
+                max_iters = static_cast<std::uint32_t>(value);
+            }
+            continue;
+        }
+        if (mnemonic == "LOAD") {
+            std::uint64_t len = 0;
+            if (!need(1) || !parse_u64(tokens[1], &len)) {
+                return error_at(line_number, "LOAD needs a length");
+            }
+            code.push_back({.op = Opcode::kLoad, .src1 = imm(len)});
+            continue;
+        }
+        if (mnemonic == "STORE") {
+            std::uint64_t mem_off = 0;
+            std::uint64_t data_off = 0;
+            std::uint64_t len = 0;
+            if (!need(3) || !parse_u64(tokens[1], &mem_off) ||
+                !parse_u64(tokens[2], &data_off) ||
+                !parse_u64(tokens[3], &len)) {
+                return error_at(line_number,
+                                "STORE needs mem_off data_off len");
+            }
+            code.push_back({.op = Opcode::kStore, .dst = imm(mem_off),
+                            .src1 = imm(data_off), .src2 = imm(len)});
+            continue;
+        }
+        if (const auto alu = parse_alu(mnemonic)) {
+            Instruction insn{.op = *alu};
+            if (!need(3) || !operand(1, &insn.dst) ||
+                !operand(2, &insn.src1) || !operand(3, &insn.src2)) {
+                return error_at(line_number, "ALU needs dst a b");
+            }
+            code.push_back(insn);
+            continue;
+        }
+        if (mnemonic == "NOT" || mnemonic == "MOVE") {
+            Instruction insn{.op = mnemonic == "NOT" ? Opcode::kNot
+                                                     : Opcode::kMove};
+            if (!need(2) || !operand(1, &insn.dst) ||
+                !operand(2, &insn.src1)) {
+                return error_at(line_number, "needs dst src");
+            }
+            code.push_back(insn);
+            continue;
+        }
+        if (mnemonic == "COMPARE") {
+            Instruction insn{.op = Opcode::kCompare};
+            if (!need(2) || !operand(1, &insn.src1) ||
+                !operand(2, &insn.src2)) {
+                return error_at(line_number, "COMPARE needs a b");
+            }
+            code.push_back(insn);
+            continue;
+        }
+        if (const auto cond = parse_jump_cond(mnemonic)) {
+            if (!need(1)) {
+                return error_at(line_number, "jump needs a label");
+            }
+            pending.push_back({code.size(), tokens[1], line_number});
+            code.push_back({.op = Opcode::kJump, .cond = *cond});
+            continue;
+        }
+        if (mnemonic == "CAS") {
+            std::uint64_t mem_off = 0;
+            Instruction insn{.op = Opcode::kCas};
+            if (!need(3) || !parse_u64(tokens[1], &mem_off) ||
+                !operand(2, &insn.src1) || !operand(3, &insn.src2)) {
+                return error_at(line_number,
+                                "CAS needs mem_off expected desired");
+            }
+            insn.dst = imm(mem_off);
+            code.push_back(insn);
+            continue;
+        }
+        if (mnemonic == "RETURN") {
+            code.push_back({.op = Opcode::kReturn});
+            continue;
+        }
+        if (mnemonic == "NEXT_ITER") {
+            code.push_back({.op = Opcode::kNextIter});
+            continue;
+        }
+        return error_at(line_number,
+                        "unknown mnemonic '" + mnemonic + "'");
+    }
+
+    for (const PendingJump& jump : pending) {
+        const auto it = labels.find(jump.label);
+        if (it == labels.end()) {
+            return error_at(jump.line,
+                            "undefined label '" + jump.label + "'");
+        }
+        code[jump.index].target = it->second;
+    }
+    return AssembleResult{
+        Program(std::move(code), scratch_bytes, max_iters), ""};
+}
+
+}  // namespace pulse::isa

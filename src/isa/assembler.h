@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Textual assembler for pulse ISA programs.
+ *
+ * Intended for tests, documentation and exploratory examples; the
+ * data-structure library emits programs through ProgramBuilder directly.
+ * Syntax (one instruction per line; ';' or '#' start comments):
+ *
+ *     LOAD 64
+ *     COMPARE sp[0:8] data[0:8]
+ *     JUMP_EQ found
+ *     COMPARE 0 data[40:8]
+ *     JUMP_EQ notfound
+ *     MOVE cur_ptr data[40:8]
+ *     NEXT_ITER
+ *   notfound:
+ *     MOVE sp[8:8] 42
+ *     RETURN
+ *   found:
+ *     MOVE sp[8:8] data[8:8]
+ *     RETURN
+ *
+ * Directives: ".scratch N" and ".max_iters N" set program limits.
+ * Operands: "cur_ptr", "sp[off:w]", "data[off:w]", or a decimal/0x
+ * immediate; width defaults to 8 when ":w" is omitted.
+ */
+#ifndef PULSE_ISA_ASSEMBLER_H
+#define PULSE_ISA_ASSEMBLER_H
+
+#include <optional>
+#include <string>
+
+#include "isa/program.h"
+
+namespace pulse::isa {
+
+/** Assembly result: a program or a diagnostic. */
+struct AssembleResult
+{
+    std::optional<Program> program;
+    std::string error;  ///< empty on success
+
+    bool ok() const { return program.has_value(); }
+};
+
+/** Assemble @p source into a program (labels resolved, not verified). */
+AssembleResult assemble(const std::string& source);
+
+}  // namespace pulse::isa
+
+#endif  // PULSE_ISA_ASSEMBLER_H

@@ -1,0 +1,160 @@
+#include "isa/codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pulse::isa {
+namespace {
+
+constexpr Bytes kHeaderSize = 8;
+constexpr Bytes kOperandSize = 11;
+constexpr Bytes kInsnSize = 6 + 3 * kOperandSize;  // 39
+
+void
+put_u16(std::vector<std::uint8_t>& out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+put_u32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; i++) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+void
+put_u64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; i++) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+std::uint16_t
+get_u16(const std::uint8_t* p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+get_u32(const std::uint8_t* p)
+{
+    std::uint32_t v = 0;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+std::uint64_t
+get_u64(const std::uint8_t* p)
+{
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+void
+put_operand(std::vector<std::uint8_t>& out, const Operand& operand)
+{
+    out.push_back(static_cast<std::uint8_t>(operand.kind));
+    put_u16(out, operand.width);
+    put_u64(out, operand.value);
+}
+
+bool
+get_operand(const std::uint8_t* p, Operand* out)
+{
+    const auto kind = p[0];
+    if (kind > static_cast<std::uint8_t>(OperandKind::kData)) {
+        return false;
+    }
+    out->kind = static_cast<OperandKind>(kind);
+    out->width = get_u16(p + 1);
+    out->value = get_u64(p + 3);
+    return true;
+}
+
+}  // namespace
+
+Bytes
+encoded_size(const Program& program)
+{
+    return kHeaderSize + program.size() * kInsnSize;
+}
+
+Bytes
+wire_code_size(const Program& program)
+{
+    // 8 B per instruction + 8 B per unique wide immediate + header.
+    std::vector<std::uint64_t> pool;
+    for (const Instruction& insn : program.code()) {
+        for (const Operand* operand :
+             {&insn.dst, &insn.src1, &insn.src2}) {
+            if (operand->kind == OperandKind::kImm &&
+                operand->value > 0xFFFF) {
+                if (std::find(pool.begin(), pool.end(),
+                              operand->value) == pool.end()) {
+                    pool.push_back(operand->value);
+                }
+            }
+        }
+    }
+    return kHeaderSize + program.size() * 8 + pool.size() * 8;
+}
+
+std::vector<std::uint8_t>
+encode_program(const Program& program)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(encoded_size(program));
+    put_u16(out, static_cast<std::uint16_t>(program.size()));
+    put_u16(out, static_cast<std::uint16_t>(program.scratch_bytes()));
+    put_u32(out, program.max_iters());
+    for (const Instruction& insn : program.code()) {
+        out.push_back(static_cast<std::uint8_t>(insn.op));
+        out.push_back(static_cast<std::uint8_t>(insn.cond));
+        put_u32(out, insn.target);
+        put_operand(out, insn.dst);
+        put_operand(out, insn.src1);
+        put_operand(out, insn.src2);
+    }
+    return out;
+}
+
+std::optional<Program>
+decode_program(const std::vector<std::uint8_t>& bytes)
+{
+    if (bytes.size() < kHeaderSize) {
+        return std::nullopt;
+    }
+    const std::uint16_t num_insns = get_u16(bytes.data());
+    const std::uint16_t scratch_bytes = get_u16(bytes.data() + 2);
+    const std::uint32_t max_iters = get_u32(bytes.data() + 4);
+    if (bytes.size() != kHeaderSize + num_insns * kInsnSize) {
+        return std::nullopt;
+    }
+    std::vector<Instruction> code;
+    code.reserve(num_insns);
+    const std::uint8_t* p = bytes.data() + kHeaderSize;
+    for (std::uint16_t i = 0; i < num_insns; i++, p += kInsnSize) {
+        Instruction insn;
+        if (p[0] > static_cast<std::uint8_t>(Opcode::kCas) ||
+            p[1] > static_cast<std::uint8_t>(Cond::kGe)) {
+            return std::nullopt;
+        }
+        insn.op = static_cast<Opcode>(p[0]);
+        insn.cond = static_cast<Cond>(p[1]);
+        insn.target = get_u32(p + 2);
+        if (!get_operand(p + 6, &insn.dst) ||
+            !get_operand(p + 6 + kOperandSize, &insn.src1) ||
+            !get_operand(p + 6 + 2 * kOperandSize, &insn.src2)) {
+            return std::nullopt;
+        }
+        code.push_back(insn);
+    }
+    return Program(std::move(code), scratch_bytes, max_iters);
+}
+
+}  // namespace pulse::isa

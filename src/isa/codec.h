@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Binary wire format for pulse programs.
+ *
+ * Requests carry their traversal code with them (paper section 4.1), and
+ * responses carry it onward so a switch-forwarded continuation on another
+ * memory node needs no code-distribution protocol (section 5). The codec
+ * therefore defines the exact byte layout, which the network models use
+ * for honest bandwidth accounting.
+ *
+ * Layout (little-endian):
+ *   header: num_insns u16 | scratch_bytes u16 | max_iters u32   (8 B)
+ *   per instruction (36 B fixed):
+ *     op u8 | cond u8 | target u32 | 3 x operand
+ *   operand (10 B): kind u8 | width u8 | value u64
+ */
+#ifndef PULSE_ISA_CODEC_H
+#define PULSE_ISA_CODEC_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "isa/program.h"
+
+namespace pulse::isa {
+
+/** Encoded size of @p program in bytes (diagnostic format below). */
+Bytes encoded_size(const Program& program);
+
+/**
+ * Modelled on-the-wire code size: a production encoding packs each
+ * instruction into 64 bits (RISC-style fields; operand offsets are
+ * always < 4 KiB) with a deduplicated pool of 64-bit immediates that
+ * don't fit in 16 bits. Network bandwidth accounting uses this; the
+ * byte-exact diagnostic format above is used for serialization tests
+ * and tooling.
+ */
+Bytes wire_code_size(const Program& program);
+
+/** Serialize @p program. */
+std::vector<std::uint8_t> encode_program(const Program& program);
+
+/**
+ * Deserialize a program from @p bytes. Returns nullopt on a malformed
+ * buffer (truncated, bad enum values, ...). The decoded program is NOT
+ * auto-verified; accelerators verify on receipt.
+ */
+std::optional<Program> decode_program(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace pulse::isa
+
+#endif  // PULSE_ISA_CODEC_H

@@ -1,0 +1,72 @@
+#include "isa/instruction.h"
+
+#include <cstdio>
+
+namespace pulse::isa {
+
+const char*
+opcode_name(Opcode op)
+{
+    switch (op) {
+      case Opcode::kLoad: return "LOAD";
+      case Opcode::kStore: return "STORE";
+      case Opcode::kAdd: return "ADD";
+      case Opcode::kSub: return "SUB";
+      case Opcode::kMul: return "MUL";
+      case Opcode::kDiv: return "DIV";
+      case Opcode::kAnd: return "AND";
+      case Opcode::kOr: return "OR";
+      case Opcode::kNot: return "NOT";
+      case Opcode::kMove: return "MOVE";
+      case Opcode::kCompare: return "COMPARE";
+      case Opcode::kJump: return "JUMP";
+      case Opcode::kReturn: return "RETURN";
+      case Opcode::kNextIter: return "NEXT_ITER";
+      case Opcode::kCas: return "CAS";
+    }
+    return "?";
+}
+
+const char*
+cond_name(Cond cond)
+{
+    switch (cond) {
+      case Cond::kAlways: return "ALWAYS";
+      case Cond::kEq: return "EQ";
+      case Cond::kNeq: return "NEQ";
+      case Cond::kLt: return "LT";
+      case Cond::kGt: return "GT";
+      case Cond::kLe: return "LE";
+      case Cond::kGe: return "GE";
+    }
+    return "?";
+}
+
+std::string
+operand_to_string(const Operand& operand)
+{
+    char buf[64];
+    switch (operand.kind) {
+      case OperandKind::kNone:
+        return "_";
+      case OperandKind::kImm:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(operand.value));
+        return buf;
+      case OperandKind::kCurPtr:
+        return "cur_ptr";
+      case OperandKind::kScratch:
+        std::snprintf(buf, sizeof(buf), "sp[%llu:%u]",
+                      static_cast<unsigned long long>(operand.value),
+                      operand.width);
+        return buf;
+      case OperandKind::kData:
+        std::snprintf(buf, sizeof(buf), "data[%llu:%u]",
+                      static_cast<unsigned long long>(operand.value),
+                      operand.width);
+        return buf;
+    }
+    return "?";
+}
+
+}  // namespace pulse::isa

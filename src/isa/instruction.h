@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The pulse instruction set (paper Table 1, section 4.1).
+ *
+ * pulse adapts a restricted RISC subset with exactly the operation
+ * classes a pointer traversal needs:
+ *   - Memory:   LOAD (one aggregated load at the top of each iteration,
+ *               up to 256 B at cur_ptr), STORE (write-back into the
+ *               current node).
+ *   - ALU:      ADD SUB MUL DIV AND OR NOT.
+ *   - Register: MOVE.
+ *   - Branch:   COMPARE + JUMP_{EQ,NEQ,LT,GT,LE,GE}; jumps may only go
+ *               *forward* — the only backward edge is the implicit one
+ *               created by NEXT_ITER, which restarts the iteration. This
+ *               is what makes per-iteration execution time statically
+ *               bounded (no unbounded loops, section 3.1).
+ *   - Terminal: RETURN (finish, yield scratch_pad), NEXT_ITER.
+ *
+ * Operands address one of three storage spaces in the workspace: the
+ * cur_ptr register, the scratch_pad register vector, and the data
+ * register vector holding the bytes LOADed this iteration. All offsets
+ * are static, so the verifier can bounds-check every access at offload
+ * time (section 4.1's static analysis).
+ */
+#ifndef PULSE_ISA_INSTRUCTION_H
+#define PULSE_ISA_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace pulse::isa {
+
+/** Maximum bytes a single aggregated LOAD may fetch (paper: 256 B). */
+inline constexpr std::uint32_t kMaxLoadBytes = 256;
+
+/** Default scratch_pad size (paper: 4 KB, configurable). */
+inline constexpr std::uint32_t kDefaultScratchBytes = 4096;
+
+/** Default per-request iteration cap (MAX_ITER, section 3.1). */
+inline constexpr std::uint32_t kDefaultMaxIters = 512;
+
+/** Operation codes. */
+enum class Opcode : std::uint8_t {
+    kLoad,      ///< data[0:len) = mem[cur_ptr : cur_ptr+len)
+    kStore,     ///< mem[cur_ptr+off : +len) = data[off : off+len)
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kAnd,
+    kOr,
+    kNot,
+    kMove,
+    kCompare,   ///< set flags from (src1 - src2), signed 64-bit
+    kJump,      ///< conditional forward jump using the flags
+    kReturn,    ///< terminate traversal; scratch_pad is the result
+    kNextIter,  ///< commit cur_ptr and start the next iteration
+    /**
+     * Extension (supplementary section B, "enabling near-memory
+     * synchronization"): atomic compare-and-swap of the 64-bit word
+     * at mem[cur_ptr + dst] — if it equals src1, write src2. Flags
+     * are set EQ on success, NEQ on failure, so programs retry with
+     * JUMP_NEQ. Not part of the paper's Table 1; execution sites that
+     * lack an atomic path fault on it.
+     */
+    kCas,
+};
+
+/** Branch conditions for kJump. */
+enum class Cond : std::uint8_t {
+    kAlways,  ///< assembler sugar: unconditional forward jump
+    kEq,
+    kNeq,
+    kLt,
+    kGt,
+    kLe,
+    kGe,
+};
+
+/** Operand storage spaces. */
+enum class OperandKind : std::uint8_t {
+    kNone,     ///< unused operand slot
+    kImm,      ///< 64-bit immediate
+    kCurPtr,   ///< the cur_ptr register
+    kScratch,  ///< scratch_pad[offset : offset+width)
+    kData,     ///< data[offset : offset+width)
+};
+
+/**
+ * One operand. Register-vector operands carry a static byte offset and
+ * an access width; scalar accesses (ALU/COMPARE/scalar MOVE) use widths
+ * of 1, 2, 4 or 8 bytes, read zero-extended to 64 bits and written
+ * truncating. MOVE additionally supports *register-vector* transfers of
+ * up to 256 bytes between the scratch_pad and data vectors (the
+ * workspace is register-vector storage, section 4.2.1), which is how an
+ * iterator returns a whole value object in one instruction.
+ */
+struct Operand
+{
+    OperandKind kind = OperandKind::kNone;
+    std::uint16_t width = 8;   // bytes; meaningful for kScratch/kData
+    std::uint64_t value = 0;   // immediate value, or byte offset
+
+    friend bool operator==(const Operand&, const Operand&) = default;
+};
+
+/** Operand constructors (kept terse: they appear in every program). */
+constexpr Operand
+imm(std::uint64_t value)
+{
+    return Operand{OperandKind::kImm, 8, value};
+}
+
+/** scratch_pad[offset : offset+width). */
+constexpr Operand
+sp(std::uint32_t offset, std::uint16_t width = 8)
+{
+    return Operand{OperandKind::kScratch, width, offset};
+}
+
+/** data[offset : offset+width). */
+constexpr Operand
+dat(std::uint32_t offset, std::uint16_t width = 8)
+{
+    return Operand{OperandKind::kData, width, offset};
+}
+
+/** The cur_ptr register. */
+constexpr Operand
+cur()
+{
+    return Operand{OperandKind::kCurPtr, 8, 0};
+}
+
+/** No operand. */
+constexpr Operand
+none()
+{
+    return Operand{OperandKind::kNone, 0, 0};
+}
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::kReturn;
+    Cond cond = Cond::kAlways;   // for kJump
+    std::uint32_t target = 0;    // jump target (instruction index)
+    Operand dst;
+    Operand src1;
+    Operand src2;
+
+    friend bool operator==(const Instruction&,
+                           const Instruction&) = default;
+};
+
+/** Human-readable opcode mnemonic. */
+const char* opcode_name(Opcode op);
+
+/** Human-readable condition suffix ("EQ", ...). */
+const char* cond_name(Cond cond);
+
+/** Render one operand in assembler syntax. */
+std::string operand_to_string(const Operand& operand);
+
+}  // namespace pulse::isa
+
+#endif  // PULSE_ISA_INSTRUCTION_H

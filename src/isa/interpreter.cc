@@ -1,0 +1,217 @@
+#include "isa/interpreter.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pulse::isa {
+namespace {
+
+std::uint64_t
+read_bytes(const std::vector<std::uint8_t>& storage, std::uint64_t offset,
+           std::uint8_t width)
+{
+    PULSE_ASSERT(offset + width <= storage.size(),
+                 "operand read out of range (verifier bug)");
+    std::uint64_t value = 0;
+    std::memcpy(&value, storage.data() + offset, width);
+    return value;
+}
+
+void
+write_bytes(std::vector<std::uint8_t>& storage, std::uint64_t offset,
+            std::uint8_t width, std::uint64_t value)
+{
+    PULSE_ASSERT(offset + width <= storage.size(),
+                 "operand write out of range (verifier bug)");
+    std::memcpy(storage.data() + offset, &value, width);
+}
+
+bool
+cond_holds(Cond cond, int flags)
+{
+    switch (cond) {
+      case Cond::kAlways: return true;
+      case Cond::kEq: return flags == 0;
+      case Cond::kNeq: return flags != 0;
+      case Cond::kLt: return flags < 0;
+      case Cond::kGt: return flags > 0;
+      case Cond::kLe: return flags <= 0;
+      case Cond::kGe: return flags >= 0;
+    }
+    return false;
+}
+
+}  // namespace
+
+void
+Workspace::configure(const Program& program)
+{
+    scratch.assign(program.scratch_bytes(), 0);
+    data.assign(kMaxLoadBytes, 0);
+    cur_ptr = kNullAddr;
+    flags = 0;
+}
+
+std::uint64_t
+Workspace::read(const Operand& operand) const
+{
+    switch (operand.kind) {
+      case OperandKind::kImm:
+        return operand.value;
+      case OperandKind::kCurPtr:
+        return cur_ptr;
+      case OperandKind::kScratch:
+        return read_bytes(scratch, operand.value, operand.width);
+      case OperandKind::kData:
+        return read_bytes(data, operand.value, operand.width);
+      case OperandKind::kNone:
+        break;
+    }
+    panic("read of kNone operand");
+}
+
+void
+Workspace::write(const Operand& operand, std::uint64_t value)
+{
+    switch (operand.kind) {
+      case OperandKind::kCurPtr:
+        cur_ptr = value;
+        return;
+      case OperandKind::kScratch:
+        write_bytes(scratch, operand.value, operand.width, value);
+        return;
+      case OperandKind::kData:
+        write_bytes(data, operand.value, operand.width, value);
+        return;
+      default:
+        panic("write to non-writable operand");
+    }
+}
+
+IterationResult
+run_iteration(const Program& program, Workspace& workspace,
+              const CasFn& cas)
+{
+    IterationResult result;
+    const auto& code = program.code();
+    // Skip the LOAD at instruction 0: the memory pipeline performs it.
+    std::uint32_t pc = (!code.empty() &&
+                        code.front().op == Opcode::kLoad) ? 1 : 0;
+
+    while (pc < code.size()) {
+        const Instruction& insn = code[pc];
+        result.instructions_executed++;
+        switch (insn.op) {
+          case Opcode::kLoad:
+            // verify() guarantees LOAD only at index 0.
+            result.end = IterEnd::kFault;
+            result.fault = ExecFault::kIllegalInstruction;
+            return result;
+          case Opcode::kStore:
+            result.stores.push_back(PendingStore{
+                .mem_offset = insn.dst.value,
+                .data_offset = static_cast<std::uint32_t>(insn.src1.value),
+                .length = static_cast<std::uint32_t>(insn.src2.value),
+            });
+            break;
+          case Opcode::kAdd:
+            workspace.write(insn.dst, workspace.read(insn.src1) +
+                                          workspace.read(insn.src2));
+            break;
+          case Opcode::kSub:
+            workspace.write(insn.dst, workspace.read(insn.src1) -
+                                          workspace.read(insn.src2));
+            break;
+          case Opcode::kMul:
+            workspace.write(insn.dst, workspace.read(insn.src1) *
+                                          workspace.read(insn.src2));
+            break;
+          case Opcode::kDiv: {
+            const std::uint64_t divisor = workspace.read(insn.src2);
+            if (divisor == 0) {
+                result.end = IterEnd::kFault;
+                result.fault = ExecFault::kDivideByZero;
+                return result;
+            }
+            workspace.write(insn.dst,
+                            workspace.read(insn.src1) / divisor);
+            break;
+          }
+          case Opcode::kAnd:
+            workspace.write(insn.dst, workspace.read(insn.src1) &
+                                          workspace.read(insn.src2));
+            break;
+          case Opcode::kOr:
+            workspace.write(insn.dst, workspace.read(insn.src1) |
+                                          workspace.read(insn.src2));
+            break;
+          case Opcode::kNot:
+            workspace.write(insn.dst, ~workspace.read(insn.src1));
+            break;
+          case Opcode::kMove:
+            if (insn.dst.width > 8) {
+                // Register-vector transfer (verify() guarantees both
+                // operands are vectors of equal width).
+                auto& dst_vec =
+                    insn.dst.kind == OperandKind::kScratch
+                        ? workspace.scratch
+                        : workspace.data;
+                const auto& src_vec =
+                    insn.src1.kind == OperandKind::kScratch
+                        ? workspace.scratch
+                        : workspace.data;
+                PULSE_ASSERT(insn.dst.value + insn.dst.width <=
+                                     dst_vec.size() &&
+                                 insn.src1.value + insn.src1.width <=
+                                     src_vec.size(),
+                             "vector move out of range (verifier bug)");
+                std::memmove(dst_vec.data() + insn.dst.value,
+                             src_vec.data() + insn.src1.value,
+                             insn.dst.width);
+            } else {
+                workspace.write(insn.dst, workspace.read(insn.src1));
+            }
+            break;
+          case Opcode::kCompare: {
+            const auto a = static_cast<std::int64_t>(
+                workspace.read(insn.src1));
+            const auto b = static_cast<std::int64_t>(
+                workspace.read(insn.src2));
+            workspace.flags = (a < b) ? -1 : (a > b) ? 1 : 0;
+            break;
+          }
+          case Opcode::kJump:
+            if (cond_holds(insn.cond, workspace.flags)) {
+                pc = insn.target;
+                continue;
+            }
+            break;
+          case Opcode::kReturn:
+            result.end = IterEnd::kReturn;
+            return result;
+          case Opcode::kNextIter:
+            result.end = IterEnd::kNextIter;
+            return result;
+          case Opcode::kCas: {
+            if (!cas) {
+                // This execution site has no atomic path.
+                result.end = IterEnd::kFault;
+                result.fault = ExecFault::kIllegalInstruction;
+                return result;
+            }
+            const bool swapped =
+                cas(insn.dst.value, workspace.read(insn.src1),
+                    workspace.read(insn.src2));
+            workspace.flags = swapped ? 0 : 1;  // EQ on success
+            break;
+          }
+        }
+        pc++;
+    }
+    // verify() guarantees the last instruction is terminal, so this is
+    // unreachable for verified programs.
+    panic("iteration fell off the end of a verified program");
+}
+
+}  // namespace pulse::isa

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Functional execution of pulse ISA iterations.
+ *
+ * The Workspace mirrors the accelerator's per-iterator register state
+ * (section 4.2.1): the cur_ptr register, the scratch_pad register
+ * vector, the data register vector filled by the iteration's LOAD, and
+ * the comparison flags. run_iteration() executes the *logic* portion of
+ * one iteration — everything after the LOAD — exactly as the logic
+ * pipeline would, and reports how the iteration ended plus any STOREs
+ * the memory pipeline must apply.
+ *
+ * Every timed execution path (accelerator model, RPC CPU model, client
+ * fallback) funnels through this interpreter, so all systems compute
+ * identical results by construction and differ only in timing.
+ */
+#ifndef PULSE_ISA_INTERPRETER_H
+#define PULSE_ISA_INTERPRETER_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace pulse::isa {
+
+/** Per-iterator register state (one accelerator workspace). */
+struct Workspace
+{
+    VirtAddr cur_ptr = kNullAddr;
+    int flags = 0;  ///< COMPARE result: sign of (src1 - src2)
+    std::vector<std::uint8_t> scratch;
+    std::vector<std::uint8_t> data;
+
+    /** Size scratch/data for @p program. */
+    void configure(const Program& program);
+
+    /** Zero-extend read of an operand. */
+    std::uint64_t read(const Operand& operand) const;
+
+    /** Truncating write to an operand (must be writable). */
+    void write(const Operand& operand, std::uint64_t value);
+};
+
+/** How an iteration's logic ended. */
+enum class IterEnd : std::uint8_t {
+    kNextIter,  ///< continue: cur_ptr holds the next pointer
+    kReturn,    ///< traversal complete; scratch_pad is the result
+    kFault,     ///< execution fault (e.g. divide by zero)
+};
+
+/** Faults the logic pipeline can raise. */
+enum class ExecFault : std::uint8_t {
+    kNone,
+    kDivideByZero,
+    kIllegalInstruction,
+};
+
+/** A STORE captured during the iteration, for the memory pipeline. */
+struct PendingStore
+{
+    std::uint64_t mem_offset = 0;   ///< relative to iteration-start cur_ptr
+    std::uint32_t data_offset = 0;  ///< source offset in data registers
+    std::uint32_t length = 0;
+};
+
+/** Result of one iteration's logic execution. */
+struct IterationResult
+{
+    IterEnd end = IterEnd::kReturn;
+    ExecFault fault = ExecFault::kNone;
+    std::uint32_t instructions_executed = 0;
+    std::vector<PendingStore> stores;
+};
+
+/**
+ * Atomic compare-and-swap callback for the kCas extension: swap the
+ * 64-bit word at @p mem_offset (relative to the iteration's cur_ptr)
+ * from @p expected to @p desired; returns whether the swap happened.
+ * Execution sites guarantee event-level atomicity.
+ */
+using CasFn = std::function<bool(std::uint64_t mem_offset,
+                                 std::uint64_t expected,
+                                 std::uint64_t desired)>;
+
+/**
+ * Execute the logic portion of one iteration of @p program over
+ * @p workspace. Assumes the data registers already hold the LOADed
+ * bytes. The program must have passed verify(). @p cas backs the
+ * kCas extension; sites without one fault on kCas.
+ */
+IterationResult run_iteration(const Program& program,
+                              Workspace& workspace,
+                              const CasFn& cas = nullptr);
+
+}  // namespace pulse::isa
+
+#endif  // PULSE_ISA_INTERPRETER_H

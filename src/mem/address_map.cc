@@ -1,0 +1,53 @@
+#include "mem/address_map.h"
+
+#include "common/logging.h"
+
+namespace pulse::mem {
+
+AddressMap::AddressMap(std::uint32_t num_nodes, Bytes region_size,
+                       VirtAddr base)
+    : base_(base), region_size_(region_size)
+{
+    PULSE_ASSERT(num_nodes > 0, "address map needs at least one node");
+    PULSE_ASSERT(region_size > 0, "zero region size");
+    PULSE_ASSERT(base > 0, "VA base must leave 0 as null");
+    regions_.reserve(num_nodes);
+    for (std::uint32_t i = 0; i < num_nodes; i++) {
+        regions_.push_back(NodeRegion{
+            .node = i,
+            .base = base + static_cast<VirtAddr>(i) * region_size,
+            .size = region_size,
+        });
+    }
+}
+
+const NodeRegion&
+AddressMap::region(NodeId node) const
+{
+    PULSE_ASSERT(node < regions_.size(), "bad node id %u", node);
+    return regions_[node];
+}
+
+std::optional<NodeId>
+AddressMap::node_for(VirtAddr va) const
+{
+    if (va < base_) {
+        return std::nullopt;
+    }
+    const auto index = (va - base_) / region_size_;
+    if (index >= regions_.size()) {
+        return std::nullopt;
+    }
+    return static_cast<NodeId>(index);
+}
+
+Bytes
+AddressMap::offset_in_region(VirtAddr va) const
+{
+    const auto node = node_for(va);
+    PULSE_ASSERT(node.has_value(), "va 0x%llx outside the VA space",
+                 static_cast<unsigned long long>(va));
+    return va - regions_[*node].base;
+}
+
+}  // namespace pulse::mem

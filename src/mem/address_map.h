@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cluster-wide virtual address layout (the switch's half of the paper's
+ * hierarchical address translation, section 5).
+ *
+ * The disaggregated virtual address space is range-partitioned across
+ * memory nodes: node i owns one contiguous region. The programmable
+ * switch stores exactly one base-address -> node rule per memory node
+ * (paper, section 6), and each node's accelerator holds the fine-grained
+ * local translations in its range TCAM.
+ */
+#ifndef PULSE_MEM_ADDRESS_MAP_H
+#define PULSE_MEM_ADDRESS_MAP_H
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace pulse::mem {
+
+/** One node's slice of the global virtual address space. */
+struct NodeRegion
+{
+    NodeId node = kInvalidNode;
+    VirtAddr base = 0;
+    Bytes size = 0;
+
+    bool
+    contains(VirtAddr va) const
+    {
+        return va >= base && va - base < size;
+    }
+};
+
+/**
+ * The global VA partition. Construction assigns each of @p num_nodes a
+ * contiguous @p region_size slice starting at @p base; lookups map a VA
+ * to the owning node in O(1).
+ */
+class AddressMap
+{
+  public:
+    /** Default start of the disaggregated VA space (keeps 0 == null). */
+    static constexpr VirtAddr kDefaultBase = 0x0000'0100'0000'0000ull;
+
+    AddressMap(std::uint32_t num_nodes, Bytes region_size,
+               VirtAddr base = kDefaultBase);
+
+    /** Number of memory nodes in the partition. */
+    std::uint32_t num_nodes() const
+    {
+        return static_cast<std::uint32_t>(regions_.size());
+    }
+
+    /** Per-node region size. */
+    Bytes region_size() const { return region_size_; }
+
+    /** Region descriptor for @p node. */
+    const NodeRegion& region(NodeId node) const;
+
+    /** Owning node for @p va, or nullopt if va is outside the space. */
+    std::optional<NodeId> node_for(VirtAddr va) const;
+
+    /** Node-local offset of @p va within its owning region. */
+    Bytes offset_in_region(VirtAddr va) const;
+
+    /** All regions, ordered by node id (== ascending base). */
+    const std::vector<NodeRegion>& regions() const { return regions_; }
+
+  private:
+    VirtAddr base_;
+    Bytes region_size_;
+    std::vector<NodeRegion> regions_;
+};
+
+}  // namespace pulse::mem
+
+#endif  // PULSE_MEM_ADDRESS_MAP_H

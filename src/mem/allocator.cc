@@ -1,0 +1,111 @@
+#include "mem/allocator.h"
+
+#include "common/logging.h"
+
+namespace pulse::mem {
+namespace {
+
+Bytes
+align_up(Bytes value, Bytes align)
+{
+    PULSE_ASSERT(align > 0 && (align & (align - 1)) == 0,
+                 "alignment must be a power of two");
+    return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+ClusterAllocator::ClusterAllocator(const AddressMap& map,
+                                   AllocPolicy policy,
+                                   std::uint64_t seed,
+                                   Bytes uniform_chunk_bytes)
+    : map_(map), policy_(policy), rng_(seed),
+      chunk_bytes_(uniform_chunk_bytes), bump_(map.num_nodes(), 0)
+{
+}
+
+VirtAddr
+ClusterAllocator::alloc(Bytes size, Bytes align)
+{
+    const std::uint32_t n = map_.num_nodes();
+
+    // Slab-granular uniform placement: fill the current slab, then
+    // draw a fresh random node for the next one.
+    if (policy_ == AllocPolicy::kUniform && chunk_bytes_ > 0 &&
+        size <= chunk_bytes_) {
+        const VirtAddr aligned = (chunk_next_ + align - 1) &
+                                 ~(static_cast<VirtAddr>(align) - 1);
+        if (chunk_next_ != kNullAddr && aligned + size <= chunk_end_) {
+            chunk_next_ = aligned + size;
+            return aligned;
+        }
+        for (std::uint32_t i = 0; i < n; i++) {
+            const NodeId node = static_cast<NodeId>(
+                (rng_.next_below(n) + i) % n);
+            const VirtAddr base =
+                alloc_on(node, chunk_bytes_, align);
+            if (base != kNullAddr) {
+                chunk_next_ = base + size;
+                chunk_end_ = base + chunk_bytes_;
+                return base;
+            }
+        }
+        return kNullAddr;
+    }
+
+    NodeId first;
+    if (policy_ == AllocPolicy::kUniform) {
+        first = static_cast<NodeId>(rng_.next_below(n));
+    } else {
+        first = round_robin_;
+        round_robin_ = (round_robin_ + 1) % n;
+    }
+    // Fall over to subsequent nodes if the chosen one is full.
+    for (std::uint32_t i = 0; i < n; i++) {
+        const NodeId node = (first + i) % n;
+        const VirtAddr va = alloc_on(node, size, align);
+        if (va != kNullAddr) {
+            return va;
+        }
+    }
+    return kNullAddr;
+}
+
+VirtAddr
+ClusterAllocator::alloc_on(NodeId node, Bytes size, Bytes align)
+{
+    PULSE_ASSERT(node < bump_.size(), "bad node id %u", node);
+    PULSE_ASSERT(size > 0, "zero-size allocation");
+    const Bytes start = align_up(bump_[node], align);
+    if (start + size > map_.region_size()) {
+        return kNullAddr;
+    }
+    bump_[node] = start + size;
+    return map_.region(node).base + start;
+}
+
+Bytes
+ClusterAllocator::allocated_on(NodeId node) const
+{
+    PULSE_ASSERT(node < bump_.size(), "bad node id %u", node);
+    return bump_[node];
+}
+
+Bytes
+ClusterAllocator::total_allocated() const
+{
+    Bytes total = 0;
+    for (const Bytes b : bump_) {
+        total += b;
+    }
+    return total;
+}
+
+Bytes
+ClusterAllocator::free_on(NodeId node) const
+{
+    PULSE_ASSERT(node < bump_.size(), "bad node id %u", node);
+    return map_.region_size() - bump_[node];
+}
+
+}  // namespace pulse::mem

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Disaggregated-memory allocator with the two placement policies the
+ * paper evaluates (supplementary Fig. 2).
+ *
+ * The paper does not innovate on allocation (section 2.2): it uses
+ * glibc-style load-balanced allocation across nodes, and additionally
+ * evaluates an application-directed *partitioned* policy that keeps
+ * logically-adjacent data (e.g. half a B+Tree) on one node. We provide
+ * both:
+ *   - kUniform: each allocation picks a node uniformly at random.
+ *   - kPartitioned: the caller pins each allocation to an explicit node
+ *     (data-structure builders derive the node from keys/subtrees).
+ *
+ * Within a node this is a bump allocator with alignment; the evaluation
+ * never frees mid-run (builders populate once, then the workload is
+ * read-mostly), matching the paper's setup.
+ */
+#ifndef PULSE_MEM_ALLOCATOR_H
+#define PULSE_MEM_ALLOCATOR_H
+
+#include <vector>
+
+#include "common/random.h"
+#include "mem/address_map.h"
+
+namespace pulse::mem {
+
+/** Placement policy across memory nodes. */
+enum class AllocPolicy {
+    kUniform,      ///< glibc-like: uniform-random node per allocation
+    kPartitioned,  ///< application-directed: caller chooses the node
+};
+
+/** Bump allocator over the cluster VA space. */
+class ClusterAllocator
+{
+  public:
+    /**
+     * Create an allocator over @p map using @p policy. @p seed controls
+     * the uniform policy's node choice.
+     *
+     * @param uniform_chunk_bytes arena granularity of the uniform
+     *        policy: allocations fill a slab on one random node before
+     *        a new random node is drawn (glibc-arena-like locality).
+     *        0 draws a fresh random node per allocation — the fully
+     *        "random" policy of the paper's supplementary Fig. 2.
+     */
+    ClusterAllocator(const AddressMap& map, AllocPolicy policy,
+                     std::uint64_t seed = 1,
+                     Bytes uniform_chunk_bytes = 0);
+
+    /** Active policy. */
+    AllocPolicy policy() const { return policy_; }
+
+    /**
+     * Allocate @p size bytes, aligned to @p align. Under kPartitioned
+     * this round-robins nodes (callers who care use alloc_on); under
+     * kUniform it picks a random node. Returns kNullAddr when every
+     * node is exhausted.
+     */
+    VirtAddr alloc(Bytes size, Bytes align = 8);
+
+    /** Allocate @p size bytes on a specific node. */
+    VirtAddr alloc_on(NodeId node, Bytes size, Bytes align = 8);
+
+    /** Bytes allocated so far on @p node. */
+    Bytes allocated_on(NodeId node) const;
+
+    /** Total bytes allocated. */
+    Bytes total_allocated() const;
+
+    /** Remaining capacity on @p node. */
+    Bytes free_on(NodeId node) const;
+
+  private:
+    const AddressMap& map_;
+    AllocPolicy policy_;
+    Rng rng_;
+    Bytes chunk_bytes_;
+    std::vector<Bytes> bump_;  // next free offset per node
+    NodeId round_robin_ = 0;
+    VirtAddr chunk_next_ = kNullAddr;  // uniform-policy slab cursor
+    VirtAddr chunk_end_ = kNullAddr;
+};
+
+}  // namespace pulse::mem
+
+#endif  // PULSE_MEM_ALLOCATOR_H

@@ -1,0 +1,54 @@
+#include "mem/global_memory.h"
+
+#include "common/logging.h"
+
+namespace pulse::mem {
+
+GlobalMemory::GlobalMemory(std::uint32_t num_nodes, Bytes node_capacity)
+    : map_(num_nodes, node_capacity)
+{
+    nodes_.reserve(num_nodes);
+    for (std::uint32_t i = 0; i < num_nodes; i++) {
+        nodes_.push_back(std::make_unique<PhysicalMemory>(node_capacity));
+    }
+}
+
+PhysicalMemory&
+GlobalMemory::node(NodeId id)
+{
+    PULSE_ASSERT(id < nodes_.size(), "bad node id %u", id);
+    return *nodes_[id];
+}
+
+const PhysicalMemory&
+GlobalMemory::node(NodeId id) const
+{
+    PULSE_ASSERT(id < nodes_.size(), "bad node id %u", id);
+    return *nodes_[id];
+}
+
+void
+GlobalMemory::read(VirtAddr va, void* out, Bytes len) const
+{
+    const auto node_id = map_.node_for(va);
+    PULSE_ASSERT(node_id.has_value(), "read from unmapped va 0x%llx",
+                 static_cast<unsigned long long>(va));
+    const Bytes offset = map_.offset_in_region(va);
+    PULSE_ASSERT(offset + len <= map_.region_size(),
+                 "read straddles node regions");
+    nodes_[*node_id]->read(offset, out, len);
+}
+
+void
+GlobalMemory::write(VirtAddr va, const void* in, Bytes len)
+{
+    const auto node_id = map_.node_for(va);
+    PULSE_ASSERT(node_id.has_value(), "write to unmapped va 0x%llx",
+                 static_cast<unsigned long long>(va));
+    const Bytes offset = map_.offset_in_region(va);
+    PULSE_ASSERT(offset + len <= map_.region_size(),
+                 "write straddles node regions");
+    nodes_[*node_id]->write(offset, in, len);
+}
+
+}  // namespace pulse::mem

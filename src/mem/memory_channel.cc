@@ -1,0 +1,118 @@
+#include "mem/memory_channel.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pulse::mem {
+
+MemoryChannel::MemoryChannel(Rate raw_bw) : raw_bw_(raw_bw)
+{
+    PULSE_ASSERT(raw_bw > 0, "non-positive channel bandwidth");
+}
+
+void
+MemoryChannel::set_efficiency(double efficiency)
+{
+    PULSE_ASSERT(efficiency > 0.0 && efficiency <= 1.0,
+                 "efficiency out of range");
+    efficiency_ = efficiency;
+}
+
+Time
+MemoryChannel::access(Time now, Bytes bytes)
+{
+    const Time start = std::max(now, busy_until_);
+    const Time occupancy = transfer_time(bytes, effective_bandwidth());
+    busy_until_ = start + occupancy;
+    bytes_ += bytes;
+    busy_time_ += occupancy;
+    return busy_until_;
+}
+
+void
+MemoryChannel::reset_stats()
+{
+    bytes_ = 0;
+    busy_time_ = 0;
+}
+
+ChannelSet::ChannelSet(std::uint32_t num_channels,
+                       Rate raw_bw_per_channel,
+                       double interconnect_efficiency)
+    : efficiency_(interconnect_efficiency)
+{
+    PULSE_ASSERT(num_channels > 0, "need at least one channel");
+    channels_.reserve(num_channels);
+    for (std::uint32_t i = 0; i < num_channels; i++) {
+        channels_.emplace_back(raw_bw_per_channel);
+        channels_.back().set_efficiency(efficiency_);
+    }
+}
+
+void
+ChannelSet::set_interconnect_enabled(bool enabled)
+{
+    interconnect_ = enabled;
+    for (auto& channel : channels_) {
+        channel.set_efficiency(enabled ? efficiency_ : 1.0);
+    }
+}
+
+Time
+ChannelSet::access(Time now, Bytes bytes)
+{
+    auto* best = &channels_.front();
+    for (auto& channel : channels_) {
+        if (channel.busy_until() < best->busy_until()) {
+            best = &channel;
+        }
+    }
+    return best->access(now, bytes);
+}
+
+Time
+ChannelSet::access_on(std::uint32_t channel, Time now, Bytes bytes)
+{
+    PULSE_ASSERT(channel < channels_.size(), "bad channel %u", channel);
+    return channels_[channel].access(now, bytes);
+}
+
+Rate
+ChannelSet::total_effective_bandwidth() const
+{
+    Rate total = 0;
+    for (const auto& channel : channels_) {
+        total += channel.effective_bandwidth();
+    }
+    return total;
+}
+
+Bytes
+ChannelSet::bytes_transferred() const
+{
+    Bytes total = 0;
+    for (const auto& channel : channels_) {
+        total += channel.bytes_transferred();
+    }
+    return total;
+}
+
+Rate
+ChannelSet::achieved_bandwidth(Time window) const
+{
+    if (window <= 0) {
+        return 0;
+    }
+    return static_cast<Rate>(bytes_transferred()) / to_seconds(window);
+}
+
+void
+ChannelSet::reset_stats()
+{
+    for (auto& channel : channels_) {
+        channel.reset_stats();
+    }
+}
+
+}  // namespace pulse::mem

@@ -1,0 +1,92 @@
+#include "mem/range_tcam.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pulse::mem {
+
+RangeTcam::RangeTcam(std::size_t capacity) : capacity_(capacity)
+{
+    PULSE_ASSERT(capacity > 0, "zero-capacity TCAM");
+}
+
+bool
+RangeTcam::insert(const RangeEntry& entry)
+{
+    if (entries_.size() >= capacity_ || entry.length == 0) {
+        return false;
+    }
+    auto pos = std::lower_bound(
+        entries_.begin(), entries_.end(), entry.va_base,
+        [](const RangeEntry& e, VirtAddr va) { return e.va_base < va; });
+    // Overlap checks against the neighbours in va_base order.
+    if (pos != entries_.begin()) {
+        const auto& prev = *(pos - 1);
+        if (prev.va_base + prev.length > entry.va_base) {
+            return false;
+        }
+    }
+    if (pos != entries_.end()) {
+        if (entry.va_base + entry.length > pos->va_base) {
+            return false;
+        }
+    }
+    entries_.insert(pos, entry);
+    return true;
+}
+
+bool
+RangeTcam::remove(VirtAddr va_base)
+{
+    auto pos = std::lower_bound(
+        entries_.begin(), entries_.end(), va_base,
+        [](const RangeEntry& e, VirtAddr va) { return e.va_base < va; });
+    if (pos == entries_.end() || pos->va_base != va_base) {
+        return false;
+    }
+    entries_.erase(pos);
+    return true;
+}
+
+const RangeEntry*
+RangeTcam::find(VirtAddr va) const
+{
+    auto pos = std::upper_bound(
+        entries_.begin(), entries_.end(), va,
+        [](VirtAddr v, const RangeEntry& e) { return v < e.va_base; });
+    if (pos == entries_.begin()) {
+        return nullptr;
+    }
+    const RangeEntry& candidate = *(pos - 1);
+    return candidate.contains(va) ? &candidate : nullptr;
+}
+
+TranslateResult
+RangeTcam::translate(VirtAddr va, Perm need) const
+{
+    const RangeEntry* entry = find(va);
+    if (entry == nullptr) {
+        return {TranslateStatus::kMiss, 0};
+    }
+    if (!permits(entry->perm, need)) {
+        return {TranslateStatus::kProtectionFault, 0};
+    }
+    return {TranslateStatus::kOk, entry->phys_base + (va - entry->va_base)};
+}
+
+TranslateResult
+RangeTcam::translate_span(VirtAddr va, Bytes length, Perm need) const
+{
+    const RangeEntry* entry = find(va);
+    if (entry == nullptr ||
+        (length > 0 && !entry->contains(va + length - 1))) {
+        return {TranslateStatus::kMiss, 0};
+    }
+    if (!permits(entry->perm, need)) {
+        return {TranslateStatus::kProtectionFault, 0};
+    }
+    return {TranslateStatus::kOk, entry->phys_base + (va - entry->va_base)};
+}
+
+}  // namespace pulse::mem

@@ -1,0 +1,160 @@
+#include "net/network.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pulse::net {
+
+Network::Network(sim::EventQueue& queue, const NetworkConfig& config)
+    : queue_(queue), config_(config), loss_rng_(config.seed)
+{
+    PULSE_ASSERT(config.num_clients > 0, "network needs a client");
+    PULSE_ASSERT(config.num_mem_nodes > 0, "network needs a memory node");
+    const auto make_port = [&] {
+        Port port;
+        port.to_switch = std::make_unique<Link>(config.link_bandwidth,
+                                                config.link_propagation);
+        port.from_switch = std::make_unique<Link>(config.link_bandwidth,
+                                                  config.link_propagation);
+        return port;
+    };
+    for (std::uint32_t i = 0; i < config.num_clients; i++) {
+        client_ports_.push_back(make_port());
+    }
+    for (std::uint32_t i = 0; i < config.num_mem_nodes; i++) {
+        node_ports_.push_back(make_port());
+    }
+}
+
+Network::Port&
+Network::port(EndpointAddr addr)
+{
+    auto& ports = addr.kind == EndpointAddr::Kind::kClient
+                      ? client_ports_
+                      : node_ports_;
+    PULSE_ASSERT(addr.index < ports.size(), "bad endpoint index %u",
+                 addr.index);
+    return ports[addr.index];
+}
+
+const Network::Port&
+Network::port(EndpointAddr addr) const
+{
+    return const_cast<Network*>(this)->port(addr);
+}
+
+Time
+Network::nic_overhead(EndpointAddr addr) const
+{
+    return addr.kind == EndpointAddr::Kind::kClient
+               ? config_.client_nic_overhead
+               : config_.mem_node_nic_overhead;
+}
+
+void
+Network::attach_traversal_sink(EndpointAddr addr, TraversalSink sink)
+{
+    port(addr).traversal_sink = std::move(sink);
+}
+
+Time
+Network::uplink(EndpointAddr from, Bytes size)
+{
+    Port& p = port(from);
+    p.tx_bytes += size;
+    const Time ready = queue_.now() + nic_overhead(from);
+    return p.to_switch->transmit(ready, size);
+}
+
+Time
+Network::downlink(EndpointAddr to, Time at_switch, Bytes size)
+{
+    Port& p = port(to);
+    p.rx_bytes += size;
+    const Time arrival = p.from_switch->transmit(at_switch, size);
+    return arrival + nic_overhead(to);
+}
+
+void
+Network::send_traversal(EndpointAddr from, TraversalPacket packet)
+{
+    const Bytes size = packet.wire_size();
+    const Time at_switch = uplink(from, size) + config_.switch_latency;
+
+    // The switch routes at at_switch; model the decision now (state at
+    // decision time equals state now: rules only change between runs)
+    // and schedule delivery.
+    RouteDecision decision = table_.route(packet);
+    routed_++;
+    if (decision.invalid_pointer) {
+        packet.is_response = true;
+        packet.status = isa::TraversalStatus::kMemFault;
+    } else if (decision.destination.kind == EndpointAddr::Kind::kMemNode &&
+               packet.is_response) {
+        // Re-routed continuation: arrives at the next node as a request
+        // (paper section 5: response becomes request).
+        packet.is_response = false;
+        packet.status = isa::TraversalStatus::kDone;
+    }
+
+    if (config_.loss_probability > 0.0 &&
+        loss_rng_.next_bool(config_.loss_probability)) {
+        dropped_++;
+        return;
+    }
+
+    const Time delivery = downlink(decision.destination, at_switch, size);
+    Port& dest = port(decision.destination);
+    PULSE_ASSERT(static_cast<bool>(dest.traversal_sink),
+                 "no traversal sink at destination endpoint");
+    TraversalSink& sink = dest.traversal_sink;
+    queue_.schedule_at(delivery,
+                       [&sink, packet = std::move(packet)]() mutable {
+                           sink(std::move(packet));
+                       });
+}
+
+void
+Network::send_message(EndpointAddr from, EndpointAddr to, Bytes size,
+                      MessageSink deliver)
+{
+    const Time at_switch = uplink(from, size) + config_.switch_latency;
+    routed_++;
+    if (config_.loss_probability > 0.0 &&
+        loss_rng_.next_bool(config_.loss_probability)) {
+        dropped_++;
+        return;
+    }
+    const Time delivery = downlink(to, at_switch, size);
+    queue_.schedule_at(delivery, std::move(deliver));
+}
+
+Bytes
+Network::bytes_sent_by(EndpointAddr addr) const
+{
+    return port(addr).tx_bytes;
+}
+
+Bytes
+Network::bytes_received_by(EndpointAddr addr) const
+{
+    return port(addr).rx_bytes;
+}
+
+void
+Network::reset_stats()
+{
+    for (auto* ports : {&client_ports_, &node_ports_}) {
+        for (Port& p : *ports) {
+            p.tx_bytes = 0;
+            p.rx_bytes = 0;
+            p.to_switch->reset_stats();
+            p.from_switch->reset_stats();
+        }
+    }
+    dropped_ = 0;
+    routed_ = 0;
+}
+
+}  // namespace pulse::net

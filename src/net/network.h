@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Rack network model: clients and memory nodes star-wired to one
+ * programmable switch (the paper's testbed topology, section 6).
+ *
+ * Two delivery services are offered:
+ *   - send_traversal(): pulse packets, routed *by the switch* according
+ *     to the SwitchTable policy (cur_ptr match) — the in-network half of
+ *     the paper's design;
+ *   - send_message(): endpoint-addressed timed delivery with byte-size
+ *     accounting, used by the RPC/RPC-W/AIFM and page-cache baselines
+ *     (their packets route by IP, i.e. explicit destination).
+ *
+ * Both services share the same links and switch pipeline, so bandwidth
+ * comparisons across systems (Fig. 6) are apples-to-apples. A loss
+ * probability knob exercises the offload engine's timeout/retransmit
+ * path.
+ */
+#ifndef PULSE_NET_NETWORK_H
+#define PULSE_NET_NETWORK_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "net/switch.h"
+#include "sim/event_queue.h"
+
+namespace pulse::net {
+
+/** Timing/topology parameters (defaults match DESIGN.md calibration). */
+struct NetworkConfig
+{
+    std::uint32_t num_clients = 1;
+    std::uint32_t num_mem_nodes = 1;
+
+    /** Wire bandwidth per port (100 Gbps NICs/switch, section 6). */
+    Rate link_bandwidth = gbps_bits(100.0);
+
+    /** One-way propagation + PHY + MAC latency per link. */
+    Time link_propagation = micros(2.0);
+
+    /** Switch pipeline latency per packet (Tofino-class). */
+    Time switch_latency = nanos(600.0);
+
+    /** Per-packet NIC/driver overhead at client endpoints (DPDK). */
+    Time client_nic_overhead = nanos(350.0);
+
+    /**
+     * Per-packet NIC overhead at memory-node endpoints *below* the
+     * accelerator's own network stack (which models its 430 ns
+     * separately); kept at zero by default to avoid double counting.
+     */
+    Time mem_node_nic_overhead = 0;
+
+    /** Probability a packet is dropped after switch routing. */
+    double loss_probability = 0.0;
+
+    /** Seed for the loss process. */
+    std::uint64_t seed = 42;
+};
+
+/** Delivery callback for traversal packets. */
+using TraversalSink = std::function<void(TraversalPacket&&)>;
+
+/** Delivery callback for generic messages. */
+using MessageSink = std::function<void()>;
+
+/** The rack fabric. */
+class Network
+{
+  public:
+    Network(sim::EventQueue& queue, const NetworkConfig& config);
+
+    /** Register the handler invoked when @p addr receives a packet. */
+    void attach_traversal_sink(EndpointAddr addr, TraversalSink sink);
+
+    /** The switch's match-action table (install one rule per node). */
+    SwitchTable& switch_table() { return table_; }
+    const SwitchTable& switch_table() const { return table_; }
+
+    /**
+     * Send a pulse traversal packet from @p from; the switch decides
+     * the destination. Invalid-pointer requests come back to the origin
+     * client as kMemFault responses.
+     */
+    void send_traversal(EndpointAddr from, TraversalPacket packet);
+
+    /**
+     * Timed point-to-point message of @p size bytes; @p deliver runs at
+     * the arrival time. Used by the baseline systems.
+     */
+    void send_message(EndpointAddr from, EndpointAddr to, Bytes size,
+                      MessageSink deliver);
+
+    /** Bytes transmitted by @p addr so far. */
+    Bytes bytes_sent_by(EndpointAddr addr) const;
+
+    /** Bytes received by @p addr so far. */
+    Bytes bytes_received_by(EndpointAddr addr) const;
+
+    /** Packets dropped by the loss process. */
+    std::uint64_t packets_dropped() const { return dropped_; }
+
+    /** Packets the switch routed. */
+    std::uint64_t packets_routed() const { return routed_; }
+
+    /** Reset byte/packet statistics. */
+    void reset_stats();
+
+    const NetworkConfig& config() const { return config_; }
+
+  private:
+    struct Port
+    {
+        std::unique_ptr<Link> to_switch;
+        std::unique_ptr<Link> from_switch;
+        TraversalSink traversal_sink;
+        Bytes tx_bytes = 0;
+        Bytes rx_bytes = 0;
+    };
+
+    Port& port(EndpointAddr addr);
+    const Port& port(EndpointAddr addr) const;
+    Time nic_overhead(EndpointAddr addr) const;
+
+    /** First hop: endpoint to switch; returns switch-arrival time. */
+    Time uplink(EndpointAddr from, Bytes size);
+
+    /** Second hop starting at @p at_switch; returns delivery time. */
+    Time downlink(EndpointAddr to, Time at_switch, Bytes size);
+
+    sim::EventQueue& queue_;
+    NetworkConfig config_;
+    SwitchTable table_;
+    Rng loss_rng_;
+    std::vector<Port> client_ports_;
+    std::vector<Port> node_ports_;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t routed_ = 0;
+};
+
+}  // namespace pulse::net
+
+#endif  // PULSE_NET_NETWORK_H

@@ -1,0 +1,13 @@
+#include "net/packet.h"
+
+namespace pulse::net {
+
+void
+attach_program(TraversalPacket& packet,
+               std::shared_ptr<const isa::Program> program)
+{
+    packet.code_size = program ? isa::wire_code_size(*program) : 0;
+    packet.code = std::move(program);
+}
+
+}  // namespace pulse::net

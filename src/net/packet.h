@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Wire formats for pulse traversal traffic.
+ *
+ * pulse uses one packet format for requests and responses (paper section
+ * 4.2.4): the offloaded iterator's code, cur_ptr, and scratch_pad travel
+ * in every packet, so a response can be re-routed by the switch to
+ * another memory node and continue executing there unchanged (section
+ * 5). wire_size() gives the modelled on-the-wire footprint used for all
+ * bandwidth accounting.
+ */
+#ifndef PULSE_NET_PACKET_H
+#define PULSE_NET_PACKET_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "isa/codec.h"
+#include "isa/traversal.h"
+
+namespace pulse::net {
+
+/** Ethernet + IPv4 + UDP header bytes modelled per packet. */
+inline constexpr Bytes kNetHeaderBytes = 42;
+
+/** Fixed pulse packet fields: id, origin, flags, cur_ptr, iterations. */
+inline constexpr Bytes kPulseHeaderBytes = 12 + 4 + 4 + 8 + 8;
+
+/**
+ * Wire bytes of a program *reference* (digest id + length) used once
+ * the accelerators have the program installed. The offload engine
+ * ships full code for the first few requests of each program (one
+ * install per accelerator) and ids afterwards; continuations forwarded
+ * between nodes carry ids only. This keeps network utilization in the
+ * paper's reported 0.92-3.7% band (see DESIGN.md).
+ */
+inline constexpr Bytes kCodeIdBytes = 16;
+
+/** Addressable endpoints in the rack. */
+struct EndpointAddr
+{
+    enum class Kind : std::uint8_t { kClient, kMemNode };
+
+    Kind kind = Kind::kClient;
+    std::uint32_t index = 0;
+
+    static EndpointAddr
+    client(ClientId id)
+    {
+        return {Kind::kClient, id};
+    }
+
+    static EndpointAddr
+    mem_node(NodeId id)
+    {
+        return {Kind::kMemNode, id};
+    }
+
+    friend bool operator==(const EndpointAddr&,
+                           const EndpointAddr&) = default;
+};
+
+/**
+ * One pulse traversal packet. `is_response` marks packets emitted by an
+ * accelerator (traversal ended, faulted, or left the node); the switch
+ * inspects status/cur_ptr to decide between delivering to the origin
+ * client and re-routing to the next memory node.
+ */
+struct TraversalPacket
+{
+    RequestId id;
+    ClientId origin = 0;
+    bool is_response = false;
+    isa::TraversalStatus status = isa::TraversalStatus::kDone;
+    isa::ExecFault fault = isa::ExecFault::kNone;
+    VirtAddr cur_ptr = kNullAddr;
+    std::uint64_t iterations_done = 0;
+
+    /**
+     * True for pulse proper: the switch may re-route a kNotLocal
+     * response to the owning memory node. False for the pulse-ACC
+     * ablation (section 7.2), which bounces such responses through the
+     * origin client.
+     */
+    bool allow_switch_continuation = true;
+
+    /**
+     * The traversal program. Shared (not copied) between hops for
+     * simulation efficiency; code_size preserves the honest wire cost
+     * of shipping the encoded program in every packet.
+     */
+    std::shared_ptr<const isa::Program> code;
+    Bytes code_size = 0;
+
+    /**
+     * Shipped scratch_pad contents. Only the program's scratch
+     * footprint travels (the offload engine trims it), matching an
+     * implementation that ships the configured scratchpad prefix.
+     */
+    std::vector<std::uint8_t> scratch;
+
+    /** Modelled bytes on the wire. */
+    Bytes
+    wire_size() const
+    {
+        return kNetHeaderBytes + kPulseHeaderBytes + code_size +
+               scratch.size();
+    }
+};
+
+/** Convenience: attach @p program to @p packet, caching encoded size. */
+void attach_program(TraversalPacket& packet,
+                    std::shared_ptr<const isa::Program> program);
+
+}  // namespace pulse::net
+
+#endif  // PULSE_NET_PACKET_H

@@ -1,0 +1,55 @@
+#include "net/switch.h"
+
+#include "common/logging.h"
+
+namespace pulse::net {
+
+void
+SwitchTable::add_rule(const SwitchRule& rule)
+{
+    PULSE_ASSERT(rule.size > 0, "empty switch rule");
+    rules_.push_back(rule);
+}
+
+bool
+SwitchTable::remove_rule(NodeId node)
+{
+    for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+        if (it->node == node) {
+            rules_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<NodeId>
+SwitchTable::lookup(VirtAddr va) const
+{
+    for (const SwitchRule& rule : rules_) {
+        if (rule.matches(va)) {
+            return rule.node;
+        }
+    }
+    return std::nullopt;
+}
+
+RouteDecision
+SwitchTable::route(const TraversalPacket& packet) const
+{
+    const bool wants_memory =
+        !packet.is_response ||
+        (packet.status == isa::TraversalStatus::kNotLocal &&
+         packet.allow_switch_continuation);
+    if (wants_memory) {
+        if (const auto node = lookup(packet.cur_ptr)) {
+            return {EndpointAddr::mem_node(*node), false};
+        }
+        // Invalid pointer: deliver to the origin client as a fault
+        // response (the network layer patches the status).
+        return {EndpointAddr::client(packet.origin), true};
+    }
+    return {EndpointAddr::client(packet.origin), false};
+}
+
+}  // namespace pulse::net

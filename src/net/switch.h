@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Programmable-switch model (paper sections 5 and 6).
+ *
+ * The Tofino program pulse installs is tiny by design: one match rule
+ * per memory node, matching the cur_ptr field embedded in the UDP
+ * payload of traversal packets against the node's virtual-address range
+ * and emitting the corresponding output port. This models exactly that
+ * match-action table plus the routing policy of section 5:
+ *
+ *   - request packets route by cur_ptr to the owning memory node;
+ *   - response packets whose traversal must continue elsewhere
+ *     (status == kNotLocal) are *re-routed* by cur_ptr — the half-RTT
+ *     saving over bouncing through the CPU node;
+ *   - all other responses (done / fault / iteration cap) route to the
+ *     origin client, as does any packet whose cur_ptr matches no rule
+ *     (invalid pointer).
+ *
+ * Per-packet processing happens at a fixed pipeline latency at line
+ * rate, like the hardware.
+ */
+#ifndef PULSE_NET_SWITCH_H
+#define PULSE_NET_SWITCH_H
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "net/packet.h"
+
+namespace pulse::net {
+
+/** One cur_ptr match rule. */
+struct SwitchRule
+{
+    VirtAddr base = 0;
+    Bytes size = 0;
+    NodeId node = kInvalidNode;
+
+    bool
+    matches(VirtAddr va) const
+    {
+        return va >= base && va - base < size;
+    }
+};
+
+/** Where the switch decided to send a packet. */
+struct RouteDecision
+{
+    EndpointAddr destination;
+    bool invalid_pointer = false;  ///< no rule matched a request's cur_ptr
+};
+
+/** The match-action table + routing policy. */
+class SwitchTable
+{
+  public:
+    SwitchTable() = default;
+
+    /** Install one rule per memory node. */
+    void add_rule(const SwitchRule& rule);
+
+    /** Remove the rule for @p node (e.g. node decommission). */
+    bool remove_rule(NodeId node);
+
+    /** Number of installed rules (paper: one per memory node). */
+    std::size_t num_rules() const { return rules_.size(); }
+
+    /** Owning node for @p va, if any rule matches. */
+    std::optional<NodeId> lookup(VirtAddr va) const;
+
+    /** Apply the section-5 routing policy to @p packet. */
+    RouteDecision route(const TraversalPacket& packet) const;
+
+  private:
+    std::vector<SwitchRule> rules_;
+};
+
+}  // namespace pulse::net
+
+#endif  // PULSE_NET_SWITCH_H

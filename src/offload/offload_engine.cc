@@ -1,0 +1,366 @@
+#include "offload/offload_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "isa/traversal.h"
+
+namespace pulse::offload {
+
+using isa::TraversalStatus;
+
+namespace {
+
+/** Engine-level guard against runaway traversals (cycles in data). */
+constexpr std::uint64_t kGlobalIterationGuard = 1u << 20;
+
+/** Wire size of a one-sided read request (headers + addr + len). */
+constexpr Bytes kRemoteReadRequestBytes = net::kNetHeaderBytes + 16;
+
+}  // namespace
+
+OffloadEngine::OffloadEngine(sim::EventQueue& queue,
+                             net::Network& network,
+                             mem::GlobalMemory& memory, ClientId client,
+                             const OffloadConfig& config)
+    : queue_(queue), network_(network), memory_(memory),
+      client_(client), config_(config)
+{
+    network_.attach_traversal_sink(
+        net::EndpointAddr::client(client_),
+        [this](net::TraversalPacket&& packet) {
+            on_response(std::move(packet));
+        });
+}
+
+bool
+OffloadEngine::should_offload(const isa::ProgramAnalysis& analysis) const
+{
+    if (!analysis.valid) {
+        return false;
+    }
+    // Atomic (CAS) programs must run near the memory: the client's
+    // one-sided fallback path has no remote-atomic primitive.
+    if (analysis.has_cas) {
+        return true;
+    }
+    const Time t_c = isa::compute_time(analysis, config_.t_i);
+    return static_cast<double>(t_c) <=
+           config_.eta_threshold * static_cast<double>(config_.t_d);
+}
+
+const isa::ProgramAnalysis&
+OffloadEngine::analysis_for(
+    const std::shared_ptr<const isa::Program>& program)
+{
+    const auto it = analysis_cache_.find(program.get());
+    if (it != analysis_cache_.end()) {
+        return it->second;
+    }
+    return analysis_cache_
+        .emplace(program.get(), isa::analyze(*program))
+        .first->second;
+}
+
+void
+OffloadEngine::submit(Operation&& op)
+{
+    stats_.submitted.increment();
+    PULSE_ASSERT(static_cast<bool>(op.program), "operation without code");
+    const isa::ProgramAnalysis& analysis = analysis_for(op.program);
+    if (!analysis.valid) {
+        Completion completion;
+        completion.status = TraversalStatus::kExecFault;
+        completion.fault = isa::ExecFault::kIllegalInstruction;
+        stats_.failures.increment();
+        op.done(std::move(completion));
+        return;
+    }
+    if (!should_offload(analysis)) {
+        stats_.fallback.increment();
+        run_fallback(std::move(op));
+        return;
+    }
+
+    stats_.offloaded.increment();
+    const std::uint64_t key = next_seq_++;
+    InFlight inflight;
+    inflight.op = std::move(op);
+    inflight.submit_time = queue_.now();
+    const VirtAddr start = inflight.op.start_ptr;
+    // Trim the shipped scratch_pad to the program's static footprint.
+    std::vector<std::uint8_t> scratch = inflight.op.init_scratch;
+    scratch.resize(std::max<std::size_t>(analysis.scratch_footprint,
+                                         scratch.size()),
+                   0);
+    const Time cpu_time = inflight.op.init_cpu_time +
+                          config_.request_software_overhead;
+    inflight_.emplace(key, std::move(inflight));
+    queue_.schedule_after(cpu_time,
+                          [this, key, start,
+                           scratch = std::move(scratch)]() mutable {
+                              issue(key, start, std::move(scratch), 0);
+                          });
+}
+
+void
+OffloadEngine::issue(std::uint64_t key, VirtAddr cur_ptr,
+                     std::vector<std::uint8_t> scratch,
+                     std::uint64_t iterations_done)
+{
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+        return;  // completed (e.g. timed out) before the issue fired
+    }
+    InFlight& inflight = it->second;
+
+    net::TraversalPacket packet;
+    packet.id = RequestId{client_, key};
+    packet.origin = client_;
+    packet.is_response = false;
+    packet.cur_ptr = cur_ptr;
+    packet.iterations_done = iterations_done;
+    packet.allow_switch_continuation = config_.switch_continuation;
+    attach_program(packet, inflight.op.program);
+    // After the program is installed at the accelerators, requests
+    // carry a 16-byte program id instead of the code.
+    std::uint32_t& sends = code_sends_[inflight.op.program.get()];
+    if (sends >= config_.code_install_sends) {
+        packet.code_size = net::kCodeIdBytes;
+    } else {
+        sends++;
+    }
+    packet.scratch = std::move(scratch);
+
+    inflight.last_request = packet;
+    arm_timer(key);
+    network_.send_traversal(net::EndpointAddr::client(client_),
+                            std::move(packet));
+}
+
+void
+OffloadEngine::arm_timer(std::uint64_t key)
+{
+    auto it = inflight_.find(key);
+    PULSE_ASSERT(it != inflight_.end(), "arming timer for unknown op");
+    const std::uint64_t generation = ++it->second.timer_generation;
+    // Exponential backoff keeps loaded (queued) traversals from being
+    // duplicated by premature retransmissions.
+    const Time delay =
+        config_.retransmit_timeout
+        << std::min<std::uint32_t>(it->second.retransmits, 6);
+    queue_.schedule_after(delay, [this, key, generation] {
+        auto pos = inflight_.find(key);
+        if (pos == inflight_.end() ||
+            pos->second.timer_generation != generation) {
+            return;  // response arrived or a newer request superseded us
+        }
+        InFlight& inflight = pos->second;
+        if (inflight.retransmits >= config_.max_retransmits) {
+            Completion completion;
+            completion.status = TraversalStatus::kMemFault;
+            completion.timed_out = true;
+            completion.offloaded = true;
+            completion.retransmits = inflight.retransmits;
+            completion.latency = queue_.now() - inflight.submit_time;
+            stats_.failures.increment();
+            complete(key, std::move(completion));
+            return;
+        }
+        inflight.retransmits++;
+        stats_.retransmits.increment();
+        net::TraversalPacket copy = inflight.last_request;
+        arm_timer(key);
+        network_.send_traversal(net::EndpointAddr::client(client_),
+                                std::move(copy));
+    });
+}
+
+void
+OffloadEngine::on_response(net::TraversalPacket&& packet)
+{
+    if (packet.id.client != client_) {
+        return;  // not ours (misrouted); drop
+    }
+    const std::uint64_t key = packet.id.seq;
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+        return;  // duplicate of an already-completed request
+    }
+    InFlight& inflight = it->second;
+    inflight.timer_generation++;  // quench the timer
+    inflight.iterations = packet.iterations_done;
+
+    const bool resume_here =
+        packet.status == TraversalStatus::kMaxIter ||
+        (packet.status == TraversalStatus::kNotLocal &&
+         !config_.switch_continuation);
+    if (resume_here &&
+        packet.iterations_done < kGlobalIterationGuard) {
+        if (packet.status == TraversalStatus::kMaxIter) {
+            inflight.continuations++;
+            stats_.continuations.increment();
+        } else {
+            inflight.client_bounces++;
+            stats_.client_bounces.increment();
+        }
+        const VirtAddr cur_ptr = packet.cur_ptr;
+        const std::uint64_t iterations = packet.iterations_done;
+        queue_.schedule_after(
+            config_.response_software_overhead +
+                config_.request_software_overhead,
+            [this, key, cur_ptr, iterations,
+             scratch = std::move(packet.scratch)]() mutable {
+                issue(key, cur_ptr, std::move(scratch), iterations);
+            });
+        return;
+    }
+
+    Completion completion;
+    completion.status = packet.status;
+    completion.fault = packet.fault;
+    completion.final_ptr = packet.cur_ptr;
+    completion.scratch = std::move(packet.scratch);
+    completion.iterations = packet.iterations_done;
+    completion.offloaded = true;
+    completion.retransmits = inflight.retransmits;
+    completion.client_bounces = inflight.client_bounces;
+    completion.continuations = inflight.continuations;
+    const Time done_at =
+        queue_.now() + config_.response_software_overhead;
+    completion.latency = done_at - inflight.submit_time;
+    queue_.schedule_after(
+        config_.response_software_overhead,
+        [this, key, completion = std::move(completion)]() mutable {
+            complete(key, std::move(completion));
+        });
+}
+
+void
+OffloadEngine::complete(std::uint64_t key, Completion&& completion)
+{
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+        return;
+    }
+    CompletionFn done = std::move(it->second.op.done);
+    inflight_.erase(it);
+    if (done) {
+        done(std::move(completion));
+    }
+}
+
+void
+OffloadEngine::run_fallback(Operation&& op)
+{
+    // Client-side execution with one-sided remote reads: one network
+    // round trip per aggregated load, interpreter on the client CPU.
+    struct FallbackState
+    {
+        Operation op;
+        isa::Workspace workspace;
+        Time submit_time = 0;
+        std::uint64_t iterations = 0;
+    };
+    auto state = std::make_shared<FallbackState>();
+    state->op = std::move(op);
+    state->submit_time = queue_.now();
+    state->workspace.configure(*state->op.program);
+    state->workspace.cur_ptr = state->op.start_ptr;
+    std::copy_n(state->op.init_scratch.begin(),
+                std::min(state->op.init_scratch.size(),
+                         state->workspace.scratch.size()),
+                state->workspace.scratch.begin());
+
+    auto finish = [this, state](TraversalStatus status,
+                                isa::ExecFault fault) {
+        Completion completion;
+        completion.status = status;
+        completion.fault = fault;
+        completion.final_ptr = state->workspace.cur_ptr;
+        completion.scratch = state->workspace.scratch;
+        completion.iterations = state->iterations;
+        completion.offloaded = false;
+        completion.latency = queue_.now() - state->submit_time;
+        if (state->op.done) {
+            state->op.done(std::move(completion));
+        }
+    };
+
+    // One iteration step; re-schedules itself until termination.
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [this, state, finish, step] {
+        const std::uint32_t load_bytes = state->op.program->load_bytes();
+        const VirtAddr ptr = state->workspace.cur_ptr;
+        if (ptr == kNullAddr && load_bytes > 0) {
+            // Null-page semantics: zeros, no network access.
+            std::fill_n(state->workspace.data.begin(), load_bytes, 0);
+            isa::IterationResult iter = run_iteration(
+                *state->op.program, state->workspace);
+            state->iterations++;
+            if (iter.end == isa::IterEnd::kReturn) {
+                finish(TraversalStatus::kDone, isa::ExecFault::kNone);
+            } else if (iter.end == isa::IterEnd::kFault) {
+                finish(TraversalStatus::kExecFault, iter.fault);
+            } else {
+                queue_.schedule_after(
+                    config_.fallback_software_overhead,
+                    [step] { (*step)(); });
+            }
+            return;
+        }
+        const auto node = memory_.address_map().node_for(ptr);
+        if (!node.has_value()) {
+            finish(TraversalStatus::kMemFault, isa::ExecFault::kNone);
+            return;
+        }
+        // One-sided read: request to the node, data-sized response.
+        network_.send_message(
+            net::EndpointAddr::client(client_),
+            net::EndpointAddr::mem_node(*node), kRemoteReadRequestBytes,
+            [this, state, finish, step, ptr, load_bytes,
+             node = *node] {
+                network_.send_message(
+                    net::EndpointAddr::mem_node(node),
+                    net::EndpointAddr::client(client_),
+                    net::kNetHeaderBytes + load_bytes,
+                    [this, state, finish, step, ptr, load_bytes] {
+                        if (load_bytes > 0) {
+                            memory_.read(ptr,
+                                         state->workspace.data.data(),
+                                         load_bytes);
+                        }
+                        isa::IterationResult iter = run_iteration(
+                            *state->op.program, state->workspace);
+                        state->iterations++;
+                        // Fallback path is read-only: STOREs would need
+                        // a write round trip; none of the adapted
+                        // operations store on this path.
+                        if (iter.end == isa::IterEnd::kFault) {
+                            finish(TraversalStatus::kExecFault,
+                                   iter.fault);
+                            return;
+                        }
+                        if (iter.end == isa::IterEnd::kReturn) {
+                            finish(TraversalStatus::kDone,
+                                   isa::ExecFault::kNone);
+                            return;
+                        }
+                        if (state->iterations >=
+                            kGlobalIterationGuard) {
+                            finish(TraversalStatus::kMaxIter,
+                                   isa::ExecFault::kNone);
+                            return;
+                        }
+                        queue_.schedule_after(
+                            config_.fallback_software_overhead,
+                            [step] { (*step)(); });
+                    });
+            });
+    };
+    queue_.schedule_after(state->op.init_cpu_time +
+                              config_.fallback_software_overhead,
+                          [step] { (*step)(); });
+}
+
+}  // namespace pulse::offload

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The pulse offload engine at the CPU node (paper section 4.1).
+ *
+ * For each traversal the engine:
+ *   1. statically analyzes the iterator's ISA program (instruction
+ *      count N, load footprint, scratch footprint) and applies the
+ *      offload test t_c = N*t_i <= eta_threshold * t_d — only
+ *      memory-centric traversals go to the accelerator;
+ *   2. encapsulates code + cur_ptr + scratch_pad into a traversal
+ *      request carrying a (client id, sequence) request id, and lets
+ *      the network (switch) pick the memory node;
+ *   3. runs a retransmission timer per request to recover from drops;
+ *   4. transparently continues traversals that return kMaxIter (issues
+ *      a new request from final_ptr with the returned scratch_pad) and,
+ *      in pulse-ACC mode, traversals that return kNotLocal (the client
+ *      bounce the section 7.2 ablation measures);
+ *   5. executes traversals that fail the offload test at the CPU node
+ *      with one-sided remote reads (one round trip per load).
+ */
+#ifndef PULSE_OFFLOAD_OFFLOAD_ENGINE_H
+#define PULSE_OFFLOAD_OFFLOAD_ENGINE_H
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "isa/analysis.h"
+#include "mem/global_memory.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace pulse::offload {
+
+/** Offload-engine tunables. */
+struct OffloadConfig
+{
+    /** eta threshold for the offload test (paper sets eta = 1). */
+    double eta_threshold = 1.0;
+
+    /** Accelerator per-instruction logic time t_i (for the test). */
+    Time t_i = nanos(7.0 / 6.0);
+
+    /** Accelerator memory-pipeline time t_d (for the test). */
+    Time t_d = nanos(120.0);
+
+    /** Client software time to build/issue one request (DPDK path). */
+    Time request_software_overhead = nanos(300.0);
+
+    /** Client software time to absorb one response. */
+    Time response_software_overhead = nanos(250.0);
+
+    /**
+     * Retransmission timeout (exponential backoff on retries). Must
+     * comfortably exceed the longest legitimate *loaded* traversal —
+     * a multi-node continuation chain under closed-loop saturation can
+     * queue for milliseconds — or retransmits duplicate execution and
+     * collapse throughput. Production stacks derive this from an RTT
+     * estimator; the model uses a generous constant.
+     */
+    Time retransmit_timeout = micros(20000.0);
+
+    /** Give up after this many retransmissions of one request. */
+    std::uint32_t max_retransmits = 8;
+
+    /** pulse vs pulse-ACC: may the switch re-route continuations? */
+    bool switch_continuation = true;
+
+    /**
+     * How many requests per program ship the full encoded code before
+     * switching to 16-byte program ids (program installation; sized so
+     * every accelerator in the rack receives a copy).
+     */
+    std::uint32_t code_install_sends = 8;
+
+    /**
+     * Per-load round-trip software cost for the non-offloaded fallback
+     * path (client-side remote reads): added to the network RTT.
+     */
+    Time fallback_software_overhead = nanos(600.0);
+};
+
+/** Final result of one traversal operation. */
+struct Completion
+{
+    isa::TraversalStatus status = isa::TraversalStatus::kDone;
+    isa::ExecFault fault = isa::ExecFault::kNone;
+    VirtAddr final_ptr = kNullAddr;
+    std::vector<std::uint8_t> scratch;
+    std::uint64_t iterations = 0;
+    Time latency = 0;              ///< submit -> completion
+    bool offloaded = false;        ///< accelerator (true) or fallback
+    bool timed_out = false;        ///< gave up after max retransmits
+    std::uint32_t retransmits = 0;
+    std::uint32_t client_bounces = 0;  ///< ACC-mode re-issues
+    std::uint32_t continuations = 0;   ///< kMaxIter resumes
+};
+
+/** Completion callback. */
+using CompletionFn = std::function<void(Completion&&)>;
+
+/** One traversal operation to run. */
+struct Operation
+{
+    std::shared_ptr<const isa::Program> program;
+    VirtAddr start_ptr = kNullAddr;
+    std::vector<std::uint8_t> init_scratch;  ///< produced by init()
+    /** Extra client-side time spent in init() (e.g. hashing). */
+    Time init_cpu_time = 0;
+
+    /**
+     * Object identity for object-granularity caches (the Cache+RPC
+     * baseline): id of the object this operation reads and its size.
+     * object_bytes == 0 means "not cacheable". Ignored by pulse.
+     */
+    std::uint64_t object_id = 0;
+    Bytes object_bytes = 0;
+
+    CompletionFn done;
+};
+
+/** Offload-engine statistics. */
+struct OffloadStats
+{
+    Counter submitted;
+    Counter offloaded;
+    Counter fallback;
+    Counter retransmits;
+    Counter client_bounces;
+    Counter continuations;
+    Counter failures;
+};
+
+/** The per-client offload engine. */
+class OffloadEngine
+{
+  public:
+    OffloadEngine(sim::EventQueue& queue, net::Network& network,
+                  mem::GlobalMemory& memory, ClientId client,
+                  const OffloadConfig& config);
+
+    /** Submit a traversal; @p op.done fires on completion. */
+    void submit(Operation&& op);
+
+    /**
+     * The offload decision for @p program (exposed for Table 2 and the
+     * ablation benches): true when t_c <= eta_threshold * t_d.
+     */
+    bool should_offload(const isa::ProgramAnalysis& analysis) const;
+
+    /** Cached analysis for @p program. */
+    const isa::ProgramAnalysis& analysis_for(
+        const std::shared_ptr<const isa::Program>& program);
+
+    /** Operations still in flight. */
+    std::size_t inflight() const { return inflight_.size(); }
+
+    const OffloadStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = OffloadStats{}; }
+    const OffloadConfig& config() const { return config_; }
+
+  private:
+    struct InFlight
+    {
+        Operation op;
+        Time submit_time = 0;
+        std::uint64_t iterations = 0;
+        std::uint32_t retransmits = 0;
+        std::uint32_t client_bounces = 0;
+        std::uint32_t continuations = 0;
+        std::uint64_t timer_generation = 0;
+        net::TraversalPacket last_request;  ///< for retransmission
+    };
+
+    void issue(std::uint64_t key, VirtAddr cur_ptr,
+               std::vector<std::uint8_t> scratch,
+               std::uint64_t iterations_done);
+    void arm_timer(std::uint64_t key);
+    void on_response(net::TraversalPacket&& packet);
+    void complete(std::uint64_t key, Completion&& completion);
+    void run_fallback(Operation&& op);
+
+    sim::EventQueue& queue_;
+    net::Network& network_;
+    mem::GlobalMemory& memory_;
+    ClientId client_;
+    OffloadConfig config_;
+    std::uint64_t next_seq_ = 1;
+    std::unordered_map<std::uint64_t, InFlight> inflight_;
+    std::unordered_map<const isa::Program*, isa::ProgramAnalysis>
+        analysis_cache_;
+    std::unordered_map<const isa::Program*, std::uint32_t>
+        code_sends_;
+    OffloadStats stats_;
+};
+
+}  // namespace pulse::offload
+
+#endif  // PULSE_OFFLOAD_OFFLOAD_ENGINE_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * Every timed component in pulse (links, switch, accelerator pipelines,
+ * CPU models) schedules callbacks on a shared EventQueue. Events at equal
+ * timestamps execute in FIFO insertion order, which keeps simulations
+ * deterministic for a given seed and schedule.
+ */
+#ifndef PULSE_SIM_EVENT_QUEUE_H
+#define PULSE_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace pulse::sim {
+
+/** Callback executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Time-ordered event queue with a monotonically advancing clock.
+ *
+ * This is a classic calendar-free binary-heap event queue: adequate for
+ * the rack-scale models here (tens of components, millions of events).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute time @p when (>= now). */
+    void schedule_at(Time when, EventFn fn);
+
+    /** Schedule @p fn to run @p delay after the current time. */
+    void schedule_after(Time delay, EventFn fn);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Execute the earliest pending event, advancing the clock to its
+     * timestamp. Returns false when the queue is empty.
+     */
+    bool step();
+
+    /** Run until the queue drains. Returns the number of events run. */
+    std::uint64_t run();
+
+    /**
+     * Run until the clock would pass @p deadline; events at exactly
+     * @p deadline still execute. Returns the number of events run.
+     */
+    std::uint64_t run_until(Time deadline);
+
+    /**
+     * Run until @p predicate() becomes true (checked after each event)
+     * or the queue drains. Returns true if the predicate was met.
+     */
+    bool run_while_pending(const std::function<bool()>& predicate);
+
+    /** Total events executed since construction. */
+    std::uint64_t events_executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Time when;
+        std::uint64_t sequence;  // FIFO tiebreak for equal timestamps
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when) {
+                return a.when > b.when;
+            }
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Time now_ = 0;
+    std::uint64_t next_sequence_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace pulse::sim
+
+#endif  // PULSE_SIM_EVENT_QUEUE_H

@@ -1,0 +1,102 @@
+#include "workloads/driver.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace pulse::workloads {
+namespace {
+
+struct DriverState
+{
+    DriverConfig config;
+    DriverResult result;
+    std::uint64_t issued = 0;
+    std::uint64_t done = 0;
+    Time measure_start = 0;
+    bool measuring = false;
+    bool finished = false;
+};
+
+}  // namespace
+
+DriverResult
+run_closed_loop(sim::EventQueue& queue, const SubmitFn& submit,
+                const OpFactory& factory, const DriverConfig& config)
+{
+    PULSE_ASSERT(config.concurrency >= 1, "need concurrency >= 1");
+    PULSE_ASSERT(config.measure_ops >= 1, "nothing to measure");
+
+    auto state = std::make_shared<DriverState>();
+    state->config = config;
+    const std::uint64_t total_ops =
+        config.warmup_ops + config.measure_ops;
+
+    // Issues the next operation; completions re-enter here.
+    auto issue_next = std::make_shared<std::function<void()>>();
+    *issue_next = [&queue, &submit, &factory, state, issue_next,
+                   total_ops] {
+        if (state->issued >= total_ops) {
+            return;
+        }
+        const std::uint64_t index = state->issued++;
+        offload::Operation op = factory(index);
+        op.done = [&queue, state, issue_next, total_ops](
+                      offload::Completion&& completion) {
+            state->done++;
+            if (state->measuring) {
+                state->result.completed++;
+                state->result.latency.add(completion.latency);
+                state->result.iterations += completion.iterations;
+                if (completion.status != isa::TraversalStatus::kDone ||
+                    completion.timed_out) {
+                    state->result.errors++;
+                }
+            }
+            if (state->done == state->config.warmup_ops &&
+                !state->measuring) {
+                state->measuring = true;
+                state->measure_start = queue.now();
+                if (state->config.on_measure_start) {
+                    state->config.on_measure_start();
+                }
+            }
+            if (state->done == total_ops) {
+                state->finished = true;
+                state->result.measure_time =
+                    queue.now() - state->measure_start;
+                return;
+            }
+            (*issue_next)();
+        };
+        submit(std::move(op));
+    };
+
+    // Degenerate warmup: open the measurement window immediately.
+    if (config.warmup_ops == 0) {
+        state->measuring = true;
+        state->measure_start = queue.now();
+        if (config.on_measure_start) {
+            config.on_measure_start();
+        }
+    }
+
+    for (std::uint32_t c = 0;
+         c < config.concurrency && state->issued < total_ops; c++) {
+        (*issue_next)();
+    }
+    queue.run();
+    PULSE_ASSERT(state->finished, "driver drained before completion "
+                                  "(%llu of %llu ops done)",
+                 static_cast<unsigned long long>(state->done),
+                 static_cast<unsigned long long>(total_ops));
+
+    DriverResult result = std::move(state->result);
+    if (result.measure_time > 0) {
+        result.throughput = static_cast<double>(result.completed) /
+                            to_seconds(result.measure_time);
+    }
+    return result;
+}
+
+}  // namespace pulse::workloads

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Closed-loop workload driver.
+ *
+ * Runs a fixed number of operations against any system's submit
+ * function at a fixed concurrency, measuring per-operation latency and
+ * steady-state throughput after a warmup phase — the methodology behind
+ * Figs. 4-8. An optional measurement-start hook lets benches reset
+ * bandwidth/energy counters so utilization numbers cover only the
+ * measured window.
+ */
+#ifndef PULSE_WORKLOADS_DRIVER_H
+#define PULSE_WORKLOADS_DRIVER_H
+
+#include <cstdint>
+#include <functional>
+
+#include "common/histogram.h"
+#include "offload/offload_engine.h"
+#include "sim/event_queue.h"
+
+namespace pulse::workloads {
+
+/** Any system's operation entry point. */
+using SubmitFn = std::function<void(offload::Operation&&)>;
+
+/** Produces the @p index-th operation (without a done callback). */
+using OpFactory = std::function<offload::Operation(std::uint64_t)>;
+
+/** Driver parameters. */
+struct DriverConfig
+{
+    std::uint64_t warmup_ops = 200;
+    std::uint64_t measure_ops = 2000;
+
+    /** Outstanding operations (1 for latency, high for throughput). */
+    std::uint32_t concurrency = 1;
+
+    /** Invoked when the measurement window opens. */
+    std::function<void()> on_measure_start;
+};
+
+/** Measured results. */
+struct DriverResult
+{
+    Histogram latency;          ///< measured-phase latencies
+    Time measure_time = 0;      ///< measurement window length
+    std::uint64_t completed = 0;
+    std::uint64_t errors = 0;   ///< mem faults / timeouts / exec faults
+    std::uint64_t iterations = 0;
+    double throughput = 0.0;    ///< ops per second over the window
+};
+
+/** Run the workload to completion (drains the event queue). */
+DriverResult run_closed_loop(sim::EventQueue& queue,
+                             const SubmitFn& submit,
+                             const OpFactory& factory,
+                             const DriverConfig& config);
+
+}  // namespace pulse::workloads
+
+#endif  // PULSE_WORKLOADS_DRIVER_H

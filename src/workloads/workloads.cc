@@ -1,0 +1,117 @@
+#include "workloads/workloads.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace pulse::workloads {
+
+YcsbC::YcsbC(std::uint64_t num_keys, double zipf_theta)
+    : num_keys_(num_keys), theta_(zipf_theta)
+{
+    PULSE_ASSERT(num_keys > 0, "empty key space");
+    if (theta_ > 0.0) {
+        zipf_ = std::make_unique<ZipfGenerator>(num_keys, theta_);
+    }
+}
+
+std::uint64_t
+YcsbC::next_index(Rng& rng)
+{
+    if (zipf_) {
+        // Scatter ranks so popular keys are not physically adjacent.
+        return ds::mix64(zipf_->next(rng)) % num_keys_;
+    }
+    return rng.next_below(num_keys_);
+}
+
+YcsbE::YcsbE(std::uint64_t num_keys, std::uint32_t max_scan_length)
+    : num_keys_(num_keys), max_scan_length_(max_scan_length)
+{
+    PULSE_ASSERT(num_keys > 0, "empty key space");
+    PULSE_ASSERT(max_scan_length >= 1, "bad scan length");
+}
+
+YcsbE::Scan
+YcsbE::next(Rng& rng)
+{
+    Scan scan;
+    scan.start_index = rng.next_below(num_keys_);
+    scan.length = static_cast<std::uint32_t>(
+        rng.next_range(1, max_scan_length_));
+    return scan;
+}
+
+PmuTrace::PmuTrace(std::uint64_t num_samples, double sample_period_ms,
+                   std::uint64_t seed)
+    : sample_period_ms_(sample_period_ms)
+{
+    PULSE_ASSERT(num_samples > 0, "empty trace");
+    Rng rng(seed);
+    entries_.reserve(num_samples);
+    const std::uint64_t t0 = 1'600'000'000'000ull;  // ms epoch
+    for (std::uint64_t i = 0; i < num_samples; i++) {
+        const auto ts = t0 + static_cast<std::uint64_t>(
+                                 i * sample_period_ms);
+        // Nominal 7.2 kV distribution voltage (in mV), diurnal drift +
+        // 60 Hz-beat wobble + measurement noise; keep it signed to
+        // exercise the ISA's signed MIN/MAX.
+        const double drift =
+            120000.0 * std::sin(static_cast<double>(i) / 40000.0);
+        const double wobble =
+            15000.0 * std::sin(static_cast<double>(i) / 17.0);
+        const double noise =
+            static_cast<double>(rng.next_below(8000)) - 4000.0;
+        const auto mv = static_cast<std::int64_t>(
+            7'200'000.0 + drift + wobble + noise);
+        entries_.push_back(ds::BPTreeEntry{
+            ts, static_cast<std::uint64_t>(mv)});
+    }
+}
+
+std::uint64_t
+PmuTrace::first_timestamp() const
+{
+    return entries_.front().key;
+}
+
+std::uint64_t
+PmuTrace::last_timestamp() const
+{
+    return entries_.back().key;
+}
+
+TsvQueries::TsvQueries(const PmuTrace& trace, double window_seconds)
+    : first_ts_(trace.first_timestamp()),
+      span_ms_(trace.last_timestamp() - trace.first_timestamp()),
+      window_ms_(static_cast<std::uint64_t>(window_seconds * 1000.0))
+{
+    PULSE_ASSERT(window_ms_ > 0 && window_ms_ < span_ms_,
+                 "window longer than the trace");
+}
+
+TsvQueries::Query
+TsvQueries::next(Rng& rng)
+{
+    Query query;
+    const std::uint64_t start =
+        rng.next_below(span_ms_ - window_ms_);
+    query.lo = first_ts_ + start;
+    query.hi = query.lo + window_ms_;
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1:
+        query.kind = ds::AggKind::kSum;  // sum, and average's sum part
+        break;
+      case 2:
+        query.kind = ds::AggKind::kMin;
+        break;
+      default:
+        query.kind = ds::AggKind::kMax;
+        break;
+    }
+    return query;
+}
+
+}  // namespace pulse::workloads

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit tests for the baseline systems: the page cache, the Cache-based
+ * client, the RPC runtime (worker pools, bounces, TCP factor) and the
+ * AIFM-style object cache.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/page_cache.h"
+#include "core/cluster.h"
+#include "ds/hash_table.h"
+#include "ds/linked_list.h"
+#include "workloads/driver.h"
+
+namespace pulse::baselines {
+namespace {
+
+using isa::TraversalStatus;
+
+// -------------------------------------------------------- page cache
+
+TEST(PageCache, LruEviction)
+{
+    PageCache cache(3 * 4096, 4096);
+    EXPECT_EQ(cache.capacity_pages(), 3u);
+    cache.fill(0x0000);
+    cache.fill(0x1000);
+    cache.fill(0x2000);
+    EXPECT_TRUE(cache.access(0x0000));  // refresh page 0
+    cache.fill(0x3000);                 // evicts LRU = page 1
+    EXPECT_TRUE(cache.access(0x0000));
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x2000));
+    EXPECT_TRUE(cache.access(0x3000));
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(PageCache, PageAlignment)
+{
+    PageCache cache(16 * 4096, 4096);
+    cache.fill(0x1234);  // fills page 0x1000
+    EXPECT_TRUE(cache.access(0x1FFF));
+    EXPECT_FALSE(cache.access(0x2000));
+    EXPECT_EQ(cache.page_of(0x1FFF), 0x1000u);
+}
+
+TEST(PageCache, RedundantFillIsNoop)
+{
+    PageCache cache(2 * 4096, 4096);
+    cache.fill(0x1000);
+    cache.fill(0x1100);  // same page
+    EXPECT_EQ(cache.resident(), 1u);
+}
+
+TEST(PageCache, StatsAndClear)
+{
+    PageCache cache(2 * 4096, 4096);
+    cache.fill(0x0);
+    cache.access(0x0);
+    cache.access(0x5000);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    cache.clear();
+    EXPECT_EQ(cache.resident(), 0u);
+    cache.reset_stats();
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+// ------------------------------------------------------ cache client
+
+TEST(CacheClient, WarmRunsAvoidFaults)
+{
+    core::ClusterConfig config;
+    config.cache.cache_bytes = 8 * kMiB;
+    core::Cluster cluster(config);
+    ds::LinkedList list(cluster.memory(), cluster.allocator());
+    std::vector<std::uint64_t> values(100);
+    for (std::size_t i = 0; i < values.size(); i++) {
+        values[i] = i;
+    }
+    list.build(values, 0);
+
+    auto run_find = [&](std::uint64_t value) {
+        offload::Completion result;
+        auto op = list.make_find(value, {});
+        op.done = [&](offload::Completion&& completion) {
+            result = std::move(completion);
+        };
+        cluster.cache_client().submit(std::move(op));
+        cluster.queue().run();
+        return result;
+    };
+
+    const auto cold = run_find(99);
+    const std::uint64_t cold_faults =
+        cluster.cache_client().stats().faults.value();
+    EXPECT_GT(cold_faults, 0u);
+    const auto warm = run_find(99);
+    EXPECT_EQ(cluster.cache_client().stats().faults.value(),
+              cold_faults);
+    // Warm run: pure hit-path latency (100 hits x ~80 ns) -- no
+    // faults, so at least the two cold fault round-trips are gone.
+    EXPECT_LT(warm.latency, cold.latency / 2);
+    EXPECT_LT(warm.latency, micros(15.0));
+    EXPECT_EQ(warm.iterations, cold.iterations);
+}
+
+TEST(CacheClient, FaultHandlersBoundConcurrency)
+{
+    // With one fault handler, concurrent misses serialize; with many
+    // they overlap. Compare makespans for 8 parallel single-fault ops.
+    const auto run = [](std::uint32_t handlers) {
+        core::ClusterConfig config;
+        config.cache.fault_handlers = handlers;
+        config.cache.cache_bytes = 256 * kKiB;
+        core::Cluster cluster(config);
+        ds::LinkedList list(cluster.memory(), cluster.allocator());
+        // Nodes page-aligned apart: every find(1 hop) is 1 fault.
+        std::vector<std::uint64_t> values(8);
+        for (std::size_t i = 0; i < values.size(); i++) {
+            values[i] = i;
+            list.build({i}, 0);
+        }
+        workloads::DriverConfig driver;
+        driver.warmup_ops = 0;
+        driver.measure_ops = 8;
+        driver.concurrency = 8;
+        Rng rng(1);
+        auto result = run_closed_loop(
+            cluster.queue(),
+            cluster.submitter(core::SystemKind::kCache),
+            [&](std::uint64_t i) {
+                return list.make_find(i % 8, {});
+            },
+            driver);
+        return result.measure_time;
+    };
+    EXPECT_GT(run(1), run(8));
+}
+
+TEST(CacheClient, UnmappedPointerFaults)
+{
+    core::ClusterConfig config;
+    core::Cluster cluster(config);
+    ds::LinkedList list(cluster.memory(), cluster.allocator());
+    list.build({1}, 0);
+    cluster.memory().write_as<std::uint64_t>(list.head() + 8,
+                                             0xBAD000ull);
+    offload::Completion result;
+    auto op = list.make_find(2, {});
+    op.done = [&](offload::Completion&& completion) {
+        result = std::move(completion);
+    };
+    cluster.cache_client().submit(std::move(op));
+    cluster.queue().run();
+    EXPECT_EQ(result.status, TraversalStatus::kMemFault);
+}
+
+// -------------------------------------------------------------- rpc
+
+TEST(RpcRuntime, WorkersParallelizeThroughput)
+{
+    const auto run = [](std::uint32_t workers) {
+        core::ClusterConfig config;
+        config.rpc.workers_per_node = workers;
+        core::Cluster cluster(config);
+        ds::HashTable table(cluster.memory(), cluster.allocator(),
+                            ds::HashTableConfig{.num_buckets = 32});
+        for (std::uint64_t k = 1; k <= 512; k++) {
+            table.insert(k);
+        }
+        Rng rng(3);
+        workloads::DriverConfig driver;
+        driver.warmup_ops = 32;
+        driver.measure_ops = 400;
+        driver.concurrency = 64;
+        auto result = run_closed_loop(
+            cluster.queue(), cluster.submitter(core::SystemKind::kRpc),
+            [&](std::uint64_t) {
+                return table.make_find(1 + rng.next_below(512), {});
+            },
+            driver);
+        return result.throughput;
+    };
+    const double one = run(1);
+    const double four = run(4);
+    EXPECT_GT(four, one * 3.0);
+}
+
+TEST(RpcRuntime, BusyTimeTracksWork)
+{
+    core::ClusterConfig config;
+    core::Cluster cluster(config);
+    ds::LinkedList list(cluster.memory(), cluster.allocator());
+    std::vector<std::uint64_t> values(50);
+    for (std::size_t i = 0; i < values.size(); i++) {
+        values[i] = i;
+    }
+    list.build(values, 0);
+    offload::Completion result;
+    auto op = list.make_find(49, {});
+    op.done = [&](offload::Completion&& completion) {
+        result = std::move(completion);
+    };
+    cluster.rpc().submit(std::move(op));
+    cluster.queue().run();
+    EXPECT_EQ(result.status, TraversalStatus::kDone);
+    // Busy >= 50 iterations x dram latency.
+    EXPECT_GE(cluster.rpc().stats().worker_busy_time.sum(),
+              50.0 * static_cast<double>(nanos(100.0)));
+    EXPECT_EQ(cluster.rpc().stats().iterations.value(), 50u);
+}
+
+TEST(RpcRuntime, TcpTransportSlowerThanErpc)
+{
+    core::ClusterConfig config;
+    core::Cluster cluster(config);
+    ds::HashTable table(cluster.memory(), cluster.allocator(),
+                        ds::HashTableConfig{.num_buckets = 16});
+    for (std::uint64_t k = 1; k <= 64; k++) {
+        table.insert(k);
+    }
+    const auto run = [&](baselines::RpcRuntime& rpc) {
+        offload::Completion result;
+        auto op = table.make_find(7, {});
+        op.done = [&](offload::Completion&& completion) {
+            result = std::move(completion);
+        };
+        rpc.submit(std::move(op));
+        cluster.queue().run();
+        return result.latency;
+    };
+    const Time erpc = run(cluster.rpc());
+    const Time tcp = run(cluster.rpc_tcp());
+    EXPECT_GT(tcp, erpc);
+}
+
+// -------------------------------------------------------------- aifm
+
+TEST(Aifm, EvictsByBytes)
+{
+    core::ClusterConfig config;
+    config.aifm.cache_bytes = 1024;  // 4 x 256 B objects
+    core::Cluster cluster(config);
+    ds::HashTable table(cluster.memory(), cluster.allocator(),
+                        ds::HashTableConfig{.num_buckets = 8});
+    for (std::uint64_t k = 1; k <= 16; k++) {
+        table.insert(k);
+    }
+    auto run = [&](std::uint64_t key) {
+        auto op = table.make_find(key, {});
+        op.object_id = key;
+        op.object_bytes = 256;
+        op.done = nullptr;
+        cluster.aifm().submit(std::move(op));
+        cluster.queue().run();
+    };
+    for (std::uint64_t k = 1; k <= 6; k++) {
+        run(k);  // 6 objects through a 4-object cache
+    }
+    EXPECT_EQ(cluster.aifm().stats().evictions.value(), 2u);
+    run(6);  // most recent: still cached
+    EXPECT_EQ(cluster.aifm().stats().hits.value(), 1u);
+    run(1);  // evicted long ago
+    EXPECT_EQ(cluster.aifm().stats().misses.value(), 7u);
+}
+
+TEST(Aifm, UncacheableOpsBypassTheCache)
+{
+    core::ClusterConfig config;
+    core::Cluster cluster(config);
+    ds::HashTable table(cluster.memory(), cluster.allocator(),
+                        ds::HashTableConfig{.num_buckets = 8});
+    table.insert(5);
+    for (int i = 0; i < 3; i++) {
+        auto op = table.make_find(5, {});
+        op.object_bytes = 0;  // not cacheable
+        op.done = nullptr;
+        cluster.aifm().submit(std::move(op));
+        cluster.queue().run();
+    }
+    EXPECT_EQ(cluster.aifm().stats().hits.value(), 0u);
+    EXPECT_EQ(cluster.aifm().stats().misses.value(), 0u);
+    EXPECT_EQ(cluster.aifm().stats().operations.value(), 3u);
+}
+
+}  // namespace
+}  // namespace pulse::baselines

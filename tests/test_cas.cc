@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the atomic CAS extension (the supplementary section B
+ * "near-memory synchronization" future-work item): verification
+ * rules, interpreter semantics, assembler support, and the headline
+ * property — N concurrent lock-free increments through the full rack
+ * produce exactly N, with retries visible under contention.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/cluster.h"
+#include "isa/assembler.h"
+#include "isa/analysis.h"
+#include "isa/codec.h"
+#include "isa/traversal.h"
+
+namespace pulse::isa {
+namespace {
+
+/**
+ * Lock-free fetch-and-add: load the counter word, CAS old -> old+1,
+ * retry on failure. sp[0] gets the number of attempts.
+ */
+Program
+increment_program()
+{
+    ProgramBuilder b;
+    b.load(8)
+        .add(sp(0), sp(0), imm(1))           // attempts++
+        .add(sp(8), dat(0), imm(1))          // desired = current + 1
+        .cas(0, dat(0), sp(8))
+        .jump_eq("done")
+        .next_iter()                          // reload and retry
+        .label("done")
+        .ret();
+    return b.build();
+}
+
+TEST(CasVerify, ShapeRules)
+{
+    // Offset must be an immediate within the 256 B vicinity.
+    {
+        std::vector<Instruction> code;
+        code.push_back({.op = Opcode::kCas, .dst = sp(0),
+                        .src1 = imm(0), .src2 = imm(1)});
+        code.push_back({.op = Opcode::kReturn});
+        EXPECT_FALSE(Program(std::move(code), 64, 4).verify());
+    }
+    {
+        std::vector<Instruction> code;
+        code.push_back({.op = Opcode::kCas, .dst = imm(252),
+                        .src1 = imm(0), .src2 = imm(1)});
+        code.push_back({.op = Opcode::kReturn});
+        EXPECT_FALSE(Program(std::move(code), 64, 4).verify());
+    }
+    EXPECT_TRUE(increment_program().verify());
+    const auto analysis = analyze(increment_program());
+    EXPECT_TRUE(analysis.has_cas);
+}
+
+TEST(CasInterpreter, SuccessAndFailureSetFlags)
+{
+    Program program = increment_program();
+    Workspace ws;
+    ws.configure(program);
+    std::memset(ws.data.data(), 0, 8);  // counter = 0
+
+    // Successful swap.
+    bool invoked = false;
+    CasFn succeed = [&](std::uint64_t off, std::uint64_t expected,
+                        std::uint64_t desired) {
+        invoked = true;
+        EXPECT_EQ(off, 0u);
+        EXPECT_EQ(expected, 0u);
+        EXPECT_EQ(desired, 1u);
+        return true;
+    };
+    auto iter = run_iteration(program, ws, succeed);
+    EXPECT_TRUE(invoked);
+    EXPECT_EQ(iter.end, IterEnd::kReturn);  // JUMP_EQ done
+
+    // Failed swap retries via NEXT_ITER.
+    ws.configure(program);
+    CasFn fail = [](std::uint64_t, std::uint64_t, std::uint64_t) {
+        return false;
+    };
+    iter = run_iteration(program, ws, fail);
+    EXPECT_EQ(iter.end, IterEnd::kNextIter);
+}
+
+TEST(CasInterpreter, FaultsWithoutAtomicPath)
+{
+    Program program = increment_program();
+    Workspace ws;
+    ws.configure(program);
+    const auto iter = run_iteration(program, ws, nullptr);
+    EXPECT_EQ(iter.end, IterEnd::kFault);
+    EXPECT_EQ(iter.fault, ExecFault::kIllegalInstruction);
+}
+
+TEST(CasCodec, RoundTripsAndAssembles)
+{
+    Program program = increment_program();
+    const auto decoded = decode_program(encode_program(program));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, program);
+
+    const auto assembled = assemble("LOAD 8\n"
+                                    "CAS 0 data[0] sp[8]\n"
+                                    "JUMP_EQ done\n"
+                                    "NEXT_ITER\n"
+                                    "done:\n"
+                                    "RETURN\n");
+    ASSERT_TRUE(assembled.ok()) << assembled.error;
+    EXPECT_TRUE(assembled.program->verify());
+    EXPECT_EQ(assembled.program->code()[1].op, Opcode::kCas);
+    EXPECT_NE(assembled.program->disassemble().find("CAS"),
+              std::string::npos);
+}
+
+TEST(CasCluster, ConcurrentIncrementsAreExact)
+{
+    core::ClusterConfig config;
+    config.accel.workspaces_per_logic = 8;
+    core::Cluster cluster(config);
+    const VirtAddr counter =
+        cluster.allocator().alloc_on(0, 8, 256);
+    cluster.memory().write_as<std::uint64_t>(counter, 0);
+
+    auto program = std::make_shared<const Program>(increment_program());
+    const int n = 200;
+    int done = 0;
+    std::uint64_t attempts = 0;
+    for (int i = 0; i < n; i++) {
+        offload::Operation op;
+        op.program = program;
+        op.start_ptr = counter;
+        op.init_scratch.assign(16, 0);
+        op.done = [&](offload::Completion&& completion) {
+            EXPECT_EQ(completion.status, TraversalStatus::kDone);
+            EXPECT_TRUE(completion.offloaded);  // CAS forces offload
+            std::uint64_t tries = 0;
+            std::memcpy(&tries, completion.scratch.data(), 8);
+            attempts += tries;
+            done++;
+        };
+        cluster.submitter(core::SystemKind::kPulse)(std::move(op));
+    }
+    cluster.queue().run();
+    EXPECT_EQ(done, n);
+    // The whole point: no lost updates under full concurrency.
+    EXPECT_EQ(cluster.memory().read_as<std::uint64_t>(counter),
+              static_cast<std::uint64_t>(n));
+    // Contention happened (some ops needed >1 attempt)...
+    EXPECT_GT(attempts, static_cast<std::uint64_t>(n));
+    // ...and every successful swap is counted once.
+    EXPECT_EQ(cluster.accelerator(0).stats().cas_ops.value(),
+              static_cast<std::uint64_t>(n));
+}
+
+TEST(CasCluster, RpcPathAlsoAtomic)
+{
+    core::ClusterConfig config;
+    core::Cluster cluster(config);
+    const VirtAddr counter =
+        cluster.allocator().alloc_on(0, 8, 256);
+    cluster.memory().write_as<std::uint64_t>(counter, 0);
+
+    auto program = std::make_shared<const Program>(increment_program());
+    const int n = 64;
+    int done = 0;
+    for (int i = 0; i < n; i++) {
+        offload::Operation op;
+        op.program = program;
+        op.start_ptr = counter;
+        op.init_scratch.assign(16, 0);
+        op.done = [&](offload::Completion&& completion) {
+            EXPECT_EQ(completion.status, TraversalStatus::kDone);
+            done++;
+        };
+        cluster.submitter(core::SystemKind::kRpc)(std::move(op));
+    }
+    cluster.queue().run();
+    EXPECT_EQ(done, n);
+    EXPECT_EQ(cluster.memory().read_as<std::uint64_t>(counter),
+              static_cast<std::uint64_t>(n));
+}
+
+TEST(CasCluster, ProtectionFaultSurfacesAsMemFault)
+{
+    core::ClusterConfig config;
+    core::Cluster cluster(config);
+    const VirtAddr counter =
+        cluster.allocator().alloc_on(0, 8, 256);
+    // Re-install the node's TCAM entry read-only.
+    auto& tcam = cluster.accelerator(0).tcam();
+    const auto& region = cluster.memory().address_map().region(0);
+    tcam.remove(region.base);
+    ASSERT_TRUE(tcam.insert(
+        {region.base, region.size, 0, mem::Perm::kRead}));
+
+    auto program = std::make_shared<const Program>(increment_program());
+    offload::Operation op;
+    op.program = program;
+    op.start_ptr = counter;
+    op.init_scratch.assign(16, 0);
+    offload::Completion result;
+    op.done = [&](offload::Completion&& completion) {
+        result = std::move(completion);
+    };
+    cluster.submitter(core::SystemKind::kPulse)(std::move(op));
+    cluster.queue().run();
+    EXPECT_EQ(result.status, TraversalStatus::kMemFault);
+    EXPECT_EQ(cluster.memory().read_as<std::uint64_t>(counter), 0u);
+}
+
+}  // namespace
+}  // namespace pulse::isa

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit tests for the common substrate: units, RNG + Zipf, histogram,
+ * and the statistics registry.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace pulse {
+namespace {
+
+// ----------------------------------------------------------- units
+
+TEST(Units, ConversionRoundTrips)
+{
+    EXPECT_EQ(nanos(1.0), kNanosecond);
+    EXPECT_EQ(micros(1.0), kMicrosecond);
+    EXPECT_DOUBLE_EQ(to_nanos(nanos(123.5)), 123.5);
+    EXPECT_DOUBLE_EQ(to_micros(micros(7.25)), 7.25);
+    EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+}
+
+TEST(Units, TransferTime)
+{
+    // 1000 bytes at 1 GB/s = 1 us.
+    EXPECT_EQ(transfer_time(1000, 1e9), kMicrosecond);
+    EXPECT_EQ(transfer_time(0, 1e9), 0);
+    // Sub-picosecond transfers round up to 1 ps (strict ordering).
+    EXPECT_EQ(transfer_time(1, 1e15), 1);
+}
+
+TEST(Units, RateHelpers)
+{
+    EXPECT_DOUBLE_EQ(gbps_bytes(25.0), 25e9);
+    EXPECT_DOUBLE_EQ(gbps_bits(100.0), 12.5e9);
+}
+
+TEST(Units, Formatting)
+{
+    EXPECT_EQ(format_time(nanos(500)), "500.0 ns");
+    EXPECT_EQ(format_time(micros(12.5)), "12.50 us");
+    EXPECT_EQ(format_bytes(512), "512 B");
+    EXPECT_EQ(format_bytes(2 * kMiB), "2.0 MiB");
+}
+
+// ------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; i++) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+    Rng c(43);
+    EXPECT_NE(Rng(42).next_u64(), c.next_u64());
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(1);
+    for (const std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 500; i++) {
+            EXPECT_LT(rng.next_below(bound), bound);
+        }
+    }
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(2);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; i++) {
+        const std::uint64_t v = rng.next_range(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        saw_lo |= v == 10;
+        saw_hi |= v == 13;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformityCoarse)
+{
+    Rng rng(3);
+    std::vector<int> buckets(10, 0);
+    const int n = 100'000;
+    for (int i = 0; i < n; i++) {
+        buckets[rng.next_below(10)]++;
+    }
+    for (const int count : buckets) {
+        EXPECT_NEAR(count, n / 10, n / 100);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(4);
+    double sum = 0;
+    for (int i = 0; i < 10'000; i++) {
+        const double v = rng.next_double();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    ZipfGenerator zipf(1000, 0.99);
+    Rng rng(5);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 200'000; i++) {
+        const std::uint64_t rank = zipf.next(rng);
+        ASSERT_LT(rank, 1000u);
+        counts[rank]++;
+    }
+    // Head dominance: rank 0 beats rank 100 by a wide margin.
+    EXPECT_GT(counts[0], counts[100] * 5);
+    EXPECT_GT(counts[0], counts[999]);
+    // Skew: the top 10 ranks take a disproportionate share.
+    int head = 0;
+    for (int i = 0; i < 10; i++) {
+        head += counts[i];
+    }
+    EXPECT_GT(head, 200'000 / 10);
+}
+
+// -------------------------------------------------------- histogram
+
+TEST(Histogram, ExactStats)
+{
+    Histogram histogram;
+    EXPECT_EQ(histogram.count(), 0u);
+    EXPECT_EQ(histogram.mean(), 0);
+    for (const Time sample : {100, 200, 300, 400}) {
+        histogram.add(sample);
+    }
+    EXPECT_EQ(histogram.count(), 4u);
+    EXPECT_EQ(histogram.mean(), 250);
+    EXPECT_EQ(histogram.min(), 100);
+    EXPECT_EQ(histogram.max(), 400);
+    EXPECT_EQ(histogram.sum(), 1000);
+}
+
+TEST(Histogram, NegativeClampedToZero)
+{
+    Histogram histogram;
+    histogram.add(-5);
+    EXPECT_EQ(histogram.min(), 0);
+    EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(Histogram, PercentileBounds)
+{
+    Histogram histogram;
+    for (Time t = 1; t <= 1000; t++) {
+        histogram.add(t * kNanosecond);
+    }
+    EXPECT_LE(histogram.percentile(0.0), histogram.percentile(0.5));
+    EXPECT_LE(histogram.percentile(0.5), histogram.percentile(0.99));
+    EXPECT_LE(histogram.percentile(1.0), histogram.max());
+    // Median within bucket error (~3%) of the true median.
+    EXPECT_NEAR(static_cast<double>(histogram.percentile(0.5)),
+                static_cast<double>(500 * kNanosecond),
+                static_cast<double>(500 * kNanosecond) * 0.05);
+}
+
+TEST(Histogram, MergeCombines)
+{
+    Histogram a;
+    Histogram b;
+    a.add(10);
+    a.add(20);
+    b.add(30);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.max(), 30);
+    EXPECT_EQ(a.mean(), 20);
+    Histogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram histogram;
+    histogram.add(123);
+    histogram.reset();
+    EXPECT_EQ(histogram.count(), 0u);
+    EXPECT_EQ(histogram.percentile(0.5), 0);
+}
+
+/** Property sweep: bucket-relative error stays bounded across scales. */
+class HistogramProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HistogramProperty, PercentileTracksSortedReference)
+{
+    Rng rng(GetParam());
+    Histogram histogram;
+    std::vector<Time> samples;
+    for (int i = 0; i < 5000; i++) {
+        // Mix of scales: ns to ms.
+        const Time sample = static_cast<Time>(
+            rng.next_range(1, 1000) *
+            (rng.next_bool(0.5) ? kNanosecond : kMicrosecond));
+        samples.push_back(sample);
+        histogram.add(sample);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+        const Time expected = samples[static_cast<std::size_t>(
+            q * (samples.size() - 1))];
+        const Time got = histogram.percentile(q);
+        EXPECT_NEAR(static_cast<double>(got),
+                    static_cast<double>(expected),
+                    static_cast<double>(expected) * 0.04 + 1.0)
+            << "q=" << q;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------------------------------ stats
+
+TEST(Stats, CounterAndAccumulator)
+{
+    Counter counter;
+    counter.increment();
+    counter.increment(41);
+    EXPECT_EQ(counter.value(), 42u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+
+    Accumulator acc;
+    acc.add(1.5);
+    acc.add(2.5);
+    EXPECT_DOUBLE_EQ(acc.sum(), 4.0);
+    EXPECT_EQ(acc.count(), 2u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+}
+
+TEST(Stats, RegistrySnapshotAndDump)
+{
+    StatRegistry registry;
+    Counter counter;
+    Accumulator acc;
+    counter.increment(7);
+    acc.add(2.5);
+    registry.register_counter("node0.requests", &counter);
+    registry.register_accumulator("node0.busy", &acc);
+    const auto snapshot = registry.snapshot();
+    EXPECT_DOUBLE_EQ(snapshot.at("node0.requests"), 7.0);
+    EXPECT_DOUBLE_EQ(snapshot.at("node0.busy"), 2.5);
+    const std::string dump = registry.dump();
+    EXPECT_NE(dump.find("node0.requests"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pulse

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Functional tests of the data-structure adapters: every offload
+ * program, executed via the traversal engine over real simulated
+ * memory, must agree with the host-side reference implementation.
+ * These are the "same bytes, two executions" checks that anchor all
+ * timing experiments.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.h"
+#include "ds/bptree.h"
+#include "ds/hash_table.h"
+#include "ds/linked_list.h"
+#include "isa/analysis.h"
+#include "isa/traversal.h"
+#include "mem/allocator.h"
+#include "mem/global_memory.h"
+
+namespace pulse::ds {
+namespace {
+
+using isa::TraversalStatus;
+
+/** Functional hooks over GlobalMemory. */
+isa::MemoryHooks
+hooks_for(mem::GlobalMemory& memory)
+{
+    isa::MemoryHooks hooks;
+    hooks.load = [&memory](VirtAddr addr, std::uint32_t len,
+                           std::uint8_t* out) {
+        memory.read(addr, out, len);
+        return true;
+    };
+    hooks.store = [&memory](VirtAddr addr, std::uint32_t len,
+                            const std::uint8_t* in) {
+        memory.write(addr, in, len);
+        return true;
+    };
+    return hooks;
+}
+
+std::uint64_t
+scratch_word(const std::vector<std::uint8_t>& scratch, std::uint32_t off)
+{
+    std::uint64_t word = 0;
+    std::memcpy(&word, scratch.data() + off, 8);
+    return word;
+}
+
+class DsFixture : public ::testing::Test
+{
+  protected:
+    DsFixture()
+        : memory_(2, 64 * kMiB),
+          alloc_(memory_.address_map(), mem::AllocPolicy::kPartitioned)
+    {
+    }
+
+    mem::GlobalMemory memory_;
+    mem::ClusterAllocator alloc_;
+};
+
+// ---------------------------------------------------------------- list
+
+TEST_F(DsFixture, LinkedListFindHitAndMiss)
+{
+    LinkedList list(memory_, alloc_);
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t v = 100; v < 200; v += 2) {
+        values.push_back(v);
+    }
+    list.build(values, /*node=*/0);
+    ASSERT_EQ(list.size(), values.size());
+
+    auto program = list.find_program();
+    ASSERT_TRUE(program->verify());
+    const auto hooks = hooks_for(memory_);
+
+    for (const std::uint64_t probe : {100ull, 158ull, 198ull, 159ull,
+                                      7ull}) {
+        auto op = list.make_find(probe, nullptr);
+        auto outcome = run_traversal(*program, op.start_ptr,
+                                     op.init_scratch, hooks);
+        ASSERT_EQ(outcome.status, TraversalStatus::kDone);
+        const std::uint64_t result =
+            scratch_word(outcome.scratch, LinkedList::kSpResult);
+        const auto expected = list.find_reference(probe);
+        if (expected.has_value()) {
+            EXPECT_EQ(result, *expected) << "probe " << probe;
+        } else {
+            EXPECT_EQ(result, kKeyNotFound) << "probe " << probe;
+        }
+    }
+}
+
+TEST_F(DsFixture, LinkedListFindIterationCountMatchesPosition)
+{
+    LinkedList list(memory_, alloc_);
+    list.build({10, 20, 30, 40, 50}, 0);
+    auto program = list.find_program();
+    const auto hooks = hooks_for(memory_);
+    auto op = list.make_find(30, nullptr);
+    auto outcome =
+        run_traversal(*program, op.start_ptr, op.init_scratch, hooks);
+    EXPECT_EQ(outcome.iterations, 3u);  // 3rd node
+}
+
+TEST_F(DsFixture, LinkedListWalkStopsAfterExactHops)
+{
+    LinkedList list(memory_, alloc_);
+    std::vector<std::uint64_t> values(64);
+    for (std::size_t i = 0; i < values.size(); i++) {
+        values[i] = 1000 + i;
+    }
+    list.build(values, 0);
+    auto program = list.walk_program();
+    ASSERT_TRUE(program->verify());
+    const auto hooks = hooks_for(memory_);
+    for (const std::uint64_t hops : {1ull, 5ull, 64ull}) {
+        auto op = list.make_walk(hops, nullptr);
+        auto outcome = run_traversal(*program, op.start_ptr,
+                                     op.init_scratch, hooks);
+        ASSERT_EQ(outcome.status, TraversalStatus::kDone);
+        EXPECT_EQ(outcome.iterations, hops);
+        EXPECT_EQ(scratch_word(outcome.scratch, LinkedList::kSpLast),
+                  1000 + hops - 1);
+    }
+}
+
+// ---------------------------------------------------------- hash table
+
+TEST_F(DsFixture, HashTableFindMatchesReference)
+{
+    HashTableConfig config;
+    config.num_buckets = 16;  // force long chains
+    config.partitions = 2;
+    HashTable table(memory_, alloc_, config);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 1; k <= 512; k++) {
+        keys.push_back(k * 7919);
+    }
+    table.insert_many(keys);
+
+    auto program = table.find_program();
+    std::string error;
+    ASSERT_TRUE(program->verify(&error)) << error;
+    const auto hooks = hooks_for(memory_);
+
+    Rng rng(7);
+    for (int probe = 0; probe < 64; probe++) {
+        const bool present = rng.next_bool(0.7);
+        const std::uint64_t key =
+            present ? keys[rng.next_below(keys.size())]
+                    : rng.next_u64() | 1ull << 62;
+        auto op = table.make_find(key, nullptr);
+        auto outcome = run_traversal(*program, op.start_ptr,
+                                     op.init_scratch, hooks);
+        ASSERT_EQ(outcome.status, TraversalStatus::kDone);
+        const auto expected = table.find_reference(key);
+        const std::uint64_t flag =
+            scratch_word(outcome.scratch, HashTable::kSpFlag);
+        if (expected.has_value()) {
+            ASSERT_EQ(flag, 1u) << "key " << key;
+            EXPECT_EQ(scratch_word(outcome.scratch, HashTable::kSpValue),
+                      *expected);
+            EXPECT_EQ(*expected, value_pattern_word(key));
+        } else {
+            EXPECT_EQ(flag, kKeyNotFound) << "key " << key;
+        }
+    }
+}
+
+TEST_F(DsFixture, HashTableEtaIsMemoryCentric)
+{
+    HashTable table(memory_, alloc_, HashTableConfig{});
+    const auto analysis = isa::analyze(*table.find_program());
+    ASSERT_TRUE(analysis.valid) << analysis.error;
+    // UPC's eta ~ 0.06 (Table 2): a handful of instructions per 120 ns
+    // load.
+    const double eta =
+        compute_eta(analysis, nanos(7.0 / 6.0), nanos(120.0));
+    EXPECT_LT(eta, 0.15);
+    EXPECT_GT(eta, 0.02);
+}
+
+TEST_F(DsFixture, HashTablePartitioningKeepsChainsLocal)
+{
+    HashTableConfig config;
+    config.num_buckets = 64;
+    config.partitions = 2;
+    HashTable table(memory_, alloc_, config);
+    for (std::uint64_t k = 0; k < 256; k++) {
+        table.insert(k * 13 + 1);
+    }
+    // Every key's bucket slot and the whole chain must live on the
+    // node the partitioner assigned.
+    for (std::uint64_t k = 0; k < 256; k++) {
+        const std::uint64_t key = k * 13 + 1;
+        const NodeId node = table.node_of(key);
+        EXPECT_EQ(*memory_.address_map().node_for(table.bucket_slot(key)),
+                  node);
+        VirtAddr chain = memory_.read_as<std::uint64_t>(
+            table.bucket_slot(key));
+        while (chain != kNullAddr) {
+            EXPECT_EQ(*memory_.address_map().node_for(chain), node);
+            chain = memory_.read_as<std::uint64_t>(chain + 8);
+        }
+    }
+}
+
+// --------------------------------------------------------------- btree
+
+class BPTreeFixture : public DsFixture
+{
+  protected:
+    /** Build a TSV-style (inline) tree with keys 10, 20, ..., n*10. */
+    BPTree
+    build_inline(std::uint64_t n, std::uint32_t partitions = 2)
+    {
+        BPTreeConfig config;
+        config.inline_values = true;
+        config.partitioned = true;
+        config.partitions = partitions;
+        BPTree tree(memory_, alloc_, config);
+        std::vector<BPTreeEntry> entries;
+        for (std::uint64_t i = 1; i <= n; i++) {
+            entries.push_back({i * 10, i * 3});
+        }
+        tree.build(entries);
+        return tree;
+    }
+};
+
+TEST_F(BPTreeFixture, FindMatchesReference)
+{
+    BPTree tree = build_inline(500);
+    EXPECT_GE(tree.depth(), 3u);
+    auto program = tree.find_program();
+    std::string error;
+    ASSERT_TRUE(program->verify(&error)) << error;
+    const auto hooks = hooks_for(memory_);
+
+    for (std::uint64_t probe :
+         {10ull, 250ull, 2500ull, 5000ull, 15ull, 99999ull}) {
+        auto op = tree.make_find(probe, nullptr);
+        auto outcome = run_traversal(*program, op.start_ptr,
+                                     op.init_scratch, hooks);
+        ASSERT_EQ(outcome.status, TraversalStatus::kDone)
+            << "probe " << probe;
+        offload::Completion completion;
+        completion.status = outcome.status;
+        completion.scratch = outcome.scratch;
+        const auto result = BPTree::parse_find(completion);
+        const auto expected = tree.find_reference(probe);
+        EXPECT_EQ(result.found, expected.has_value()) << probe;
+        if (expected.has_value()) {
+            EXPECT_EQ(result.payload, *expected) << probe;
+        }
+        EXPECT_EQ(outcome.iterations, tree.depth());
+    }
+}
+
+TEST_F(BPTreeFixture, AggregateAllKindsMatchReference)
+{
+    // Signed payloads exercise MIN/MAX signed comparison.
+    BPTreeConfig config;
+    config.inline_values = true;
+    config.partitions = 2;
+    BPTree tree(memory_, alloc_, config);
+    std::vector<BPTreeEntry> entries;
+    Rng rng(11);
+    for (std::uint64_t i = 1; i <= 700; i++) {
+        const auto value = static_cast<std::int64_t>(
+            rng.next_below(20000)) - 10000;
+        entries.push_back({i * 5, static_cast<std::uint64_t>(value)});
+    }
+    tree.build(entries);
+    const auto hooks = hooks_for(memory_);
+
+    for (const AggKind kind : {AggKind::kSum, AggKind::kCount,
+                               AggKind::kMin, AggKind::kMax}) {
+        auto program = tree.aggregate_program(kind);
+        std::string error;
+        ASSERT_TRUE(program->verify(&error)) << error;
+        for (const auto& [lo, hi] :
+             std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+                 {5, 3500}, {100, 120}, {3400, 9999}, {4000, 4000},
+                 {9000, 9999}}) {
+            auto op = tree.make_aggregate(kind, lo, hi, nullptr);
+            auto outcome = run_traversal(*program, op.start_ptr,
+                                         op.init_scratch, hooks);
+            ASSERT_EQ(outcome.status, TraversalStatus::kDone);
+            offload::Completion completion;
+            completion.status = outcome.status;
+            completion.scratch = outcome.scratch;
+            const auto got = BPTree::parse_aggregate(completion, kind);
+            const auto want = tree.aggregate_reference(kind, lo, hi);
+            EXPECT_EQ(got.value, want.value)
+                << "kind " << static_cast<int>(kind) << " [" << lo
+                << "," << hi << "]";
+            if (kind == AggKind::kSum || kind == AggKind::kCount) {
+                EXPECT_EQ(got.count, want.count);
+            }
+        }
+    }
+}
+
+TEST_F(BPTreeFixture, ScanFoldMatchesReference)
+{
+    BPTreeConfig config;
+    config.inline_values = false;  // TC-style value objects
+    config.leaf_slots = 8;
+    config.leaf_fill = 7;
+    config.partitions = 2;
+    BPTree tree(memory_, alloc_, config);
+    std::vector<BPTreeEntry> entries;
+    for (std::uint64_t i = 1; i <= 600; i++) {
+        entries.push_back({i * 2, 0});
+    }
+    tree.build(entries);
+
+    auto program = tree.scan_fold_program();
+    std::string error;
+    ASSERT_TRUE(program->verify(&error)) << error;
+    const auto hooks = hooks_for(memory_);
+
+    for (const auto& [start, count] :
+         std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+             {2, 10}, {3, 64}, {100, 1}, {1100, 200}, {1198, 50}}) {
+        auto op = tree.make_scan(start, count, nullptr);
+        auto outcome = run_traversal(*program, op.start_ptr,
+                                     op.init_scratch, hooks,
+                                     /*max_iters=*/4096);
+        ASSERT_EQ(outcome.status, TraversalStatus::kDone)
+            << start << "+" << count;
+        offload::Completion completion;
+        completion.status = outcome.status;
+        completion.scratch = outcome.scratch;
+        const auto got = BPTree::parse_scan(completion);
+        const auto want = tree.scan_reference(start, count);
+        EXPECT_EQ(got.count, want.count) << start << "+" << count;
+        EXPECT_EQ(got.fold, want.fold) << start << "+" << count;
+        EXPECT_EQ(got.last_key, want.last_key) << start << "+" << count;
+    }
+}
+
+TEST_F(BPTreeFixture, ScanIterationCountIsEntryGranular)
+{
+    BPTreeConfig config;
+    config.inline_values = false;
+    config.leaf_slots = 8;
+    config.leaf_fill = 7;
+    config.partitions = 1;
+    BPTree tree(memory_, alloc_, config);
+    std::vector<BPTreeEntry> entries;
+    for (std::uint64_t i = 1; i <= 1000; i++) {
+        entries.push_back({i, 0});
+    }
+    tree.build(entries);
+    const auto hooks = hooks_for(memory_);
+    auto op = tree.make_scan(1, 64, nullptr);
+    auto outcome = run_traversal(*tree.scan_fold_program(), op.start_ptr,
+                                 op.init_scratch, hooks, 4096);
+    ASSERT_EQ(outcome.status, TraversalStatus::kDone);
+    // descent + one iteration per value + one per visited leaf.
+    EXPECT_GE(outcome.iterations, tree.depth() + 64);
+    EXPECT_LE(outcome.iterations, tree.depth() + 64 + 64 / 7 + 2);
+}
+
+TEST_F(BPTreeFixture, EtaStaysBelowOffloadThreshold)
+{
+    // Every program the evaluation offloads must pass the eta <= 1
+    // test, or systems silently fall back and the comparisons break.
+    BPTree tsv = build_inline(200);
+    BPTreeConfig tc_config;
+    tc_config.inline_values = false;
+    tc_config.leaf_slots = 8;
+    tc_config.leaf_fill = 7;
+    tc_config.partitions = 1;
+    BPTree tc(memory_, alloc_, tc_config);
+    std::vector<BPTreeEntry> entries;
+    for (std::uint64_t i = 1; i <= 100; i++) {
+        entries.push_back({i, 0});
+    }
+    tc.build(entries);
+
+    const Time t_i = nanos(7.0 / 6.0);
+    const Time t_d = nanos(120.0);
+    std::vector<std::shared_ptr<const isa::Program>> programs = {
+        tsv.find_program(),
+        tsv.aggregate_program(AggKind::kSum),
+        tsv.aggregate_program(AggKind::kCount),
+        tsv.aggregate_program(AggKind::kMin),
+        tsv.aggregate_program(AggKind::kMax),
+        tc.find_program(),
+        tc.scan_fold_program(),
+    };
+    for (const auto& program : programs) {
+        const auto analysis = isa::analyze(*program);
+        ASSERT_TRUE(analysis.valid) << analysis.error;
+        const double eta = compute_eta(analysis, t_i, t_d);
+        EXPECT_LE(eta, 1.0) << "program with " << program->size()
+                            << " instructions, eta " << eta;
+        EXPECT_GT(eta, 0.0);
+    }
+}
+
+TEST_F(BPTreeFixture, PartitionedPlacementSplitsLeavesAcrossNodes)
+{
+    BPTree tree = build_inline(1000, /*partitions=*/2);
+    // Low keys on node 0, high keys on node 1.
+    EXPECT_EQ(tree.node_of_key(10), 0u);
+    EXPECT_EQ(tree.node_of_key(10000), 1u);
+    // Walk the leaf chain: placements must be monotone 0 -> 1.
+    VirtAddr leaf = tree.first_leaf();
+    NodeId last = 0;
+    std::uint64_t on_node0 = 0;
+    std::uint64_t on_node1 = 0;
+    while (leaf != kNullAddr) {
+        const NodeId node = *memory_.address_map().node_for(leaf);
+        EXPECT_GE(node, last);
+        last = node;
+        (node == 0 ? on_node0 : on_node1)++;
+        leaf = memory_.read_as<std::uint64_t>(leaf + 8);
+    }
+    EXPECT_GT(on_node0, 0u);
+    EXPECT_GT(on_node1, 0u);
+    // Roughly balanced halves.
+    EXPECT_NEAR(static_cast<double>(on_node0),
+                static_cast<double>(on_node1),
+                static_cast<double>(on_node0 + on_node1) * 0.2);
+}
+
+}  // namespace
+}  // namespace pulse::ds

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the energy model: the static+activity integration,
+ * the down-clocking (wimpy) semantics, and the derived metrics.
+ */
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+
+namespace pulse::energy {
+namespace {
+
+TEST(AcceleratorEnergy, StaticPlusActivity)
+{
+    AcceleratorPower power;
+    power.static_w = 10.0;
+    power.net_stack_w = 2.0;
+    power.mem_pipeline_w = 4.0;
+    power.logic_pipeline_w = 3.0;
+
+    AcceleratorActivity activity;
+    activity.run_time = kSecond;  // 1 s
+    activity.net_stack_busy_ps = 0.5 * kSecond;
+    activity.mem_pipeline_busy_ps = 1.0 * kSecond;
+    activity.logic_pipeline_busy_ps = 0.25 * kSecond;
+    // 10 + 1 + 4 + 0.75 = 15.75 J.
+    EXPECT_NEAR(accelerator_energy(power, activity), 15.75, 1e-9);
+}
+
+TEST(AcceleratorEnergy, IdleBurnsOnlyStatic)
+{
+    AcceleratorPower power;
+    AcceleratorActivity activity;
+    activity.run_time = kSecond;
+    EXPECT_NEAR(accelerator_energy(power, activity), power.static_w,
+                1e-9);
+}
+
+TEST(CpuEnergy, NominalClockUsesFullCorePower)
+{
+    CpuPower power;
+    CpuActivity activity;
+    activity.run_time = kSecond;
+    activity.clock_ghz = power.nominal_clock_ghz;
+    activity.worker_busy_ps = 4.0 * kSecond;  // 4 core-seconds
+    const double expected =
+        power.idle_w +
+        4.0 * (power.core_static_w + power.core_dynamic_w);
+    EXPECT_NEAR(cpu_energy(power, activity), expected, 1e-9);
+}
+
+TEST(CpuEnergy, DownClockingSavesLittle)
+{
+    // The paper's counter-intuitive RPC-W result: at 1.0 GHz (voltage
+    // floor), per-core power barely drops, so slower execution means
+    // more energy per unit of work.
+    CpuPower power;
+    CpuActivity nominal;
+    nominal.run_time = kSecond;
+    nominal.clock_ghz = 2.6;
+    nominal.worker_busy_ps = 1.0 * kSecond;
+    CpuActivity wimpy = nominal;
+    wimpy.clock_ghz = 1.0;
+    // Same busy time: wimpy draws less, but...
+    const double nominal_joules = cpu_energy(power, nominal);
+    const double wimpy_joules = cpu_energy(power, wimpy);
+    EXPECT_LT(wimpy_joules, nominal_joules);
+    // ...less than 15% less per busy-second, while doing 2.6x less
+    // work in it: energy per unit work is decisively worse.
+    EXPECT_GT(wimpy_joules, nominal_joules * 0.85);
+    const double nominal_work = 2.6 * 1.0;  // clock x busy
+    const double wimpy_work = 1.0 * 1.0;
+    EXPECT_GT(wimpy_joules / wimpy_work,
+              nominal_joules / nominal_work);
+}
+
+TEST(Derived, PerRequestAndPerfPerWatt)
+{
+    EXPECT_DOUBLE_EQ(per_request(10.0, 1000), 0.01);
+    EXPECT_DOUBLE_EQ(per_request(10.0, 0), 0.0);
+
+    // 1000 requests in 1 s at 20 J total = 20 W -> 50 req/s/W.
+    EXPECT_NEAR(perf_per_watt(1000, kSecond, 20.0), 50.0, 1e-9);
+    EXPECT_DOUBLE_EQ(perf_per_watt(1000, 0, 20.0), 0.0);
+    EXPECT_DOUBLE_EQ(perf_per_watt(1000, kSecond, 0.0), 0.0);
+}
+
+TEST(Calibration, PulseBeatsRpcAtEqualThroughput)
+{
+    // Sanity-check the default coefficients reproduce the paper's
+    // ordering at a bandwidth-saturated operating point.
+    AcceleratorPower accel_power;
+    AcceleratorActivity accel;
+    accel.run_time = kSecond;
+    accel.net_stack_busy_ps = 1.4 * kSecond;
+    accel.mem_pipeline_busy_ps = 1.9 * kSecond;
+    accel.logic_pipeline_busy_ps = 1.0 * kSecond;
+    const double pulse_watts =
+        accelerator_energy(accel_power, accel);
+
+    CpuPower cpu_power;
+    CpuActivity rpc;
+    rpc.run_time = kSecond;
+    rpc.clock_ghz = 2.6;
+    rpc.worker_busy_ps = 11.0 * kSecond;  // ~11 busy cores
+    const double rpc_watts = cpu_energy(cpu_power, rpc);
+
+    const double ratio = rpc_watts / pulse_watts;
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 9.0);
+}
+
+}  // namespace
+}  // namespace pulse::energy

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation core.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace pulse::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule_at(30, [&] { order.push_back(3); });
+    queue.schedule_at(10, [&] { order.push_back(1); });
+    queue.schedule_at(20, [&] { order.push_back(2); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.now(), 30);
+}
+
+TEST(EventQueue, FifoTiebreakAtEqualTimes)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 8; i++) {
+        queue.schedule_at(100, [&order, i] { order.push_back(i); });
+    }
+    queue.run();
+    for (int i = 0; i < 8; i++) {
+        EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue queue;
+    Time fired_at = -1;
+    queue.schedule_at(50, [&] {
+        queue.schedule_after(25, [&] { fired_at = queue.now(); });
+    });
+    queue.run();
+    EXPECT_EQ(fired_at, 75);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue queue;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100) {
+            queue.schedule_after(1, chain);
+        }
+    };
+    queue.schedule_at(0, chain);
+    const std::uint64_t executed = queue.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(executed, 100u);
+    EXPECT_EQ(queue.now(), 99);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+    EventQueue queue;
+    int fired = 0;
+    for (Time t = 10; t <= 100; t += 10) {
+        queue.schedule_at(t, [&] { fired++; });
+    }
+    queue.run_until(50);
+    EXPECT_EQ(fired, 5);  // 10..50 inclusive
+    EXPECT_EQ(queue.now(), 50);
+    EXPECT_EQ(queue.pending(), 5u);
+    queue.run();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
+{
+    EventQueue queue;
+    queue.run_until(12345);
+    EXPECT_EQ(queue.now(), 12345);
+}
+
+TEST(EventQueue, RunWhilePendingStopsOnPredicate)
+{
+    EventQueue queue;
+    int count = 0;
+    for (int i = 0; i < 10; i++) {
+        queue.schedule_at(i, [&] { count++; });
+    }
+    const bool met =
+        queue.run_while_pending([&] { return count >= 4; });
+    EXPECT_TRUE(met);
+    EXPECT_EQ(count, 4);
+    // Predicate never met: drains and reports false.
+    const bool never =
+        queue.run_while_pending([&] { return count >= 100; });
+    EXPECT_FALSE(never);
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue queue;
+    EXPECT_FALSE(queue.step());
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue queue;
+    queue.schedule_at(100, [] {});
+    queue.run();
+    EXPECT_DEATH(queue.schedule_at(50, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace pulse::sim

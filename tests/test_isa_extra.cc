@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Additional ISA coverage: STORE verification and semantics through
+ * the traversal engine, assembler corner cases, jump-condition
+ * semantics, and builder/analysis interactions.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "isa/analysis.h"
+#include "isa/assembler.h"
+#include "isa/program.h"
+#include "isa/traversal.h"
+
+namespace pulse::isa {
+namespace {
+
+TEST(StoreVerify, OperandShapesEnforced)
+{
+    // Non-immediate operands rejected.
+    {
+        std::vector<Instruction> code;
+        code.push_back({.op = Opcode::kStore, .dst = sp(0),
+                        .src1 = imm(0), .src2 = imm(8)});
+        code.push_back({.op = Opcode::kReturn});
+        EXPECT_FALSE(Program(std::move(code), 64, 4).verify());
+    }
+    // Zero length rejected.
+    {
+        std::vector<Instruction> code;
+        code.push_back({.op = Opcode::kStore, .dst = imm(0),
+                        .src1 = imm(0), .src2 = imm(0)});
+        code.push_back({.op = Opcode::kReturn});
+        EXPECT_FALSE(Program(std::move(code), 64, 4).verify());
+    }
+    // Data span past 256 rejected.
+    {
+        std::vector<Instruction> code;
+        code.push_back({.op = Opcode::kStore, .dst = imm(0),
+                        .src1 = imm(200), .src2 = imm(100)});
+        code.push_back({.op = Opcode::kReturn});
+        EXPECT_FALSE(Program(std::move(code), 64, 4).verify());
+    }
+    // A well-formed store passes.
+    {
+        std::vector<Instruction> code;
+        code.push_back({.op = Opcode::kStore, .dst = imm(8),
+                        .src1 = imm(0), .src2 = imm(16)});
+        code.push_back({.op = Opcode::kReturn});
+        EXPECT_TRUE(Program(std::move(code), 64, 4).verify());
+    }
+}
+
+TEST(StoreTraversal, WritesReachMemoryHook)
+{
+    ProgramBuilder b;
+    b.load(16)
+        .move(dat(0), imm(0x1234))
+        .store(0, 0, 8)
+        .store(8, 8, 8)
+        .ret();
+    Program program = b.build();
+    ASSERT_TRUE(program.verify());
+
+    std::vector<std::pair<VirtAddr, std::uint64_t>> writes;
+    MemoryHooks hooks;
+    hooks.load = [](VirtAddr, std::uint32_t len, std::uint8_t* out) {
+        std::memset(out, 0xEE, len);
+        return true;
+    };
+    hooks.store = [&](VirtAddr addr, std::uint32_t len,
+                      const std::uint8_t* in) {
+        std::uint64_t word = 0;
+        std::memcpy(&word, in, std::min<std::uint32_t>(len, 8));
+        writes.emplace_back(addr, word);
+        return true;
+    };
+    const auto outcome = run_traversal(program, 0x4000, {}, hooks);
+    EXPECT_EQ(outcome.status, TraversalStatus::kDone);
+    ASSERT_EQ(writes.size(), 2u);
+    EXPECT_EQ(writes[0].first, 0x4000u);
+    EXPECT_EQ(writes[0].second, 0x1234u);  // the modified word
+    EXPECT_EQ(writes[1].first, 0x4008u);
+    EXPECT_EQ(writes[1].second, 0xEEEEEEEEEEEEEEEEull);  // loaded bytes
+}
+
+TEST(StoreTraversal, StoreFailureFaults)
+{
+    ProgramBuilder b;
+    b.load(16).store(0, 0, 8).ret();
+    Program program = b.build();
+    MemoryHooks hooks;
+    hooks.load = [](VirtAddr, std::uint32_t, std::uint8_t*) {
+        return true;
+    };
+    hooks.store = [](VirtAddr, std::uint32_t, const std::uint8_t*) {
+        return false;  // protection failure
+    };
+    const auto outcome = run_traversal(program, 0x4000, {}, hooks);
+    EXPECT_EQ(outcome.status, TraversalStatus::kMemFault);
+}
+
+TEST(JumpConditions, AllSixEvaluateCorrectly)
+{
+    struct Case
+    {
+        Cond cond;
+        std::uint64_t a;
+        std::uint64_t b;
+        bool taken;
+    };
+    const Case cases[] = {
+        {Cond::kEq, 5, 5, true},    {Cond::kEq, 5, 6, false},
+        {Cond::kNeq, 5, 6, true},   {Cond::kNeq, 5, 5, false},
+        {Cond::kLt, 4, 5, true},    {Cond::kLt, 5, 5, false},
+        {Cond::kGt, 6, 5, true},    {Cond::kGt, 5, 5, false},
+        {Cond::kLe, 5, 5, true},    {Cond::kLe, 6, 5, false},
+        {Cond::kGe, 5, 5, true},    {Cond::kGe, 4, 5, false},
+    };
+    for (const Case& test_case : cases) {
+        ProgramBuilder b;
+        b.compare(imm(test_case.a), imm(test_case.b))
+            .jump(test_case.cond, "taken")
+            .move(sp(0), imm(0))
+            .ret()
+            .label("taken")
+            .move(sp(0), imm(1))
+            .ret();
+        Program program = b.build();
+        ASSERT_TRUE(program.verify());
+        Workspace ws;
+        ws.configure(program);
+        run_iteration(program, ws);
+        EXPECT_EQ(ws.read(sp(0)), test_case.taken ? 1u : 0u)
+            << cond_name(test_case.cond) << " " << test_case.a
+            << " vs " << test_case.b;
+    }
+}
+
+TEST(Assembler, StoreAndDirectives)
+{
+    const auto result = assemble(".scratch 128\n"
+                                 "LOAD 64\n"
+                                 "STORE 8 0 16\n"
+                                 "RETURN\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    ASSERT_TRUE(result.program->verify());
+    const auto& store = result.program->code()[1];
+    EXPECT_EQ(store.op, Opcode::kStore);
+    EXPECT_EQ(store.dst.value, 8u);
+    EXPECT_EQ(store.src2.value, 16u);
+}
+
+TEST(Assembler, VectorMoveWidths)
+{
+    const auto result =
+        assemble("LOAD 256\nMOVE sp[0:240] data[16:240]\nRETURN\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_TRUE(result.program->verify());
+    EXPECT_EQ(result.program->code()[1].dst.width, 240);
+}
+
+TEST(Assembler, HexImmediatesAndComments)
+{
+    const auto result = assemble(
+        "MOVE sp[0] 0xDEAD  ; trailing comment\n"
+        "# full-line comment\n"
+        "RETURN\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.program->code()[0].src1.value, 0xDEADu);
+}
+
+TEST(Assembler, RejectsMalformedOperands)
+{
+    EXPECT_FALSE(assemble("MOVE sp[x] 1\nRETURN\n").ok());
+    EXPECT_FALSE(assemble("MOVE sp[0:8 1\nRETURN\n").ok());
+    EXPECT_FALSE(assemble("LOAD\nRETURN\n").ok());
+    EXPECT_FALSE(assemble("ADD sp[0] 1\nRETURN\n").ok());
+    EXPECT_FALSE(assemble(".scratch abc\nRETURN\n").ok());
+}
+
+TEST(Analysis, UnconditionalJumpSkipsFallthrough)
+{
+    // JUMP (always) must not count the unreachable fallthrough arm.
+    ProgramBuilder b;
+    b.jump_always("end");
+    for (int i = 0; i < 20; i++) {
+        b.add(sp(0), sp(0), imm(1));
+    }
+    b.label("end").ret();
+    Program program = b.build();
+    const auto analysis = analyze(program);
+    ASSERT_TRUE(analysis.valid);
+    EXPECT_EQ(analysis.worst_path_instructions, 2u);  // JUMP + RETURN
+}
+
+TEST(Analysis, NestedBranchesTakeLongestChain)
+{
+    // if A { 5 ops } ; if B { 8 ops } — the chain can take both.
+    ProgramBuilder b;
+    b.compare(sp(0), imm(0)).jump_eq("skip_first");
+    for (int i = 0; i < 5; i++) {
+        b.add(sp(8), sp(8), imm(1));
+    }
+    b.label("skip_first").compare(sp(0), imm(1)).jump_eq("skip_second");
+    for (int i = 0; i < 8; i++) {
+        b.add(sp(16), sp(16), imm(1));
+    }
+    b.label("skip_second").ret();
+    const auto analysis = analyze(b.build());
+    ASSERT_TRUE(analysis.valid);
+    // 2 + 5 + 2 + 8 + 1 = 18.
+    EXPECT_EQ(analysis.worst_path_instructions, 18u);
+}
+
+TEST(Workspace, ConfigureResetsState)
+{
+    ProgramBuilder b;
+    b.move(sp(0), imm(1)).ret();
+    Program program = b.build();
+    Workspace ws;
+    ws.configure(program);
+    ws.cur_ptr = 0x1234;
+    ws.flags = -1;
+    ws.scratch[0] = 0xFF;
+    ws.configure(program);
+    EXPECT_EQ(ws.cur_ptr, kNullAddr);
+    EXPECT_EQ(ws.flags, 0);
+    EXPECT_EQ(ws.scratch[0], 0);
+    EXPECT_EQ(ws.data.size(), kMaxLoadBytes);
+}
+
+TEST(TraversalEngine, InitScratchLongerThanConfiguredIsTruncated)
+{
+    ProgramBuilder b;
+    b.move(sp(0), sp(8)).ret();
+    b.scratch_bytes(16);
+    Program program = b.build();
+    std::vector<std::uint8_t> huge(1024, 0xAB);
+    MemoryHooks hooks;
+    const auto outcome = run_traversal(program, 0, huge, hooks);
+    EXPECT_EQ(outcome.status, TraversalStatus::kDone);
+    EXPECT_EQ(outcome.scratch.size(), 16u);
+    EXPECT_EQ(outcome.scratch[0], 0xAB);
+}
+
+}  // namespace
+}  // namespace pulse::isa

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Property-based tests: randomized sweeps over seeds asserting the
+ * system's core invariants.
+ *
+ *  - Cross-system equivalence: every compared system computes the
+ *    same result for the same operation over the same memory bytes.
+ *  - Verifier soundness: programs that pass verify() never trip an
+ *    interpreter-internal assertion, terminate within their iteration
+ *    caps, and never read/write outside their register vectors.
+ *  - Codec totality: decode never crashes on arbitrary bytes, and
+ *    encode/decode round-trips every random valid program.
+ *  - Aggregation equivalence under random windows and signed values.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/cluster.h"
+#include "ds/bptree.h"
+#include "ds/hash_table.h"
+#include "isa/analysis.h"
+#include "isa/codec.h"
+#include "isa/traversal.h"
+
+namespace pulse {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::SystemKind;
+
+offload::Completion
+run_on(Cluster& cluster, SystemKind kind, offload::Operation op)
+{
+    offload::Completion result;
+    op.done = [&](offload::Completion&& completion) {
+        result = std::move(completion);
+    };
+    cluster.submitter(kind)(std::move(op));
+    cluster.queue().run();
+    return result;
+}
+
+// --------------------------------------- cross-system equivalence
+
+class CrossSystem : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CrossSystem, HashFindsAgreeEverywhere)
+{
+    Rng rng(GetParam());
+    ClusterConfig config;
+    config.num_mem_nodes = 1 + rng.next_below(2) * 1;
+    Cluster cluster(config);
+
+    ds::HashTableConfig ht;
+    ht.num_buckets = 4 + rng.next_below(60);
+    ht.partitions = config.num_mem_nodes;
+    ds::HashTable table(cluster.memory(), cluster.allocator(), ht);
+    const std::uint64_t n = 50 + rng.next_below(400);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t i = 0; i < n; i++) {
+        keys.push_back(rng.next_u64() % ds::kPadKey | 1);
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    table.insert_many(keys);
+
+    for (int probe = 0; probe < 12; probe++) {
+        const std::uint64_t key = rng.next_bool(0.5)
+                                      ? keys[rng.next_below(keys.size())]
+                                      : (rng.next_u64() | 1);
+        const auto expected = table.find_reference(key);
+        for (const SystemKind kind :
+             {SystemKind::kPulse, SystemKind::kCache,
+              SystemKind::kRpc, SystemKind::kRpcWimpy}) {
+            const auto completion =
+                run_on(cluster, kind, table.make_find(key, {}));
+            ASSERT_EQ(completion.status,
+                      isa::TraversalStatus::kDone)
+                << core::system_name(kind);
+            const auto result = table.parse_find(completion);
+            ASSERT_EQ(result.found, expected.has_value())
+                << core::system_name(kind) << " key " << key;
+            if (expected) {
+                ASSERT_EQ(result.value_word, *expected)
+                    << core::system_name(kind);
+            }
+        }
+    }
+}
+
+TEST_P(CrossSystem, AggregatesAgreeEverywhere)
+{
+    Rng rng(GetParam() * 7919 + 5);
+    ClusterConfig config;
+    config.num_mem_nodes = 2;
+    Cluster cluster(config);
+
+    ds::BPTreeConfig tree_config;
+    tree_config.inline_values = true;
+    tree_config.partitions = 2;
+    ds::BPTree tree(cluster.memory(), cluster.allocator(),
+                    tree_config);
+    std::vector<ds::BPTreeEntry> entries;
+    std::uint64_t key = 10;
+    const std::uint64_t n = 100 + rng.next_below(900);
+    for (std::uint64_t i = 0; i < n; i++) {
+        key += 1 + rng.next_below(20);
+        const auto value =
+            static_cast<std::int64_t>(rng.next_below(100'000)) -
+            50'000;
+        entries.push_back({key, static_cast<std::uint64_t>(value)});
+    }
+    tree.build(entries);
+
+    for (int probe = 0; probe < 6; probe++) {
+        const std::uint64_t lo = rng.next_range(1, key);
+        const std::uint64_t hi = lo + rng.next_below(key);
+        const auto kind = static_cast<ds::AggKind>(rng.next_below(4));
+        const auto expected =
+            tree.aggregate_reference(kind, lo, hi);
+        for (const SystemKind system :
+             {SystemKind::kPulse, SystemKind::kRpc}) {
+            const auto completion = run_on(
+                cluster, system,
+                tree.make_aggregate(kind, lo, hi, {}));
+            ASSERT_EQ(completion.status,
+                      isa::TraversalStatus::kDone);
+            const auto result =
+                ds::BPTree::parse_aggregate(completion, kind);
+            ASSERT_EQ(result.value, expected.value)
+                << core::system_name(system) << " ["
+                << lo << "," << hi << "] kind "
+                << static_cast<int>(kind);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossSystem,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// -------------------------------------------------- program fuzzing
+
+isa::Operand
+random_operand(Rng& rng, std::uint32_t scratch_bytes, bool writable)
+{
+    const int kind = static_cast<int>(rng.next_below(writable ? 3 : 4));
+    const std::uint16_t width = static_cast<std::uint16_t>(
+        1u << rng.next_below(4));  // 1/2/4/8
+    switch (kind) {
+      case 0:
+        return isa::sp(
+            static_cast<std::uint32_t>(
+                rng.next_below(scratch_bytes - width + 1)),
+            width);
+      case 1:
+        return isa::dat(static_cast<std::uint32_t>(rng.next_below(
+                            isa::kMaxLoadBytes - width + 1)),
+                        width);
+      case 2:
+        return isa::cur();
+      default:
+        return isa::imm(rng.next_u64());
+    }
+}
+
+/** Generate a random structurally-valid program. */
+isa::Program
+random_program(Rng& rng)
+{
+    const std::uint32_t scratch = 64 + 8 * static_cast<std::uint32_t>(
+                                           rng.next_below(24));
+    const std::uint32_t body =
+        3 + static_cast<std::uint32_t>(rng.next_below(40));
+    std::vector<isa::Instruction> code;
+    code.push_back({.op = isa::Opcode::kLoad,
+                    .src1 = isa::imm(1 + rng.next_below(256))});
+    for (std::uint32_t i = 0; i < body; i++) {
+        const int choice = static_cast<int>(rng.next_below(8));
+        isa::Instruction insn;
+        switch (choice) {
+          case 0:
+          case 1:
+          case 2: {
+            static const isa::Opcode alu[] = {
+                isa::Opcode::kAdd, isa::Opcode::kSub,
+                isa::Opcode::kMul, isa::Opcode::kAnd,
+                isa::Opcode::kOr};
+            insn.op = alu[rng.next_below(5)];
+            insn.dst = random_operand(rng, scratch, true);
+            insn.src1 = random_operand(rng, scratch, false);
+            insn.src2 = random_operand(rng, scratch, false);
+            break;
+          }
+          case 3:
+            insn.op = isa::Opcode::kMove;
+            insn.dst = random_operand(rng, scratch, true);
+            insn.src1 = random_operand(rng, scratch, false);
+            break;
+          case 4:
+            insn.op = isa::Opcode::kCompare;
+            insn.src1 = random_operand(rng, scratch, false);
+            insn.src2 = random_operand(rng, scratch, false);
+            break;
+          case 5: {
+            insn.op = isa::Opcode::kJump;
+            insn.cond = static_cast<isa::Cond>(rng.next_below(7));
+            // Forward target, possibly the terminal slot.
+            const std::uint32_t current =
+                static_cast<std::uint32_t>(code.size());
+            insn.target = current + 1 +
+                          static_cast<std::uint32_t>(rng.next_below(
+                              body + 1 - current > 0
+                                  ? body + 1 - current
+                                  : 1));
+            break;
+          }
+          case 6:
+            insn.op = isa::Opcode::kNot;
+            insn.dst = random_operand(rng, scratch, true);
+            insn.src1 = random_operand(rng, scratch, false);
+            break;
+          default:
+            insn.op = isa::Opcode::kNextIter;
+            break;
+        }
+        code.push_back(insn);
+    }
+    code.push_back({.op = isa::Opcode::kReturn});
+    // Patch any jump that overshot the terminal RETURN.
+    for (std::size_t i = 0; i < code.size(); i++) {
+        if (code[i].op == isa::Opcode::kJump &&
+            code[i].target >= code.size()) {
+            code[i].target =
+                static_cast<std::uint32_t>(code.size() - 1);
+        }
+    }
+    return isa::Program(std::move(code), scratch,
+                        16 + static_cast<std::uint32_t>(
+                                 rng.next_below(64)));
+}
+
+class ProgramFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ProgramFuzz, VerifiedProgramsExecuteSafely)
+{
+    Rng rng(GetParam() * 1000003);
+    int verified = 0;
+    for (int trial = 0; trial < 200; trial++) {
+        isa::Program program = random_program(rng);
+        std::string error;
+        if (!program.verify(&error)) {
+            continue;  // rejected programs must merely not crash
+        }
+        verified++;
+        // Execute with a self-looping memory: every load returns bytes
+        // that point back at a valid address.
+        isa::MemoryHooks hooks;
+        hooks.load = [&rng](VirtAddr, std::uint32_t len,
+                            std::uint8_t* out) {
+            for (std::uint32_t i = 0; i < len; i++) {
+                out[i] = static_cast<std::uint8_t>(rng.next_u64());
+            }
+            return true;
+        };
+        hooks.store = [](VirtAddr, std::uint32_t, const std::uint8_t*) {
+            return true;
+        };
+        const auto outcome = run_traversal(program, 0x1000, {}, hooks);
+        // Must terminate via a legal status within the iteration cap.
+        EXPECT_LE(outcome.iterations, program.max_iters());
+        EXPECT_TRUE(outcome.status == isa::TraversalStatus::kDone ||
+                    outcome.status == isa::TraversalStatus::kMaxIter ||
+                    outcome.status ==
+                        isa::TraversalStatus::kExecFault);
+        EXPECT_EQ(outcome.scratch.size(), program.scratch_bytes());
+    }
+    EXPECT_GT(verified, 10) << "fuzzer generates too few valid programs";
+}
+
+TEST_P(ProgramFuzz, CodecRoundTripsRandomPrograms)
+{
+    Rng rng(GetParam() * 7 + 3);
+    for (int trial = 0; trial < 100; trial++) {
+        isa::Program program = random_program(rng);
+        const auto bytes = isa::encode_program(program);
+        const auto decoded = isa::decode_program(bytes);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, program);
+        EXPECT_LE(isa::wire_code_size(program), isa::encoded_size(program));
+    }
+}
+
+TEST_P(ProgramFuzz, DecoderToleratesGarbage)
+{
+    Rng rng(GetParam() * 31 + 17);
+    for (int trial = 0; trial < 300; trial++) {
+        std::vector<std::uint8_t> garbage(rng.next_below(400));
+        for (auto& byte : garbage) {
+            byte = static_cast<std::uint8_t>(rng.next_u64());
+        }
+        // Must not crash; may or may not decode.
+        const auto decoded = isa::decode_program(garbage);
+        if (decoded) {
+            std::string error;
+            decoded->verify(&error);  // must not crash either
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgramFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// ------------------------------------------- scan fold equivalence
+
+class ScanProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ScanProperty, OffloadedScansMatchReferenceAcrossShapes)
+{
+    Rng rng(GetParam() * 104729);
+    ClusterConfig config;
+    config.num_mem_nodes = 2;
+    config.alloc_policy = mem::AllocPolicy::kUniform;
+    Cluster cluster(config);
+
+    ds::BPTreeConfig tree_config;
+    tree_config.inline_values = false;
+    tree_config.leaf_slots =
+        4 + static_cast<std::uint32_t>(rng.next_below(5));  // 4..8
+    tree_config.leaf_fill = tree_config.leaf_slots -
+                            static_cast<std::uint32_t>(
+                                rng.next_below(2));
+    tree_config.partitioned = false;
+    tree_config.scatter_values = rng.next_bool(0.5);
+    ds::BPTree tree(cluster.memory(), cluster.allocator(),
+                    tree_config);
+    std::vector<ds::BPTreeEntry> entries;
+    std::uint64_t key = 1;
+    const std::uint64_t n = 200 + rng.next_below(800);
+    for (std::uint64_t i = 0; i < n; i++) {
+        key += 1 + rng.next_below(5);
+        entries.push_back({key, 0});
+    }
+    tree.build(entries);
+
+    for (int probe = 0; probe < 5; probe++) {
+        const std::uint64_t start = rng.next_range(1, key + 10);
+        const std::uint64_t count = 1 + rng.next_below(100);
+        const auto expected = tree.scan_reference(start, count);
+        const auto completion = run_on(
+            cluster, SystemKind::kPulse,
+            tree.make_scan(start, count, {}));
+        ASSERT_EQ(completion.status, isa::TraversalStatus::kDone);
+        const auto result = ds::BPTree::parse_scan(completion);
+        EXPECT_EQ(result.count, expected.count)
+            << "start " << start << " count " << count;
+        EXPECT_EQ(result.fold, expected.fold);
+        EXPECT_EQ(result.last_key, expected.last_key);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScanProperty,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace pulse
