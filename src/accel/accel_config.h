@@ -100,6 +100,16 @@ struct AccelConfig
     /** Admission policy for queued requests. */
     SchedPolicy sched_policy = SchedPolicy::kFifo;
 
+    /**
+     * Duplicate-suppression window per client (entries in the dedup
+     * SRAM): retransmitted or fault-duplicated packets for a visit
+     * that already executed get the recorded response replayed instead
+     * of re-executing — required for exactly-once semantics of
+     * traversals with stores/CAS. 0 disables the window (pre-reliable
+     * behaviour: duplicates re-execute).
+     */
+    std::uint32_t replay_window_entries = 1u << 12;
+
     /** Hard cap on iterations per visit, independent of program caps. */
     std::uint32_t max_iters_cap = 1u << 20;
 

@@ -14,7 +14,8 @@ Accelerator::Accelerator(sim::EventQueue& queue, net::Network& network,
                          const AccelConfig& config)
     : queue_(queue), network_(network), memory_(memory),
       channels_(channels), node_(node), config_(config),
-      tcam_(config.tcam_entries), pending_(config.sched_policy)
+      tcam_(config.tcam_entries), pending_(config.sched_policy),
+      replay_(config.replay_window_entries)
 {
     PULSE_ASSERT(config.num_cores > 0, "accelerator needs cores");
     PULSE_ASSERT(config.eta_pipelines > 0, "eta must be >= 1");
@@ -54,6 +55,10 @@ Accelerator::register_stats(const std::string& prefix,
                               &stats_.protection_faults);
     registry.register_counter(prefix + ".queue_drops",
                               &stats_.queue_drops);
+    registry.register_counter(prefix + ".duplicates_suppressed",
+                              &stats_.duplicates_suppressed);
+    registry.register_counter(prefix + ".replays_sent",
+                              &stats_.replays_sent);
     registry.register_accumulator(prefix + ".net_stack_ps",
                                   &stats_.net_stack_time);
     registry.register_accumulator(prefix + ".scheduler_ps",
@@ -92,33 +97,84 @@ Accelerator::analysis_for(
     return &pos->second;
 }
 
+Time
+Accelerator::scaled(Time t) const
+{
+    if (fault_plane_ == nullptr || !fault_plane_->enabled()) {
+        return t;
+    }
+    const double factor =
+        fault_plane_->node_slow_factor(node_, queue_.now());
+    if (factor == 1.0) {
+        // Exact no-op outside slow windows: no float round-trip.
+        return t;
+    }
+    return static_cast<Time>(static_cast<double>(t) * factor);
+}
+
 void
 Accelerator::on_packet(net::TraversalPacket&& packet)
 {
     stats_.requests_received.increment();
+    // Duplicate suppression in the network stack: a visit key is
+    // (request id, iterations_done), unique per node visit because
+    // iterations_done only grows along a traversal.
+    const ReplayWindow::Key key{packet.id, packet.iterations_done};
+    if (replay_.enabled()) {
+        switch (replay_.classify(key)) {
+            case ReplayWindow::Verdict::kInProgress:
+                // Still executing; the eventual response answers both
+                // copies (the client matches by id, not by copy).
+                stats_.duplicates_suppressed.increment();
+                return;
+            case ReplayWindow::Verdict::kCached: {
+                // Executed already: replay the recorded packet rather
+                // than re-running (exactly-once for stores/CAS). This
+                // also repairs a dropped forward: the cached packet IS
+                // the continuation the switch re-routes.
+                stats_.replays_sent.increment();
+                net::TraversalPacket cached =
+                    *replay_.cached_response(key);
+                const Time parse = scaled(config_.net_stack_latency);
+                stats_.net_stack_time.add(static_cast<double>(parse));
+                queue_.schedule_after(
+                    parse, [this, cached = std::move(cached)]() mutable {
+                        network_.send_traversal(
+                            net::EndpointAddr::mem_node(node_),
+                            std::move(cached));
+                    });
+                return;
+            }
+            case ReplayWindow::Verdict::kNew:
+                replay_.mark_in_progress(key);
+                break;
+        }
+    }
     // Hardware network stack: parse the packet (rx side).
-    stats_.net_stack_time.add(
-        static_cast<double>(config_.net_stack_latency));
-    queue_.schedule_after(
-        config_.net_stack_latency,
-        [this, packet = std::move(packet)]() mutable {
-            admit(std::move(packet));
-        });
+    const Time parse = scaled(config_.net_stack_latency);
+    stats_.net_stack_time.add(static_cast<double>(parse));
+    queue_.schedule_after(parse,
+                          [this, packet = std::move(packet)]() mutable {
+                              admit(std::move(packet));
+                          });
 }
 
 void
 Accelerator::admit(net::TraversalPacket&& packet)
 {
     // Scheduler: parse payload, pick an idle workspace (4 ns, Fig. 9).
-    stats_.scheduler_time.add(
-        static_cast<double>(config_.scheduler_latency));
+    const Time dispatch = scaled(config_.scheduler_latency);
+    stats_.scheduler_time.add(static_cast<double>(dispatch));
     queue_.schedule_after(
-        config_.scheduler_latency,
-        [this, packet = std::move(packet)]() mutable {
+        dispatch, [this, packet = std::move(packet)]() mutable {
             if (!try_dispatch(packet)) {
                 if (pending_.size() >= config_.max_pending) {
-                    // Drop; the offload engine's timer retransmits.
+                    // Drop; the offload engine's timer retransmits. The
+                    // visit never executed, so forget it — the
+                    // retransmit must be allowed to run.
                     stats_.queue_drops.increment();
+                    replay_.unmark(
+                        {packet.id, packet.iterations_done});
                     return;
                 }
                 pending_.push(std::move(packet));
@@ -157,6 +213,7 @@ Accelerator::try_dispatch(net::TraversalPacket& packet)
 
     auto context = std::make_unique<Context>();
     context->packet = std::move(packet);
+    context->arrival_iterations = context->packet.iterations_done;
     context->analysis = analysis_for(context->packet.code);
     if (!context->analysis->valid) {
         // Reject malformed programs with an execution fault response.
@@ -192,7 +249,7 @@ Accelerator::start_memory_phase(CoreId core_id, WorkspaceId ws)
     // Null-page semantics: a null cur_ptr loads zeros without touching
     // DRAM, so programs can use cur_ptr == 0 as a termination test.
     if (context.workspace.cur_ptr == kNullAddr) {
-        const Time tcam_cost = config_.mem_pipeline_latency / 4;
+        const Time tcam_cost = scaled(config_.mem_pipeline_latency / 4);
         stats_.mem_pipeline_time.add(static_cast<double>(tcam_cost));
         queue_.schedule_after(tcam_cost, [this, core_id, ws, load_bytes] {
             Core& c = cores_[core_id];
@@ -210,7 +267,7 @@ Accelerator::start_memory_phase(CoreId core_id, WorkspaceId ws)
     const auto translated = tcam_.translate_span(
         context.workspace.cur_ptr, load_bytes, mem::Perm::kRead);
     if (translated.status == mem::TranslateStatus::kMiss) {
-        const Time tcam_cost = config_.mem_pipeline_latency / 4;
+        const Time tcam_cost = scaled(config_.mem_pipeline_latency / 4);
         stats_.mem_pipeline_time.add(static_cast<double>(tcam_cost));
         queue_.schedule_after(tcam_cost, [this, core_id, ws] {
             finish(core_id, ws, TraversalStatus::kNotLocal,
@@ -220,7 +277,7 @@ Accelerator::start_memory_phase(CoreId core_id, WorkspaceId ws)
     }
     if (translated.status == mem::TranslateStatus::kProtectionFault) {
         stats_.protection_faults.increment();
-        const Time tcam_cost = config_.mem_pipeline_latency / 4;
+        const Time tcam_cost = scaled(config_.mem_pipeline_latency / 4);
         stats_.mem_pipeline_time.add(static_cast<double>(tcam_cost));
         queue_.schedule_after(tcam_cost, [this, core_id, ws] {
             finish(core_id, ws, TraversalStatus::kMemFault,
@@ -237,8 +294,8 @@ Accelerator::start_memory_phase(CoreId core_id, WorkspaceId ws)
     // not observed, which is what makes CAS retry loops meaningful.
     const Time start = std::max(now, core.mem_pipe_free);
     const Time channel_done = channels_.access(start, load_bytes);
-    const Time done =
-        std::max(start + config_.mem_pipeline_latency, channel_done);
+    const Time done = std::max(
+        start + scaled(config_.mem_pipeline_latency), channel_done);
     core.mem_pipe_free = channel_done;
     stats_.loads.increment();
     stats_.mem_pipeline_time.add(static_cast<double>(done - start));
@@ -301,8 +358,9 @@ Accelerator::start_logic_phase(CoreId core_id, WorkspaceId ws,
     };
     isa::IterationResult iter =
         run_iteration(*context.packet.code, context.workspace, cas);
-    const Time t_c = static_cast<Time>(iter.instructions_executed) *
-                     config_.logic_time_per_insn;
+    const Time t_c =
+        scaled(static_cast<Time>(iter.instructions_executed) *
+               config_.logic_time_per_insn);
     const Time done = start + t_c;
     // The datapath is pipelined: the next iterator may enter after the
     // initiation interval, not the full latency.
@@ -407,6 +465,7 @@ Accelerator::send_response(Context& context, TraversalStatus status,
                            ? context.workspace.cur_ptr
                            : context.packet.cur_ptr;
     response.iterations_done = context.packet.iterations_done;
+    response.visit_echo = context.packet.visit_echo;
     response.code = context.packet.code;
     // Responses and forwarded continuations reference installed code.
     response.code_size = net::kCodeIdBytes;
@@ -432,11 +491,15 @@ Accelerator::send_response(Context& context, TraversalStatus status,
     } else {
         stats_.responses_sent.increment();
     }
-    stats_.net_stack_time.add(
-        static_cast<double>(config_.net_stack_latency));
+    // Complete the visit in the replay window: duplicates arriving
+    // from now on get this exact packet replayed.
+    replay_.record_response({context.packet.id,
+                             context.arrival_iterations},
+                            response);
+    const Time deparse = scaled(config_.net_stack_latency);
+    stats_.net_stack_time.add(static_cast<double>(deparse));
     queue_.schedule_after(
-        config_.net_stack_latency,
-        [this, response = std::move(response)]() mutable {
+        deparse, [this, response = std::move(response)]() mutable {
             network_.send_traversal(net::EndpointAddr::mem_node(node_),
                                     std::move(response));
         });

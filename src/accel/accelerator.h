@@ -27,7 +27,9 @@
 
 #include "accel/accel_config.h"
 #include "accel/admission_queue.h"
+#include "accel/replay_window.h"
 #include "common/stats.h"
+#include "faults/fault_plane.h"
 #include "isa/analysis.h"
 #include "mem/global_memory.h"
 #include "mem/memory_channel.h"
@@ -49,6 +51,8 @@ struct AccelStats
     Counter cas_ops;  ///< successful atomic swaps (extension)
     Counter protection_faults;
     Counter queue_drops;
+    Counter duplicates_suppressed;  ///< dups of an executing visit
+    Counter replays_sent;           ///< cached responses replayed
 
     /** Busy-time integrals for utilization/energy (picoseconds). */
     Accumulator net_stack_time;
@@ -92,6 +96,16 @@ class Accelerator
     /** Requests currently executing or queued. */
     std::size_t inflight() const;
 
+    /**
+     * Consult @p plane for this node's slow-factor windows (graceful
+     * degradation: all pipeline latencies stretch by the factor while
+     * a kSlow window is active). nullptr (the default) is a no-op.
+     */
+    void set_fault_plane(const faults::FaultPlane* plane)
+    {
+        fault_plane_ = plane;
+    }
+
     const AccelConfig& config() const { return config_; }
 
   private:
@@ -102,6 +116,8 @@ class Accelerator
         isa::Workspace workspace;
         const isa::ProgramAnalysis* analysis = nullptr;
         std::uint64_t iterations_this_visit = 0;
+        /** iterations_done when the packet arrived: the visit key. */
+        std::uint64_t arrival_iterations = 0;
     };
 
     /** One accelerator core (Fig. 2). */
@@ -124,6 +140,9 @@ class Accelerator
     const isa::ProgramAnalysis* analysis_for(
         const std::shared_ptr<const isa::Program>& program);
 
+    /** Stretch @p t by the node's current slow factor (1.0 = as-is). */
+    Time scaled(Time t) const;
+
     sim::EventQueue& queue_;
     net::Network& network_;
     mem::GlobalMemory& memory_;
@@ -135,6 +154,8 @@ class Accelerator
     AdmissionQueue pending_;
     std::unordered_map<const isa::Program*, isa::ProgramAnalysis>
         analysis_cache_;
+    ReplayWindow replay_;
+    const faults::FaultPlane* fault_plane_ = nullptr;
     AccelStats stats_;
 };
 

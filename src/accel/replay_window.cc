@@ -1,0 +1,80 @@
+#include "accel/replay_window.h"
+
+#include <utility>
+
+namespace pulse::accel {
+
+void
+ReplayWindow::evict_for(ClientId client)
+{
+    std::deque<Key>& order = order_[client];
+    while (order.size() >= capacity_ && !order.empty()) {
+        // FIFO like the real dedup SRAM: oldest visit leaves first. An
+        // entry evicted while a duplicate is still in flight merely
+        // loses suppression for that duplicate — correctness degrades
+        // to at-least-once only when the window is sized far below the
+        // client's in-flight budget.
+        entries_.erase(order.front());
+        order.pop_front();
+    }
+}
+
+void
+ReplayWindow::mark_in_progress(const Key& key)
+{
+    if (!enabled()) {
+        return;
+    }
+    const auto [it, inserted] = entries_.try_emplace(key);
+    if (!inserted) {
+        return;
+    }
+    evict_for(key.id.client);
+    order_[key.id.client].push_back(key);
+}
+
+void
+ReplayWindow::unmark(const Key& key)
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.done) {
+        return;
+    }
+    entries_.erase(it);
+    std::deque<Key>& order = order_[key.id.client];
+    for (auto order_it = order.begin(); order_it != order.end();
+         ++order_it) {
+        if (*order_it == key) {
+            order.erase(order_it);
+            break;
+        }
+    }
+}
+
+void
+ReplayWindow::record_response(const Key& key,
+                              net::TraversalPacket response)
+{
+    if (!enabled()) {
+        return;
+    }
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        // The entry was evicted mid-execution; nothing to record.
+        return;
+    }
+    it->second.done = true;
+    it->second.response = std::move(response);
+}
+
+const net::TraversalPacket*
+ReplayWindow::cached_response(const Key& key) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end() || !it->second.done) {
+        return nullptr;
+    }
+    return &it->second.response;
+}
+
+}  // namespace pulse::accel

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Duplicate-suppression window for the accelerator's network stack.
+ *
+ * The offload engine retransmits requests it believes lost, so the same
+ * (request id, visit) can arrive at an accelerator more than once — via
+ * a retransmitted request, a fault-injected duplicate, or a client
+ * resend racing a slow response. Re-executing is harmless for read-only
+ * traversals but wrong for programs with stores/CAS (a retransmitted
+ * increment must not increment twice). The window makes execution
+ * exactly-once per visit: the first arrival executes, concurrent
+ * duplicates are suppressed, and duplicates of a completed visit get
+ * the cached response replayed (which also repairs dropped inter-node
+ * forwards, since the cached packet is the forward).
+ *
+ * A "visit" is (RequestId, iterations_done at arrival): iterations_done
+ * grows monotonically along a traversal, so each legitimate revisit of
+ * a node by a multi-hop traversal is a distinct key, while byte-for-byte
+ * duplicates collide. Entries are evicted FIFO per client once the
+ * per-client budget is exceeded, bounding memory like the real
+ * accelerator's fixed-size reorder/dedup SRAM.
+ */
+#ifndef PULSE_ACCEL_REPLAY_WINDOW_H
+#define PULSE_ACCEL_REPLAY_WINDOW_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "net/packet.h"
+
+namespace pulse::accel {
+
+/** Bounded exactly-once execution window (one per accelerator). */
+class ReplayWindow
+{
+  public:
+    /** One traversal visit: request id + iterations at arrival. */
+    struct Key
+    {
+        RequestId id;
+        std::uint64_t visit = 0;
+
+        friend bool operator==(const Key&, const Key&) = default;
+    };
+
+    /** What the window knows about an arriving packet's visit. */
+    enum class Verdict : std::uint8_t
+    {
+        kNew,         ///< never seen: execute it (and mark in progress)
+        kInProgress,  ///< executing right now: suppress the duplicate
+        kCached,      ///< finished: replay the recorded response
+    };
+
+    /** @param per_client_entries FIFO budget per client (0 disables). */
+    explicit ReplayWindow(std::size_t per_client_entries)
+        : capacity_(per_client_entries)
+    {
+    }
+
+    bool enabled() const { return capacity_ > 0; }
+
+    /** Classify @p key without modifying the window. */
+    Verdict
+    classify(const Key& key) const
+    {
+        const auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            return Verdict::kNew;
+        }
+        return it->second.done ? Verdict::kCached
+                               : Verdict::kInProgress;
+    }
+
+    /** Begin tracking @p key as executing (evicts FIFO if needed). */
+    void mark_in_progress(const Key& key);
+
+    /**
+     * Drop @p key without recording a response (admission-queue
+     * overflow: the packet was never executed, so a retransmit must be
+     * allowed to execute later).
+     */
+    void unmark(const Key& key);
+
+    /** Record the outgoing packet for @p key; later dups replay it. */
+    void record_response(const Key& key, net::TraversalPacket response);
+
+    /** Cached response for @p key (nullptr unless Verdict::kCached). */
+    const net::TraversalPacket* cached_response(const Key& key) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key& key) const noexcept
+        {
+            const std::size_t h = std::hash<RequestId>()(key.id);
+            // splitmix-style avalanche of the visit into the id hash
+            return h ^ (key.visit + 0x9e3779b97f4a7c15ull + (h << 6) +
+                        (h >> 2));
+        }
+    };
+
+    struct Entry
+    {
+        bool done = false;
+        net::TraversalPacket response;
+    };
+
+    void evict_for(ClientId client);
+
+    std::size_t capacity_;
+    std::unordered_map<Key, Entry, KeyHash> entries_;
+    /** Insertion order per client for FIFO eviction. */
+    std::unordered_map<ClientId, std::deque<Key>> order_;
+};
+
+}  // namespace pulse::accel
+
+#endif  // PULSE_ACCEL_REPLAY_WINDOW_H

@@ -24,6 +24,28 @@ struct RpcRuntime::OpState
     std::uint64_t iterations = 0;
     std::uint32_t bounces = 0;
     Bytes scratch_wire = 0;  ///< scratch bytes shipped per message
+
+    /**
+     * At-most-once phase machine (reliable mode only). One "leg" is
+     * one client -> server -> client exchange; bounces start new legs.
+     * Server side: a duplicate arriving in kServing is ignored (the
+     * original will answer), in kResponded it triggers a cached
+     * response replay. Client side: responses for a superseded leg are
+     * ignored, and kDone makes completion idempotent.
+     */
+    enum class Phase : std::uint8_t {
+        kTravel,     ///< request on the wire (or lost)
+        kServing,    ///< server executing (or queued)
+        kResponded,  ///< response recorded/on the wire
+        kDone,       ///< client accepted the final response
+    };
+    Phase phase = Phase::kTravel;
+    std::uint64_t leg = 0;
+    NodeId target_node = 0;
+    std::uint32_t retransmits = 0;
+    std::uint64_t timer_generation = 0;
+    isa::TraversalStatus resp_status = isa::TraversalStatus::kDone;
+    isa::ExecFault resp_fault = isa::ExecFault::kNone;
 };
 
 RpcRuntime::RpcRuntime(sim::EventQueue& queue, net::Network& network,
@@ -74,19 +96,88 @@ RpcRuntime::issue(const std::shared_ptr<OpState>& state)
     const auto node =
         memory_.address_map().node_for(state->workspace.cur_ptr);
     if (!node.has_value()) {
+        state->phase = OpState::Phase::kDone;
         complete(state, TraversalStatus::kMemFault,
                  isa::ExecFault::kNone);
         return;
     }
+    state->leg++;
+    state->phase = OpState::Phase::kTravel;
+    state->target_node = *node;
+    send_request(state, *node);
+    if (reliable()) {
+        arm_timer(state);
+    }
+}
+
+void
+RpcRuntime::send_request(const std::shared_ptr<OpState>& state,
+                         NodeId node)
+{
     stats_.requests.increment();
     const Bytes request_bytes = net::kNetHeaderBytes +
                                 config_.request_header_bytes +
                                 state->scratch_wire;
+    const std::uint64_t leg = state->leg;
     network_.send_message(net::EndpointAddr::client(client_),
-                          net::EndpointAddr::mem_node(*node),
-                          request_bytes, [this, state, node = *node] {
-                              serve(state, node);
+                          net::EndpointAddr::mem_node(node),
+                          request_bytes, [this, state, node, leg] {
+                              on_request(state, node, leg);
                           });
+}
+
+void
+RpcRuntime::arm_timer(const std::shared_ptr<OpState>& state)
+{
+    const std::uint64_t generation = ++state->timer_generation;
+    const Time delay =
+        config_.retransmit_timeout
+        << std::min<std::uint32_t>(state->retransmits, 6);
+    queue_.schedule_after(delay, [this, state, generation] {
+        if (state->timer_generation != generation ||
+            state->phase == OpState::Phase::kDone) {
+            return;
+        }
+        if (state->retransmits >= config_.max_retransmits) {
+            state->phase = OpState::Phase::kDone;
+            stats_.failures.increment();
+            complete(state, TraversalStatus::kMemFault,
+                     isa::ExecFault::kNone, /*timed_out=*/true);
+            return;
+        }
+        state->retransmits++;
+        stats_.retransmits.increment();
+        // Always resend the request: the server's phase machine turns
+        // it into a no-op (kServing), a response replay (kResponded),
+        // or a fresh execution (the original never arrived).
+        send_request(state, state->target_node);
+        arm_timer(state);
+    });
+}
+
+void
+RpcRuntime::on_request(const std::shared_ptr<OpState>& state,
+                       NodeId node, std::uint64_t leg)
+{
+    if (reliable()) {
+        if (leg != state->leg ||
+            state->phase == OpState::Phase::kDone) {
+            return;  // duplicate from a superseded leg
+        }
+        if (state->phase == OpState::Phase::kServing) {
+            return;  // executing: the original run will answer
+        }
+        if (state->phase == OpState::Phase::kResponded) {
+            // Already executed: replay the recorded response (the
+            // response itself must have been lost or delayed).
+            stats_.replays.increment();
+            send_response(state, node, state->resp_status,
+                          state->resp_fault);
+            return;
+        }
+        state->phase = OpState::Phase::kServing;
+    }
+    serve(state, node);
 }
 
 void
@@ -231,15 +322,42 @@ RpcRuntime::finish_execution(const std::shared_ptr<OpState>& state,
         begin_execution(next, node, worker);
     }
 
+    if (reliable()) {
+        if (state->phase == OpState::Phase::kDone) {
+            // The client already gave up on this operation; don't
+            // resurrect it with a late response.
+            return;
+        }
+        // Record the outcome for cached-response replays.
+        state->phase = OpState::Phase::kResponded;
+        state->resp_status = status;
+        state->resp_fault = fault;
+    }
+    send_response(state, node, status, fault);
+}
+
+void
+RpcRuntime::send_response(const std::shared_ptr<OpState>& state,
+                          NodeId node, TraversalStatus status,
+                          isa::ExecFault fault)
+{
     // Response (same wire format as the request).
     const Bytes response_bytes = net::kNetHeaderBytes +
                                  config_.request_header_bytes +
                                  state->scratch_wire;
     stats_.responses.increment();
+    const std::uint64_t leg = state->leg;
     network_.send_message(
         net::EndpointAddr::mem_node(node),
         net::EndpointAddr::client(client_), response_bytes,
-        [this, state, status, fault] {
+        [this, state, status, fault, leg] {
+            if (reliable()) {
+                if (leg != state->leg ||
+                    state->phase == OpState::Phase::kDone) {
+                    return;  // duplicate/stale response at the client
+                }
+                state->timer_generation++;  // quench the timer
+            }
             if (status == TraversalStatus::kNotLocal &&
                 state->iterations < kIterationGuard) {
                 // Continuation bounce: the client re-issues to the
@@ -254,18 +372,21 @@ RpcRuntime::finish_execution(const std::shared_ptr<OpState>& state,
                 });
                 return;
             }
+            state->phase = OpState::Phase::kDone;
             complete(state, status, fault);
         });
 }
 
 void
 RpcRuntime::complete(const std::shared_ptr<OpState>& state,
-                     TraversalStatus status, isa::ExecFault fault)
+                     TraversalStatus status, isa::ExecFault fault,
+                     bool timed_out)
 {
     const Time finish_cost = static_cast<Time>(
         static_cast<double>(config_.client_overhead) *
         config_.transport_overhead_factor / 2.0);
-    queue_.schedule_after(finish_cost, [this, state, status, fault] {
+    queue_.schedule_after(finish_cost, [this, state, status, fault,
+                                        timed_out] {
         offload::Completion completion;
         completion.status = status;
         completion.fault = fault;
@@ -273,7 +394,9 @@ RpcRuntime::complete(const std::shared_ptr<OpState>& state,
         completion.scratch = state->workspace.scratch;
         completion.iterations = state->iterations;
         completion.client_bounces = state->bounces;
+        completion.retransmits = state->retransmits;
         completion.offloaded = true;
+        completion.timed_out = timed_out;
         completion.latency = queue_.now() - state->submit_time;
         inflight_--;
         if (state->op.done) {

@@ -67,6 +67,22 @@ struct RpcConfig
     /** Request/response wire sizes beyond the scratch payload. */
     Bytes request_header_bytes = 64;
 
+    /**
+     * Opt-in reliable delivery (for fault-injection runs): when > 0,
+     * the client stub retransmits a request after this timeout
+     * (exponential backoff), and servers keep an at-most-once phase
+     * machine per operation — a retransmit of an executing request is
+     * ignored, a retransmit of a finished one gets the cached response
+     * re-sent. 0 (the default) keeps the original fire-and-forget
+     * behaviour, which hangs under loss — eRPC-style transports always
+     * run with reliability on; the knob exists so healthy-network runs
+     * stay bit-identical to the seed model.
+     */
+    Time retransmit_timeout = 0;
+
+    /** Give up (timed-out completion) after this many retransmits. */
+    std::uint32_t max_retransmits = 8;
+
     /** Per-iteration time on the worker core for @p instructions. */
     Time
     cpu_time(std::uint64_t instructions) const
@@ -83,6 +99,9 @@ struct RpcStats
     Counter responses;
     Counter node_bounces;   ///< continuations via the client
     Counter iterations;
+    Counter retransmits;    ///< client-stub request re-sends
+    Counter replays;        ///< server cached-response re-sends
+    Counter failures;       ///< ops abandoned after max retransmits
     Accumulator worker_busy_time;  ///< ps, summed over workers
 };
 
@@ -121,8 +140,24 @@ class RpcRuntime
     /** Issue (or re-issue) the request to the node owning cur_ptr. */
     void issue(const std::shared_ptr<OpState>& state);
 
+    /** Send the current leg's request bytes (initial or retransmit). */
+    void send_request(const std::shared_ptr<OpState>& state,
+                      NodeId node);
+
+    /** Arm the per-operation retransmission timer (reliable mode). */
+    void arm_timer(const std::shared_ptr<OpState>& state);
+
+    /** Request arrival at @p node: dedupe, then claim a worker. */
+    void on_request(const std::shared_ptr<OpState>& state, NodeId node,
+                    std::uint64_t leg);
+
     /** Request arrival at @p node: claim a worker or queue. */
     void serve(const std::shared_ptr<OpState>& state, NodeId node);
+
+    /** Deliver (or re-deliver) the recorded response for @p state. */
+    void send_response(const std::shared_ptr<OpState>& state,
+                       NodeId node, isa::TraversalStatus status,
+                       isa::ExecFault fault);
 
     /** Start executing on a claimed worker. */
     void begin_execution(const std::shared_ptr<OpState>& state,
@@ -139,7 +174,10 @@ class RpcRuntime
                           isa::ExecFault fault);
 
     void complete(const std::shared_ptr<OpState>& state,
-                  isa::TraversalStatus status, isa::ExecFault fault);
+                  isa::TraversalStatus status, isa::ExecFault fault,
+                  bool timed_out = false);
+
+    bool reliable() const { return config_.retransmit_timeout > 0; }
 
     sim::EventQueue& queue_;
     net::Network& network_;

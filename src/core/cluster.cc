@@ -46,6 +46,12 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config)
     net_config.num_mem_nodes = config.num_mem_nodes;
     network_ = std::make_unique<net::Network>(queue_, net_config);
 
+    if (config.faults.enabled()) {
+        fault_plane_ =
+            std::make_unique<faults::FaultPlane>(config.faults);
+        network_->attach_fault_plane(fault_plane_.get());
+    }
+
     std::vector<mem::ChannelSet*> channel_ptrs;
     for (NodeId node = 0; node < config.num_mem_nodes; node++) {
         channels_.push_back(std::make_unique<mem::ChannelSet>(
@@ -56,6 +62,7 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config)
         accelerators_.push_back(std::make_unique<accel::Accelerator>(
             queue_, *network_, *memory_, *channels_.back(), node,
             config.accel));
+        accelerators_.back()->set_fault_plane(fault_plane_.get());
 
         // Hierarchical address translation (section 5): one cur_ptr
         // rule per node at the switch; the node's full region in its
@@ -155,6 +162,9 @@ void
 Cluster::reset_stats()
 {
     network_->reset_stats();
+    if (fault_plane_) {
+        fault_plane_->reset_stats();
+    }
     for (auto& channels : channels_) {
         channels->reset_stats();
     }
@@ -224,6 +234,11 @@ Cluster::register_stats(StatRegistry& registry)
                                   &stats.continuations);
         registry.register_counter(prefix + "failures",
                                   &stats.failures);
+        registry.register_counter(prefix + "stale_responses",
+                                  &stats.stale_responses);
+    }
+    if (fault_plane_) {
+        fault_plane_->register_stats("faults", registry);
     }
     {
         const auto& stats = cache_->stats();
@@ -250,6 +265,12 @@ Cluster::register_stats(StatRegistry& registry)
                                   &stats.node_bounces);
         registry.register_counter(prefix + "iterations",
                                   &stats.iterations);
+        registry.register_counter(prefix + "retransmits",
+                                  &stats.retransmits);
+        registry.register_counter(prefix + "replays",
+                                  &stats.replays);
+        registry.register_counter(prefix + "failures",
+                                  &stats.failures);
         registry.register_accumulator(prefix + "worker_busy_ps",
                                       &stats.worker_busy_time);
     }

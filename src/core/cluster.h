@@ -28,6 +28,7 @@
 #include "baselines/cache_client.h"
 #include "baselines/rpc_runtime.h"
 #include "common/stats.h"
+#include "faults/fault_plane.h"
 #include "mem/allocator.h"
 #include "mem/global_memory.h"
 #include "mem/memory_channel.h"
@@ -79,6 +80,14 @@ struct ClusterConfig
     baselines::RpcConfig rpc_wimpy;
     baselines::AifmConfig aifm;
 
+    /**
+     * Fault-injection plan (chaos testing / robustness ablations). The
+     * default is all-quiet: no FaultPlane is even constructed, so the
+     * fault path is a strict no-op and healthy runs stay bit-identical
+     * to a build without the fault plane.
+     */
+    faults::FaultConfig faults;
+
     ClusterConfig();
 
     /** Configure pulse-ACC (section 7.2): continuations bounce through
@@ -114,6 +123,9 @@ class Cluster
 
     baselines::AifmClient& aifm() { return *aifm_; }
 
+    /** The fault-injection plane; nullptr when faults are all-quiet. */
+    faults::FaultPlane* fault_plane() { return fault_plane_.get(); }
+
     const ClusterConfig& config() const { return config_; }
 
     /**
@@ -144,6 +156,7 @@ class Cluster
     std::unique_ptr<mem::GlobalMemory> memory_;
     std::unique_ptr<mem::ClusterAllocator> allocator_;
     std::unique_ptr<net::Network> network_;
+    std::unique_ptr<faults::FaultPlane> fault_plane_;
     std::vector<std::unique_ptr<mem::ChannelSet>> channels_;
     std::vector<std::unique_ptr<accel::Accelerator>> accelerators_;
     std::vector<std::unique_ptr<offload::OffloadEngine>> offload_;

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Configuration for the deterministic fault-injection plane.
+ *
+ * Two orthogonal fault families are modelled, mirroring how related
+ * simulators (DRackSim, CXL-DMSim) validate under degradation:
+ *
+ *  - **Link faults**: every directed link (endpoint <-> switch) can
+ *    drop, duplicate, corrupt, or delay (reorder-jitter) packets.
+ *    Loss is either independent Bernoulli or a two-state
+ *    Gilbert-Elliott chain for bursty-loss episodes.
+ *  - **Node faults**: a scripted timeline of per-node windows — stall
+ *    (NIC ingress frozen, packets queue until release), blackout
+ *    (node dark: everything to/from it is dropped), and slow-node
+ *    degradation (every accelerator latency scaled by a factor).
+ *
+ * All randomness comes from one seeded generator consumed in event
+ * order, so a given (config, seed) pair reproduces the exact same
+ * fault pattern run-to-run — the determinism contract every test and
+ * benchmark in this repository relies on. A default-constructed
+ * FaultConfig is *inactive*: no generator is consulted and no timing
+ * changes, making the plane a strict no-op when unused.
+ */
+#ifndef PULSE_FAULTS_FAULT_CONFIG_H
+#define PULSE_FAULTS_FAULT_CONFIG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace pulse::faults {
+
+/** Direction of a directed link relative to the switch. */
+enum class LinkDir : std::uint8_t {
+    kToSwitch,    ///< endpoint uplink (endpoint -> switch)
+    kFromSwitch,  ///< endpoint downlink (switch -> endpoint)
+};
+
+/** Fault profile applied to packets crossing one directed link. */
+struct LinkFaultProfile
+{
+    /** Independent (Bernoulli) drop probability per packet. */
+    double loss = 0.0;
+
+    /** Probability a delivered packet is duplicated once. */
+    double duplicate = 0.0;
+
+    /**
+     * Probability the packet's header is corrupted in flight. The
+     * receiving NIC verifies the header checksum, counts the mismatch,
+     * and discards — corrupted requests are never executed.
+     */
+    double corrupt = 0.0;
+
+    /** Probability a packet picks up extra (reordering) delay. */
+    double reorder = 0.0;
+
+    /** Maximum extra delay for reordered packets (uniform in [0, max]). */
+    Time reorder_jitter = 0;
+
+    /**
+     * Gilbert-Elliott bursty loss. When enabled, each packet first
+     * evolves the link's two-state chain (good <-> bad) and then drops
+     * with the state's loss rate; the independent `loss` knob above is
+     * applied in addition (usually left at zero in bursty mode).
+     */
+    bool bursty = false;
+    double burst_p_enter = 0.0;   ///< P(good -> bad) per packet
+    double burst_p_exit = 0.1;    ///< P(bad -> good) per packet
+    double burst_loss_good = 0.0; ///< drop probability in the good state
+    double burst_loss_bad = 0.5;  ///< drop probability in the bad state
+
+    /** True if any fault in this profile can fire. */
+    bool
+    active() const
+    {
+        return loss > 0.0 || duplicate > 0.0 || corrupt > 0.0 ||
+               reorder > 0.0 ||
+               (bursty &&
+                (burst_loss_good > 0.0 ||
+                 (burst_p_enter > 0.0 && burst_loss_bad > 0.0)));
+    }
+};
+
+/** Kinds of scripted per-node degradation. */
+enum class NodeFaultKind : std::uint8_t {
+    /**
+     * The node freezes for the window: packets arriving during it are
+     * held at the NIC and delivered at the window's end (in arrival
+     * order), modelling a GC-style or firmware stall.
+     */
+    kStall,
+
+    /**
+     * The node is dark for the window (crash/power loss): packets to
+     * or from it are dropped. The offload engine's retransmissions
+     * either ride out a short blackout or surface a structured
+     * timed-out failure — the cluster's graceful-degradation path.
+     */
+    kBlackout,
+
+    /**
+     * Slow-node degradation: every accelerator latency (network stack,
+     * scheduler, memory pipeline, logic) is scaled by `slow_factor`
+     * for the window, modelling thermal throttling or a failing DIMM.
+     */
+    kSlow,
+};
+
+/** One entry of the scripted node-fault timeline. */
+struct NodeFaultWindow
+{
+    NodeId node = 0;
+    NodeFaultKind kind = NodeFaultKind::kStall;
+    Time start = 0;  ///< window start (inclusive), simulated time
+    Time end = 0;    ///< window end (exclusive)
+    double slow_factor = 1.0;  ///< kSlow only: latency multiplier
+};
+
+/** Whole-plane configuration. */
+struct FaultConfig
+{
+    /** Seed for the fault plane's private generator. */
+    std::uint64_t seed = 0x5eedfa17;
+
+    /** Profile applied to every directed link (uniform default). */
+    LinkFaultProfile links;
+
+    /** Scripted per-node fault timeline. */
+    std::vector<NodeFaultWindow> timeline;
+
+    /**
+     * True when any fault can fire. Clusters only attach a fault
+     * plane when this holds, so a default config costs nothing.
+     */
+    bool
+    enabled() const
+    {
+        return links.active() || !timeline.empty();
+    }
+};
+
+}  // namespace pulse::faults
+
+#endif  // PULSE_FAULTS_FAULT_CONFIG_H

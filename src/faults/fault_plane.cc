@@ -1,0 +1,140 @@
+#include "faults/fault_plane.h"
+
+namespace pulse::faults {
+
+FaultPlane::FaultPlane(const FaultConfig& config)
+    : config_(config), enabled_(config.enabled()), rng_(config.seed)
+{
+}
+
+std::uint64_t
+FaultPlane::link_key(net::EndpointAddr endpoint, LinkDir dir)
+{
+    const std::uint64_t kind =
+        endpoint.kind == net::EndpointAddr::Kind::kClient ? 0 : 1;
+    return (kind << 63) |
+           (static_cast<std::uint64_t>(dir == LinkDir::kFromSwitch)
+            << 62) |
+           endpoint.index;
+}
+
+PacketFate
+FaultPlane::judge(net::EndpointAddr endpoint, LinkDir dir)
+{
+    PacketFate fate;
+    const LinkFaultProfile& profile = config_.links;
+    if (!profile.active()) {
+        return fate;
+    }
+
+    if (profile.bursty) {
+        bool& bad = burst_state_[link_key(endpoint, dir)];
+        // Evolve the chain, then drop with the state's loss rate.
+        if (bad) {
+            if (profile.burst_p_exit > 0.0 &&
+                rng_.next_bool(profile.burst_p_exit)) {
+                bad = false;
+            }
+        } else if (profile.burst_p_enter > 0.0 &&
+                   rng_.next_bool(profile.burst_p_enter)) {
+            bad = true;
+        }
+        const double p =
+            bad ? profile.burst_loss_bad : profile.burst_loss_good;
+        if (p > 0.0 && rng_.next_bool(p)) {
+            stats_.burst_drops.increment();
+            fate.drop = true;
+            return fate;
+        }
+    }
+
+    if (profile.loss > 0.0 && rng_.next_bool(profile.loss)) {
+        stats_.link_drops.increment();
+        fate.drop = true;
+        return fate;
+    }
+    if (profile.corrupt > 0.0 && rng_.next_bool(profile.corrupt)) {
+        stats_.corruptions.increment();
+        fate.corrupt = true;
+        // Guarantee at least one flipped bit so the checksum check
+        // cannot accidentally pass.
+        fate.corrupt_mask = rng_.next_u64() | 1;
+    }
+    if (profile.duplicate > 0.0 &&
+        rng_.next_bool(profile.duplicate)) {
+        stats_.duplicates.increment();
+        fate.duplicate = true;
+    }
+    if (profile.reorder > 0.0 && rng_.next_bool(profile.reorder)) {
+        stats_.reorders.increment();
+        fate.extra_delay = profile.reorder_jitter > 0
+                               ? static_cast<Time>(rng_.next_below(
+                                     static_cast<std::uint64_t>(
+                                         profile.reorder_jitter) +
+                                     1))
+                               : 0;
+    }
+    return fate;
+}
+
+bool
+FaultPlane::node_dark(NodeId node, Time now) const
+{
+    for (const NodeFaultWindow& window : config_.timeline) {
+        if (window.kind == NodeFaultKind::kBlackout &&
+            window.node == node && now >= window.start &&
+            now < window.end) {
+            return true;
+        }
+    }
+    return false;
+}
+
+Time
+FaultPlane::node_release(NodeId node, Time now) const
+{
+    Time release = now;
+    for (const NodeFaultWindow& window : config_.timeline) {
+        if (window.kind == NodeFaultKind::kStall &&
+            window.node == node && now >= window.start &&
+            now < window.end && window.end > release) {
+            release = window.end;
+        }
+    }
+    return release;
+}
+
+double
+FaultPlane::node_slow_factor(NodeId node, Time now) const
+{
+    double factor = 1.0;
+    for (const NodeFaultWindow& window : config_.timeline) {
+        if (window.kind == NodeFaultKind::kSlow &&
+            window.node == node && now >= window.start &&
+            now < window.end && window.slow_factor > factor) {
+            factor = window.slow_factor;
+        }
+    }
+    return factor;
+}
+
+void
+FaultPlane::register_stats(const std::string& prefix,
+                           StatRegistry& registry)
+{
+    registry.register_counter(prefix + ".link_drops",
+                              &stats_.link_drops);
+    registry.register_counter(prefix + ".burst_drops",
+                              &stats_.burst_drops);
+    registry.register_counter(prefix + ".duplicates",
+                              &stats_.duplicates);
+    registry.register_counter(prefix + ".corruptions",
+                              &stats_.corruptions);
+    registry.register_counter(prefix + ".reorders", &stats_.reorders);
+    registry.register_counter(prefix + ".blackout_drops",
+                              &stats_.blackout_drops);
+    registry.register_counter(prefix + ".stall_holds",
+                              &stats_.stall_holds);
+}
+
+}  // namespace pulse::faults

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The fault-injection plane: one object that owns all fault state —
+ * the seeded generator, per-link Gilbert-Elliott chains, the scripted
+ * node timeline, and the injection counters.
+ *
+ * The network consults `judge()` once per packet per directed link and
+ * `node_dark()`/`node_release()` at delivery; the accelerator consults
+ * `node_slow_factor()` when costing its pipelines. All queries are
+ * pure functions of (config, seed, call order), so simulations remain
+ * bit-deterministic under injected faults.
+ */
+#ifndef PULSE_FAULTS_FAULT_PLANE_H
+#define PULSE_FAULTS_FAULT_PLANE_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "faults/fault_config.h"
+#include "net/packet.h"
+
+namespace pulse::faults {
+
+/** Injection counters (registered under "faults." by the cluster). */
+struct FaultStats
+{
+    Counter link_drops;        ///< independent-loss drops
+    Counter burst_drops;       ///< Gilbert-Elliott drops
+    Counter duplicates;        ///< packets duplicated
+    Counter corruptions;       ///< headers corrupted in flight
+    Counter reorders;          ///< packets given extra delay
+    Counter blackout_drops;    ///< packets dropped at a dark node
+    Counter stall_holds;       ///< packets held by a stalled node
+};
+
+/** Verdict for one packet crossing one directed link. */
+struct PacketFate
+{
+    bool drop = false;       ///< lost on the link
+    bool duplicate = false;  ///< an extra copy is delivered
+    bool corrupt = false;    ///< header corrupted (NIC will discard)
+    Time extra_delay = 0;    ///< reorder jitter to add
+    std::uint64_t corrupt_mask = 0;  ///< nonzero bit flips to apply
+};
+
+/** All fault state for one simulated rack. */
+class FaultPlane
+{
+  public:
+    explicit FaultPlane(const FaultConfig& config);
+
+    /** True when any fault can ever fire (mirrors config.enabled()). */
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Judge one packet crossing the directed link of @p endpoint in
+     * direction @p dir. Consumes randomness only for knobs that are
+     * non-zero, so an all-zero profile never touches the generator.
+     */
+    PacketFate judge(net::EndpointAddr endpoint, LinkDir dir);
+
+    /** True when @p node is blacked out at time @p now. */
+    bool node_dark(NodeId node, Time now) const;
+
+    /**
+     * Earliest time a packet arriving at @p node at @p now can be
+     * delivered: @p now normally, or the stall window's end when the
+     * node is stalled.
+     */
+    Time node_release(NodeId node, Time now) const;
+
+    /** Latency multiplier for @p node at @p now (1.0 = healthy). */
+    double node_slow_factor(NodeId node, Time now) const;
+
+    const FaultStats& stats() const { return stats_; }
+
+    /**
+     * Reset injection counters only. Generator and Gilbert-Elliott
+     * chain state are process state, not statistics — they survive so
+     * warmup/measure splits do not restart the loss process.
+     */
+    void reset_stats() { stats_ = FaultStats{}; }
+
+    /** Account a stall hold (called by the network when it defers). */
+    void count_stall_hold() { stats_.stall_holds.increment(); }
+
+    /** Account a blackout drop (called by the network). */
+    void count_blackout_drop() { stats_.blackout_drops.increment(); }
+
+    /** Register the injection counters under @p prefix. */
+    void register_stats(const std::string& prefix,
+                        StatRegistry& registry);
+
+    const FaultConfig& config() const { return config_; }
+
+  private:
+    /** Dense key for one directed link. */
+    static std::uint64_t link_key(net::EndpointAddr endpoint,
+                                  LinkDir dir);
+
+    FaultConfig config_;
+    bool enabled_ = false;
+    Rng rng_;
+    /** Gilbert-Elliott state per directed link (true = bad state). */
+    std::unordered_map<std::uint64_t, bool> burst_state_;
+    FaultStats stats_;
+};
+
+}  // namespace pulse::faults
+
+#endif  // PULSE_FAULTS_FAULT_PLANE_H

@@ -12,6 +12,8 @@
 #ifndef PULSE_NET_LINK_H
 #define PULSE_NET_LINK_H
 
+#include <cstdint>
+
 #include "common/units.h"
 
 namespace pulse::net {
@@ -38,6 +40,9 @@ class Link
     /** Total bytes sent. */
     Bytes bytes_sent() const { return bytes_; }
 
+    /** Total packets sent. */
+    std::uint64_t packets_sent() const { return packets_; }
+
     /** Time spent serializing. */
     Time busy_time() const { return busy_time_; }
 
@@ -52,6 +57,7 @@ class Link
     Time propagation_;
     Time busy_until_ = 0;
     Bytes bytes_ = 0;
+    std::uint64_t packets_ = 0;
     Time busy_time_ = 0;
 };
 

@@ -76,9 +76,95 @@ Network::downlink(EndpointAddr to, Time at_switch, Bytes size)
     return arrival + nic_overhead(to);
 }
 
+Network::DeliveryPlan
+Network::plan_delivery(EndpointAddr from, EndpointAddr to)
+{
+    DeliveryPlan plan;
+    // Legacy uniform loss knob (independent of the fault plane).
+    if (config_.loss_probability > 0.0 &&
+        loss_rng_.next_bool(config_.loss_probability)) {
+        plan.drop = true;
+        dropped_++;
+        return plan;
+    }
+    if (fault_plane_ == nullptr || !fault_plane_->enabled()) {
+        return plan;
+    }
+    const auto merge = [&plan](const faults::PacketFate& fate) {
+        plan.drop |= fate.drop;
+        plan.duplicate |= fate.duplicate;
+        if (fate.corrupt) {
+            plan.corrupt = true;
+            plan.corrupt_mask = fate.corrupt_mask;
+        }
+        plan.extra_delay += fate.extra_delay;
+    };
+    merge(fault_plane_->judge(from, faults::LinkDir::kToSwitch));
+    if (!plan.drop) {
+        // Only a packet that survived the uplink reaches the downlink.
+        merge(fault_plane_->judge(to, faults::LinkDir::kFromSwitch));
+    }
+    if (plan.drop) {
+        dropped_++;
+    }
+    return plan;
+}
+
+bool
+Network::source_dark(EndpointAddr addr)
+{
+    return fault_plane_ != nullptr && fault_plane_->enabled() &&
+           addr.kind == EndpointAddr::Kind::kMemNode &&
+           fault_plane_->node_dark(addr.index, queue_.now());
+}
+
+void
+Network::deliver_traversal(EndpointAddr to, Time at_switch, Bytes size,
+                           TraversalPacket packet)
+{
+    Time delivery = downlink(to, at_switch, size);
+    if (fault_plane_ != nullptr && fault_plane_->enabled() &&
+        to.kind == EndpointAddr::Kind::kMemNode) {
+        if (fault_plane_->node_dark(to.index, delivery)) {
+            fault_plane_->count_blackout_drop();
+            return;
+        }
+        const Time release =
+            fault_plane_->node_release(to.index, delivery);
+        if (release > delivery) {
+            // Stalled node: the NIC holds the packet until the stall
+            // window ends (think PFC pause / frozen host).
+            fault_plane_->count_stall_hold();
+            delivery = release;
+        }
+    }
+    Port& dest = port(to);
+    PULSE_ASSERT(static_cast<bool>(dest.traversal_sink),
+                 "no traversal sink at destination endpoint");
+    TraversalSink& sink = dest.traversal_sink;
+    queue_.schedule_at(delivery, [this, &sink,
+                                  packet = std::move(packet)]() mutable {
+        if (!verify_packet(packet)) {
+            // Receiving NIC: UDP checksum mismatch, discard silently.
+            checksum_drops_++;
+            return;
+        }
+        sink(std::move(packet));
+    });
+}
+
 void
 Network::send_traversal(EndpointAddr from, TraversalPacket packet)
 {
+    if (source_dark(from)) {
+        // A blacked-out node transmits nothing.
+        fault_plane_->count_blackout_drop();
+        return;
+    }
+    if (packet.checksum == 0) {
+        // Sender NIC seals the header (models UDP checksum offload).
+        seal_packet(packet);
+    }
     const Bytes size = packet.wire_size();
     const Time at_switch = uplink(from, size) + config_.switch_latency;
 
@@ -98,36 +184,68 @@ Network::send_traversal(EndpointAddr from, TraversalPacket packet)
         packet.status = isa::TraversalStatus::kDone;
     }
 
-    if (config_.loss_probability > 0.0 &&
-        loss_rng_.next_bool(config_.loss_probability)) {
-        dropped_++;
+    DeliveryPlan plan = plan_delivery(from, decision.destination);
+    if (plan.drop) {
         return;
     }
-
-    const Time delivery = downlink(decision.destination, at_switch, size);
-    Port& dest = port(decision.destination);
-    PULSE_ASSERT(static_cast<bool>(dest.traversal_sink),
-                 "no traversal sink at destination endpoint");
-    TraversalSink& sink = dest.traversal_sink;
-    queue_.schedule_at(delivery,
-                       [&sink, packet = std::move(packet)]() mutable {
-                           sink(std::move(packet));
-                       });
+    if (plan.corrupt) {
+        // In-flight bit flips on a sealed field; routing already
+        // happened (per-hop link CRCs pass, the end-to-end checksum
+        // catches it at the receiving NIC).
+        packet.cur_ptr ^= plan.corrupt_mask;
+    }
+    if (plan.duplicate) {
+        TraversalPacket copy = packet;
+        deliver_traversal(decision.destination,
+                          at_switch + plan.extra_delay, size,
+                          std::move(copy));
+    }
+    deliver_traversal(decision.destination, at_switch + plan.extra_delay,
+                      size, std::move(packet));
 }
 
 void
 Network::send_message(EndpointAddr from, EndpointAddr to, Bytes size,
                       MessageSink deliver)
 {
-    const Time at_switch = uplink(from, size) + config_.switch_latency;
-    routed_++;
-    if (config_.loss_probability > 0.0 &&
-        loss_rng_.next_bool(config_.loss_probability)) {
-        dropped_++;
+    if (source_dark(from)) {
+        fault_plane_->count_blackout_drop();
         return;
     }
-    const Time delivery = downlink(to, at_switch, size);
-    queue_.schedule_at(delivery, std::move(deliver));
+    const Time at_switch = uplink(from, size) + config_.switch_latency;
+    routed_++;
+    DeliveryPlan plan = plan_delivery(from, to);
+    if (plan.drop) {
+        return;
+    }
+    const auto schedule_copy = [&](MessageSink sink) {
+        Time delivery =
+            downlink(to, at_switch + plan.extra_delay, size);
+        if (fault_plane_ != nullptr && fault_plane_->enabled() &&
+            to.kind == EndpointAddr::Kind::kMemNode) {
+            if (fault_plane_->node_dark(to.index, delivery)) {
+                fault_plane_->count_blackout_drop();
+                return;
+            }
+            const Time release =
+                fault_plane_->node_release(to.index, delivery);
+            if (release > delivery) {
+                fault_plane_->count_stall_hold();
+                delivery = release;
+            }
+        }
+        if (plan.corrupt) {
+            // The message still burns downlink bandwidth but the
+            // receiving NIC discards it (bad checksum).
+            checksum_drops_++;
+            return;
+        }
+        queue_.schedule_at(delivery, std::move(sink));
+    };
+    if (plan.duplicate) {
+        schedule_copy(deliver);
+    }
+    schedule_copy(std::move(deliver));
 }
 
 Bytes
@@ -155,6 +273,7 @@ Network::reset_stats()
     }
     dropped_ = 0;
     routed_ = 0;
+    checksum_drops_ = 0;
 }
 
 }  // namespace pulse::net

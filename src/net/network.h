@@ -14,7 +14,10 @@
  * Both services share the same links and switch pipeline, so bandwidth
  * comparisons across systems (Fig. 6) are apples-to-apples. A loss
  * probability knob exercises the offload engine's timeout/retransmit
- * path.
+ * path, and an optional fault-injection plane (src/faults) adds
+ * per-link loss/duplication/corruption/jitter and scripted node
+ * stall/blackout windows; when no plane is attached the fault path is
+ * a strict no-op.
  */
 #ifndef PULSE_NET_NETWORK_H
 #define PULSE_NET_NETWORK_H
@@ -25,6 +28,7 @@
 
 #include "common/random.h"
 #include "common/units.h"
+#include "faults/fault_plane.h"
 #include "net/link.h"
 #include "net/packet.h"
 #include "net/switch.h"
@@ -109,6 +113,20 @@ class Network
     /** Packets the switch routed. */
     std::uint64_t packets_routed() const { return routed_; }
 
+    /** Packets a receiving NIC discarded for a bad header checksum. */
+    std::uint64_t checksum_drops() const { return checksum_drops_; }
+
+    /**
+     * Attach the fault-injection plane (nullptr detaches). The network
+     * does not own the plane; the cluster does. With no plane attached
+     * — or a plane whose config is all-quiet — delivery timing and the
+     * loss RNG stream are bit-identical to the plain network.
+     */
+    void attach_fault_plane(faults::FaultPlane* plane)
+    {
+        fault_plane_ = plane;
+    }
+
     /** Reset byte/packet statistics. */
     void reset_stats();
 
@@ -124,9 +142,40 @@ class Network
         Bytes rx_bytes = 0;
     };
 
+    /**
+     * Combined verdict for one end-to-end delivery: the legacy uniform
+     * loss knob plus the fault plane's judgement on both directed links
+     * (uplink of the sender, downlink of the receiver).
+     */
+    struct DeliveryPlan
+    {
+        bool drop = false;
+        bool duplicate = false;
+        bool corrupt = false;
+        std::uint64_t corrupt_mask = 0;
+        Time extra_delay = 0;
+    };
+
     Port& port(EndpointAddr addr);
     const Port& port(EndpointAddr addr) const;
     Time nic_overhead(EndpointAddr addr) const;
+
+    /**
+     * Single loss/fault decision point for both delivery services
+     * (send_traversal and send_message previously duplicated the loss
+     * branch). Counts drops; draws randomness only when a knob is on.
+     */
+    DeliveryPlan plan_delivery(EndpointAddr from, EndpointAddr to);
+
+    /** True when @p addr is a memory node inside a blackout window. */
+    bool source_dark(EndpointAddr addr);
+
+    /**
+     * Schedule one traversal-packet copy: downlink serialization, node
+     * stall/blackout handling, NIC checksum verification, then sink.
+     */
+    void deliver_traversal(EndpointAddr to, Time at_switch, Bytes size,
+                           TraversalPacket packet);
 
     /** First hop: endpoint to switch; returns switch-arrival time. */
     Time uplink(EndpointAddr from, Bytes size);
@@ -138,10 +187,12 @@ class Network
     NetworkConfig config_;
     SwitchTable table_;
     Rng loss_rng_;
+    faults::FaultPlane* fault_plane_ = nullptr;
     std::vector<Port> client_ports_;
     std::vector<Port> node_ports_;
     std::uint64_t dropped_ = 0;
     std::uint64_t routed_ = 0;
+    std::uint64_t checksum_drops_ = 0;
 };
 
 }  // namespace pulse::net

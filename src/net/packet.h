@@ -80,6 +80,27 @@ struct TraversalPacket
     std::uint64_t iterations_done = 0;
 
     /**
+     * Echo of the request's iterations_done at the issuing client
+     * (section 4.1's request-id mechanism extended for reliable
+     * delivery): every response and forwarded continuation descending
+     * from one client issue carries the issue's value, so the client
+     * can reject stale duplicates of an earlier visit after it has
+     * already resumed the traversal. On the wire this echoes a header
+     * word the packet already carries (the request's iterations field),
+     * so wire_size() is unchanged.
+     */
+    std::uint64_t visit_echo = 0;
+
+    /**
+     * Header checksum over the fields the switch never rewrites
+     * (id, origin, cur_ptr, visit_echo). Models the UDP checksum
+     * already counted inside kNetHeaderBytes: the receiving NIC
+     * verifies it and discards corrupted packets instead of executing
+     * them. Zero means "not sealed" (checksum not computed).
+     */
+    std::uint64_t checksum = 0;
+
+    /**
      * True for pulse proper: the switch may re-route a kNotLocal
      * response to the owning memory node. False for the pulse-ACC
      * ablation (section 7.2), which bounces such responses through the
@@ -114,6 +135,19 @@ struct TraversalPacket
 /** Convenience: attach @p program to @p packet, caching encoded size. */
 void attach_program(TraversalPacket& packet,
                     std::shared_ptr<const isa::Program> program);
+
+/**
+ * Header checksum over the switch-invariant fields of @p packet
+ * (id, origin, cur_ptr, visit_echo). Never returns zero, so a sealed
+ * packet is distinguishable from an unsealed one.
+ */
+std::uint64_t header_checksum(const TraversalPacket& packet);
+
+/** Seal @p packet: store its header checksum. */
+void seal_packet(TraversalPacket& packet);
+
+/** Verify a sealed packet's header; unsealed packets pass. */
+bool verify_packet(const TraversalPacket& packet);
 
 }  // namespace pulse::net
 

@@ -17,6 +17,16 @@ constexpr std::uint64_t kGlobalIterationGuard = 1u << 20;
 /** Wire size of a one-sided read request (headers + addr + len). */
 constexpr Bytes kRemoteReadRequestBytes = net::kNetHeaderBytes + 16;
 
+/** SplitMix64 finalizer for the deterministic backoff jitter. */
+std::uint64_t
+jitter_hash(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
 }  // namespace
 
 OffloadEngine::OffloadEngine(sim::EventQueue& queue,
@@ -24,7 +34,9 @@ OffloadEngine::OffloadEngine(sim::EventQueue& queue,
                              mem::GlobalMemory& memory, ClientId client,
                              const OffloadConfig& config)
     : queue_(queue), network_(network), memory_(memory),
-      client_(client), config_(config)
+      client_(client), config_(config),
+      rto_(config.retransmit_timeout, config.rto_min,
+           config.retransmit_timeout, config.rto_srtt_multiplier)
 {
     network_.attach_traversal_sink(
         net::EndpointAddr::client(client_),
@@ -120,6 +132,10 @@ OffloadEngine::issue(std::uint64_t key, VirtAddr cur_ptr,
     packet.is_response = false;
     packet.cur_ptr = cur_ptr;
     packet.iterations_done = iterations_done;
+    // Every packet descending from this leg (responses, forwarded
+    // continuations, replayed duplicates) echoes this value; responses
+    // carrying an older echo are stale and get dropped.
+    packet.visit_echo = iterations_done;
     packet.allow_switch_continuation = config_.switch_continuation;
     attach_program(packet, inflight.op.program);
     // After the program is installed at the accelerators, requests
@@ -133,6 +149,9 @@ OffloadEngine::issue(std::uint64_t key, VirtAddr cur_ptr,
     packet.scratch = std::move(scratch);
 
     inflight.last_request = packet;
+    inflight.leg_issue_time = queue_.now();
+    inflight.leg_retransmitted = false;
+    inflight.expected_echo = iterations_done;
     arm_timer(key);
     network_.send_traversal(net::EndpointAddr::client(client_),
                             std::move(packet));
@@ -146,9 +165,21 @@ OffloadEngine::arm_timer(std::uint64_t key)
     const std::uint64_t generation = ++it->second.timer_generation;
     // Exponential backoff keeps loaded (queued) traversals from being
     // duplicated by premature retransmissions.
-    const Time delay =
-        config_.retransmit_timeout
-        << std::min<std::uint32_t>(it->second.retransmits, 6);
+    const Time base = config_.adaptive_rto ? rto_.rto()
+                                           : config_.retransmit_timeout;
+    Time delay =
+        base << std::min<std::uint32_t>(it->second.retransmits, 6);
+    if (config_.rto_jitter_fraction > 0.0) {
+        // Deterministic jitter from a per-(op, attempt) hash: spreads
+        // simultaneous timeouts without consuming any RNG stream.
+        const std::uint64_t h = jitter_hash(
+            (static_cast<std::uint64_t>(client_) << 40) ^ (key << 8) ^
+            generation);
+        const double unit =
+            static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+        delay += static_cast<Time>(static_cast<double>(delay) *
+                                   config_.rto_jitter_fraction * unit);
+    }
     queue_.schedule_after(delay, [this, key, generation] {
         auto pos = inflight_.find(key);
         if (pos == inflight_.end() ||
@@ -169,6 +200,9 @@ OffloadEngine::arm_timer(std::uint64_t key)
         }
         inflight.retransmits++;
         stats_.retransmits.increment();
+        // Karn's rule: once a leg is retransmitted, its response can
+        // no longer be attributed to one copy — take no RTT sample.
+        inflight.leg_retransmitted = true;
         net::TraversalPacket copy = inflight.last_request;
         arm_timer(key);
         network_.send_traversal(net::EndpointAddr::client(client_),
@@ -188,6 +222,17 @@ OffloadEngine::on_response(net::TraversalPacket&& packet)
         return;  // duplicate of an already-completed request
     }
     InFlight& inflight = it->second;
+    if (packet.visit_echo != inflight.expected_echo) {
+        // Stale duplicate from a leg this op already resumed past
+        // (e.g. a replayed kMaxIter response racing the continuation).
+        // Dropped *without* quenching the timer: the live leg is still
+        // awaiting its own response.
+        stats_.stale_responses.increment();
+        return;
+    }
+    if (config_.adaptive_rto && !inflight.leg_retransmitted) {
+        rto_.sample(queue_.now() - inflight.leg_issue_time);
+    }
     inflight.timer_generation++;  // quench the timer
     inflight.iterations = packet.iterations_done;
 
@@ -287,9 +332,14 @@ OffloadEngine::run_fallback(Operation&& op)
         }
     };
 
-    // One iteration step; re-schedules itself until termination.
+    // One iteration step; re-schedules itself until termination. The
+    // lambda holds itself only weakly — strong references live in the
+    // scheduled continuations — so the chain frees once it terminates.
     auto step = std::make_shared<std::function<void()>>();
-    *step = [this, state, finish, step] {
+    *step = [this, state, finish,
+             weak_step = std::weak_ptr<std::function<void()>>(step)] {
+        auto step = weak_step.lock();
+        PULSE_ASSERT(step != nullptr, "fallback step outlived itself");
         const std::uint32_t load_bytes = state->op.program->load_bytes();
         const VirtAddr ptr = state->workspace.cur_ptr;
         if (ptr == kNullAddr && load_bytes > 0) {

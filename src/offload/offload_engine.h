@@ -30,6 +30,7 @@
 #include "isa/analysis.h"
 #include "mem/global_memory.h"
 #include "net/network.h"
+#include "offload/rto_estimator.h"
 #include "sim/event_queue.h"
 
 namespace pulse::offload {
@@ -53,17 +54,52 @@ struct OffloadConfig
     Time response_software_overhead = nanos(250.0);
 
     /**
-     * Retransmission timeout (exponential backoff on retries). Must
-     * comfortably exceed the longest legitimate *loaded* traversal —
-     * a multi-node continuation chain under closed-loop saturation can
-     * queue for milliseconds — or retransmits duplicate execution and
-     * collapse throughput. Production stacks derive this from an RTT
-     * estimator; the model uses a generous constant.
+     * Retransmission timeout before the first RTT sample, and the
+     * upper clamp for the adaptive estimator (exponential backoff on
+     * retries applies on top). Must comfortably exceed the longest
+     * legitimate *loaded* traversal — a multi-node continuation chain
+     * under closed-loop saturation can queue for milliseconds — or
+     * retransmits duplicate execution and collapse throughput. With
+     * adaptive_rto the engine converges to srtt + 4*rttvar well below
+     * this, so recovery under loss is orders of magnitude faster.
      */
     Time retransmit_timeout = micros(20000.0);
 
     /** Give up after this many retransmissions of one request. */
     std::uint32_t max_retransmits = 8;
+
+    /**
+     * Derive the retransmission timeout from a Jacobson/Karels RTT
+     * estimator (srtt/rttvar, Karn's rule) instead of the fixed
+     * constant. The fixed retransmit_timeout remains the initial value
+     * and the ceiling. Off by default: under closed-loop saturation
+     * the RTT a request sees is dominated by queueing that ramps
+     * faster than the estimator tracks, so a converged (small) RTO
+     * fires spuriously and the duplicate traffic perturbs healthy-
+     * network throughput; fault-injection runs (tests/test_faults,
+     * bench/ablation_faults) turn it on for fast loss recovery.
+     */
+    bool adaptive_rto = false;
+
+    /** Lower clamp for the adaptive timeout. */
+    Time rto_min = micros(100.0);
+
+    /**
+     * Adaptive-timeout floor as a multiple of srtt: guards against
+     * variance collapse when simulated RTTs are near-constant (then
+     * srtt + 4*rttvar barely exceeds srtt and any queueing excursion
+     * would fire a spurious retransmit).
+     */
+    double rto_srtt_multiplier = 2.0;
+
+    /**
+     * Deterministic jitter added to each armed timeout, as a fraction
+     * of the delay: de-synchronizes retransmit storms across clients
+     * after a blackout. Drawn from a hash of (client, op, attempt) —
+     * no shared RNG stream, so enabling it cannot perturb any other
+     * random decision in the run.
+     */
+    double rto_jitter_fraction = 0.1;
 
     /** pulse vs pulse-ACC: may the switch re-route continuations? */
     bool switch_continuation = true;
@@ -131,6 +167,7 @@ struct OffloadStats
     Counter client_bounces;
     Counter continuations;
     Counter failures;
+    Counter stale_responses;  ///< dropped: echo of a superseded visit
 };
 
 /** The per-client offload engine. */
@@ -161,6 +198,9 @@ class OffloadEngine
     void reset_stats() { stats_ = OffloadStats{}; }
     const OffloadConfig& config() const { return config_; }
 
+    /** The adaptive RTT estimator (exposed for tests/benches). */
+    const RtoEstimator& rto_estimator() const { return rto_; }
+
   private:
     struct InFlight
     {
@@ -172,6 +212,12 @@ class OffloadEngine
         std::uint32_t continuations = 0;
         std::uint64_t timer_generation = 0;
         net::TraversalPacket last_request;  ///< for retransmission
+        /** When the current leg's request hit the wire (RTT anchor). */
+        Time leg_issue_time = 0;
+        /** Karn's rule: a retransmitted leg yields no RTT sample. */
+        bool leg_retransmitted = false;
+        /** visit_echo the current leg's response must carry. */
+        std::uint64_t expected_echo = 0;
     };
 
     void issue(std::uint64_t key, VirtAddr cur_ptr,
@@ -193,6 +239,7 @@ class OffloadEngine
         analysis_cache_;
     std::unordered_map<const isa::Program*, std::uint32_t>
         code_sends_;
+    RtoEstimator rto_;
     OffloadStats stats_;
 };
 

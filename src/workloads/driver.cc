@@ -46,7 +46,11 @@ run_closed_loop(sim::EventQueue& queue, const SubmitFn& submit,
             state->done++;
             if (state->measuring) {
                 state->result.completed++;
-                state->result.latency.add(completion.latency);
+                if (completion.timed_out) {
+                    state->result.failed_ops++;
+                } else {
+                    state->result.latency.add(completion.latency);
+                }
                 state->result.iterations += completion.iterations;
                 if (completion.status != isa::TraversalStatus::kDone ||
                     completion.timed_out) {
@@ -90,6 +94,11 @@ run_closed_loop(sim::EventQueue& queue, const SubmitFn& submit,
                                   "(%llu of %llu ops done)",
                  static_cast<unsigned long long>(state->done),
                  static_cast<unsigned long long>(total_ops));
+
+    // issue_next's lambda captures issue_next itself (so completions
+    // can re-enter it); clear the function to break the cycle, or the
+    // state never frees.
+    *issue_next = nullptr;
 
     DriverResult result = std::move(state->result);
     if (result.measure_time > 0) {

@@ -47,6 +47,13 @@ struct DriverResult
     Time measure_time = 0;      ///< measurement window length
     std::uint64_t completed = 0;
     std::uint64_t errors = 0;   ///< mem faults / timeouts / exec faults
+    /**
+     * Operations the engine gave up on (max retransmits exhausted).
+     * Subset of errors; their give-up "latency" is an artifact of the
+     * timeout ladder, so they are excluded from the latency histogram
+     * instead of polluting the tail percentiles.
+     */
+    std::uint64_t failed_ops = 0;
     std::uint64_t iterations = 0;
     double throughput = 0.0;    ///< ops per second over the window
 };
