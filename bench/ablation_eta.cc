@@ -162,5 +162,6 @@ main(int argc, char** argv)
                      std::to_string(point.fallbacks)});
     }
     eta.print();
+    MetricsSink::instance().flush();
     return 0;
 }

@@ -135,5 +135,14 @@ main(int argc, char** argv)
                        fmt(point.fifo_us / point.fair_us, "%.1f")});
     }
     table.print();
+
+    auto& metrics = MetricsSink::instance().exporter();
+    for (const auto& point : g_points) {
+        const std::string prefix =
+            "fairness.flood" + std::to_string(point.flood) + ".";
+        metrics.set(prefix + "fifo_us", point.fifo_us);
+        metrics.set(prefix + "fair_us", point.fair_us);
+    }
+    MetricsSink::instance().flush();
     return 0;
 }

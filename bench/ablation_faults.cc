@@ -218,5 +218,29 @@ main(int argc, char** argv)
                        std::to_string(point.replays)});
     }
     stall.print();
+
+    auto& metrics = MetricsSink::instance().exporter();
+    const auto record = [&metrics](const std::string& sweep,
+                                   const FaultPoint& point) {
+        const std::string prefix =
+            "faults." + sweep + "." +
+            core::system_name(point.system) + "." + point.label + ".";
+        metrics.set(prefix + "goodput_kops", point.goodput_kops);
+        metrics.set(prefix + "mean_us", point.mean_us);
+        metrics.set(prefix + "p99_us", point.p99_us);
+        metrics.set(prefix + "retransmits",
+                    static_cast<double>(point.retransmits));
+        metrics.set(prefix + "replays",
+                    static_cast<double>(point.replays));
+        metrics.set(prefix + "failed",
+                    static_cast<double>(point.failed));
+    };
+    for (const auto& point : g_loss) {
+        record("loss", point);
+    }
+    for (const auto& point : g_stall) {
+        record("stall", point);
+    }
+    MetricsSink::instance().flush();
     return 0;
 }

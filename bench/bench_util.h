@@ -12,6 +12,7 @@
 #define PULSE_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -21,6 +22,7 @@
 #include "core/cluster.h"
 #include "energy/energy_model.h"
 #include "isa/analysis.h"
+#include "trace/metrics_exporter.h"
 #include "workloads/driver.h"
 
 namespace pulse::bench {
@@ -229,6 +231,94 @@ measure_energy_per_op(core::Cluster& cluster, core::SystemKind system,
     return joules / static_cast<double>(result.completed);
 }
 
+/**
+ * Process-wide unified metrics sink. Enabled by setting the
+ * PULSE_METRICS_OUT environment variable to an output path (".json"
+ * extension selects JSON, anything else CSV); disabled (the default)
+ * it is a strict no-op, so bench stdout is untouched either way.
+ * run_spec() records every executed cell automatically; benches with
+ * bespoke measurement loops add scalars through exporter() and every
+ * bench main() calls flush() before exiting.
+ */
+class MetricsSink
+{
+  public:
+    static MetricsSink&
+    instance()
+    {
+        static MetricsSink sink;
+        return sink;
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Direct access for bench-specific scalars. */
+    trace::MetricsExporter& exporter() { return exporter_; }
+
+    /** Next cell tag: "cell<NNN>.<label>." (deterministic order). */
+    std::string
+    next_prefix(const std::string& label)
+    {
+        char tag[32];
+        std::snprintf(tag, sizeof(tag), "cell%03zu.",
+                      cells_++);
+        return tag + label + ".";
+    }
+
+    /** Record one executed run_spec cell. */
+    void
+    record_cell(const RunSpec& spec, const RunOutcome& outcome,
+                core::Cluster& cluster)
+    {
+        if (!enabled()) {
+            return;
+        }
+        const std::string prefix = next_prefix(
+            std::string(app_name(spec.app)) + "." +
+            core::system_name(spec.system) + ".n" +
+            std::to_string(spec.nodes) + ".c" +
+            std::to_string(spec.concurrency));
+        exporter_.set(prefix + "kops", outcome.kops);
+        exporter_.set(prefix + "mean_us", outcome.mean_us);
+        exporter_.set(prefix + "p99_us", outcome.p99_us);
+        exporter_.set(prefix + "mem_bw_gbps", outcome.mem_bw / 1e9);
+        exporter_.set(prefix + "net_bw_gbps", outcome.net_bw / 1e9);
+        exporter_.set(prefix + "joules_per_op",
+                      outcome.joules_per_op);
+        exporter_.set(prefix + "avg_iterations",
+                      outcome.avg_iterations);
+        exporter_.add_histogram(prefix + "latency",
+                                outcome.driver.latency);
+        cluster.export_metrics(exporter_, prefix);
+    }
+
+    /** Write the snapshot; no-op when disabled, empty, or done. */
+    void
+    flush()
+    {
+        if (!enabled() || exporter_.empty() || flushed_) {
+            return;
+        }
+        flushed_ = true;
+        if (!exporter_.write_file(path_)) {
+            std::fprintf(stderr, "metrics export to %s failed\n",
+                         path_.c_str());
+        }
+    }
+
+  private:
+    MetricsSink()
+    {
+        const char* path = std::getenv("PULSE_METRICS_OUT");
+        path_ = path != nullptr ? path : "";
+    }
+
+    std::string path_;
+    std::size_t cells_ = 0;
+    bool flushed_ = false;
+    trace::MetricsExporter exporter_;
+};
+
 /** Execute one cell. */
 inline RunOutcome
 run_spec(const RunSpec& spec)
@@ -267,6 +357,7 @@ run_spec(const RunSpec& spec)
     outcome.mean_us = to_micros(outcome.driver.latency.mean());
     outcome.p99_us = to_micros(outcome.driver.latency.percentile(0.99));
     outcome.kops = outcome.driver.throughput / 1e3;
+    MetricsSink::instance().record_cell(spec, outcome, cluster);
     return outcome;
 }
 

@@ -137,5 +137,6 @@ main(int argc, char** argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_tables();
+    MetricsSink::instance().flush();
     return 0;
 }

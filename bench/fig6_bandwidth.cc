@@ -181,5 +181,6 @@ main(int argc, char** argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_tables();
+    MetricsSink::instance().flush();
     return 0;
 }

@@ -124,5 +124,15 @@ main(int argc, char** argv)
     table.add_row({"end-to-end",
                    fmt(g_result.end_to_end_us, "%.1f us"), "-"});
     table.print();
+
+    auto& metrics = MetricsSink::instance().exporter();
+    metrics.set("fig9.net_stack_ns", g_result.net_stack_ns);
+    metrics.set("fig9.scheduler_ns", g_result.scheduler_ns);
+    metrics.set("fig9.mem_per_iter_ns", g_result.mem_per_iter_ns);
+    metrics.set("fig9.logic_per_iter_ns", g_result.logic_per_iter_ns);
+    metrics.set("fig9.iters_per_req", g_result.iters);
+    metrics.set("fig9.accel_total_us", g_result.total_accel_us);
+    metrics.set("fig9.end_to_end_us", g_result.end_to_end_us);
+    MetricsSink::instance().flush();
     return 0;
 }

@@ -173,5 +173,6 @@ main(int argc, char** argv)
                        fmt(point.continuations)});
     }
     iters.print();
+    MetricsSink::instance().flush();
     return 0;
 }

@@ -168,5 +168,20 @@ main(int argc, char** argv)
         cores.add_row({std::to_string(count), with_ic, without_ic});
     }
     cores.print();
+
+    auto& metrics = MetricsSink::instance().exporter();
+    for (const auto& point : g_lengths) {
+        metrics.set("suppfig1a.hops" + std::to_string(point.hops) +
+                        ".mean_us",
+                    point.mean_us);
+    }
+    for (const auto& point : g_cores) {
+        metrics.set("suppfig1b.cores" + std::to_string(point.cores) +
+                        (point.interconnect ? ".with_ic"
+                                            : ".no_ic") +
+                        ".mem_gbps",
+                    point.gbps);
+    }
+    MetricsSink::instance().flush();
     return 0;
 }

@@ -104,5 +104,6 @@ main(int argc, char** argv)
                              : "-"});
     }
     table.print();
+    MetricsSink::instance().flush();
     return 0;
 }

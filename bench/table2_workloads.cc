@@ -142,5 +142,14 @@ main(int argc, char** argv)
                        row.offloaded ? "yes" : "NO"});
     }
     table.print();
+
+    auto& metrics = MetricsSink::instance().exporter();
+    for (const auto& [name, row] : g_rows) {
+        const std::string prefix = "table2." + name + ".";
+        metrics.set(prefix + "eta", row.eta);
+        metrics.set(prefix + "avg_iters", row.iterations);
+        metrics.set(prefix + "program_insns", row.program_insns);
+    }
+    MetricsSink::instance().flush();
     return 0;
 }

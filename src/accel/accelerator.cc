@@ -67,6 +67,8 @@ Accelerator::register_stats(const std::string& prefix,
                                   &stats_.mem_pipeline_time);
     registry.register_accumulator(prefix + ".logic_pipeline_ps",
                                   &stats_.logic_pipeline_time);
+    registry.register_accumulator(prefix + ".workspace_wait_ps",
+                                  &stats_.workspace_wait_time);
 }
 
 std::size_t
@@ -137,6 +139,10 @@ Accelerator::on_packet(net::TraversalPacket&& packet)
                     *replay_.cached_response(key);
                 const Time parse = scaled(config_.net_stack_latency);
                 stats_.net_stack_time.add(static_cast<double>(parse));
+                if (tracing(packet)) {
+                    record_span(packet, trace::SpanKind::kAccelNetStackRx,
+                                queue_.now(), parse);
+                }
                 queue_.schedule_after(
                     parse, [this, cached = std::move(cached)]() mutable {
                         network_.send_traversal(
@@ -153,6 +159,10 @@ Accelerator::on_packet(net::TraversalPacket&& packet)
     // Hardware network stack: parse the packet (rx side).
     const Time parse = scaled(config_.net_stack_latency);
     stats_.net_stack_time.add(static_cast<double>(parse));
+    if (tracing(packet)) {
+        record_span(packet, trace::SpanKind::kAccelNetStackRx,
+                    queue_.now(), parse);
+    }
     queue_.schedule_after(parse,
                           [this, packet = std::move(packet)]() mutable {
                               admit(std::move(packet));
@@ -165,6 +175,10 @@ Accelerator::admit(net::TraversalPacket&& packet)
     // Scheduler: parse payload, pick an idle workspace (4 ns, Fig. 9).
     const Time dispatch = scaled(config_.scheduler_latency);
     stats_.scheduler_time.add(static_cast<double>(dispatch));
+    if (tracing(packet)) {
+        record_span(packet, trace::SpanKind::kAccelScheduler,
+                    queue_.now(), dispatch);
+    }
     queue_.schedule_after(
         dispatch, [this, packet = std::move(packet)]() mutable {
             if (!try_dispatch(packet)) {
@@ -177,6 +191,7 @@ Accelerator::admit(net::TraversalPacket&& packet)
                         {packet.id, packet.iterations_done});
                     return;
                 }
+                packet.trace.queued_at = queue_.now();
                 pending_.push(std::move(packet));
             }
         });
@@ -251,6 +266,12 @@ Accelerator::start_memory_phase(CoreId core_id, WorkspaceId ws)
     if (context.workspace.cur_ptr == kNullAddr) {
         const Time tcam_cost = scaled(config_.mem_pipeline_latency / 4);
         stats_.mem_pipeline_time.add(static_cast<double>(tcam_cost));
+        if (tracing(context.packet)) {
+            // detail == 0: TCAM-only span, no DRAM load performed.
+            record_span(context.packet,
+                        trace::SpanKind::kAccelMemPipeline, now,
+                        tcam_cost);
+        }
         queue_.schedule_after(tcam_cost, [this, core_id, ws, load_bytes] {
             Core& c = cores_[core_id];
             Context& ctx = *c.workspaces[ws];
@@ -269,6 +290,11 @@ Accelerator::start_memory_phase(CoreId core_id, WorkspaceId ws)
     if (translated.status == mem::TranslateStatus::kMiss) {
         const Time tcam_cost = scaled(config_.mem_pipeline_latency / 4);
         stats_.mem_pipeline_time.add(static_cast<double>(tcam_cost));
+        if (tracing(context.packet)) {
+            record_span(context.packet,
+                        trace::SpanKind::kAccelMemPipeline, now,
+                        tcam_cost);
+        }
         queue_.schedule_after(tcam_cost, [this, core_id, ws] {
             finish(core_id, ws, TraversalStatus::kNotLocal,
                    isa::ExecFault::kNone);
@@ -279,6 +305,11 @@ Accelerator::start_memory_phase(CoreId core_id, WorkspaceId ws)
         stats_.protection_faults.increment();
         const Time tcam_cost = scaled(config_.mem_pipeline_latency / 4);
         stats_.mem_pipeline_time.add(static_cast<double>(tcam_cost));
+        if (tracing(context.packet)) {
+            record_span(context.packet,
+                        trace::SpanKind::kAccelMemPipeline, now,
+                        tcam_cost);
+        }
         queue_.schedule_after(tcam_cost, [this, core_id, ws] {
             finish(core_id, ws, TraversalStatus::kMemFault,
                    isa::ExecFault::kNone);
@@ -299,6 +330,10 @@ Accelerator::start_memory_phase(CoreId core_id, WorkspaceId ws)
     core.mem_pipe_free = channel_done;
     stats_.loads.increment();
     stats_.mem_pipeline_time.add(static_cast<double>(done - start));
+    if (tracing(context.packet)) {
+        record_span(context.packet, trace::SpanKind::kAccelMemPipeline,
+                    start, done - start, load_bytes);
+    }
 
     memory_.node(node_).read(translated.phys,
                              context.workspace.data.data(),
@@ -370,6 +405,11 @@ Accelerator::start_logic_phase(CoreId core_id, WorkspaceId ws,
     core.logic_free[lp] = start + interval;
     stats_.logic_pipeline_time.add(static_cast<double>(t_c));
     stats_.logic_busy_time.add(static_cast<double>(interval));
+    if (tracing(context.packet)) {
+        record_span(context.packet,
+                    trace::SpanKind::kAccelLogicPipeline, start, t_c,
+                    iter.instructions_executed);
+    }
     stats_.iterations.increment();
     context.packet.iterations_done++;
     context.iterations_this_visit++;
@@ -445,6 +485,15 @@ Accelerator::finish(CoreId core_id, WorkspaceId ws,
 
     if (!pending_.empty()) {
         net::TraversalPacket next = pending_.pop();
+        // The request waited in the admission queue for a workspace
+        // from queued_at until now (Fig. 9's "workspace wait" slice;
+        // zero for requests dispatched straight from the scheduler).
+        const Time waited = queue_.now() - next.trace.queued_at;
+        stats_.workspace_wait_time.add(static_cast<double>(waited));
+        if (tracing(next)) {
+            record_span(next, trace::SpanKind::kAccelWorkspaceWait,
+                        next.trace.queued_at, waited);
+        }
         const bool dispatched = try_dispatch(next);
         PULSE_ASSERT(dispatched, "dispatch must succeed after a free");
     }
@@ -466,6 +515,7 @@ Accelerator::send_response(Context& context, TraversalStatus status,
                            : context.packet.cur_ptr;
     response.iterations_done = context.packet.iterations_done;
     response.visit_echo = context.packet.visit_echo;
+    response.trace.sampled = context.packet.trace.sampled;
     response.code = context.packet.code;
     // Responses and forwarded continuations reference installed code.
     response.code_size = net::kCodeIdBytes;
@@ -498,6 +548,10 @@ Accelerator::send_response(Context& context, TraversalStatus status,
                             response);
     const Time deparse = scaled(config_.net_stack_latency);
     stats_.net_stack_time.add(static_cast<double>(deparse));
+    if (tracing(response)) {
+        record_span(response, trace::SpanKind::kAccelNetStackTx,
+                    queue_.now(), deparse);
+    }
     queue_.schedule_after(
         deparse, [this, response = std::move(response)]() mutable {
             network_.send_traversal(net::EndpointAddr::mem_node(node_),

@@ -36,6 +36,7 @@
 #include "mem/range_tcam.h"
 #include "net/network.h"
 #include "sim/event_queue.h"
+#include "trace/trace.h"
 
 namespace pulse::accel {
 
@@ -60,6 +61,7 @@ struct AccelStats
     Accumulator mem_pipeline_time;   ///< latency portion per load
     Accumulator logic_pipeline_time; ///< per-iteration latency (Fig 9)
     Accumulator logic_busy_time;     ///< occupancy integral (energy)
+    Accumulator workspace_wait_time; ///< admission-queue wait per req
 };
 
 /** One memory node's accelerator. */
@@ -106,6 +108,14 @@ class Accelerator
         fault_plane_ = plane;
     }
 
+    /**
+     * Attach the cluster's span tracer (nullptr detaches). Every
+     * stats_ busy-time addition then also records a span for sampled
+     * packets, so trace-derived decompositions can be cross-checked
+     * against the accumulator-based accounting exactly.
+     */
+    void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
     const AccelConfig& config() const { return config_; }
 
   private:
@@ -143,6 +153,24 @@ class Accelerator
     /** Stretch @p t by the node's current slow factor (1.0 = as-is). */
     Time scaled(Time t) const;
 
+    /** True when spans should be recorded for @p packet. */
+    bool
+    tracing(const net::TraversalPacket& packet) const
+    {
+        return tracer_ != nullptr && tracer_->enabled() &&
+               packet.trace.sampled;
+    }
+
+    /** Record one span attributed to this node. */
+    void
+    record_span(const net::TraversalPacket& packet,
+                trace::SpanKind kind, Time start, Time duration,
+                std::uint64_t detail = 0)
+    {
+        tracer_->record({packet.id, kind, trace::Location::kMemNode,
+                         node_, start, duration, detail});
+    }
+
     sim::EventQueue& queue_;
     net::Network& network_;
     mem::GlobalMemory& memory_;
@@ -156,6 +184,7 @@ class Accelerator
         analysis_cache_;
     ReplayWindow replay_;
     const faults::FaultPlane* fault_plane_ = nullptr;
+    trace::Tracer* tracer_ = nullptr;
     AccelStats stats_;
 };
 

@@ -106,6 +106,17 @@ Histogram::percentile(double q) const
     q = std::clamp(q, 0.0, 1.0);
     const auto target = static_cast<std::uint64_t>(
         q * static_cast<double>(count_ - 1));
+    // Nearest-rank extremes are known exactly: the lowest rank is the
+    // tracked minimum, the highest the tracked maximum. Without the
+    // low-side special case, percentile(0.0) would report the first
+    // non-empty bucket's *upper* bound — a value that can exceed every
+    // recorded sample (e.g. samples {1000, 1003} -> 1007).
+    if (target == 0) {
+        return min_;
+    }
+    if (target == count_ - 1) {
+        return max_;
+    }
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); i++) {
         seen += buckets_[i];

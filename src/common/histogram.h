@@ -51,8 +51,11 @@ class Histogram
 
     /**
      * Value at quantile @p q in [0, 1]; e.g. 0.5 for median, 0.99 for
-     * p99. Returns a bucket-representative value (upper bound of the
-     * bucket containing the quantile).
+     * p99. Nearest-rank semantics over rank floor(q * (count - 1)):
+     * the extreme ranks return the exact tracked min()/max(); interior
+     * ranks return a bucket-representative value (upper bound of the
+     * bucket containing the rank, clamped to max()), so a reported
+     * percentile never exceeds the largest recorded sample.
      */
     Time percentile(double q) const;
 

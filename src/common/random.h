@@ -27,7 +27,9 @@ class Rng
     /** Next raw 64-bit value. */
     std::uint64_t next_u64();
 
-    /** Uniform integer in [0, bound) via Lemire's multiply-shift. */
+    /** Exactly uniform integer in [0, bound) via Lemire's debiased
+     *  multiply-shift (rejection removes the modulo bias that the
+     *  bare multiply-shift carries for bounds not dividing 2^64). */
     std::uint64_t next_below(std::uint64_t bound);
 
     /** Uniform integer in [lo, hi] inclusive. */

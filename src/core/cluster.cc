@@ -30,7 +30,8 @@ ClusterConfig::ClusterConfig()
     rpc_wimpy.server_overhead = nanos(850.0 * 2.6);
 }
 
-Cluster::Cluster(const ClusterConfig& config) : config_(config)
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), tracer_(config.trace)
 {
     PULSE_ASSERT(config.num_mem_nodes >= 1, "need a memory node");
     PULSE_ASSERT(config.num_clients >= 1, "need a client");
@@ -45,6 +46,7 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config)
     net_config.num_clients = config.num_clients;
     net_config.num_mem_nodes = config.num_mem_nodes;
     network_ = std::make_unique<net::Network>(queue_, net_config);
+    network_->set_tracer(&tracer_);
 
     if (config.faults.enabled()) {
         fault_plane_ =
@@ -57,12 +59,14 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config)
         channels_.push_back(std::make_unique<mem::ChannelSet>(
             config.channels_per_node, config.channel_raw_bw,
             config.interconnect_efficiency));
+        channels_.back()->set_tracer(&tracer_, node);
         channel_ptrs.push_back(channels_.back().get());
 
         accelerators_.push_back(std::make_unique<accel::Accelerator>(
             queue_, *network_, *memory_, *channels_.back(), node,
             config.accel));
         accelerators_.back()->set_fault_plane(fault_plane_.get());
+        accelerators_.back()->set_tracer(&tracer_);
 
         // Hierarchical address translation (section 5): one cur_ptr
         // rule per node at the switch; the node's full region in its
@@ -80,6 +84,7 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config)
     for (ClientId client = 0; client < config.num_clients; client++) {
         offload_.push_back(std::make_unique<offload::OffloadEngine>(
             queue_, *network_, *memory_, client, config.offload));
+        offload_.back()->set_tracer(&tracer_);
     }
     cache_ = std::make_unique<baselines::CacheClient>(
         queue_, *network_, *memory_, /*client=*/0, config.cache,
@@ -161,6 +166,7 @@ Cluster::submitter(SystemKind kind, ClientId client)
 void
 Cluster::reset_stats()
 {
+    tracer_.clear();
     network_->reset_stats();
     if (fault_plane_) {
         fault_plane_->reset_stats();
@@ -284,6 +290,19 @@ Cluster::register_stats(StatRegistry& registry)
         registry.register_counter("client0.aifm.evictions",
                                   &stats.evictions);
     }
+}
+
+void
+Cluster::export_metrics(trace::MetricsExporter& exporter,
+                        const std::string& prefix)
+{
+    StatRegistry registry;
+    register_stats(registry);
+    exporter.add_registry(prefix, registry);
+    exporter.set(prefix + "trace.spans_recorded",
+                 static_cast<double>(tracer_.recorded()));
+    exporter.set(prefix + "trace.spans_dropped",
+                 static_cast<double>(tracer_.dropped()));
 }
 
 }  // namespace pulse::core

@@ -35,6 +35,8 @@
 #include "net/network.h"
 #include "offload/offload_engine.h"
 #include "sim/event_queue.h"
+#include "trace/metrics_exporter.h"
+#include "trace/trace.h"
 #include "workloads/driver.h"
 
 namespace pulse::core {
@@ -88,6 +90,13 @@ struct ClusterConfig
      */
     faults::FaultConfig faults;
 
+    /**
+     * Per-request tracing (src/trace). Off by default: span recording
+     * is synchronous and draws no randomness, so results are identical
+     * either way, but the disabled path is a single branch.
+     */
+    trace::TraceConfig trace;
+
     ClusterConfig();
 
     /** Configure pulse-ACC (section 7.2): continuations bounce through
@@ -126,6 +135,10 @@ class Cluster
     /** The fault-injection plane; nullptr when faults are all-quiet. */
     faults::FaultPlane* fault_plane() { return fault_plane_.get(); }
 
+    /** The per-cluster span tracer (always present; may be disabled). */
+    trace::Tracer& tracer() { return tracer_; }
+    const trace::Tracer& tracer() const { return tracer_; }
+
     const ClusterConfig& config() const { return config_; }
 
     /**
@@ -150,9 +163,17 @@ class Cluster
     /** Register all component stats under their canonical names. */
     void register_stats(StatRegistry& registry);
 
+    /**
+     * One-call unified metrics snapshot: every registered component
+     * stat plus tracer meta-counters, ready for JSON/CSV export.
+     */
+    void export_metrics(trace::MetricsExporter& exporter,
+                        const std::string& prefix = "");
+
   private:
     ClusterConfig config_;
     sim::EventQueue queue_;
+    trace::Tracer tracer_;
     std::unique_ptr<mem::GlobalMemory> memory_;
     std::unique_ptr<mem::ClusterAllocator> allocator_;
     std::unique_ptr<net::Network> network_;

@@ -63,19 +63,42 @@ Time
 ChannelSet::access(Time now, Bytes bytes)
 {
     auto* best = &channels_.front();
-    for (auto& channel : channels_) {
-        if (channel.busy_until() < best->busy_until()) {
-            best = &channel;
+    std::uint32_t best_index = 0;
+    for (std::uint32_t i = 0; i < channels_.size(); i++) {
+        if (channels_[i].busy_until() < best->busy_until()) {
+            best = &channels_[i];
+            best_index = i;
         }
     }
-    return best->access(now, bytes);
+    const Time start = std::max(now, best->busy_until());
+    const Time done = best->access(now, bytes);
+    record_span(best_index, start, done, bytes);
+    return done;
 }
 
 Time
 ChannelSet::access_on(std::uint32_t channel, Time now, Bytes bytes)
 {
     PULSE_ASSERT(channel < channels_.size(), "bad channel %u", channel);
-    return channels_[channel].access(now, bytes);
+    const Time start = std::max(now, channels_[channel].busy_until());
+    const Time done = channels_[channel].access(now, bytes);
+    record_span(channel, start, done, bytes);
+    return done;
+}
+
+void
+ChannelSet::record_span(std::uint32_t channel, Time start, Time done,
+                        Bytes bytes)
+{
+    if (tracer_ == nullptr || !tracer_->enabled()) {
+        return;
+    }
+    // The channel arbiter has no request identity; spans carry the
+    // channel index in the request's seq slot for per-channel views.
+    tracer_->record({RequestId{0, channel},
+                     trace::SpanKind::kMemChannel,
+                     trace::Location::kMemNode, node_, start,
+                     done - start, static_cast<std::uint64_t>(bytes)});
 }
 
 Rate

@@ -27,6 +27,7 @@
 
 #include "common/stats.h"
 #include "common/units.h"
+#include "trace/trace.h"
 
 namespace pulse::mem {
 
@@ -118,10 +119,29 @@ class ChannelSet
     /** Reset statistics on all channels. */
     void reset_stats();
 
+    /**
+     * Attach the cluster's span tracer; @p node labels the spans.
+     * Channel occupancy spans are not request-attributed (the channel
+     * arbiter sees bursts, not request ids), so they record whenever
+     * the tracer is enabled.
+     */
+    void
+    set_tracer(trace::Tracer* tracer, NodeId node)
+    {
+        tracer_ = tracer;
+        node_ = node;
+    }
+
   private:
+    /** Record one occupancy span for a transfer on @p channel. */
+    void record_span(std::uint32_t channel, Time start, Time done,
+                     Bytes bytes);
+
     std::vector<MemoryChannel> channels_;
     double efficiency_;
     bool interconnect_ = true;
+    trace::Tracer* tracer_ = nullptr;
+    NodeId node_ = 0;
 };
 
 }  // namespace pulse::mem

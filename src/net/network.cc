@@ -5,6 +5,17 @@
 #include "common/logging.h"
 
 namespace pulse::net {
+namespace {
+
+trace::Location
+location_of(EndpointAddr addr)
+{
+    return addr.kind == EndpointAddr::Kind::kClient
+               ? trace::Location::kClient
+               : trace::Location::kMemNode;
+}
+
+}  // namespace
 
 Network::Network(sim::EventQueue& queue, const NetworkConfig& config)
     : queue_(queue), config_(config), loss_rng_(config.seed)
@@ -123,6 +134,16 @@ Network::deliver_traversal(EndpointAddr to, Time at_switch, Bytes size,
                            TraversalPacket packet)
 {
     Time delivery = downlink(to, at_switch, size);
+    if (tracer_ != nullptr && tracer_->enabled() &&
+        packet.trace.sampled) {
+        // Downlink span covers serialization + propagation + NIC (and
+        // any stall-hold extension applied below is intentionally not
+        // billed to the network: the fault plane accounts it).
+        tracer_->record({packet.id, trace::SpanKind::kNicDownlink,
+                         location_of(to), to.index, at_switch,
+                         delivery - at_switch,
+                         static_cast<std::uint64_t>(size)});
+    }
     if (fault_plane_ != nullptr && fault_plane_->enabled() &&
         to.kind == EndpointAddr::Kind::kMemNode) {
         if (fault_plane_->node_dark(to.index, delivery)) {
@@ -166,7 +187,19 @@ Network::send_traversal(EndpointAddr from, TraversalPacket packet)
         seal_packet(packet);
     }
     const Bytes size = packet.wire_size();
-    const Time at_switch = uplink(from, size) + config_.switch_latency;
+    const Time uplink_done = uplink(from, size);
+    const Time at_switch = uplink_done + config_.switch_latency;
+    if (tracer_ != nullptr && tracer_->enabled() &&
+        packet.trace.sampled) {
+        tracer_->record({packet.id, trace::SpanKind::kNicUplink,
+                         location_of(from), from.index, queue_.now(),
+                         uplink_done - queue_.now(),
+                         static_cast<std::uint64_t>(size)});
+        tracer_->record({packet.id, trace::SpanKind::kSwitchRoute,
+                         trace::Location::kSwitch, 0, uplink_done,
+                         config_.switch_latency,
+                         static_cast<std::uint64_t>(size)});
+    }
 
     // The switch routes at at_switch; model the decision now (state at
     // decision time equals state now: rules only change between runs)

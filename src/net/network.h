@@ -33,6 +33,7 @@
 #include "net/packet.h"
 #include "net/switch.h"
 #include "sim/event_queue.h"
+#include "trace/trace.h"
 
 namespace pulse::net {
 
@@ -127,6 +128,14 @@ class Network
         fault_plane_ = plane;
     }
 
+    /**
+     * Attach the cluster's span tracer (nullptr detaches). Sampled
+     * traversal packets then get per-hop spans (uplink, switch,
+     * downlink). Recording is synchronous and draws no randomness, so
+     * delivery timing is identical with or without a tracer.
+     */
+    void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
     /** Reset byte/packet statistics. */
     void reset_stats();
 
@@ -188,6 +197,7 @@ class Network
     SwitchTable table_;
     Rng loss_rng_;
     faults::FaultPlane* fault_plane_ = nullptr;
+    trace::Tracer* tracer_ = nullptr;
     std::vector<Port> client_ports_;
     std::vector<Port> node_ports_;
     std::uint64_t dropped_ = 0;

@@ -23,6 +23,24 @@
 
 namespace pulse::net {
 
+/**
+ * Per-request tracing metadata carried by every traversal packet
+ * (simulator-side only: contributes no wire bytes, exactly like a
+ * tracing sideband an implementation would keep in host metadata).
+ * `sampled` is stamped by the offload engine when the cluster's
+ * tracer is enabled; instrumented components record span events only
+ * for sampled packets. `queued_at` carries the admission-queue entry
+ * time so the accelerator can emit a workspace-wait span on dispatch.
+ */
+struct TraceContext
+{
+    bool sampled = false;
+    Time queued_at = 0;
+
+    friend bool operator==(const TraceContext&,
+                           const TraceContext&) = default;
+};
+
 /** Ethernet + IPv4 + UDP header bytes modelled per packet. */
 inline constexpr Bytes kNetHeaderBytes = 42;
 
@@ -90,6 +108,9 @@ struct TraversalPacket
      * so wire_size() is unchanged.
      */
     std::uint64_t visit_echo = 0;
+
+    /** Tracing sideband (no wire bytes; see TraceContext). */
+    TraceContext trace;
 
     /**
      * Header checksum over the fields the switch never rewrites

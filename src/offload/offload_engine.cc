@@ -107,6 +107,12 @@ OffloadEngine::submit(Operation&& op)
                    0);
     const Time cpu_time = inflight.op.init_cpu_time +
                           config_.request_software_overhead;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->record({RequestId{client_, key},
+                         trace::SpanKind::kClientSubmit,
+                         trace::Location::kClient, client_,
+                         queue_.now(), cpu_time, 0});
+    }
     inflight_.emplace(key, std::move(inflight));
     queue_.schedule_after(cpu_time,
                           [this, key, start,
@@ -136,6 +142,7 @@ OffloadEngine::issue(std::uint64_t key, VirtAddr cur_ptr,
     // continuations, replayed duplicates) echoes this value; responses
     // carrying an older echo are stale and get dropped.
     packet.visit_echo = iterations_done;
+    packet.trace.sampled = tracer_ != nullptr && tracer_->enabled();
     packet.allow_switch_continuation = config_.switch_continuation;
     attach_program(packet, inflight.op.program);
     // After the program is installed at the accelerators, requests
@@ -200,6 +207,13 @@ OffloadEngine::arm_timer(std::uint64_t key)
         }
         inflight.retransmits++;
         stats_.retransmits.increment();
+        if (tracer_ != nullptr && tracer_->enabled() &&
+            inflight.last_request.trace.sampled) {
+            tracer_->record({RequestId{client_, key},
+                             trace::SpanKind::kClientRetransmit,
+                             trace::Location::kClient, client_,
+                             queue_.now(), 0, inflight.retransmits});
+        }
         // Karn's rule: once a leg is retransmitted, its response can
         // no longer be attributed to one copy — take no RTT sample.
         inflight.leg_retransmitted = true;
@@ -235,6 +249,13 @@ OffloadEngine::on_response(net::TraversalPacket&& packet)
     }
     inflight.timer_generation++;  // quench the timer
     inflight.iterations = packet.iterations_done;
+    if (tracer_ != nullptr && tracer_->enabled() &&
+        packet.trace.sampled) {
+        tracer_->record({packet.id, trace::SpanKind::kClientResponse,
+                         trace::Location::kClient, client_,
+                         queue_.now(),
+                         config_.response_software_overhead, 0});
+    }
 
     const bool resume_here =
         packet.status == TraversalStatus::kMaxIter ||
@@ -251,6 +272,17 @@ OffloadEngine::on_response(net::TraversalPacket&& packet)
         }
         const VirtAddr cur_ptr = packet.cur_ptr;
         const std::uint64_t iterations = packet.iterations_done;
+        if (tracer_ != nullptr && tracer_->enabled() &&
+            packet.trace.sampled) {
+            // Request-build half of the client resume (the response
+            // half was recorded above).
+            tracer_->record({packet.id, trace::SpanKind::kClientSubmit,
+                             trace::Location::kClient, client_,
+                             queue_.now() +
+                                 config_.response_software_overhead,
+                             config_.request_software_overhead,
+                             iterations});
+        }
         queue_.schedule_after(
             config_.response_software_overhead +
                 config_.request_software_overhead,
@@ -287,6 +319,13 @@ OffloadEngine::complete(std::uint64_t key, Completion&& completion)
     auto it = inflight_.find(key);
     if (it == inflight_.end()) {
         return;
+    }
+    if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->record({RequestId{client_, key},
+                         trace::SpanKind::kComplete,
+                         trace::Location::kClient, client_,
+                         it->second.submit_time, completion.latency,
+                         completion.iterations});
     }
     CompletionFn done = std::move(it->second.op.done);
     inflight_.erase(it);

@@ -32,6 +32,7 @@
 #include "net/network.h"
 #include "offload/rto_estimator.h"
 #include "sim/event_queue.h"
+#include "trace/trace.h"
 
 namespace pulse::offload {
 
@@ -201,6 +202,14 @@ class OffloadEngine
     /** The adaptive RTT estimator (exposed for tests/benches). */
     const RtoEstimator& rto_estimator() const { return rto_; }
 
+    /**
+     * Attach the cluster's span tracer (nullptr detaches). While the
+     * tracer is enabled, every offloaded request is stamped sampled
+     * (its TraceContext travels in the packet) and the client-side
+     * software phases record spans.
+     */
+    void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   private:
     struct InFlight
     {
@@ -240,6 +249,7 @@ class OffloadEngine
     std::unordered_map<const isa::Program*, std::uint32_t>
         code_sends_;
     RtoEstimator rto_;
+    trace::Tracer* tracer_ = nullptr;
     OffloadStats stats_;
 };
 

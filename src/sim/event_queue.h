@@ -63,6 +63,17 @@ class EventQueue
     /**
      * Run until the clock would pass @p deadline; events at exactly
      * @p deadline still execute. Returns the number of events run.
+     *
+     * Clock contract: on return now() == max(now(), @p deadline) even
+     * when the queue drains before the deadline (or was empty to begin
+     * with). Draining must not leave the clock at the last event's
+     * timestamp: fixed-interval measurement windows (bandwidth over a
+     * window, periodic fault scripts, back-to-back run_until calls)
+     * rely on every window advancing the clock by its full span, and a
+     * subsequent schedule_after() must anchor at the window end, not
+     * mid-window. Events already at timestamps beyond the deadline
+     * stay pending and now() stays at @p deadline — strictly behind
+     * heap_.top().when — so no event ever fires in its past.
      */
     std::uint64_t run_until(Time deadline);
 

@@ -1,0 +1,125 @@
+#include "trace/metrics_exporter.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pulse::trace {
+namespace {
+
+/**
+ * Shortest round-trip-exact decimal rendering: %.17g is always exact
+ * for doubles but prints noise digits; try increasing precision until
+ * the value round-trips. Deterministic for a given value.
+ */
+std::string
+format_value(double value)
+{
+    char buf[64];
+    for (int precision = 6; precision <= 17; precision++) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        double parsed = 0.0;
+        std::sscanf(buf, "%lf", &parsed);
+        if (parsed == value || (std::isnan(parsed) && std::isnan(value))) {
+            break;
+        }
+    }
+    return buf;
+}
+
+/** Escape a metric name for embedding in a JSON string literal. */
+std::string
+json_escape(const std::string& name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+    return out;
+}
+
+}  // namespace
+
+void
+MetricsExporter::set(const std::string& name, double value)
+{
+    values_[name] = value;
+}
+
+void
+MetricsExporter::add_registry(const std::string& prefix,
+                              const StatRegistry& registry)
+{
+    for (const auto& [name, value] : registry.snapshot()) {
+        values_[prefix + name] = value;
+    }
+}
+
+void
+MetricsExporter::add_histogram(const std::string& prefix,
+                               const Histogram& histogram)
+{
+    values_[prefix + ".count"] =
+        static_cast<double>(histogram.count());
+    values_[prefix + ".mean"] = static_cast<double>(histogram.mean());
+    values_[prefix + ".min"] = static_cast<double>(histogram.min());
+    values_[prefix + ".max"] = static_cast<double>(histogram.max());
+    values_[prefix + ".p50"] =
+        static_cast<double>(histogram.percentile(0.50));
+    values_[prefix + ".p90"] =
+        static_cast<double>(histogram.percentile(0.90));
+    values_[prefix + ".p99"] =
+        static_cast<double>(histogram.percentile(0.99));
+    values_[prefix + ".p999"] =
+        static_cast<double>(histogram.percentile(0.999));
+}
+
+std::string
+MetricsExporter::json() const
+{
+    std::string out = "{\n";
+    bool first = true;
+    for (const auto& [name, value] : values_) {
+        if (!first) {
+            out += ",\n";
+        }
+        first = false;
+        out += "  \"" + json_escape(name) + "\": " + format_value(value);
+    }
+    out += "\n}\n";
+    return out;
+}
+
+std::string
+MetricsExporter::csv() const
+{
+    std::string out = "metric,value\n";
+    for (const auto& [name, value] : values_) {
+        out += name + "," + format_value(value) + "\n";
+    }
+    return out;
+}
+
+bool
+MetricsExporter::write_file(const std::string& path) const
+{
+    const bool as_json =
+        path.size() >= 5 && path.substr(path.size() - 5) == ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        return false;
+    }
+    const std::string body = as_json ? json() : csv();
+    const std::size_t written =
+        std::fwrite(body.data(), 1, body.size(), file);
+    const bool ok = written == body.size() && std::fclose(file) == 0;
+    if (!ok && written != body.size()) {
+        std::fclose(file);
+    }
+    return ok;
+}
+
+}  // namespace pulse::trace

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unified metrics export.
+ *
+ * A MetricsExporter gathers every number a run produced — StatRegistry
+ * snapshots, histogram summaries, bench-level scalars — into one flat,
+ * deterministically-ordered name -> value map, and renders it as JSON
+ * or CSV. All figure and ablation benches emit one snapshot per run
+ * through this path (bench_util's MetricsSink), replacing per-bench
+ * ad-hoc metric dumping; trace_report uses the same schema, so every
+ * artifact a run writes is machine-readable in one format.
+ */
+#ifndef PULSE_TRACE_METRICS_EXPORTER_H
+#define PULSE_TRACE_METRICS_EXPORTER_H
+
+#include <map>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+
+namespace pulse::trace {
+
+/** Flat, deterministic name -> value snapshot with JSON/CSV render. */
+class MetricsExporter
+{
+  public:
+    /** Set one scalar (last write wins). */
+    void set(const std::string& name, double value);
+
+    /** Merge a registry snapshot; names get @p prefix prepended. */
+    void add_registry(const std::string& prefix,
+                      const StatRegistry& registry);
+
+    /**
+     * Summarize @p histogram under @p prefix: .count, .mean, .min,
+     * .max, .p50, .p90, .p99, .p999 (times in picoseconds).
+     */
+    void add_histogram(const std::string& prefix,
+                       const Histogram& histogram);
+
+    /** Number of recorded metrics. */
+    std::size_t size() const { return values_.size(); }
+
+    bool empty() const { return values_.empty(); }
+
+    /** Render as a single sorted JSON object. Deterministic: same
+     *  metrics -> byte-identical string. */
+    std::string json() const;
+
+    /** Render as sorted "metric,value" CSV with a header row. */
+    std::string csv() const;
+
+    /**
+     * Write to @p path; the format follows the extension (".json" ->
+     * JSON, anything else CSV). Returns false on I/O failure.
+     */
+    bool write_file(const std::string& path) const;
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+}  // namespace pulse::trace
+
+#endif  // PULSE_TRACE_METRICS_EXPORTER_H

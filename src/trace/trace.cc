@@ -1,0 +1,160 @@
+#include "trace/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace pulse::trace {
+
+const char*
+span_name(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::kClientSubmit: return "client_submit";
+      case SpanKind::kClientResponse: return "client_response";
+      case SpanKind::kClientRetransmit: return "client_retransmit";
+      case SpanKind::kComplete: return "complete";
+      case SpanKind::kNicUplink: return "nic_uplink";
+      case SpanKind::kSwitchRoute: return "switch_route";
+      case SpanKind::kNicDownlink: return "nic_downlink";
+      case SpanKind::kAccelNetStackRx: return "net_stack_rx";
+      case SpanKind::kAccelScheduler: return "scheduler";
+      case SpanKind::kAccelWorkspaceWait: return "workspace_wait";
+      case SpanKind::kAccelMemPipeline: return "mem_pipeline";
+      case SpanKind::kAccelLogicPipeline: return "logic_pipeline";
+      case SpanKind::kAccelNetStackTx: return "net_stack_tx";
+      case SpanKind::kMemChannel: return "mem_channel";
+    }
+    return "?";
+}
+
+namespace {
+
+const char*
+location_name(Location location)
+{
+    switch (location) {
+      case Location::kClient: return "client";
+      case Location::kMemNode: return "node";
+      case Location::kSwitch: return "switch";
+    }
+    return "?";
+}
+
+}  // namespace
+
+Tracer::Tracer(const TraceConfig& config)
+    : enabled_(config.enabled), capacity_(config.ring_capacity)
+{
+    PULSE_ASSERT(capacity_ > 0, "tracer needs a non-empty ring");
+}
+
+void
+Tracer::record(const SpanEvent& event)
+{
+    if (!enabled_) {
+        return;
+    }
+    recorded_++;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(event);
+        return;
+    }
+    // Ring saturated: overwrite the oldest event.
+    ring_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+    dropped_++;
+}
+
+std::vector<SpanEvent>
+Tracer::events() const
+{
+    std::vector<SpanEvent> out;
+    out.reserve(ring_.size());
+    // head_ is the oldest retained event once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); i++) {
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    recorded_ = 0;
+    dropped_ = 0;
+}
+
+std::string
+Tracer::to_csv() const
+{
+    std::string out =
+        "client,seq,kind,location,location_index,start_ps,duration_ps,"
+        "detail\n";
+    char line[192];
+    for (const SpanEvent& event : events()) {
+        std::snprintf(
+            line, sizeof(line),
+            "%" PRIu32 ",%" PRIu64 ",%s,%s,%" PRIu32 ",%" PRId64
+            ",%" PRId64 ",%" PRIu64 "\n",
+            event.request.client, event.request.seq,
+            span_name(event.kind), location_name(event.location),
+            event.location_index, static_cast<std::int64_t>(event.start),
+            static_cast<std::int64_t>(event.duration), event.detail);
+        out += line;
+    }
+    return out;
+}
+
+double
+Breakdown::net_stack_ns_per_pkt() const
+{
+    const SpanAggregate& rx = of(SpanKind::kAccelNetStackRx);
+    const SpanAggregate& tx = of(SpanKind::kAccelNetStackTx);
+    const std::uint64_t packets = rx.count + tx.count;
+    return packets ? (rx.total_ps + tx.total_ps) /
+                         static_cast<double>(packets) / 1e3
+                   : 0.0;
+}
+
+double
+Breakdown::scheduler_ns() const
+{
+    return of(SpanKind::kAccelScheduler).mean_ps() / 1e3;
+}
+
+double
+Breakdown::mem_pipeline_ns_per_load() const
+{
+    return dram_loads ? of(SpanKind::kAccelMemPipeline).total_ps /
+                            static_cast<double>(dram_loads) / 1e3
+                      : 0.0;
+}
+
+double
+Breakdown::logic_ns_per_iter() const
+{
+    return of(SpanKind::kAccelLogicPipeline).mean_ps() / 1e3;
+}
+
+Breakdown
+aggregate_breakdown(const std::vector<SpanEvent>& events)
+{
+    Breakdown breakdown;
+    for (const SpanEvent& event : events) {
+        SpanAggregate& agg =
+            breakdown.per_kind[static_cast<std::size_t>(event.kind)];
+        agg.count++;
+        agg.total_ps += static_cast<double>(event.duration);
+        if (event.kind == SpanKind::kAccelMemPipeline &&
+            event.detail != 0) {
+            breakdown.dram_loads++;
+        }
+    }
+    return breakdown;
+}
+
+}  // namespace pulse::trace

@@ -367,5 +367,67 @@ TEST(ClusterStats, RegistryCoversAllComponents)
               std::string::npos);
 }
 
+/**
+ * Reset-coverage audit: after reset_stats(), a re-run of the same
+ * measured workload must reproduce every registered statistic exactly.
+ * Any counter or accumulator missed by a component's reset (or any
+ * stat secretly keyed to absolute time) would leak the first run into
+ * the second and break the equality. The first run's warmup absorbs
+ * one-time state transitions (program code installation) so both
+ * measured windows see an identical steady state.
+ */
+TEST(ClusterStats, ResetThenRerunReproducesStatsExactly)
+{
+    ClusterConfig config;
+    config.trace.enabled = true;  // tracer must reset too
+    Cluster cluster(config);
+    ds::LinkedList list(cluster.memory(), cluster.allocator(), 64);
+    std::vector<std::uint64_t> values(512);
+    for (std::size_t i = 0; i < values.size(); i++) {
+        values[i] = i;
+    }
+    list.build(values, 0);
+
+    workloads::DriverConfig driver;
+    driver.warmup_ops = 50;
+    driver.measure_ops = 200;
+    driver.concurrency = 4;
+    driver.on_measure_start = [&cluster] { cluster.reset_stats(); };
+    const auto factory = [&](std::uint64_t op) {
+        return list.make_walk(6 + op % 10, {});
+    };
+
+    const auto measure = [&] {
+        return run_closed_loop(cluster.queue(),
+                               cluster.submitter(SystemKind::kPulse),
+                               factory, driver);
+    };
+    // Priming run (discarded): absorbs one-time program-code
+    // installation so the two compared runs begin from the same
+    // steady state — fully drained, code installed.
+    measure();
+    const workloads::DriverResult first = measure();
+    StatRegistry registry;
+    cluster.register_stats(registry);
+    const auto snapshot1 = registry.snapshot();
+    const std::uint64_t spans1 = cluster.tracer().recorded();
+
+    const workloads::DriverResult second = measure();
+    const auto snapshot2 = registry.snapshot();
+
+    ASSERT_EQ(snapshot1.size(), snapshot2.size());
+    for (const auto& [name, value] : snapshot1) {
+        ASSERT_TRUE(snapshot2.count(name)) << name;
+        EXPECT_EQ(value, snapshot2.at(name)) << name;
+    }
+    EXPECT_EQ(first.completed, second.completed);
+    EXPECT_EQ(first.iterations, second.iterations);
+    EXPECT_EQ(first.measure_time, second.measure_time);
+    EXPECT_EQ(first.latency.sum(), second.latency.sum());
+    EXPECT_EQ(first.latency.min(), second.latency.min());
+    EXPECT_EQ(first.latency.max(), second.latency.max());
+    EXPECT_EQ(spans1, cluster.tracer().recorded());
+}
+
 }  // namespace
 }  // namespace pulse::core

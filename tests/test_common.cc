@@ -103,6 +103,53 @@ TEST(Rng, UniformityCoarse)
     }
 }
 
+TEST(Rng, NextBelowChiSquaredUniform)
+{
+    // Chi-squared goodness-of-fit for the debiased bounded sampler.
+    // Bound 101 is prime (does not divide 2^64), the case where a
+    // bare multiply-shift or modulo reduction is biased. 100 degrees
+    // of freedom: accept chi2 in (61.9, 149.4) — the 0.1% tails on
+    // both sides, so the test also catches a too-perfect (non-random)
+    // stream. Deterministic seed, so this can never flake.
+    Rng rng(12345);
+    constexpr std::uint64_t kBound = 101;
+    constexpr std::uint64_t kDraws = 101'000;
+    std::vector<std::uint64_t> cells(kBound, 0);
+    for (std::uint64_t i = 0; i < kDraws; i++) {
+        const std::uint64_t v = rng.next_below(kBound);
+        ASSERT_LT(v, kBound);
+        cells[v]++;
+    }
+    const double expected =
+        static_cast<double>(kDraws) / static_cast<double>(kBound);
+    double chi2 = 0.0;
+    for (const std::uint64_t count : cells) {
+        const double delta = static_cast<double>(count) - expected;
+        chi2 += delta * delta / expected;
+    }
+    EXPECT_GT(chi2, 61.9);
+    EXPECT_LT(chi2, 149.4);
+}
+
+TEST(Rng, NextBelowLargeBoundStaysUniform)
+{
+    // A bound just above 2^63 maximizes the stripe excess the
+    // rejection must remove (2^64 mod bound = 2^64 - bound can
+    // approach bound itself). Smoke-check halves balance.
+    Rng rng(777);
+    const std::uint64_t bound = (1ull << 63) + 12345;
+    int upper_half = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; i++) {
+        const std::uint64_t v = rng.next_below(bound);
+        ASSERT_LT(v, bound);
+        if (v >= bound / 2) {
+            upper_half++;
+        }
+    }
+    EXPECT_NEAR(upper_half, n / 2, n / 20);
+}
+
 TEST(Rng, DoubleInUnitInterval)
 {
     Rng rng(4);
@@ -175,6 +222,30 @@ TEST(Histogram, PercentileBounds)
     EXPECT_NEAR(static_cast<double>(histogram.percentile(0.5)),
                 static_cast<double>(500 * kNanosecond),
                 static_cast<double>(500 * kNanosecond) * 0.05);
+}
+
+TEST(Histogram, NearestRankExtremes)
+{
+    // Regression: samples {1000, 1003} share one log-bucket whose
+    // upper bound (1007) exceeds both samples; percentile(0.0) used to
+    // report that bound instead of the minimum.
+    Histogram histogram;
+    histogram.add(1000);
+    histogram.add(1003);
+    EXPECT_EQ(histogram.percentile(0.0), 1000);
+    EXPECT_EQ(histogram.percentile(1.0), 1003);
+    // A low quantile whose nearest rank is 0 is pinned to min() too.
+    Histogram many;
+    for (Time t = 0; t < 100; t++) {
+        many.add(1000 + t);
+    }
+    EXPECT_EQ(many.percentile(0.001), many.min());
+    EXPECT_EQ(many.percentile(1.0), many.max());
+    // No reported percentile may exceed the largest recorded sample.
+    for (const double q : {0.0, 0.001, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+        EXPECT_LE(many.percentile(q), many.max());
+        EXPECT_GE(many.percentile(q), many.min());
+    }
 }
 
 TEST(Histogram, MergeCombines)

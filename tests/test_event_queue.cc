@@ -85,6 +85,33 @@ TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
     EXPECT_EQ(queue.now(), 12345);
 }
 
+TEST(EventQueue, RunUntilAdvancesClockOnEarlyDrain)
+{
+    // Regression for the run_until clock contract: when the queue
+    // drains before the deadline, the clock must still land exactly on
+    // the deadline — a fixed measurement window always advances time
+    // by its full span, and follow-up relative scheduling anchors at
+    // the window end rather than at the last executed event.
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule_at(10, [&] { fired++; });
+    queue.schedule_at(30, [&] { fired++; });
+    EXPECT_EQ(queue.run_until(1000), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.now(), 1000);
+
+    Time anchored_at = -1;
+    queue.schedule_after(5, [&] { anchored_at = queue.now(); });
+    queue.run();
+    EXPECT_EQ(anchored_at, 1005);
+
+    // Back-to-back windows each span their full width.
+    queue.run_until(2000);
+    queue.run_until(3000);
+    EXPECT_EQ(queue.now(), 3000);
+}
+
 TEST(EventQueue, RunWhilePendingStopsOnPredicate)
 {
     EventQueue queue;
