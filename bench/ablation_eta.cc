@@ -16,15 +16,23 @@
  *     program's eta forces client-side fallback execution (one round
  *     trip per load); latency explodes by ~2 orders of magnitude,
  *     which is exactly why the offload test exists.
+ *
+ * Cells execute on the parallel sweep runner (--threads /
+ * PULSE_BENCH_THREADS); each writes its own pre-sized result slot, so
+ * outputs are byte-identical to a serial run.
  */
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "sweep_runner.h"
 
 namespace {
 
 using namespace pulse;
 using namespace pulse::bench;
+
+const std::vector<std::uint32_t> kWorkspaces = {2, 4, 8, 16, 32};
+const std::vector<double> kThresholds = {0.25, 0.5, 0.75, 1.0, 2.0};
 
 struct WsPoint
 {
@@ -40,79 +48,115 @@ struct EtaPoint
     std::uint64_t fallbacks = 0;
 };
 
-std::vector<WsPoint> g_ws;
-std::vector<EtaPoint> g_eta;
+std::vector<WsPoint> g_ws(kWorkspaces.size());
+std::vector<EtaPoint> g_eta(kThresholds.size());
 
 void
-workspace_sweep(benchmark::State& state, std::uint32_t workspaces)
+workspace_sweep(CellContext& ctx, std::uint32_t workspaces,
+                WsPoint& out)
 {
-    WsPoint point;
-    point.workspaces = workspaces;
-    for (auto _ : state) {
-        // Saturation bandwidth.
-        {
-            RunSpec spec = main_spec(App::kTsv15,
-                                     core::SystemKind::kPulse, 1);
-            spec.concurrency = 512;
-            spec.warmup_ops = 512;
-            spec.measure_ops = 1500;
-            spec.tweak = [workspaces](core::ClusterConfig& config) {
-                config.accel.workspaces_per_logic = workspaces;
-            };
-            RunOutcome outcome = run_spec(spec);
-            point.gbps = outcome.mem_bw / 1e9;
-        }
-        // Unloaded latency.
-        {
-            RunSpec spec = main_spec(App::kTsv15,
-                                     core::SystemKind::kPulse, 1);
-            spec.concurrency = 1;
-            spec.warmup_ops = 20;
-            spec.measure_ops = 150;
-            spec.tweak = [workspaces](core::ClusterConfig& config) {
-                config.accel.workspaces_per_logic = workspaces;
-            };
-            RunOutcome outcome = run_spec(spec);
-            point.unloaded_us = outcome.mean_us;
-        }
+    out.workspaces = workspaces;
+    // Saturation bandwidth.
+    {
+        RunSpec spec =
+            main_spec(App::kTsv15, core::SystemKind::kPulse, 1);
+        spec.concurrency = 512;
+        spec.warmup_ops = 512;
+        spec.measure_ops = 1500;
+        spec.tweak = [workspaces](core::ClusterConfig& config) {
+            config.accel.workspaces_per_logic = workspaces;
+        };
+        out.gbps = ctx.run_spec(spec).mem_bw / 1e9;
     }
-    state.counters["mem_gbps"] = point.gbps;
-    state.counters["unloaded_us"] = point.unloaded_us;
-    g_ws.push_back(point);
-}
-
-void
-eta_threshold_sweep(benchmark::State& state, double threshold)
-{
-    EtaPoint point;
-    point.threshold = threshold;
-    for (auto _ : state) {
+    // Unloaded latency.
+    {
         RunSpec spec =
             main_spec(App::kTsv15, core::SystemKind::kPulse, 1);
         spec.concurrency = 1;
-        spec.warmup_ops = 10;
-        spec.measure_ops = 60;  // fallback runs are very slow
-        spec.tweak = [threshold](core::ClusterConfig& config) {
-            config.offload.eta_threshold = threshold;
+        spec.warmup_ops = 20;
+        spec.measure_ops = 150;
+        spec.tweak = [workspaces](core::ClusterConfig& config) {
+            config.accel.workspaces_per_logic = workspaces;
         };
-        Experiment experiment = make_experiment(spec);
-        core::Cluster& cluster = *experiment.cluster;
-        workloads::DriverConfig driver;
-        driver.warmup_ops = spec.warmup_ops;
-        driver.measure_ops = spec.measure_ops;
-        driver.concurrency = 1;
-        auto result = run_closed_loop(
-            cluster.queue(),
-            cluster.submitter(core::SystemKind::kPulse),
-            experiment.factory, driver);
-        point.mean_us = to_micros(result.latency.mean());
-        point.fallbacks =
-            cluster.offload_engine().stats().fallback.value();
+        out.unloaded_us = ctx.run_spec(spec).mean_us;
     }
-    state.counters["mean_us"] = point.mean_us;
-    state.counters["fallbacks"] =
-        static_cast<double>(point.fallbacks);
-    g_eta.push_back(point);
+}
+
+void
+eta_threshold_sweep(CellContext& ctx, double threshold, EtaPoint& out)
+{
+    out.threshold = threshold;
+    RunSpec spec = main_spec(App::kTsv15, core::SystemKind::kPulse, 1);
+    spec.concurrency = 1;
+    spec.warmup_ops = 10;
+    spec.measure_ops = 60;  // fallback runs are very slow
+    spec.tweak = [threshold](core::ClusterConfig& config) {
+        config.offload.eta_threshold = threshold;
+    };
+    Experiment experiment = make_experiment(spec);
+    core::Cluster& cluster = *experiment.cluster;
+    workloads::DriverConfig driver;
+    driver.warmup_ops = spec.warmup_ops;
+    driver.measure_ops = spec.measure_ops;
+    driver.concurrency = 1;
+    auto result = run_closed_loop(
+        cluster.queue(), cluster.submitter(core::SystemKind::kPulse),
+        experiment.factory, driver);
+    ctx.add_events(cluster.queue().events_executed());
+    out.mean_us = to_micros(result.latency.mean());
+    out.fallbacks = cluster.offload_engine().stats().fallback.value();
+}
+
+void
+add_cells(SweepRunner& sweep)
+{
+    for (std::size_t i = 0; i < kWorkspaces.size(); i++) {
+        const std::uint32_t workspaces = kWorkspaces[i];
+        sweep.add("workspaces_" + std::to_string(workspaces),
+                  [workspaces, i](CellContext& ctx) {
+                      workspace_sweep(ctx, workspaces, g_ws[i]);
+                  });
+    }
+    for (std::size_t i = 0; i < kThresholds.size(); i++) {
+        const double threshold = kThresholds[i];
+        sweep.add("eta_threshold_" + fmt(threshold, "%.2f"),
+                  [threshold, i](CellContext& ctx) {
+                      eta_threshold_sweep(ctx, threshold, g_eta[i]);
+                  });
+    }
+}
+
+void
+register_benchmarks()
+{
+    for (std::size_t i = 0; i < kWorkspaces.size(); i++) {
+        benchmark::RegisterBenchmark(
+            ("ablation/workspaces_" +
+             std::to_string(kWorkspaces[i]))
+                .c_str(),
+            [i](benchmark::State& state) {
+                for (auto _ : state) {
+                }
+                state.counters["mem_gbps"] = g_ws[i].gbps;
+                state.counters["unloaded_us"] = g_ws[i].unloaded_us;
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    for (std::size_t i = 0; i < kThresholds.size(); i++) {
+        benchmark::RegisterBenchmark(
+            ("ablation/eta_threshold_" + fmt(kThresholds[i], "%.2f"))
+                .c_str(),
+            [i](benchmark::State& state) {
+                for (auto _ : state) {
+                }
+                state.counters["mean_us"] = g_eta[i].mean_us;
+                state.counters["fallbacks"] =
+                    static_cast<double>(g_eta[i].fallbacks);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
 }
 
 }  // namespace
@@ -120,27 +164,12 @@ eta_threshold_sweep(benchmark::State& state, double threshold)
 int
 main(int argc, char** argv)
 {
-    for (const std::uint32_t workspaces : {2u, 4u, 8u, 16u, 32u}) {
-        benchmark::RegisterBenchmark(
-            ("ablation/workspaces_" + std::to_string(workspaces))
-                .c_str(),
-            [workspaces](benchmark::State& state) {
-                workspace_sweep(state, workspaces);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-    }
-    for (const double threshold : {0.25, 0.5, 0.75, 1.0, 2.0}) {
-        benchmark::RegisterBenchmark(
-            ("ablation/eta_threshold_" + fmt(threshold, "%.2f"))
-                .c_str(),
-            [threshold](benchmark::State& state) {
-                eta_threshold_sweep(state, threshold);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-    }
+    parse_bench_args(argc, argv);
     benchmark::Initialize(&argc, argv);
+    SweepRunner sweep("ablation_eta");
+    add_cells(sweep);
+    sweep.run_all();
+    register_benchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 

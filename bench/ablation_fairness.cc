@@ -11,16 +11,23 @@
  * victim's queueing delay at roughly one in-service request, while
  * the flooding tenant's own throughput is unaffected (the node stays
  * saturated either way).
+ *
+ * Cells execute on the parallel sweep runner (--threads /
+ * PULSE_BENCH_THREADS); each writes its own pre-sized result slot, so
+ * outputs are byte-identical to a serial run.
  */
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
 #include "ds/linked_list.h"
+#include "sweep_runner.h"
 
 namespace {
 
 using namespace pulse;
 using namespace pulse::bench;
+
+const std::vector<std::uint32_t> kFloods = {4, 16, 64, 256};
 
 struct Point
 {
@@ -29,11 +36,11 @@ struct Point
     double fair_us = 0.0;
 };
 
-std::vector<Point> g_points;
+std::vector<Point> g_points(kFloods.size());
 
 double
-victim_latency(accel::SchedPolicy policy, std::uint32_t flood_depth,
-               double* flood_kops)
+victim_latency(CellContext& ctx, accel::SchedPolicy policy,
+               std::uint32_t flood_depth, double* flood_kops)
 {
     core::ClusterConfig config;
     config.num_clients = 2;
@@ -82,7 +89,7 @@ victim_latency(accel::SchedPolicy policy, std::uint32_t flood_depth,
     cluster.queue().schedule_after(micros(20.0), probe_one);
 
     const Time start = cluster.queue().now();
-    cluster.queue().run();
+    ctx.add_events(cluster.queue().run());
     if (flood_kops != nullptr) {
         *flood_kops =
             static_cast<double>(flood_done) /
@@ -92,19 +99,30 @@ victim_latency(accel::SchedPolicy policy, std::uint32_t flood_depth,
 }
 
 void
-fairness_cell(benchmark::State& state, std::uint32_t flood_depth)
+fairness_cell(CellContext& ctx, std::uint32_t flood_depth, Point& out)
 {
-    Point point;
-    point.flood = flood_depth;
-    for (auto _ : state) {
-        point.fifo_us = victim_latency(accel::SchedPolicy::kFifo,
-                                       flood_depth, nullptr);
-        point.fair_us = victim_latency(accel::SchedPolicy::kFairShare,
-                                       flood_depth, nullptr);
+    out.flood = flood_depth;
+    out.fifo_us = victim_latency(ctx, accel::SchedPolicy::kFifo,
+                                 flood_depth, nullptr);
+    out.fair_us = victim_latency(ctx, accel::SchedPolicy::kFairShare,
+                                 flood_depth, nullptr);
+}
+
+void
+register_benchmarks()
+{
+    for (std::size_t i = 0; i < kFloods.size(); i++) {
+        benchmark::RegisterBenchmark(
+            ("fairness/flood_" + std::to_string(kFloods[i])).c_str(),
+            [i](benchmark::State& state) {
+                for (auto _ : state) {
+                }
+                state.counters["fifo_us"] = g_points[i].fifo_us;
+                state.counters["fair_us"] = g_points[i].fair_us;
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
     }
-    state.counters["fifo_us"] = point.fifo_us;
-    state.counters["fair_us"] = point.fair_us;
-    g_points.push_back(point);
 }
 
 }  // namespace
@@ -112,16 +130,18 @@ fairness_cell(benchmark::State& state, std::uint32_t flood_depth)
 int
 main(int argc, char** argv)
 {
-    for (const std::uint32_t flood : {4u, 16u, 64u, 256u}) {
-        benchmark::RegisterBenchmark(
-            ("fairness/flood_" + std::to_string(flood)).c_str(),
-            [flood](benchmark::State& state) {
-                fairness_cell(state, flood);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-    }
+    parse_bench_args(argc, argv);
     benchmark::Initialize(&argc, argv);
+    SweepRunner sweep("ablation_fairness");
+    for (std::size_t i = 0; i < kFloods.size(); i++) {
+        const std::uint32_t flood = kFloods[i];
+        sweep.add("flood_" + std::to_string(flood),
+                  [flood, i](CellContext& ctx) {
+                      fairness_cell(ctx, flood, g_points[i]);
+                  });
+    }
+    sweep.run_all();
+    register_benchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 

@@ -18,15 +18,25 @@
  * Zero-fault rows double as the regression reference: with the plane
  * disabled the numbers must match the corresponding healthy-network
  * benchmarks bit-for-bit.
+ *
+ * Cells execute on the parallel sweep runner (--threads /
+ * PULSE_BENCH_THREADS); each writes its own pre-sized result slot, so
+ * outputs are byte-identical to a serial run.
  */
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "sweep_runner.h"
 
 namespace {
 
 using namespace pulse;
 using namespace pulse::bench;
+
+const std::vector<core::SystemKind> kSystems = {
+    core::SystemKind::kPulse, core::SystemKind::kRpc};
+const std::vector<double> kLosses = {0.0, 0.001, 0.01};
+const std::vector<double> kStallsUs = {0.0, 200.0, 1000.0};
 
 struct FaultPoint
 {
@@ -40,8 +50,8 @@ struct FaultPoint
     std::uint64_t failed = 0;
 };
 
-std::vector<FaultPoint> g_loss;
-std::vector<FaultPoint> g_stall;
+std::vector<FaultPoint> g_loss(kSystems.size() * kLosses.size());
+std::vector<FaultPoint> g_stall(kSystems.size() * kStallsUs.size());
 
 /** Periodic stall script: @p duration out of every 2 ms, node 0. */
 void
@@ -56,8 +66,9 @@ add_stall_script(core::ClusterConfig& config, Time duration)
 }
 
 FaultPoint
-run_cell(const std::string& label, core::SystemKind system,
-         const std::function<void(core::ClusterConfig&)>& inject)
+run_fault_cell(CellContext& ctx, const std::string& label,
+               core::SystemKind system,
+               const std::function<void(core::ClusterConfig&)>& inject)
 {
     RunSpec spec = main_spec(App::kUpc, system, 1);
     spec.concurrency = 16;
@@ -88,6 +99,7 @@ run_cell(const std::string& label, core::SystemKind system,
     const workloads::DriverResult result = run_closed_loop(
         cluster.queue(), cluster.submitter(system),
         experiment.factory, driver);
+    ctx.add_events(cluster.queue().events_executed());
 
     FaultPoint point;
     point.label = label;
@@ -117,40 +129,92 @@ run_cell(const std::string& label, core::SystemKind system,
 }
 
 void
-loss_sweep(benchmark::State& state, core::SystemKind system,
-           double loss)
+add_cells(SweepRunner& sweep)
 {
-    FaultPoint point;
-    for (auto _ : state) {
-        point = run_cell(
-            fmt(loss * 100.0, "%.1f") + "%", system,
-            [loss](core::ClusterConfig& config) {
-                config.faults.links.loss = loss;
-            });
+    for (std::size_t s = 0; s < kSystems.size(); s++) {
+        for (std::size_t l = 0; l < kLosses.size(); l++) {
+            const core::SystemKind system = kSystems[s];
+            const double loss = kLosses[l];
+            const std::size_t slot = s * kLosses.size() + l;
+            sweep.add(
+                std::string("loss_") + core::system_name(system) +
+                    "_" + fmt(loss * 100.0, "%.1f"),
+                [system, loss, slot](CellContext& ctx) {
+                    g_loss[slot] = run_fault_cell(
+                        ctx, fmt(loss * 100.0, "%.1f") + "%", system,
+                        [loss](core::ClusterConfig& config) {
+                            config.faults.links.loss = loss;
+                        });
+                });
+        }
     }
-    state.counters["goodput_kops"] = point.goodput_kops;
-    state.counters["p99_us"] = point.p99_us;
-    state.counters["failed"] = static_cast<double>(point.failed);
-    g_loss.push_back(point);
+    for (std::size_t s = 0; s < kSystems.size(); s++) {
+        for (std::size_t t = 0; t < kStallsUs.size(); t++) {
+            const core::SystemKind system = kSystems[s];
+            const double stall_us = kStallsUs[t];
+            const std::size_t slot = s * kStallsUs.size() + t;
+            sweep.add(
+                std::string("stall_") + core::system_name(system) +
+                    "_" + fmt(stall_us, "%.0f"),
+                [system, stall_us, slot](CellContext& ctx) {
+                    g_stall[slot] = run_fault_cell(
+                        ctx, fmt(stall_us, "%.0f") + "us", system,
+                        [stall_us](core::ClusterConfig& config) {
+                            if (stall_us > 0.0) {
+                                add_stall_script(config,
+                                                 micros(stall_us));
+                            }
+                        });
+                });
+        }
+    }
 }
 
 void
-stall_sweep(benchmark::State& state, core::SystemKind system,
-            double stall_us)
+register_benchmarks()
 {
-    FaultPoint point;
-    for (auto _ : state) {
-        point = run_cell(
-            fmt(stall_us, "%.0f") + "us", system,
-            [stall_us](core::ClusterConfig& config) {
-                if (stall_us > 0.0) {
-                    add_stall_script(config, micros(stall_us));
-                }
-            });
+    for (std::size_t s = 0; s < kSystems.size(); s++) {
+        for (std::size_t l = 0; l < kLosses.size(); l++) {
+            const std::size_t slot = s * kLosses.size() + l;
+            benchmark::RegisterBenchmark(
+                (std::string("faults/loss_") +
+                 core::system_name(kSystems[s]) + "_" +
+                 fmt(kLosses[l] * 100.0, "%.1f"))
+                    .c_str(),
+                [slot](benchmark::State& state) {
+                    const FaultPoint& point = g_loss[slot];
+                    for (auto _ : state) {
+                    }
+                    state.counters["goodput_kops"] =
+                        point.goodput_kops;
+                    state.counters["p99_us"] = point.p99_us;
+                    state.counters["failed"] =
+                        static_cast<double>(point.failed);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
     }
-    state.counters["goodput_kops"] = point.goodput_kops;
-    state.counters["p99_us"] = point.p99_us;
-    g_stall.push_back(point);
+    for (std::size_t s = 0; s < kSystems.size(); s++) {
+        for (std::size_t t = 0; t < kStallsUs.size(); t++) {
+            const std::size_t slot = s * kStallsUs.size() + t;
+            benchmark::RegisterBenchmark(
+                (std::string("faults/stall_") +
+                 core::system_name(kSystems[s]) + "_" +
+                 fmt(kStallsUs[t], "%.0f"))
+                    .c_str(),
+                [slot](benchmark::State& state) {
+                    const FaultPoint& point = g_stall[slot];
+                    for (auto _ : state) {
+                    }
+                    state.counters["goodput_kops"] =
+                        point.goodput_kops;
+                    state.counters["p99_us"] = point.p99_us;
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
 }
 
 }  // namespace
@@ -158,37 +222,12 @@ stall_sweep(benchmark::State& state, core::SystemKind system,
 int
 main(int argc, char** argv)
 {
-    for (const auto system :
-         {core::SystemKind::kPulse, core::SystemKind::kRpc}) {
-        for (const double loss : {0.0, 0.001, 0.01}) {
-            benchmark::RegisterBenchmark(
-                (std::string("faults/loss_") +
-                 core::system_name(system) + "_" +
-                 fmt(loss * 100.0, "%.1f"))
-                    .c_str(),
-                [system, loss](benchmark::State& state) {
-                    loss_sweep(state, system, loss);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
-    }
-    for (const auto system :
-         {core::SystemKind::kPulse, core::SystemKind::kRpc}) {
-        for (const double stall_us : {0.0, 200.0, 1000.0}) {
-            benchmark::RegisterBenchmark(
-                (std::string("faults/stall_") +
-                 core::system_name(system) + "_" +
-                 fmt(stall_us, "%.0f"))
-                    .c_str(),
-                [system, stall_us](benchmark::State& state) {
-                    stall_sweep(state, system, stall_us);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
-    }
+    parse_bench_args(argc, argv);
     benchmark::Initialize(&argc, argv);
+    SweepRunner sweep("ablation_faults");
+    add_cells(sweep);
+    sweep.run_all();
+    register_benchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
@@ -220,10 +259,10 @@ main(int argc, char** argv)
     stall.print();
 
     auto& metrics = MetricsSink::instance().exporter();
-    const auto record = [&metrics](const std::string& sweep,
+    const auto record = [&metrics](const std::string& sweep_name,
                                    const FaultPoint& point) {
         const std::string prefix =
-            "faults." + sweep + "." +
+            "faults." + sweep_name + "." +
             core::system_name(point.system) + "." + point.label + ".";
         metrics.set(prefix + "goodput_kops", point.goodput_kops);
         metrics.set(prefix + "mean_us", point.mean_us);

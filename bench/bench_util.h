@@ -16,6 +16,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "apps/apps.h"
@@ -26,6 +28,85 @@
 #include "workloads/driver.h"
 
 namespace pulse::bench {
+
+/**
+ * Harness-level knobs shared by every bench binary. Defaults come from
+ * the environment (PULSE_BENCH_THREADS, PULSE_BENCH_OPS_SCALE); CLI
+ * flags parsed by parse_bench_args() override them.
+ */
+struct BenchOptions
+{
+    /** Sweep worker threads; 1 reproduces the serial behavior. */
+    unsigned threads = 1;
+
+    /**
+     * Multiplier applied to every RunSpec's warmup_ops/measure_ops
+     * (floored at 1 op). 1.0 — the default — bypasses scaling
+     * entirely, keeping full runs bit-identical; CI uses small values
+     * for cheap sweeps.
+     */
+    double ops_scale = 1.0;
+};
+
+/** Mutable process-wide options (initialized from the environment). */
+inline BenchOptions&
+bench_options()
+{
+    static BenchOptions options = [] {
+        BenchOptions parsed;
+        parsed.threads = std::thread::hardware_concurrency();
+        if (parsed.threads == 0) {
+            parsed.threads = 1;
+        }
+        if (const char* env = std::getenv("PULSE_BENCH_THREADS")) {
+            const long n = std::strtol(env, nullptr, 10);
+            parsed.threads =
+                n > 0 ? static_cast<unsigned>(n) : 1;
+        }
+        if (const char* env = std::getenv("PULSE_BENCH_OPS_SCALE")) {
+            const double scale = std::strtod(env, nullptr);
+            if (scale > 0.0) {
+                parsed.ops_scale = scale;
+            }
+        }
+        return parsed;
+    }();
+    return options;
+}
+
+/**
+ * Strip and apply the harness flags (--threads=N, --ops-scale=X) from
+ * @p argv before handing it to benchmark::Initialize, which aborts on
+ * flags it does not recognize. Call first in every bench main().
+ */
+inline void
+parse_bench_args(int& argc, char** argv)
+{
+    int kept = 1;
+    for (int i = 1; i < argc; i++) {
+        const std::string_view arg(argv[i]);
+        constexpr std::string_view kThreads = "--threads=";
+        constexpr std::string_view kOpsScale = "--ops-scale=";
+        if (arg.substr(0, kThreads.size()) == kThreads) {
+            const long n =
+                std::strtol(argv[i] + kThreads.size(), nullptr, 10);
+            bench_options().threads =
+                n > 0 ? static_cast<unsigned>(n) : 1;
+            continue;
+        }
+        if (arg.substr(0, kOpsScale.size()) == kOpsScale) {
+            const double scale =
+                std::strtod(argv[i] + kOpsScale.size(), nullptr);
+            if (scale > 0.0) {
+                bench_options().ops_scale = scale;
+            }
+            continue;
+        }
+        argv[kept++] = argv[i];
+    }
+    argc = kept;
+    argv[argc] = nullptr;
+}
 
 /** The evaluated applications (Table 2 rows). */
 enum class App { kUpc, kTc, kTsv75, kTsv15, kTsv30, kTsv60 };
@@ -232,13 +313,60 @@ measure_energy_per_op(core::Cluster& cluster, core::SystemKind system,
 }
 
 /**
+ * One cell's deferred metrics snapshot. Worker threads record each
+ * executed cell into a local exporter (unprefixed names); the sweep
+ * runner replays the records into the process-wide MetricsSink in
+ * submission order, so the export is byte-identical to the serial
+ * run regardless of which worker finished first.
+ */
+struct SinkRecord
+{
+    std::string label;
+    trace::MetricsExporter metrics;
+};
+
+/** Canonical cell label: "<app>.<system>.n<nodes>.c<concurrency>". */
+inline std::string
+cell_label(const RunSpec& spec)
+{
+    return std::string(app_name(spec.app)) + "." +
+           core::system_name(spec.system) + ".n" +
+           std::to_string(spec.nodes) + ".c" +
+           std::to_string(spec.concurrency);
+}
+
+/** Snapshot everything measured for one executed cell. */
+inline SinkRecord
+make_sink_record(const RunSpec& spec, const RunOutcome& outcome,
+                 core::Cluster& cluster)
+{
+    SinkRecord record;
+    record.label = cell_label(spec);
+    record.metrics.set("kops", outcome.kops);
+    record.metrics.set("mean_us", outcome.mean_us);
+    record.metrics.set("p99_us", outcome.p99_us);
+    record.metrics.set("mem_bw_gbps", outcome.mem_bw / 1e9);
+    record.metrics.set("net_bw_gbps", outcome.net_bw / 1e9);
+    record.metrics.set("joules_per_op", outcome.joules_per_op);
+    record.metrics.set("avg_iterations", outcome.avg_iterations);
+    record.metrics.add_histogram("latency", outcome.driver.latency);
+    cluster.export_metrics(record.metrics, "");
+    return record;
+}
+
+/**
  * Process-wide unified metrics sink. Enabled by setting the
  * PULSE_METRICS_OUT environment variable to an output path (".json"
  * extension selects JSON, anything else CSV); disabled (the default)
  * it is a strict no-op, so bench stdout is untouched either way.
- * run_spec() records every executed cell automatically; benches with
+ * run_spec() records every executed cell automatically (run_cell()
+ * defers the record for the sweep runner to replay); benches with
  * bespoke measurement loops add scalars through exporter() and every
  * bench main() calls flush() before exiting.
+ *
+ * Thread model: replay(), exporter() and flush() are main-thread
+ * only. Workers only call enabled() (an immutable read) and build
+ * SinkRecords locally.
  */
 class MetricsSink
 {
@@ -265,31 +393,15 @@ class MetricsSink
         return tag + label + ".";
     }
 
-    /** Record one executed run_spec cell. */
+    /** Merge one deferred cell record under the next cell tag. */
     void
-    record_cell(const RunSpec& spec, const RunOutcome& outcome,
-                core::Cluster& cluster)
+    replay(SinkRecord&& record)
     {
         if (!enabled()) {
             return;
         }
-        const std::string prefix = next_prefix(
-            std::string(app_name(spec.app)) + "." +
-            core::system_name(spec.system) + ".n" +
-            std::to_string(spec.nodes) + ".c" +
-            std::to_string(spec.concurrency));
-        exporter_.set(prefix + "kops", outcome.kops);
-        exporter_.set(prefix + "mean_us", outcome.mean_us);
-        exporter_.set(prefix + "p99_us", outcome.p99_us);
-        exporter_.set(prefix + "mem_bw_gbps", outcome.mem_bw / 1e9);
-        exporter_.set(prefix + "net_bw_gbps", outcome.net_bw / 1e9);
-        exporter_.set(prefix + "joules_per_op",
-                      outcome.joules_per_op);
-        exporter_.set(prefix + "avg_iterations",
-                      outcome.avg_iterations);
-        exporter_.add_histogram(prefix + "latency",
-                                outcome.driver.latency);
-        cluster.export_metrics(exporter_, prefix);
+        exporter_.merge_prefixed(next_prefix(record.label),
+                                 record.metrics);
     }
 
     /** Write the snapshot; no-op when disabled, empty, or done. */
@@ -319,10 +431,34 @@ class MetricsSink
     trace::MetricsExporter exporter_;
 };
 
-/** Execute one cell. */
-inline RunOutcome
-run_spec(const RunSpec& spec)
+/** Apply the global --ops-scale knob to a cell's op counts. */
+inline RunSpec
+apply_ops_scale(RunSpec spec)
 {
+    const double scale = bench_options().ops_scale;
+    if (scale != 1.0) {
+        spec.warmup_ops = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   static_cast<double>(spec.warmup_ops) * scale));
+        spec.measure_ops = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   static_cast<double>(spec.measure_ops) * scale));
+    }
+    return spec;
+}
+
+/**
+ * Execute one cell without touching any process-wide state: the sink
+ * record (if the sink is enabled) is appended to @p records for a
+ * later deterministic replay, and the cell's simulated event count is
+ * added to @p events. Safe to call from sweep worker threads — the
+ * cell builds its own Cluster/EventQueue/Rng and shares nothing.
+ */
+inline RunOutcome
+run_cell(const RunSpec& requested, std::vector<SinkRecord>* records,
+         std::uint64_t* events = nullptr)
+{
+    const RunSpec spec = apply_ops_scale(requested);
     Experiment experiment = make_experiment(spec);
     core::Cluster& cluster = *experiment.cluster;
 
@@ -357,7 +493,24 @@ run_spec(const RunSpec& spec)
     outcome.mean_us = to_micros(outcome.driver.latency.mean());
     outcome.p99_us = to_micros(outcome.driver.latency.percentile(0.99));
     outcome.kops = outcome.driver.throughput / 1e3;
-    MetricsSink::instance().record_cell(spec, outcome, cluster);
+    if (records != nullptr && MetricsSink::instance().enabled()) {
+        records->push_back(make_sink_record(spec, outcome, cluster));
+    }
+    if (events != nullptr) {
+        *events += cluster.queue().events_executed();
+    }
+    return outcome;
+}
+
+/** Execute one cell, recording straight into the process sink. */
+inline RunOutcome
+run_spec(const RunSpec& spec)
+{
+    std::vector<SinkRecord> records;
+    const RunOutcome outcome = run_cell(spec, &records);
+    for (SinkRecord& record : records) {
+        MetricsSink::instance().replay(std::move(record));
+    }
     return outcome;
 }
 

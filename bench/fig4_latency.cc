@@ -10,10 +10,16 @@
  *   - pulse 42-55% lower than RPC with multiple memory nodes
  *     (in-network continuations);
  *   - Cache+RPC (UPC, 1 node only) above RPC (TCP transport).
+ *
+ * Cells execute on the parallel sweep runner (--threads /
+ * PULSE_BENCH_THREADS); results and metrics exports are byte-
+ * identical to a serial run. The registered google-benchmark shells
+ * report the precomputed counters.
  */
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "sweep_runner.h"
 
 namespace {
 
@@ -27,8 +33,7 @@ const std::vector<App> kApps = {App::kUpc,   App::kTc,
 
 struct Cell
 {
-    double mean_us = 0.0;
-    double p99_us = 0.0;
+    RunOutcome outcome;
     bool run = false;
 };
 
@@ -41,9 +46,8 @@ cell_key(App app, SystemKind system, std::uint32_t nodes)
            core::system_name(system) + "/" + std::to_string(nodes);
 }
 
-void
-latency_cell(benchmark::State& state, App app, SystemKind system,
-             std::uint32_t nodes)
+RunSpec
+cell_spec(App app, SystemKind system, std::uint32_t nodes)
 {
     RunSpec spec = main_spec(app, system, nodes);
     spec.concurrency = 1;
@@ -51,18 +55,43 @@ latency_cell(benchmark::State& state, App app, SystemKind system,
     // The Cache baseline is ~2 orders slower; fewer ops suffice.
     spec.measure_ops =
         system == SystemKind::kCache ? 120 : 400;
+    return spec;
+}
 
-    RunOutcome outcome;
-    for (auto _ : state) {
-        outcome = run_spec(spec);
+/** Visit every Fig. 4 cell in the canonical (deterministic) order. */
+template <typename Fn>
+void
+for_each_cell(Fn&& fn)
+{
+    for (const std::uint32_t nodes : {1u, 2u, 4u}) {
+        for (const App app : kApps) {
+            for (const SystemKind system :
+                 {SystemKind::kCache, SystemKind::kRpc,
+                  SystemKind::kRpcWimpy, SystemKind::kCacheRpc,
+                  SystemKind::kPulse}) {
+                // The paper restricts Cache+RPC (AIFM) to UPC on a
+                // single node (no B+Tree / distributed support).
+                if (system == SystemKind::kCacheRpc &&
+                    (app != App::kUpc || nodes != 1)) {
+                    continue;
+                }
+                fn(app, system, nodes);
+            }
+        }
     }
-    state.counters["mean_us"] = outcome.mean_us;
-    state.counters["p99_us"] = outcome.p99_us;
-    state.counters["iters_per_op"] = outcome.avg_iterations;
-    state.counters["errors"] =
-        static_cast<double>(outcome.driver.errors);
-    g_cells[cell_key(app, system, nodes)] =
-        Cell{outcome.mean_us, outcome.p99_us, true};
+}
+
+void
+add_cells(SweepRunner& sweep)
+{
+    for_each_cell([&sweep](App app, SystemKind system,
+                           std::uint32_t nodes) {
+        const std::string key = cell_key(app, system, nodes);
+        sweep.add_spec(key, cell_spec(app, system, nodes),
+                       [key](const RunOutcome& outcome) {
+                           g_cells[key] = Cell{outcome, true};
+                       });
+    });
 }
 
 void
@@ -89,13 +118,13 @@ print_tables()
                     row.push_back("-");
                     continue;
                 }
-                row.push_back(fmt(it->second.mean_us));
+                row.push_back(fmt(it->second.outcome.mean_us));
                 if (system == SystemKind::kRpc) {
-                    rpc = it->second.mean_us;
+                    rpc = it->second.outcome.mean_us;
                 } else if (system == SystemKind::kPulse) {
-                    pulse_latency = it->second.mean_us;
+                    pulse_latency = it->second.outcome.mean_us;
                 } else if (system == SystemKind::kCache) {
-                    cache = it->second.mean_us;
+                    cache = it->second.outcome.mean_us;
                 }
             }
             row.push_back(pulse_latency > 0 && rpc > 0
@@ -113,28 +142,24 @@ print_tables()
 void
 register_benchmarks()
 {
-    for (const std::uint32_t nodes : {1u, 2u, 4u}) {
-        for (const App app : kApps) {
-            for (const SystemKind system :
-                 {SystemKind::kCache, SystemKind::kRpc,
-                  SystemKind::kRpcWimpy, SystemKind::kCacheRpc,
-                  SystemKind::kPulse}) {
-                // The paper restricts Cache+RPC (AIFM) to UPC on a
-                // single node (no B+Tree / distributed support).
-                if (system == SystemKind::kCacheRpc &&
-                    (app != App::kUpc || nodes != 1)) {
-                    continue;
+    for_each_cell([](App app, SystemKind system, std::uint32_t nodes) {
+        const std::string key = cell_key(app, system, nodes);
+        benchmark::RegisterBenchmark(
+            ("fig4/" + key).c_str(),
+            [key](benchmark::State& state) {
+                const RunOutcome& outcome = g_cells[key].outcome;
+                for (auto _ : state) {
                 }
-                benchmark::RegisterBenchmark(
-                    ("fig4/" + cell_key(app, system, nodes)).c_str(),
-                    [app, system, nodes](benchmark::State& state) {
-                        latency_cell(state, app, system, nodes);
-                    })
-                    ->Iterations(1)
-                    ->Unit(benchmark::kMillisecond);
-            }
-        }
-    }
+                state.counters["mean_us"] = outcome.mean_us;
+                state.counters["p99_us"] = outcome.p99_us;
+                state.counters["iters_per_op"] =
+                    outcome.avg_iterations;
+                state.counters["errors"] =
+                    static_cast<double>(outcome.driver.errors);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    });
 }
 
 }  // namespace
@@ -142,8 +167,12 @@ register_benchmarks()
 int
 main(int argc, char** argv)
 {
-    register_benchmarks();
+    parse_bench_args(argc, argv);
     benchmark::Initialize(&argc, argv);
+    SweepRunner sweep("fig4");
+    add_cells(sweep);
+    sweep.run_all();
+    register_benchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_tables();

@@ -11,10 +11,15 @@
  *     round trips);
  *   - throughput scales with node count; UPC scales linearly
  *     (partitioned, never crosses nodes).
+ *
+ * Cells execute on the parallel sweep runner (--threads /
+ * PULSE_BENCH_THREADS); results and metrics exports are byte-
+ * identical to a serial run.
  */
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "sweep_runner.h"
 
 namespace {
 
@@ -26,7 +31,7 @@ const std::vector<App> kApps = {App::kUpc,   App::kTc,
                                 App::kTsv75, App::kTsv15,
                                 App::kTsv30, App::kTsv60};
 
-std::map<std::string, double> g_kops;
+std::map<std::string, RunOutcome> g_outcomes;
 
 std::string
 cell_key(App app, SystemKind system, std::uint32_t nodes)
@@ -35,9 +40,8 @@ cell_key(App app, SystemKind system, std::uint32_t nodes)
            core::system_name(system) + "/" + std::to_string(nodes);
 }
 
-void
-throughput_cell(benchmark::State& state, App app, SystemKind system,
-                std::uint32_t nodes)
+RunSpec
+cell_spec(App app, SystemKind system, std::uint32_t nodes)
 {
     RunSpec spec = main_spec(app, system, nodes);
     // Enough outstanding work to saturate the memory nodes (queueing
@@ -47,16 +51,41 @@ throughput_cell(benchmark::State& state, App app, SystemKind system,
     spec.warmup_ops = slow ? 64 : spec.concurrency;
     spec.measure_ops =
         slow ? 192 : std::max<std::uint64_t>(2 * spec.concurrency, 1200);
+    return spec;
+}
 
-    RunOutcome outcome;
-    for (auto _ : state) {
-        outcome = run_spec(spec);
+/** Visit every Fig. 5 cell in the canonical (deterministic) order. */
+template <typename Fn>
+void
+for_each_cell(Fn&& fn)
+{
+    for (const std::uint32_t nodes : {1u, 2u, 4u}) {
+        for (const App app : kApps) {
+            for (const SystemKind system :
+                 {SystemKind::kCache, SystemKind::kRpc,
+                  SystemKind::kRpcWimpy, SystemKind::kCacheRpc,
+                  SystemKind::kPulse}) {
+                if (system == SystemKind::kCacheRpc &&
+                    (app != App::kUpc || nodes != 1)) {
+                    continue;
+                }
+                fn(app, system, nodes);
+            }
+        }
     }
-    state.counters["kops"] = outcome.kops;
-    state.counters["mem_bw_gbps"] = outcome.mem_bw / 1e9;
-    state.counters["errors"] =
-        static_cast<double>(outcome.driver.errors);
-    g_kops[cell_key(app, system, nodes)] = outcome.kops;
+}
+
+void
+add_cells(SweepRunner& sweep)
+{
+    for_each_cell([&sweep](App app, SystemKind system,
+                           std::uint32_t nodes) {
+        const std::string key = cell_key(app, system, nodes);
+        sweep.add_spec(key, cell_spec(app, system, nodes),
+                       [key](const RunOutcome& outcome) {
+                           g_outcomes[key] = outcome;
+                       });
+    });
 }
 
 void
@@ -78,18 +107,18 @@ print_tables()
                   SystemKind::kRpcWimpy, SystemKind::kCacheRpc,
                   SystemKind::kPulse}) {
                 const auto it =
-                    g_kops.find(cell_key(app, system, nodes));
-                if (it == g_kops.end()) {
+                    g_outcomes.find(cell_key(app, system, nodes));
+                if (it == g_outcomes.end()) {
                     row.push_back("-");
                     continue;
                 }
-                row.push_back(fmt(it->second));
+                row.push_back(fmt(it->second.kops));
                 if (system == SystemKind::kRpc) {
-                    rpc = it->second;
+                    rpc = it->second.kops;
                 } else if (system == SystemKind::kPulse) {
-                    pulse_kops = it->second;
+                    pulse_kops = it->second.kops;
                 } else if (system == SystemKind::kCache) {
-                    cache = it->second;
+                    cache = it->second.kops;
                 }
             }
             row.push_back(rpc > 0 ? fmt(pulse_kops / rpc, "%.2f")
@@ -105,26 +134,22 @@ print_tables()
 void
 register_benchmarks()
 {
-    for (const std::uint32_t nodes : {1u, 2u, 4u}) {
-        for (const App app : kApps) {
-            for (const SystemKind system :
-                 {SystemKind::kCache, SystemKind::kRpc,
-                  SystemKind::kRpcWimpy, SystemKind::kCacheRpc,
-                  SystemKind::kPulse}) {
-                if (system == SystemKind::kCacheRpc &&
-                    (app != App::kUpc || nodes != 1)) {
-                    continue;
+    for_each_cell([](App app, SystemKind system, std::uint32_t nodes) {
+        const std::string key = cell_key(app, system, nodes);
+        benchmark::RegisterBenchmark(
+            ("fig5/" + key).c_str(),
+            [key](benchmark::State& state) {
+                const RunOutcome& outcome = g_outcomes[key];
+                for (auto _ : state) {
                 }
-                benchmark::RegisterBenchmark(
-                    ("fig5/" + cell_key(app, system, nodes)).c_str(),
-                    [app, system, nodes](benchmark::State& state) {
-                        throughput_cell(state, app, system, nodes);
-                    })
-                    ->Iterations(1)
-                    ->Unit(benchmark::kMillisecond);
-            }
-        }
-    }
+                state.counters["kops"] = outcome.kops;
+                state.counters["mem_bw_gbps"] = outcome.mem_bw / 1e9;
+                state.counters["errors"] =
+                    static_cast<double>(outcome.driver.errors);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    });
 }
 
 }  // namespace
@@ -132,8 +157,12 @@ register_benchmarks()
 int
 main(int argc, char** argv)
 {
-    register_benchmarks();
+    parse_bench_args(argc, argv);
     benchmark::Initialize(&argc, argv);
+    SweepRunner sweep("fig5");
+    add_cells(sweep);
+    sweep.run_all();
+    register_benchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_tables();

@@ -9,10 +9,15 @@
  * bandwidth (every miss moves a whole page through both). A second
  * table reproduces the observation that UPC's network usage grows
  * linearly with node count (partitioned, no cross-node traversals).
+ *
+ * Cells execute on the parallel sweep runner (--threads /
+ * PULSE_BENCH_THREADS); results and metrics exports are byte-
+ * identical to a serial run.
  */
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "sweep_runner.h"
 
 namespace {
 
@@ -40,9 +45,8 @@ cell_key(App app, SystemKind system, std::uint32_t nodes)
            core::system_name(system) + "/" + std::to_string(nodes);
 }
 
-void
-bandwidth_cell(benchmark::State& state, App app, SystemKind system,
-               std::uint32_t nodes)
+RunSpec
+cell_spec(App app, SystemKind system, std::uint32_t nodes)
 {
     RunSpec spec = main_spec(app, system, nodes);
     const bool slow = system == SystemKind::kCache;
@@ -50,11 +54,12 @@ bandwidth_cell(benchmark::State& state, App app, SystemKind system,
     spec.warmup_ops = slow ? 64 : spec.concurrency;
     spec.measure_ops =
         slow ? 192 : std::max<std::uint64_t>(2 * spec.concurrency, 1200);
+    return spec;
+}
 
-    RunOutcome outcome;
-    for (auto _ : state) {
-        outcome = run_spec(spec);
-    }
+Cell
+to_cell(const RunOutcome& outcome)
+{
     Cell cell;
     cell.mem_util = outcome.mem_bw_capacity > 0
                         ? outcome.mem_bw / outcome.mem_bw_capacity
@@ -63,9 +68,41 @@ bandwidth_cell(benchmark::State& state, App app, SystemKind system,
     cell.net_util = outcome.net_bw_capacity > 0
                         ? outcome.net_bw / outcome.net_bw_capacity
                         : 0.0;
-    state.counters["mem_util"] = cell.mem_util;
-    state.counters["net_gbps"] = cell.net_gbps;
-    g_cells[cell_key(app, system, nodes)] = cell;
+    return cell;
+}
+
+/** Visit every Fig. 6 cell in the canonical (deterministic) order. */
+template <typename Fn>
+void
+for_each_cell(Fn&& fn)
+{
+    for (const App app : kApps) {
+        for (const SystemKind system :
+             {SystemKind::kCache, SystemKind::kRpc,
+              SystemKind::kRpcWimpy, SystemKind::kCacheRpc,
+              SystemKind::kPulse}) {
+            if (system == SystemKind::kCacheRpc && app != App::kUpc) {
+                continue;
+            }
+            fn(app, system, 1u);
+        }
+    }
+    for (const std::uint32_t nodes : {2u, 4u}) {
+        fn(App::kUpc, SystemKind::kPulse, nodes);
+    }
+}
+
+void
+add_cells(SweepRunner& sweep)
+{
+    for_each_cell([&sweep](App app, SystemKind system,
+                           std::uint32_t nodes) {
+        const std::string key = cell_key(app, system, nodes);
+        sweep.add_spec(key, cell_spec(app, system, nodes),
+                       [key](const RunOutcome& outcome) {
+                           g_cells[key] = to_cell(outcome);
+                       });
+    });
 }
 
 void
@@ -141,34 +178,20 @@ print_tables()
 void
 register_benchmarks()
 {
-    for (const App app : kApps) {
-        for (const SystemKind system :
-             {SystemKind::kCache, SystemKind::kRpc,
-              SystemKind::kRpcWimpy, SystemKind::kCacheRpc,
-              SystemKind::kPulse}) {
-            if (system == SystemKind::kCacheRpc && app != App::kUpc) {
-                continue;
-            }
-            benchmark::RegisterBenchmark(
-                ("fig6/" + cell_key(app, system, 1)).c_str(),
-                [app, system](benchmark::State& state) {
-                    bandwidth_cell(state, app, system, 1);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
-    }
-    for (const std::uint32_t nodes : {2u, 4u}) {
+    for_each_cell([](App app, SystemKind system, std::uint32_t nodes) {
+        const std::string key = cell_key(app, system, nodes);
         benchmark::RegisterBenchmark(
-            ("fig6/" + cell_key(App::kUpc, SystemKind::kPulse, nodes))
-                .c_str(),
-            [nodes](benchmark::State& state) {
-                bandwidth_cell(state, App::kUpc, SystemKind::kPulse,
-                               nodes);
+            ("fig6/" + key).c_str(),
+            [key](benchmark::State& state) {
+                const Cell& cell = g_cells[key];
+                for (auto _ : state) {
+                }
+                state.counters["mem_util"] = cell.mem_util;
+                state.counters["net_gbps"] = cell.net_gbps;
             })
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
-    }
+    });
 }
 
 }  // namespace
@@ -176,8 +199,12 @@ register_benchmarks()
 int
 main(int argc, char** argv)
 {
-    register_benchmarks();
+    parse_bench_args(argc, argv);
     benchmark::Initialize(&argc, argv);
+    SweepRunner sweep("fig6");
+    add_cells(sweep);
+    sweep.run_all();
+    register_benchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_tables();

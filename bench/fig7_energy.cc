@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "sweep_runner.h"
 
 namespace {
 
@@ -41,19 +42,20 @@ cell_key(App app, SystemKind system)
            core::system_name(system);
 }
 
-void
-energy_cell(benchmark::State& state, App app, SystemKind system)
+RunSpec
+cell_spec(App app, SystemKind system)
 {
     RunSpec spec = main_spec(app, system, 1);
     spec.concurrency = 512;
     spec.warmup_ops = spec.concurrency;
     spec.measure_ops = std::max<std::uint64_t>(
         2 * spec.concurrency, 1200);
+    return spec;
+}
 
-    RunOutcome outcome;
-    for (auto _ : state) {
-        outcome = run_spec(spec);
-    }
+Cell
+to_cell(const RunOutcome& outcome)
+{
     Cell cell;
     cell.uj_per_op = outcome.joules_per_op * 1e6;
     if (outcome.joules_per_op > 0 &&
@@ -63,9 +65,36 @@ energy_cell(benchmark::State& state, App app, SystemKind system)
         cell.kops_per_watt =
             outcome.driver.throughput / 1e3 / watts;
     }
-    state.counters["uJ_per_op"] = cell.uj_per_op;
-    state.counters["kops_per_W"] = cell.kops_per_watt;
-    g_cells[cell_key(app, system)] = cell;
+    return cell;
+}
+
+/** Visit every Fig. 7 cell in the canonical (deterministic) order. */
+template <typename Fn>
+void
+for_each_cell(Fn&& fn)
+{
+    for (const App app : kApps) {
+        for (const SystemKind system :
+             {SystemKind::kRpc, SystemKind::kRpcWimpy,
+              SystemKind::kCacheRpc, SystemKind::kPulse}) {
+            if (system == SystemKind::kCacheRpc && app != App::kUpc) {
+                continue;
+            }
+            fn(app, system);
+        }
+    }
+}
+
+void
+add_cells(SweepRunner& sweep)
+{
+    for_each_cell([&sweep](App app, SystemKind system) {
+        const std::string key = cell_key(app, system);
+        sweep.add_spec(key, cell_spec(app, system),
+                       [key](const RunOutcome& outcome) {
+                           g_cells[key] = to_cell(outcome);
+                       });
+    });
 }
 
 void
@@ -133,22 +162,20 @@ print_tables()
 void
 register_benchmarks()
 {
-    for (const App app : kApps) {
-        for (const SystemKind system :
-             {SystemKind::kRpc, SystemKind::kRpcWimpy,
-              SystemKind::kCacheRpc, SystemKind::kPulse}) {
-            if (system == SystemKind::kCacheRpc && app != App::kUpc) {
-                continue;
-            }
-            benchmark::RegisterBenchmark(
-                ("fig7/" + cell_key(app, system)).c_str(),
-                [app, system](benchmark::State& state) {
-                    energy_cell(state, app, system);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
-    }
+    for_each_cell([](App app, SystemKind system) {
+        const std::string key = cell_key(app, system);
+        benchmark::RegisterBenchmark(
+            ("fig7/" + key).c_str(),
+            [key](benchmark::State& state) {
+                const Cell& cell = g_cells[key];
+                for (auto _ : state) {
+                }
+                state.counters["uJ_per_op"] = cell.uj_per_op;
+                state.counters["kops_per_W"] = cell.kops_per_watt;
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    });
 }
 
 }  // namespace
@@ -156,8 +183,12 @@ register_benchmarks()
 int
 main(int argc, char** argv)
 {
-    register_benchmarks();
+    parse_bench_args(argc, argv);
     benchmark::Initialize(&argc, argv);
+    SweepRunner sweep("fig7");
+    add_cells(sweep);
+    sweep.run_all();
+    register_benchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_tables();

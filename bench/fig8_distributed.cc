@@ -10,10 +10,15 @@
  *   (b) identical *throughput* either way — with sufficient load both
  *       are bottlenecked by memory bandwidth, not by where
  *       continuations route.
+ *
+ * Cells execute on the parallel sweep runner (--threads /
+ * PULSE_BENCH_THREADS); results and metrics exports are byte-
+ * identical to a serial run.
  */
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "sweep_runner.h"
 
 namespace {
 
@@ -39,40 +44,57 @@ cell_key(App app, bool acc, std::uint32_t nodes, const char* metric)
            std::to_string(nodes) + "/" + metric;
 }
 
-void
-latency_cell(benchmark::State& state, App app, bool acc,
-             std::uint32_t nodes)
+RunSpec
+latency_spec(App app, bool acc, std::uint32_t nodes)
 {
     RunSpec spec = main_spec(app, SystemKind::kPulse, nodes);
     spec.pulse_acc = acc;
     spec.concurrency = 1;
     spec.warmup_ops = 40;
     spec.measure_ops = 300;
-    RunOutcome outcome;
-    for (auto _ : state) {
-        outcome = run_spec(spec);
-    }
-    state.counters["mean_us"] = outcome.mean_us;
-    g_cells[cell_key(app, acc, nodes, "lat")] =
-        Cell{outcome.mean_us, outcome.kops};
+    return spec;
 }
 
-void
-throughput_cell(benchmark::State& state, App app, bool acc,
-                std::uint32_t nodes)
+RunSpec
+throughput_spec(App app, bool acc, std::uint32_t nodes)
 {
     RunSpec spec = main_spec(app, SystemKind::kPulse, nodes);
     spec.pulse_acc = acc;
     spec.concurrency = 512 * nodes;
     spec.warmup_ops = spec.concurrency;
     spec.measure_ops = 2 * spec.concurrency;
-    RunOutcome outcome;
-    for (auto _ : state) {
-        outcome = run_spec(spec);
+    return spec;
+}
+
+/** Visit every Fig. 8 cell in the canonical (deterministic) order. */
+template <typename Fn>
+void
+for_each_cell(Fn&& fn)
+{
+    for (const App app : kApps) {
+        for (const std::uint32_t nodes : {1u, 2u}) {
+            for (const bool acc : {false, true}) {
+                fn(app, acc, nodes, true);
+                fn(app, acc, nodes, false);
+            }
+        }
     }
-    state.counters["kops"] = outcome.kops;
-    g_cells[cell_key(app, acc, nodes, "thr")] =
-        Cell{outcome.mean_us, outcome.kops};
+}
+
+void
+add_cells(SweepRunner& sweep)
+{
+    for_each_cell([&sweep](App app, bool acc, std::uint32_t nodes,
+                           bool is_lat) {
+        const std::string key =
+            cell_key(app, acc, nodes, is_lat ? "lat" : "thr");
+        const RunSpec spec = is_lat
+                                 ? latency_spec(app, acc, nodes)
+                                 : throughput_spec(app, acc, nodes);
+        sweep.add_spec(key, spec, [key](const RunOutcome& outcome) {
+            g_cells[key] = Cell{outcome.mean_us, outcome.kops};
+        });
+    });
 }
 
 void
@@ -130,28 +152,25 @@ print_tables()
 void
 register_benchmarks()
 {
-    for (const App app : kApps) {
-        for (const std::uint32_t nodes : {1u, 2u}) {
-            for (const bool acc : {false, true}) {
-                benchmark::RegisterBenchmark(
-                    ("fig8/" + cell_key(app, acc, nodes, "lat"))
-                        .c_str(),
-                    [app, acc, nodes](benchmark::State& state) {
-                        latency_cell(state, app, acc, nodes);
-                    })
-                    ->Iterations(1)
-                    ->Unit(benchmark::kMillisecond);
-                benchmark::RegisterBenchmark(
-                    ("fig8/" + cell_key(app, acc, nodes, "thr"))
-                        .c_str(),
-                    [app, acc, nodes](benchmark::State& state) {
-                        throughput_cell(state, app, acc, nodes);
-                    })
-                    ->Iterations(1)
-                    ->Unit(benchmark::kMillisecond);
-            }
-        }
-    }
+    for_each_cell([](App app, bool acc, std::uint32_t nodes,
+                     bool is_lat) {
+        const std::string key =
+            cell_key(app, acc, nodes, is_lat ? "lat" : "thr");
+        benchmark::RegisterBenchmark(
+            ("fig8/" + key).c_str(),
+            [key, is_lat](benchmark::State& state) {
+                const Cell& cell = g_cells[key];
+                for (auto _ : state) {
+                }
+                if (is_lat) {
+                    state.counters["mean_us"] = cell.mean_us;
+                } else {
+                    state.counters["kops"] = cell.kops;
+                }
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    });
 }
 
 }  // namespace
@@ -159,8 +178,12 @@ register_benchmarks()
 int
 main(int argc, char** argv)
 {
-    register_benchmarks();
+    parse_bench_args(argc, argv);
     benchmark::Initialize(&argc, argv);
+    SweepRunner sweep("fig8");
+    add_cells(sweep);
+    sweep.run_all();
+    register_benchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_tables();

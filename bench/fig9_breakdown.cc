@@ -7,11 +7,15 @@
  * scheduler dispatch ~4 ns, memory pipeline ~120 ns per iteration
  * (translation + protection + aggregated load), logic pipeline ~7 ns
  * per iteration for the hash-table program; response path symmetric.
+ *
+ * The single cell executes on the sweep runner so its wall-clock and
+ * events/sec self-profile land in the shared wallclock artifact.
  */
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
 #include "ds/hash_table.h"
+#include "sweep_runner.h"
 
 namespace {
 
@@ -32,7 +36,7 @@ struct Breakdown
 Breakdown g_result;
 
 void
-breakdown(benchmark::State& state)
+breakdown_cell(CellContext& ctx)
 {
     core::ClusterConfig config;
     core::Cluster cluster(config);
@@ -52,17 +56,14 @@ breakdown(benchmark::State& state)
     driver.concurrency = 1;
     driver.on_measure_start = [&cluster] { cluster.reset_stats(); };
 
-    workloads::DriverResult result;
-    for (auto _ : state) {
-        result = run_closed_loop(
-            cluster.queue(),
-            cluster.submitter(core::SystemKind::kPulse),
-            [&](std::uint64_t) {
-                return table.make_find(
-                    keys[rng.next_below(keys.size())], nullptr);
-            },
-            driver);
-    }
+    const workloads::DriverResult result = run_closed_loop(
+        cluster.queue(), cluster.submitter(core::SystemKind::kPulse),
+        [&](std::uint64_t) {
+            return table.make_find(keys[rng.next_below(keys.size())],
+                                   nullptr);
+        },
+        driver);
+    ctx.add_events(cluster.queue().events_executed());
 
     const auto& stats = cluster.accelerator(0).stats();
     const double requests =
@@ -85,11 +86,25 @@ breakdown(benchmark::State& state)
          stats.logic_pipeline_time.sum()) /
         requests / 1e6;
     g_result.end_to_end_us = to_micros(result.latency.mean());
+}
 
-    state.counters["net_stack_ns"] = g_result.net_stack_ns;
-    state.counters["scheduler_ns"] = g_result.scheduler_ns;
-    state.counters["mem_per_iter_ns"] = g_result.mem_per_iter_ns;
-    state.counters["logic_per_iter_ns"] = g_result.logic_per_iter_ns;
+void
+register_benchmarks()
+{
+    benchmark::RegisterBenchmark(
+        "fig9/hash_table_breakdown",
+        [](benchmark::State& state) {
+            for (auto _ : state) {
+            }
+            state.counters["net_stack_ns"] = g_result.net_stack_ns;
+            state.counters["scheduler_ns"] = g_result.scheduler_ns;
+            state.counters["mem_per_iter_ns"] =
+                g_result.mem_per_iter_ns;
+            state.counters["logic_per_iter_ns"] =
+                g_result.logic_per_iter_ns;
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
 }
 
 }  // namespace
@@ -97,11 +112,12 @@ breakdown(benchmark::State& state)
 int
 main(int argc, char** argv)
 {
-    benchmark::RegisterBenchmark("fig9/hash_table_breakdown",
-                                 breakdown)
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+    parse_bench_args(argc, argv);
     benchmark::Initialize(&argc, argv);
+    SweepRunner sweep("fig9");
+    sweep.add("hash_table_breakdown", breakdown_cell);
+    sweep.run_all();
+    register_benchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 

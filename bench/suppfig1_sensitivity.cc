@@ -9,16 +9,25 @@
  *     low-eta linked-list workload: two cores saturate the node's
  *     25 GB/s; with the vendor memory-interconnect IP removed
  *     (dedicated channel per core) the board reaches ~34 GB/s.
+ *
+ * Cells execute on the parallel sweep runner (--threads /
+ * PULSE_BENCH_THREADS); each writes its own pre-sized result slot, so
+ * outputs are byte-identical to a serial run.
  */
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
 #include "ds/linked_list.h"
+#include "sweep_runner.h"
 
 namespace {
 
 using namespace pulse;
 using namespace pulse::bench;
+
+const std::vector<std::uint64_t> kHops = {8,  16,  32,  64,
+                                          128, 256, 512};
+const std::vector<std::uint32_t> kCores = {1, 2, 3, 4};
 
 struct LengthPoint
 {
@@ -33,8 +42,8 @@ struct CorePoint
     double gbps = 0.0;
 };
 
-std::vector<LengthPoint> g_lengths;
-std::vector<CorePoint> g_cores;
+std::vector<LengthPoint> g_lengths(kHops.size());
+std::vector<CorePoint> g_cores(kCores.size() * 2);
 
 /** Build a big-node list so walks stress the memory pipeline. */
 std::unique_ptr<ds::LinkedList>
@@ -52,7 +61,8 @@ build_list(core::Cluster& cluster, std::uint64_t nodes)
 }
 
 void
-traversal_length(benchmark::State& state, std::uint64_t hops)
+traversal_length(CellContext& ctx, std::uint64_t hops,
+                 LengthPoint& out)
 {
     core::ClusterConfig config;
     core::Cluster cluster(config);
@@ -62,22 +72,17 @@ traversal_length(benchmark::State& state, std::uint64_t hops)
     driver.warmup_ops = 10;
     driver.measure_ops = 150;
     driver.concurrency = 1;
-    workloads::DriverResult result;
-    for (auto _ : state) {
-        result = run_closed_loop(
-            cluster.queue(),
-            cluster.submitter(core::SystemKind::kPulse),
-            [&](std::uint64_t) { return list->make_walk(hops, {}); },
-            driver);
-    }
-    const double mean_us = to_micros(result.latency.mean());
-    state.counters["mean_us"] = mean_us;
-    g_lengths.push_back({hops, mean_us});
+    const workloads::DriverResult result = run_closed_loop(
+        cluster.queue(), cluster.submitter(core::SystemKind::kPulse),
+        [&](std::uint64_t) { return list->make_walk(hops, {}); },
+        driver);
+    ctx.add_events(cluster.queue().events_executed());
+    out = {hops, to_micros(result.latency.mean())};
 }
 
 void
-core_count(benchmark::State& state, std::uint32_t cores,
-           bool interconnect)
+core_count(CellContext& ctx, std::uint32_t cores, bool interconnect,
+           CorePoint& out)
 {
     core::ClusterConfig config;
     config.accel.num_cores = cores;
@@ -92,21 +97,74 @@ core_count(benchmark::State& state, std::uint32_t cores,
     driver.warmup_ops = 256;
     driver.measure_ops = 1500;
     driver.on_measure_start = [&cluster] { cluster.reset_stats(); };
-    workloads::DriverResult result;
-    for (auto _ : state) {
-        result = run_closed_loop(
-            cluster.queue(),
-            cluster.submitter(core::SystemKind::kPulse),
-            [&](std::uint64_t) {
-                // Short walks from the head keep requests flowing.
-                return list->make_walk(24 + rng.next_below(16), {});
-            },
-            driver);
+    const workloads::DriverResult result = run_closed_loop(
+        cluster.queue(), cluster.submitter(core::SystemKind::kPulse),
+        [&](std::uint64_t) {
+            // Short walks from the head keep requests flowing.
+            return list->make_walk(24 + rng.next_below(16), {});
+        },
+        driver);
+    ctx.add_events(cluster.queue().events_executed());
+    out = {cores, interconnect,
+           cluster.memory_bandwidth(result.measure_time) / 1e9};
+}
+
+void
+add_cells(SweepRunner& sweep)
+{
+    for (std::size_t i = 0; i < kHops.size(); i++) {
+        const std::uint64_t hops = kHops[i];
+        sweep.add("length_" + std::to_string(hops),
+                  [hops, i](CellContext& ctx) {
+                      traversal_length(ctx, hops, g_lengths[i]);
+                  });
     }
-    const double gbps =
-        cluster.memory_bandwidth(result.measure_time) / 1e9;
-    state.counters["mem_gbps"] = gbps;
-    g_cores.push_back({cores, interconnect, gbps});
+    for (std::size_t i = 0; i < kCores.size(); i++) {
+        for (const bool interconnect : {true, false}) {
+            const std::uint32_t cores = kCores[i];
+            const std::size_t slot = i * 2 + (interconnect ? 0 : 1);
+            sweep.add("cores_" + std::to_string(cores) +
+                          (interconnect ? "" : "_no_interconnect"),
+                      [cores, interconnect, slot](CellContext& ctx) {
+                          core_count(ctx, cores, interconnect,
+                                     g_cores[slot]);
+                      });
+        }
+    }
+}
+
+void
+register_benchmarks()
+{
+    for (std::size_t i = 0; i < kHops.size(); i++) {
+        const std::uint64_t hops = kHops[i];
+        benchmark::RegisterBenchmark(
+            ("suppfig1a/length_" + std::to_string(hops)).c_str(),
+            [i](benchmark::State& state) {
+                for (auto _ : state) {
+                }
+                state.counters["mean_us"] = g_lengths[i].mean_us;
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    for (std::size_t i = 0; i < kCores.size(); i++) {
+        for (const bool interconnect : {true, false}) {
+            const std::uint32_t cores = kCores[i];
+            const std::size_t slot = i * 2 + (interconnect ? 0 : 1);
+            benchmark::RegisterBenchmark(
+                ("suppfig1b/cores_" + std::to_string(cores) +
+                 (interconnect ? "" : "_no_interconnect"))
+                    .c_str(),
+                [slot](benchmark::State& state) {
+                    for (auto _ : state) {
+                    }
+                    state.counters["mem_gbps"] = g_cores[slot].gbps;
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
 }
 
 }  // namespace
@@ -114,30 +172,12 @@ core_count(benchmark::State& state, std::uint32_t cores,
 int
 main(int argc, char** argv)
 {
-    for (const std::uint64_t hops :
-         {8ull, 16ull, 32ull, 64ull, 128ull, 256ull, 512ull}) {
-        benchmark::RegisterBenchmark(
-            ("suppfig1a/length_" + std::to_string(hops)).c_str(),
-            [hops](benchmark::State& state) {
-                traversal_length(state, hops);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-    }
-    for (const std::uint32_t cores : {1u, 2u, 3u, 4u}) {
-        for (const bool interconnect : {true, false}) {
-            benchmark::RegisterBenchmark(
-                ("suppfig1b/cores_" + std::to_string(cores) +
-                 (interconnect ? "" : "_no_interconnect"))
-                    .c_str(),
-                [cores, interconnect](benchmark::State& state) {
-                    core_count(state, cores, interconnect);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
-    }
+    parse_bench_args(argc, argv);
     benchmark::Initialize(&argc, argv);
+    SweepRunner sweep("suppfig1");
+    add_cells(sweep);
+    sweep.run_all();
+    register_benchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
@@ -156,7 +196,7 @@ main(int argc, char** argv)
                 "(paper: 2 cores saturate 25 GB/s; 34 GB/s w/o "
                 "interconnect)");
     cores.set_header({"cores", "with_IC_GB/s", "no_IC_GB/s"});
-    for (const std::uint32_t count : {1u, 2u, 3u, 4u}) {
+    for (const std::uint32_t count : kCores) {
         std::string with_ic = "-";
         std::string without_ic = "-";
         for (const auto& point : g_cores) {

@@ -9,10 +9,15 @@
  * every pointer hop crosses nodes. The glibc-like slab-granular
  * placement the main figures use is reported as a third column for
  * context.
+ *
+ * Cells execute on the parallel sweep runner (--threads /
+ * PULSE_BENCH_THREADS); results and metrics exports are byte-
+ * identical to a serial run.
  */
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "sweep_runner.h"
 
 namespace {
 
@@ -20,6 +25,9 @@ using namespace pulse;
 using namespace pulse::bench;
 
 enum class Policy { kPartitioned, kSlabUniform, kRandom };
+
+const std::vector<App> kApps = {App::kTc, App::kTsv75, App::kTsv15,
+                                App::kTsv30, App::kTsv60};
 
 const char*
 policy_name(Policy policy)
@@ -34,8 +42,14 @@ policy_name(Policy policy)
 
 std::map<std::string, double> g_mean_us;
 
-void
-allocation_cell(benchmark::State& state, App app, Policy policy)
+std::string
+cell_key(App app, Policy policy)
+{
+    return std::string(app_name(app)) + "/" + policy_name(policy);
+}
+
+RunSpec
+cell_spec(App app, Policy policy)
 {
     RunSpec spec = main_spec(app, core::SystemKind::kPulse, 2);
     spec.concurrency = 1;
@@ -47,14 +61,50 @@ allocation_cell(benchmark::State& state, App app, Policy policy)
             config.uniform_chunk_bytes = 0;  // node drawn per alloc
         };
     }
+    return spec;
+}
 
-    RunOutcome outcome;
-    for (auto _ : state) {
-        outcome = run_spec(spec);
+/** Visit every Supp Fig 2 cell in the canonical order. */
+template <typename Fn>
+void
+for_each_cell(Fn&& fn)
+{
+    for (const App app : kApps) {
+        for (const Policy policy :
+             {Policy::kPartitioned, Policy::kSlabUniform,
+              Policy::kRandom}) {
+            fn(app, policy);
+        }
     }
-    state.counters["mean_us"] = outcome.mean_us;
-    g_mean_us[std::string(app_name(app)) + "/" +
-              policy_name(policy)] = outcome.mean_us;
+}
+
+void
+add_cells(SweepRunner& sweep)
+{
+    for_each_cell([&sweep](App app, Policy policy) {
+        const std::string key = cell_key(app, policy);
+        sweep.add_spec(key, cell_spec(app, policy),
+                       [key](const RunOutcome& outcome) {
+                           g_mean_us[key] = outcome.mean_us;
+                       });
+    });
+}
+
+void
+register_benchmarks()
+{
+    for_each_cell([](App app, Policy policy) {
+        const std::string key = cell_key(app, policy);
+        benchmark::RegisterBenchmark(
+            ("suppfig2/" + key).c_str(),
+            [key](benchmark::State& state) {
+                for (auto _ : state) {
+                }
+                state.counters["mean_us"] = g_mean_us[key];
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    });
 }
 
 }  // namespace
@@ -62,24 +112,12 @@ allocation_cell(benchmark::State& state, App app, Policy policy)
 int
 main(int argc, char** argv)
 {
-    const std::vector<App> apps = {App::kTc, App::kTsv75, App::kTsv15,
-                                   App::kTsv30, App::kTsv60};
-    for (const App app : apps) {
-        for (const Policy policy :
-             {Policy::kPartitioned, Policy::kSlabUniform,
-              Policy::kRandom}) {
-            benchmark::RegisterBenchmark(
-                (std::string("suppfig2/") + app_name(app) + "/" +
-                 policy_name(policy))
-                    .c_str(),
-                [app, policy](benchmark::State& state) {
-                    allocation_cell(state, app, policy);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
-    }
+    parse_bench_args(argc, argv);
     benchmark::Initialize(&argc, argv);
+    SweepRunner sweep("suppfig2");
+    add_cells(sweep);
+    sweep.run_all();
+    register_benchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
@@ -88,11 +126,9 @@ main(int argc, char** argv)
                 "than partitioned)");
     table.set_header({"app", "partitioned", "slab-uniform", "random",
                       "random/part"});
-    for (const App app : apps) {
+    for (const App app : kApps) {
         const auto get = [&](Policy policy) {
-            const auto it =
-                g_mean_us.find(std::string(app_name(app)) + "/" +
-                               policy_name(policy));
+            const auto it = g_mean_us.find(cell_key(app, policy));
             return it == g_mean_us.end() ? 0.0 : it->second;
         };
         const double partitioned = get(Policy::kPartitioned);

@@ -86,15 +86,14 @@ Accelerator::inflight() const
 }
 
 const isa::ProgramAnalysis*
-Accelerator::analysis_for(
-    const std::shared_ptr<const isa::Program>& program)
+Accelerator::analysis_for(const isa::Program* program)
 {
-    const auto it = analysis_cache_.find(program.get());
+    const auto it = analysis_cache_.find(program);
     if (it != analysis_cache_.end()) {
         return &it->second;
     }
     auto [pos, inserted] =
-        analysis_cache_.emplace(program.get(), isa::analyze(*program));
+        analysis_cache_.emplace(program, isa::analyze(*program));
     (void)inserted;
     return &pos->second;
 }

@@ -148,7 +148,7 @@ class Accelerator
     void send_response(Context& context, isa::TraversalStatus status,
                        isa::ExecFault fault);
     const isa::ProgramAnalysis* analysis_for(
-        const std::shared_ptr<const isa::Program>& program);
+        const isa::Program* program);
 
     /** Stretch @p t by the node's current slow factor (1.0 = as-is). */
     Time scaled(Time t) const;

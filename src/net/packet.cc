@@ -3,11 +3,11 @@
 namespace pulse::net {
 
 void
-attach_program(TraversalPacket& packet,
-               std::shared_ptr<const isa::Program> program)
+attach_program(TraversalPacket& packet, const isa::Program* program)
 {
-    packet.code_size = program ? isa::wire_code_size(*program) : 0;
-    packet.code = std::move(program);
+    packet.code_size =
+        program != nullptr ? isa::wire_code_size(*program) : 0;
+    packet.code = program;
 }
 
 namespace {

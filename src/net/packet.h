@@ -130,11 +130,18 @@ struct TraversalPacket
     bool allow_switch_continuation = true;
 
     /**
-     * The traversal program. Shared (not copied) between hops for
-     * simulation efficiency; code_size preserves the honest wire cost
-     * of shipping the encoded program in every packet.
+     * The traversal program: a non-owning interned reference.
+     * Packets are copied and forwarded on every hop (switch
+     * continuations, retransmit buffers, replay-window caches), and a
+     * shared_ptr here would bounce the refcount on each of those —
+     * measurable atomic traffic in the event hot path. Instead the
+     * issuing OffloadEngine pins one shared_ptr per distinct program
+     * for the cluster's lifetime (see OffloadEngine::analysis_for),
+     * and everything downstream carries this raw pointer. code_size
+     * preserves the honest wire cost of shipping the encoded program
+     * in every packet.
      */
-    std::shared_ptr<const isa::Program> code;
+    const isa::Program* code = nullptr;
     Bytes code_size = 0;
 
     /**
@@ -153,9 +160,31 @@ struct TraversalPacket
     }
 };
 
-/** Convenience: attach @p program to @p packet, caching encoded size. */
+/**
+ * Attach @p program to @p packet, caching its encoded wire size. The
+ * packet stores a non-owning reference: the caller must guarantee the
+ * program outlives every packet (and packet copy) referencing it — in
+ * the simulator the issuing OffloadEngine pins programs for the
+ * cluster's lifetime.
+ */
 void attach_program(TraversalPacket& packet,
-                    std::shared_ptr<const isa::Program> program);
+                    const isa::Program* program);
+
+/** Convenience for callers holding a shared_ptr (tests, benches). */
+inline void
+attach_program(TraversalPacket& packet,
+               const std::shared_ptr<const isa::Program>& program)
+{
+    attach_program(packet, program.get());
+}
+
+/**
+ * Deleted: attaching an expiring owner would leave the packet's
+ * non-owning reference dangling. Keep a named shared_ptr alive.
+ */
+void attach_program(TraversalPacket& packet,
+                    std::shared_ptr<const isa::Program>&& program) =
+    delete;
 
 /**
  * Header checksum over the switch-invariant fields of @p packet

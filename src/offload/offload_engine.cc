@@ -69,6 +69,7 @@ OffloadEngine::analysis_for(
     if (it != analysis_cache_.end()) {
         return it->second;
     }
+    program_pins_.emplace(program.get(), program);
     return analysis_cache_
         .emplace(program.get(), isa::analyze(*program))
         .first->second;

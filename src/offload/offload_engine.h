@@ -188,7 +188,14 @@ class OffloadEngine
      */
     bool should_offload(const isa::ProgramAnalysis& analysis) const;
 
-    /** Cached analysis for @p program. */
+    /**
+     * Cached analysis for @p program. Also *pins* the program: the
+     * engine keeps one shared_ptr per distinct program until the
+     * cluster is torn down, so the non-owning `TraversalPacket::code`
+     * references that fan out from here (forwarded continuations,
+     * retransmit buffers, accelerator replay caches) stay valid
+     * without per-hop refcount traffic.
+     */
     const isa::ProgramAnalysis& analysis_for(
         const std::shared_ptr<const isa::Program>& program);
 
@@ -246,6 +253,10 @@ class OffloadEngine
     std::unordered_map<std::uint64_t, InFlight> inflight_;
     std::unordered_map<const isa::Program*, isa::ProgramAnalysis>
         analysis_cache_;
+    /** Lifetime pins backing TraversalPacket's non-owning code refs. */
+    std::unordered_map<const isa::Program*,
+                       std::shared_ptr<const isa::Program>>
+        program_pins_;
     std::unordered_map<const isa::Program*, std::uint32_t>
         code_sends_;
     RtoEstimator rto_;

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -13,7 +14,17 @@ EventQueue::schedule_at(Time when, EventFn fn)
                  "scheduling into the past (when=%lld now=%lld)",
                  static_cast<long long>(when),
                  static_cast<long long>(now_));
-    heap_.push(Event{when, next_sequence_++, std::move(fn)});
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+        pool_[slot] = std::move(fn);
+    } else {
+        slot = static_cast<std::uint32_t>(pool_.size());
+        pool_.push_back(std::move(fn));
+    }
+    heap_.push(Entry{when, next_sequence_++, slot});
+    peak_pending_ = std::max(peak_pending_, heap_.size());
 }
 
 void
@@ -30,13 +41,18 @@ EventQueue::step()
     if (heap_.empty()) {
         return false;
     }
-    // priority_queue::top() is const; move out via const_cast is UB-free
-    // here because we pop immediately and never reuse the slot.
-    Event event = heap_.top();
+    // top() is const and priority_queue has no "pop into a value", but
+    // the entry is 24 bytes of plain data — copy it, then move the
+    // callback out of its pool slot. The slot returns to the free list
+    // *before* the callback runs so the callback may schedule into it;
+    // the local `fn` is unaffected if pool_ reallocates meanwhile.
+    const Entry entry = heap_.top();
     heap_.pop();
-    now_ = event.when;
+    now_ = entry.when;
     executed_++;
-    event.fn();
+    EventFn fn = std::move(pool_[entry.slot]);
+    free_slots_.push_back(entry.slot);
+    fn();
     return true;
 }
 

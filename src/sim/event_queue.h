@@ -6,6 +6,16 @@
  * CPU models) schedules callbacks on a shared EventQueue. Events at equal
  * timestamps execute in FIFO insertion order, which keeps simulations
  * deterministic for a given seed and schedule.
+ *
+ * Hot-path layout: the binary heap orders 24-byte plain-data entries
+ * {when, sequence, slot}; the callbacks themselves live in a pooled
+ * slot array and never move while queued. Heap sift operations
+ * therefore shuffle trivially-copyable entries instead of type-erased
+ * callables, and a drained slot is recycled through a free list — so
+ * steady-state scheduling performs no allocation at all. Callbacks are
+ * InlineFunction (see inline_function.h): capture state is stored
+ * inline, with oversized captures rejected at compile time rather than
+ * silently heap-allocated.
  */
 #ifndef PULSE_SIM_EVENT_QUEUE_H
 #define PULSE_SIM_EVENT_QUEUE_H
@@ -16,11 +26,22 @@
 #include <vector>
 
 #include "common/units.h"
+#include "sim/inline_function.h"
 
 namespace pulse::sim {
 
+/**
+ * Inline capture budget for event callbacks, in bytes. Sized for the
+ * largest capture the simulator schedules: a network delivery thunk
+ * [this, &sink, packet] carrying a TraversalPacket by value. Growing a
+ * capture past this is a compile-time error at the schedule site —
+ * bump the budget deliberately rather than letting the hot path regress
+ * to heap allocation.
+ */
+inline constexpr std::size_t kEventInlineCapacity = 152;
+
 /** Callback executed when an event fires. */
-using EventFn = std::function<void()>;
+using EventFn = InlineFunction<kEventInlineCapacity>;
 
 /**
  * Time-ordered event queue with a monotonically advancing clock.
@@ -86,18 +107,36 @@ class EventQueue
     /** Total events executed since construction. */
     std::uint64_t events_executed() const { return executed_; }
 
+    /** Total events scheduled since construction. */
+    std::uint64_t events_scheduled() const { return next_sequence_; }
+
+    /** High-water mark of simultaneously pending events. */
+    std::size_t peak_pending() const { return peak_pending_; }
+
+    /**
+     * Callback slots ever allocated (pool high-water). Steady state
+     * allocates nothing: slots recycle through the free list, so this
+     * converges to peak_pending() and stays there.
+     */
+    std::size_t pool_slots() const { return pool_.size(); }
+
   private:
-    struct Event
+    /**
+     * Heap entry: plain data only. The callback lives in pool_[slot]
+     * and is moved out exactly once, when the entry is popped — the
+     * heap's sift operations never touch callable state.
+     */
+    struct Entry
     {
         Time when;
         std::uint64_t sequence;  // FIFO tiebreak for equal timestamps
-        EventFn fn;
+        std::uint32_t slot;
     };
 
     struct Later
     {
         bool
-        operator()(const Event& a, const Event& b) const
+        operator()(const Entry& a, const Entry& b) const
         {
             if (a.when != b.when) {
                 return a.when > b.when;
@@ -106,10 +145,13 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::vector<EventFn> pool_;
+    std::vector<std::uint32_t> free_slots_;
     Time now_ = 0;
     std::uint64_t next_sequence_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t peak_pending_ = 0;
 };
 
 }  // namespace pulse::sim

@@ -77,6 +77,15 @@ MetricsExporter::add_histogram(const std::string& prefix,
         static_cast<double>(histogram.percentile(0.999));
 }
 
+void
+MetricsExporter::merge_prefixed(const std::string& prefix,
+                                const MetricsExporter& other)
+{
+    for (const auto& [name, value] : other.values_) {
+        values_[prefix + name] = value;
+    }
+}
+
 std::string
 MetricsExporter::json() const
 {

@@ -39,6 +39,16 @@ class MetricsExporter
     void add_histogram(const std::string& prefix,
                        const Histogram& histogram);
 
+    /**
+     * Merge every metric of @p other as (@p prefix + name, value).
+     * Values are copied bit-exact, so deferring metrics into a local
+     * exporter and merging later renders byte-identically to setting
+     * the prefixed names directly (the parallel sweep runner relies
+     * on this to replay per-cell snapshots in deterministic order).
+     */
+    void merge_prefixed(const std::string& prefix,
+                        const MetricsExporter& other);
+
     /** Number of recorded metrics. */
     std::size_t size() const { return values_.size(); }
 

@@ -86,11 +86,14 @@ struct AccelFixture : ::testing::Test
     submit(std::shared_ptr<const isa::Program> program, VirtAddr start,
            std::uint64_t seq = 1)
     {
+        // Packets hold non-owning program references; pin the program
+        // for the fixture's lifetime (the engine does this in prod).
+        pinned_programs_.push_back(std::move(program));
         net::TraversalPacket packet;
         packet.id = RequestId{0, seq};
         packet.origin = 0;
         packet.cur_ptr = start;
-        attach_program(packet, std::move(program));
+        attach_program(packet, pinned_programs_.back());
         packet.scratch.assign(16, 0);
         network->send_traversal(net::EndpointAddr::client(0),
                                 std::move(packet));
@@ -110,6 +113,7 @@ struct AccelFixture : ::testing::Test
     std::unique_ptr<net::Network> network;
     std::unique_ptr<Accelerator> accel;
     std::vector<net::TraversalPacket> responses;
+    std::vector<std::shared_ptr<const isa::Program>> pinned_programs_;
 };
 
 TEST_F(AccelFixture, ExecutesTraversalAndResponds)
@@ -155,11 +159,12 @@ TEST_F(AccelFixture, PerVisitIterationBudget)
     // Continuation carries cur_ptr + scratch; a re-issued visit picks
     // up where it stopped.
     const VirtAddr resume = responses[0].cur_ptr;
+    const auto resumed_program = count_program(32);
     net::TraversalPacket packet;
     packet.id = RequestId{0, 2};
     packet.cur_ptr = resume;
     packet.iterations_done = responses[0].iterations_done;
-    attach_program(packet, count_program(32));
+    attach_program(packet, resumed_program);
     packet.scratch = responses[0].scratch;
     network->send_traversal(net::EndpointAddr::client(0),
                             std::move(packet));

@@ -4,6 +4,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -135,6 +136,75 @@ TEST(EventQueue, StepReturnsFalseWhenEmpty)
     EventQueue queue;
     EXPECT_FALSE(queue.step());
     EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, TelemetryCountsScheduledAndExecuted)
+{
+    EventQueue queue;
+    EXPECT_EQ(queue.events_scheduled(), 0u);
+    EXPECT_EQ(queue.events_executed(), 0u);
+    for (int i = 0; i < 5; i++) {
+        queue.schedule_at(i, [] {});
+    }
+    EXPECT_EQ(queue.events_scheduled(), 5u);
+    EXPECT_EQ(queue.peak_pending(), 5u);
+    queue.run();
+    EXPECT_EQ(queue.events_executed(), 5u);
+    EXPECT_EQ(queue.peak_pending(), 5u);  // high-water, not current
+}
+
+TEST(EventQueue, PoolSlotsConvergeUnderSteadyState)
+{
+    // The slot pool grows to the peak number of simultaneously
+    // pending events and then recycles: a long self-rescheduling
+    // chain must not grow the pool beyond its initial burst.
+    EventQueue queue;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 1000) {
+            queue.schedule_after(1, chain);
+        }
+    };
+    queue.schedule_at(0, chain);
+    queue.run();
+    EXPECT_EQ(depth, 1000);
+    EXPECT_EQ(queue.peak_pending(), 1u);
+    EXPECT_EQ(queue.pool_slots(), queue.peak_pending());
+}
+
+TEST(EventQueue, CallbackMayScheduleWhileItsSlotRecycles)
+{
+    // step() frees the slot before invoking the callback, so the
+    // running callback's own slot may be handed to what it schedules.
+    // The callback's captures must survive that reuse (they were
+    // moved out of the pool first).
+    EventQueue queue;
+    std::vector<int> order;
+    std::vector<std::uint64_t> payload(8, 42);
+    queue.schedule_at(10, [&queue, &order, payload] {
+        // Schedule two events from inside an executing event; one of
+        // them likely lands in this event's just-freed slot.
+        queue.schedule_after(5, [&order] { order.push_back(2); });
+        queue.schedule_after(1, [&order] { order.push_back(1); });
+        // Captures still intact after the schedule calls:
+        order.push_back(static_cast<int>(payload[7]) - 42);
+    });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, MoveOnlyCaptures)
+{
+    // EventFn is move-only, so events can own their payloads —
+    // std::function would reject this capture outright.
+    EventQueue queue;
+    auto owned = std::make_unique<int>(9);
+    int result = 0;
+    queue.schedule_at(3, [owned = std::move(owned), &result] {
+        result = *owned;
+    });
+    queue.run();
+    EXPECT_EQ(result, 9);
 }
 
 TEST(EventQueueDeath, SchedulingIntoThePastPanics)

@@ -29,8 +29,9 @@ tiny_program()
 
 TEST(Packet, WireSizeAccountsAllFields)
 {
+    const auto program = tiny_program();
     TraversalPacket packet;
-    attach_program(packet, tiny_program());
+    attach_program(packet, program);
     packet.scratch.assign(64, 0);
     EXPECT_EQ(packet.wire_size(), kNetHeaderBytes + kPulseHeaderBytes +
                                       packet.code_size + 64);
@@ -178,8 +179,9 @@ TEST_F(NetFixture, TraversalRoutedThroughSwitchTable)
                                   [&](TraversalPacket&&) {
                                       FAIL() << "routed to wrong node";
                                   });
+    const auto program = tiny_program();
     TraversalPacket packet;
-    attach_program(packet, tiny_program());
+    attach_program(packet, program);
     packet.cur_ptr = 0x5800;
     network.send_traversal(EndpointAddr::client(0), std::move(packet));
     queue.run();
@@ -198,8 +200,9 @@ TEST_F(NetFixture, InvalidPointerBecomesMemFaultResponse)
             EXPECT_EQ(packet.status,
                       isa::TraversalStatus::kMemFault);
         });
+    const auto program = tiny_program();
     TraversalPacket packet;
-    attach_program(packet, tiny_program());
+    attach_program(packet, program);
     packet.origin = 0;
     packet.cur_ptr = 0xBAD;
     network.send_traversal(EndpointAddr::client(0), std::move(packet));
@@ -217,8 +220,9 @@ TEST_F(NetFixture, ForwardedContinuationBecomesRequest)
             delivered = true;
             EXPECT_FALSE(packet.is_response);  // request again
         });
+    const auto program = tiny_program();
     TraversalPacket packet;
-    attach_program(packet, tiny_program());
+    attach_program(packet, program);
     packet.is_response = true;
     packet.status = isa::TraversalStatus::kNotLocal;
     packet.cur_ptr = 0x5100;

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * bench_wallclock — self-profiling driver for the simulation hot path
+ * and the parallel sweep runner. Produces the BENCH_wallclock.json
+ * artifact (format documented in EXPERIMENTS.md).
+ *
+ * Three measurements, all through an instrumented global allocator
+ * (every operator new/new[] call is counted):
+ *
+ * 1. Event-loop microbenchmark: the same self-rescheduling event chain
+ *    run on (a) a faithful reimplementation of the pre-optimization
+ *    queue — std::priority_queue of {when, seq, std::function} entries,
+ *    copied out of top() — and (b) the production sim::EventQueue
+ *    (pooled slots + InlineFunction callbacks). Reports events/sec and
+ *    allocations/event for both, i.e. the measured alloc reduction.
+ *
+ * 2. End-to-end cell profile: one representative closed-loop
+ *    simulation cell, reporting allocations and events for the whole
+ *    run (setup + steady state) — the number that bounds how much the
+ *    hot path can still be hiding.
+ *
+ * 3. Sweep scaling: a reduced multi-cell sweep executed serially
+ *    (--threads=1) and with the configured worker count, reporting
+ *    wall clock for both and the speedup.
+ *
+ * Options (also honors PULSE_BENCH_THREADS / PULSE_BENCH_OPS_SCALE):
+ *   --out=PATH       artifact path (default BENCH_wallclock.json)
+ *   --threads=N      worker count for the parallel sweep phase
+ *   --ops-scale=X    scale cell op counts (default 0.25 here: this is
+ *                    a profiling driver, not a figure reproduction)
+ */
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/event_queue.h"
+#include "sweep_runner.h"
+
+// ---------------------------------------------------------------------
+// Instrumented global allocator: counts every heap allocation made by
+// the process. Relaxed atomics — counters, not synchronization.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void*
+counted_alloc(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    void* ptr = std::malloc(size == 0 ? 1 : size);
+    if (ptr == nullptr) {
+        throw std::bad_alloc();
+    }
+    return ptr;
+}
+
+}  // namespace
+
+void*
+operator new(std::size_t size)
+{
+    return counted_alloc(size);
+}
+
+void*
+operator new[](std::size_t size)
+{
+    return counted_alloc(size);
+}
+
+void
+operator delete(void* ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void* ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void* ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void* ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+namespace {
+
+using namespace pulse;
+using namespace pulse::bench;
+
+std::uint64_t
+allocs_now()
+{
+    return g_allocs.load(std::memory_order_relaxed);
+}
+
+double
+seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+// ---------------------------------------------------------------------
+// Phase 1 — event-loop microbenchmark.
+// ---------------------------------------------------------------------
+
+/** Capture payload comparable to a forwarded TraversalPacket. */
+struct Payload
+{
+    std::uint64_t words[12] = {};
+};
+
+/**
+ * Faithful reimplementation of the pre-optimization event queue: the
+ * heap holds the type-erased callback by value and pop copies the top
+ * entry out (std::priority_queue::top() is const), exactly the copy
+ * the old EventQueue::step() performed.
+ */
+class LegacyQueue
+{
+  public:
+    void
+    schedule_at(Time when, std::function<void()> fn)
+    {
+        heap_.push(Event{when, next_sequence_++, std::move(fn)});
+    }
+
+    Time now() const { return now_; }
+
+    std::uint64_t
+    run()
+    {
+        std::uint64_t executed = 0;
+        while (!heap_.empty()) {
+            Event event = heap_.top();
+            heap_.pop();
+            now_ = event.when;
+            executed++;
+            event.fn();
+        }
+        return executed;
+    }
+
+  private:
+    struct Event
+    {
+        Time when;
+        std::uint64_t sequence;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when) {
+                return a.when > b.when;
+            }
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Time now_ = 0;
+    std::uint64_t next_sequence_ = 0;
+};
+
+struct LoopProfile
+{
+    double wall_seconds = 0.0;
+    std::uint64_t events = 0;
+    std::uint64_t allocs = 0;
+
+    double
+    events_per_sec() const
+    {
+        return wall_seconds > 0.0
+                   ? static_cast<double>(events) / wall_seconds
+                   : 0.0;
+    }
+
+    double
+    allocs_per_event() const
+    {
+        return events > 0 ? static_cast<double>(allocs) /
+                                static_cast<double>(events)
+                          : 0.0;
+    }
+};
+
+/** Self-rescheduling chains: every event schedules its successor. */
+template <typename Queue, typename Callback>
+LoopProfile
+profile_event_loop(std::uint64_t chains, std::uint64_t total_events)
+{
+    Queue queue;
+    std::uint64_t remaining = total_events;
+    // Recursion through the queue: fn reschedules itself while work
+    // remains, carrying a packet-sized payload by value.
+    struct Chain
+    {
+        Queue* queue;
+        std::uint64_t* remaining;
+        void
+        fire(const Payload& payload) const
+        {
+            if (*remaining == 0) {
+                return;
+            }
+            (*remaining)--;
+            Payload next = payload;
+            next.words[0]++;
+            const Chain chain = *this;
+            queue->schedule_at(queue->now() + 10,
+                               Callback([chain, next] {
+                                   chain.fire(next);
+                               }));
+        }
+    };
+    const Chain chain{&queue, &remaining};
+    for (std::uint64_t i = 0; i < chains; i++) {
+        Payload payload;
+        payload.words[1] = i;
+        chain.fire(payload);
+    }
+
+    LoopProfile profile;
+    const std::uint64_t allocs_before = allocs_now();
+    const auto start = std::chrono::steady_clock::now();
+    profile.events = queue.run();
+    profile.wall_seconds = seconds_since(start);
+    profile.allocs = allocs_now() - allocs_before;
+    return profile;
+}
+
+// ---------------------------------------------------------------------
+// Phase 2/3 — end-to-end cell profile and sweep scaling.
+// ---------------------------------------------------------------------
+
+/** Reduced sweep: one saturation cell per app on pulse + RPC. */
+void
+add_sweep_cells(SweepRunner& sweep)
+{
+    for (const App app : {App::kUpc, App::kTc, App::kTsv15,
+                          App::kTsv60}) {
+        for (const core::SystemKind system :
+             {core::SystemKind::kPulse, core::SystemKind::kRpc}) {
+            RunSpec spec = main_spec(app, system, 1);
+            spec.concurrency = 256;
+            spec.warmup_ops = 256;
+            spec.measure_ops = 1024;
+            sweep.add_spec(std::string(app_name(app)) + "/" +
+                               core::system_name(system),
+                           spec);
+        }
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string out_path = "BENCH_wallclock.json";
+    // This binary profiles; it does not reproduce figures. Default to
+    // a quarter of the figure op counts unless told otherwise.
+    bench_options().ops_scale = 0.25;
+    parse_bench_args(argc, argv);
+    for (int i = 1; i < argc; i++) {
+        const std::string_view arg(argv[i]);
+        constexpr std::string_view kOut = "--out=";
+        if (arg.substr(0, kOut.size()) == kOut) {
+            out_path = arg.substr(kOut.size());
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    trace::MetricsExporter exporter;
+
+    // Phase 1 — event-loop microbenchmark.
+    const std::uint64_t kChains = 64;
+    const std::uint64_t kEvents = 2'000'000;
+    const LoopProfile legacy =
+        profile_event_loop<LegacyQueue, std::function<void()>>(
+            kChains, kEvents);
+    const LoopProfile pooled =
+        profile_event_loop<sim::EventQueue, sim::EventFn>(kChains,
+                                                          kEvents);
+    exporter.set("eventloop.events",
+                 static_cast<double>(legacy.events));
+    exporter.set("eventloop.legacy.wall_ms",
+                 legacy.wall_seconds * 1e3);
+    exporter.set("eventloop.legacy.events_per_sec",
+                 legacy.events_per_sec());
+    exporter.set("eventloop.legacy.allocs_per_event",
+                 legacy.allocs_per_event());
+    exporter.set("eventloop.pooled.wall_ms",
+                 pooled.wall_seconds * 1e3);
+    exporter.set("eventloop.pooled.events_per_sec",
+                 pooled.events_per_sec());
+    exporter.set("eventloop.pooled.allocs_per_event",
+                 pooled.allocs_per_event());
+    exporter.set("eventloop.speedup",
+                 legacy.wall_seconds > 0.0
+                     ? legacy.wall_seconds / pooled.wall_seconds
+                     : 0.0);
+    std::printf("event loop: legacy %.2f Mev/s (%.2f allocs/event), "
+                "pooled %.2f Mev/s (%.4f allocs/event)\n",
+                legacy.events_per_sec() / 1e6,
+                legacy.allocs_per_event(),
+                pooled.events_per_sec() / 1e6,
+                pooled.allocs_per_event());
+
+    // Phase 2 — end-to-end cell profile (UPC on pulse, saturating).
+    {
+        RunSpec spec =
+            main_spec(App::kUpc, core::SystemKind::kPulse, 1);
+        spec.concurrency = 256;
+        spec.warmup_ops = 256;
+        spec.measure_ops = 2048;
+        std::uint64_t events = 0;
+        const std::uint64_t allocs_before = allocs_now();
+        const auto start = std::chrono::steady_clock::now();
+        run_cell(spec, nullptr, &events);
+        const double wall = seconds_since(start);
+        const std::uint64_t allocs = allocs_now() - allocs_before;
+        const double allocs_per_event =
+            events > 0 ? static_cast<double>(allocs) /
+                             static_cast<double>(events)
+                       : 0.0;
+        exporter.set("sim.events", static_cast<double>(events));
+        exporter.set("sim.allocs", static_cast<double>(allocs));
+        exporter.set("sim.allocs_per_event", allocs_per_event);
+        exporter.set("sim.wall_ms", wall * 1e3);
+        exporter.set("sim.events_per_sec",
+                     wall > 0.0 ? static_cast<double>(events) / wall
+                                : 0.0);
+        std::printf("simulation cell: %" PRIu64 " events, "
+                    "%.3f allocs/event (whole run incl. setup)\n",
+                    events, allocs_per_event);
+    }
+
+    // Phase 3 — sweep scaling, serial vs parallel.
+    const unsigned parallel_threads = bench_options().threads;
+    bench_options().threads = 1;
+    double serial_seconds = 0.0;
+    {
+        SweepRunner sweep("wallclock_serial");
+        add_sweep_cells(sweep);
+        serial_seconds = sweep.run_all();
+    }
+    bench_options().threads = parallel_threads;
+    double parallel_seconds = 0.0;
+    {
+        SweepRunner sweep("wallclock_parallel");
+        add_sweep_cells(sweep);
+        parallel_seconds = sweep.run_all();
+    }
+    exporter.set("sweep.cells", 8.0);
+    exporter.set("sweep.serial.wall_ms", serial_seconds * 1e3);
+    exporter.set("sweep.parallel.wall_ms", parallel_seconds * 1e3);
+    exporter.set("sweep.parallel.threads",
+                 static_cast<double>(parallel_threads));
+    exporter.set("sweep.speedup",
+                 parallel_seconds > 0.0
+                     ? serial_seconds / parallel_seconds
+                     : 0.0);
+    exporter.set("process.peak_rss_kib",
+                 static_cast<double>(peak_rss_kib()));
+    std::printf("sweep: serial %.2f s, parallel %.2f s on %u "
+                "threads (%.2fx)\n",
+                serial_seconds, parallel_seconds, parallel_threads,
+                parallel_seconds > 0.0
+                    ? serial_seconds / parallel_seconds
+                    : 0.0);
+
+    if (!exporter.write_file(out_path)) {
+        std::fprintf(stderr, "failed to write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}
