@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "apps/apps.h"
+#include "common/logging.h"
 #include "core/cluster.h"
 #include "energy/energy_model.h"
 #include "isa/analysis.h"
@@ -217,6 +218,10 @@ make_config(const RunSpec& spec)
     config.cache.cache_bytes = cache_bytes;
     config.aifm.cache_bytes = cache_bytes;
     config.set_pulse_acc(spec.pulse_acc);
+    // PULSE_CHECK=1 (or a layer list) turns on the correctness
+    // subsystem for any bench run; unset leaves it all-off and the
+    // outputs bit-identical (see docs/TESTING.md).
+    config.check = check::CheckConfig::from_env();
     if (spec.tweak) {
         spec.tweak(config);
     }
@@ -495,6 +500,19 @@ run_cell(const RunSpec& requested, std::vector<SinkRecord>* records,
     outcome.kops = outcome.driver.throughput / 1e3;
     if (records != nullptr && MetricsSink::instance().enabled()) {
         records->push_back(make_sink_record(spec, outcome, cluster));
+    }
+    if (cluster.checker() != nullptr) {
+        const std::uint64_t violations = cluster.verify_quiesce();
+        if (violations != 0) {
+            for (const auto& violation :
+                 cluster.checker()->registry().diagnostics()) {
+                std::fprintf(stderr, "%s\n",
+                             violation.to_string().c_str());
+            }
+            panic("PULSE_CHECK: %llu violation(s) in cell %s/%s",
+                  static_cast<unsigned long long>(violations),
+                  app_name(spec.app), core::system_name(spec.system));
+        }
     }
     if (events != nullptr) {
         *events += cluster.queue().events_executed();

@@ -228,6 +228,22 @@ Accelerator::try_dispatch(net::TraversalPacket& packet)
     auto context = std::make_unique<Context>();
     context->packet = std::move(packet);
     context->arrival_iterations = context->packet.iterations_done;
+    if (invariants_ != nullptr && replay_.enabled()) {
+        const ReplayWindow::Key key{context->packet.id,
+                                    context->arrival_iterations};
+        if (!executed_visits_.insert(key).second) {
+            invariants_->report(check::Violation{
+                .kind = check::InvariantKind::kDuplicateExecution,
+                .when = queue_.now(),
+                .packet = context->packet.id,
+                .component =
+                    "accel.node" + std::to_string(node_),
+                .message = "visit " +
+                           std::to_string(context->arrival_iterations) +
+                           " began executing twice (replay window "
+                           "failed to suppress a duplicate)"});
+        }
+    }
     context->analysis = analysis_for(context->packet.code);
     if (!context->analysis->valid) {
         // Reject malformed programs with an execution fault response.

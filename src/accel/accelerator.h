@@ -25,9 +25,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <unordered_set>
+
 #include "accel/accel_config.h"
 #include "accel/admission_queue.h"
 #include "accel/replay_window.h"
+#include "check/invariants.h"
 #include "common/stats.h"
 #include "faults/fault_plane.h"
 #include "isa/analysis.h"
@@ -116,6 +119,18 @@ class Accelerator
      */
     void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+    /**
+     * Attach an invariant registry (nullptr detaches). While attached,
+     * every visit that begins executing is recorded, and a second
+     * execution of the same (request id, visit) — which the replay
+     * window should have suppressed or replayed — is reported as a
+     * duplicate-execution violation.
+     */
+    void set_invariants(check::InvariantRegistry* registry)
+    {
+        invariants_ = registry;
+    }
+
     const AccelConfig& config() const { return config_; }
 
   private:
@@ -185,6 +200,10 @@ class Accelerator
     ReplayWindow replay_;
     const faults::FaultPlane* fault_plane_ = nullptr;
     trace::Tracer* tracer_ = nullptr;
+    check::InvariantRegistry* invariants_ = nullptr;
+    /** Visits that began executing (only tracked while checking). */
+    std::unordered_set<ReplayWindow::Key, ReplayWindow::KeyHash>
+        executed_visits_;
     AccelStats stats_;
 };
 

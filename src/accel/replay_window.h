@@ -46,6 +46,19 @@ class ReplayWindow
         friend bool operator==(const Key&, const Key&) = default;
     };
 
+    /** Hash for Key (public: the invariant checker keys sets by it). */
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key& key) const noexcept
+        {
+            const std::size_t h = std::hash<RequestId>()(key.id);
+            // splitmix-style avalanche of the visit into the id hash
+            return h ^ (key.visit + 0x9e3779b97f4a7c15ull + (h << 6) +
+                        (h >> 2));
+        }
+    };
+
     /** What the window knows about an arriving packet's visit. */
     enum class Verdict : std::uint8_t
     {
@@ -93,18 +106,6 @@ class ReplayWindow
     std::size_t size() const { return entries_.size(); }
 
   private:
-    struct KeyHash
-    {
-        std::size_t
-        operator()(const Key& key) const noexcept
-        {
-            const std::size_t h = std::hash<RequestId>()(key.id);
-            // splitmix-style avalanche of the visit into the id hash
-            return h ^ (key.visit + 0x9e3779b97f4a7c15ull + (h << 6) +
-                        (h >> 2));
-        }
-    };
-
     struct Entry
     {
         bool done = false;

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Façade assembling the correctness-checking subsystem for a cluster.
+ *
+ * One Checker owns the InvariantRegistry (shared by EventQueue,
+ * Accelerator and the oracle), optionally the GoldenOracle, and the
+ * quiesce-time structural audit:
+ *   - the event queue drained (nothing timed is still pending);
+ *   - traversal-packet conservation across the fabric — every injected
+ *     or fault-duplicated copy delivered or charged to exactly one
+ *     accounted loss bucket;
+ *   - no leaked accelerator workspaces / admission-queue entries and
+ *     no operation still armed in any offload engine;
+ *   - route agreement: AddressMap, switch match-action table, and
+ *     every node TCAM give consistent answers for sampled addresses
+ *     of each region (base, middle, last byte) and for addresses
+ *     outside all regions.
+ *
+ * The cluster constructs a Checker only when CheckConfig enables
+ * something, so checker-off runs carry zero overhead and stay
+ * bit-identical.
+ */
+#ifndef PULSE_CHECK_CHECKER_H
+#define PULSE_CHECK_CHECKER_H
+
+#include <memory>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "check/check_config.h"
+#include "check/invariants.h"
+#include "check/oracle.h"
+#include "mem/global_memory.h"
+#include "net/network.h"
+#include "offload/offload_engine.h"
+#include "sim/event_queue.h"
+
+namespace pulse::check {
+
+/** The per-cluster checking subsystem. */
+class Checker
+{
+  public:
+    /**
+     * @param config         which layers are on
+     * @param queue          the cluster event queue (clock + drain)
+     * @param network        the rack fabric (conservation + switch)
+     * @param memory         cluster memory (oracle + address map)
+     * @param per_visit_cap  accelerator max_iters_cap for the oracle
+     * @param total_guard    offload engine's global iteration guard
+     */
+    Checker(const CheckConfig& config, sim::EventQueue& queue,
+            net::Network& network, const mem::GlobalMemory& memory,
+            std::uint32_t per_visit_cap, std::uint64_t total_guard);
+
+    InvariantRegistry& registry() { return registry_; }
+    const InvariantRegistry& registry() const { return registry_; }
+
+    /** The differential oracle; nullptr when config.oracle is off. */
+    GoldenOracle* oracle() { return oracle_.get(); }
+
+    /** Register a node accelerator for leak/route auditing. */
+    void attach_accelerator(accel::Accelerator* accelerator);
+
+    /** Register a client offload engine for leak auditing. */
+    void attach_engine(offload::OffloadEngine* engine);
+
+    /**
+     * Run the structural audit. The event queue must already be
+     * drained (Cluster::verify_quiesce does that). Returns the
+     * registry's total violation count afterwards.
+     */
+    std::uint64_t verify_quiesce();
+
+    const CheckConfig& config() const { return config_; }
+
+  private:
+    void check_route_agreement();
+    void report(InvariantKind kind, const std::string& component,
+                std::string message);
+
+    CheckConfig config_;
+    sim::EventQueue& queue_;
+    net::Network& network_;
+    const mem::GlobalMemory& memory_;
+    InvariantRegistry registry_;
+    std::unique_ptr<GoldenOracle> oracle_;
+    std::vector<accel::Accelerator*> accelerators_;
+    std::vector<offload::OffloadEngine*> engines_;
+};
+
+}  // namespace pulse::check
+
+#endif  // PULSE_CHECK_CHECKER_H

@@ -1,0 +1,782 @@
+#include "check/fuzzer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "check/reference_interpreter.h"
+#include "check/shadow_memory.h"
+#include "common/random.h"
+#include "core/cluster.h"
+#include "ds/balanced_tree.h"
+#include "ds/bptree.h"
+#include "ds/bst_map.h"
+#include "ds/ds_common.h"
+#include "ds/hash_table.h"
+#include "ds/linked_list.h"
+#include "ds/prox_graph.h"
+#include "isa/traversal.h"
+
+namespace pulse::check {
+namespace {
+
+std::string
+u64_json(const char* key, std::uint64_t value, bool last = false)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"%s\": %llu%s", key,
+                  static_cast<unsigned long long>(value),
+                  last ? "" : ", ");
+    return buf;
+}
+
+/** Scan for `"key"` then `:` and return the raw value start, or npos. */
+std::size_t
+json_value_pos(const std::string& text, const std::string& key)
+{
+    const std::string quoted = "\"" + key + "\"";
+    std::size_t pos = text.find(quoted);
+    if (pos == std::string::npos) {
+        return std::string::npos;
+    }
+    pos = text.find(':', pos + quoted.size());
+    if (pos == std::string::npos) {
+        return std::string::npos;
+    }
+    pos++;
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+        pos++;
+    }
+    return pos;
+}
+
+bool
+json_u64(const std::string& text, const std::string& key,
+         std::uint64_t* out)
+{
+    const std::size_t pos = json_value_pos(text, key);
+    if (pos == std::string::npos || pos >= text.size()) {
+        return false;
+    }
+    std::uint64_t value = 0;
+    std::size_t digits = 0;
+    for (std::size_t i = pos;
+         i < text.size() && text[i] >= '0' && text[i] <= '9'; i++) {
+        value = value * 10 + static_cast<std::uint64_t>(text[i] - '0');
+        digits++;
+    }
+    if (digits == 0) {
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+bool
+json_string(const std::string& text, const std::string& key,
+            std::string* out)
+{
+    const std::size_t pos = json_value_pos(text, key);
+    if (pos == std::string::npos || pos >= text.size() ||
+        text[pos] != '"') {
+        return false;
+    }
+    const std::size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) {
+        return false;
+    }
+    *out = text.substr(pos + 1, end - pos - 1);
+    return true;
+}
+
+bool
+known_name(const char* const* names, std::size_t count,
+           const std::string& value)
+{
+    for (std::size_t i = 0; i < count; i++) {
+        if (value == names[i]) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** The lock-free fetch-and-add retry loop (supp. section B). */
+isa::Program
+cas_increment_program()
+{
+    isa::ProgramBuilder b;
+    b.load(8)
+        .add(isa::sp(0), isa::sp(0), isa::imm(1))
+        .add(isa::sp(8), isa::dat(0), isa::imm(1))
+        .cas(0, isa::dat(0), isa::sp(8))
+        .jump_eq("done")
+        .next_iter()
+        .label("done")
+        .ret();
+    return b.build();
+}
+
+/** First few registry diagnostics, joined for the failure message. */
+std::string
+diagnostics_message(const InvariantRegistry& registry)
+{
+    std::string message;
+    std::size_t shown = 0;
+    for (const Violation& violation : registry.diagnostics()) {
+        if (shown == 3) {
+            message += " ...";
+            break;
+        }
+        if (shown > 0) {
+            message += " | ";
+        }
+        message += violation.to_string();
+        shown++;
+    }
+    return message;
+}
+
+FuzzResult
+run_workload_case(const FuzzCase& c)
+{
+    FuzzResult result;
+    bool fault_known = false;
+
+    core::ClusterConfig config;
+    config.num_mem_nodes = c.nodes == 0 ? 1 : c.nodes;
+    config.node_capacity = 32 * kMiB;
+    config.seed = c.seed;
+    config.check.oracle = true;
+    config.check.invariants = true;
+    config.check.fail_fast = false;
+    config.check.max_diagnostics = 16;
+    config.faults = fuzz_fault_config(c.fault, c.seed, &fault_known);
+    if (!fault_known) {
+        result.ok = false;
+        result.message = "unknown fault profile: " + c.fault;
+        return result;
+    }
+    if (config.faults.enabled()) {
+        // Fast loss recovery so even lossy cases drain quickly.
+        config.offload.adaptive_rto = true;
+        config.offload.retransmit_timeout = micros(2000.0);
+    }
+
+    core::Cluster cluster(config);
+    Rng rng(c.seed * 0x9E3779B97F4A7C15ull + 0xD5);
+
+    // Shared key universe (strictly increasing, as the trees require).
+    const std::uint64_t num_keys = 64 + rng.next_below(128);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(num_keys);
+    std::uint64_t key = 10;
+    for (std::uint64_t i = 0; i < num_keys; i++) {
+        keys.push_back(key);
+        key += 1 + rng.next_below(7);
+    }
+    const std::uint64_t key_lo = keys.front();
+    const std::uint64_t key_hi = keys.back();
+
+    // Build the requested structure.
+    std::unique_ptr<ds::HashTable> hash;
+    std::unique_ptr<ds::LinkedList> list;
+    std::unique_ptr<ds::BPTree> bptree;
+    std::unique_ptr<ds::BstMap> bst;
+    std::unique_ptr<ds::BalancedTree> balanced;
+    std::unique_ptr<ds::ProxGraph> prox;
+    bool bptree_inline = true;
+    if (c.ds == "hash") {
+        ds::HashTableConfig ht;
+        ht.num_buckets = 32;  // long chains => long traversals
+        ht.partitions = config.num_mem_nodes;
+        hash = std::make_unique<ds::HashTable>(cluster.memory(),
+                                               cluster.allocator(), ht);
+        hash->insert_many(keys);
+    } else if (c.ds == "list") {
+        list = std::make_unique<ds::LinkedList>(cluster.memory(),
+                                                cluster.allocator());
+        list->build(keys);
+    } else if (c.ds == "bptree") {
+        ds::BPTreeConfig bt;
+        bptree_inline = (c.seed & 1) != 0;
+        bt.inline_values = bptree_inline;
+        bt.partitions = config.num_mem_nodes;
+        bptree = std::make_unique<ds::BPTree>(cluster.memory(),
+                                              cluster.allocator(), bt);
+        std::vector<ds::BPTreeEntry> entries;
+        entries.reserve(keys.size());
+        for (const std::uint64_t k : keys) {
+            entries.push_back({k, ds::value_pattern_word(k)});
+        }
+        bptree->build(entries);
+    } else if (c.ds == "bst") {
+        bst = std::make_unique<ds::BstMap>(cluster.memory(),
+                                           cluster.allocator());
+        bst->build(keys);
+    } else if (c.ds == "balanced") {
+        const auto flavor = static_cast<ds::TreeFlavor>(c.seed % 3);
+        balanced = std::make_unique<ds::BalancedTree>(
+            cluster.memory(), cluster.allocator(), flavor);
+        balanced->build(keys);
+    } else if (c.ds == "prox") {
+        prox = std::make_unique<ds::ProxGraph>(cluster.memory(),
+                                               cluster.allocator());
+        prox->build(keys);
+    } else {
+        result.ok = false;
+        result.message = "unknown data structure: " + c.ds;
+        return result;
+    }
+
+    // Shared CAS counter so every workload mixes in atomic writes.
+    const VirtAddr counter = cluster.allocator().alloc_on(0, 8, 256);
+    cluster.memory().write_as<std::uint64_t>(counter, 0);
+    auto cas_program =
+        std::make_shared<const isa::Program>(cas_increment_program());
+    std::uint64_t cas_submitted = 0;
+
+    std::uint32_t submitted = 0;
+    std::uint32_t completed = 0;
+    const std::uint32_t window = c.concurrency == 0 ? 1 : c.concurrency;
+    auto submit = cluster.submitter(core::SystemKind::kPulse);
+
+    std::function<void()> pump;
+    offload::CompletionFn on_done = [&](offload::Completion&&) {
+        completed++;
+        pump();
+    };
+    auto make_op = [&]() -> offload::Operation {
+        const std::uint64_t pick = keys[rng.next_below(keys.size())];
+        const std::uint64_t roll = rng.next_below(100);
+        const bool cas_op = roll >= 85;
+        if (cas_op) {
+            cas_submitted++;
+            offload::Operation op;
+            op.program = cas_program;
+            op.start_ptr = counter;
+            op.init_scratch.assign(16, 0);
+            op.done = on_done;
+            return op;
+        }
+        if (hash) {
+            if (roll < 45) {
+                return hash->make_find(pick, on_done);
+            }
+            if (roll < 55) {
+                return hash->make_find(key_hi + 1 + roll, on_done);
+            }
+            std::vector<std::uint8_t> value(
+                hash->config().value_bytes);
+            ds::fill_value_pattern(pick ^ 0xF00DF00Dull, value.data(),
+                                   value.size());
+            return hash->make_update(pick, value, on_done);
+        }
+        if (list) {
+            if (roll < 40) {
+                return list->make_find(pick, on_done);
+            }
+            if (roll < 50) {
+                return list->make_find(key_hi + 1 + roll, on_done);
+            }
+            return list->make_walk(1 + rng.next_below(list->size()),
+                                   on_done);
+        }
+        if (bptree) {
+            if (roll < 40) {
+                return bptree->make_find(pick, on_done);
+            }
+            if (roll < 50) {
+                return bptree->make_find(key_hi + 1 + roll, on_done);
+            }
+            if (bptree_inline) {
+                const std::uint64_t lo =
+                    key_lo + rng.next_below(key_hi - key_lo);
+                return bptree->make_aggregate(
+                    static_cast<ds::AggKind>(rng.next_below(4)), lo,
+                    lo + 1 + rng.next_below(64), on_done);
+            }
+            return bptree->make_scan(pick, 1 + rng.next_below(12),
+                                     on_done);
+        }
+        if (bst) {
+            return bst->make_lower_bound(
+                key_lo + rng.next_below(key_hi + 8 - key_lo), on_done);
+        }
+        if (balanced) {
+            return balanced->make_lower_bound(
+                key_lo + rng.next_below(key_hi + 8 - key_lo), on_done);
+        }
+        return prox->make_search(
+            key_lo + rng.next_below(key_hi + 8 - key_lo), on_done);
+    };
+    pump = [&] {
+        while (submitted < c.ops && submitted - completed < window) {
+            submitted++;
+            submit(make_op());
+        }
+    };
+
+    pump();
+    cluster.queue().run();
+
+    result.violations = cluster.verify_quiesce();
+    const OracleStats& oracle = cluster.checker()->oracle()->stats();
+    result.oracle_exact = oracle.exact;
+    result.oracle_weak = oracle.weak;
+    result.ok = result.violations == 0 && completed == c.ops;
+    if (result.violations != 0) {
+        result.message =
+            diagnostics_message(cluster.checker()->registry());
+    } else if (completed != c.ops) {
+        result.message = "only " + std::to_string(completed) + "/" +
+                         std::to_string(c.ops) +
+                         " operations completed";
+    }
+    (void)cas_submitted;
+    return result;
+}
+
+/** Bounds helper shared by the production hooks (mirrors valid_span). */
+bool
+span_valid(const mem::GlobalMemory& memory, VirtAddr va, Bytes len)
+{
+    const auto node = memory.address_map().node_for(va);
+    if (!node.has_value()) {
+        return false;
+    }
+    const mem::NodeRegion& region = memory.address_map().region(*node);
+    return va - region.base + len <= region.size;
+}
+
+FuzzResult
+run_program_case(const FuzzCase& c)
+{
+    FuzzResult result;
+    Rng rng(c.seed * 0x2545F4914F6CDD1Dull + 0x9D);
+
+    // Two identically-built single-node memories: the production
+    // interpreter mutates A, the reference's shadow overlays B.
+    mem::GlobalMemory mem_a(1, 1 * kMiB);
+    mem::GlobalMemory mem_b(1, 1 * kMiB);
+    const mem::NodeRegion& region = mem_a.address_map().region(0);
+    const VirtAddr base = region.base;
+    auto write_both = [&](VirtAddr va, std::uint64_t value) {
+        mem_a.write_as<std::uint64_t>(va, value);
+        mem_b.write_as<std::uint64_t>(va, value);
+    };
+
+    // A small pointer chain: 64 B nodes, next pointer in word 0. The
+    // tail's next is drawn from {null, invalid, cycle-to-head} so the
+    // termination paths (kDone via null, kMemFault, kMaxIter) all get
+    // exercised across seeds.
+    const std::uint64_t chain = 4 + rng.next_below(28);
+    for (std::uint64_t i = 0; i < chain; i++) {
+        const VirtAddr node = base + i * 64;
+        VirtAddr next = base + (i + 1) * 64;
+        if (i + 1 == chain) {
+            switch (rng.next_below(3)) {
+              case 0: next = kNullAddr; break;
+              case 1: next = base + region.size + 64; break;  // invalid
+              default: next = base; break;                    // cycle
+            }
+        }
+        write_both(node, next);
+        for (std::uint32_t w = 1; w < 8; w++) {
+            write_both(node + w * 8, rng.next_u64());
+        }
+    }
+
+    const isa::Program program = random_program(c.seed);
+    std::string verify_error;
+    if (!program.verify(&verify_error)) {
+        result.ok = false;
+        result.message =
+            "generated program failed verify: " + verify_error;
+        return result;
+    }
+
+    std::vector<std::uint8_t> init_scratch(32);
+    for (std::size_t i = 0; i < init_scratch.size(); i++) {
+        init_scratch[i] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    const VirtAddr start = rng.next_bool(0.9)
+                               ? base
+                               : base + region.size + 128;  // invalid
+
+    // Production run: isa::run_traversal over memory A.
+    isa::MemoryHooks hooks;
+    hooks.load = [&](VirtAddr va, std::uint32_t len, std::uint8_t* out) {
+        if (!span_valid(mem_a, va, len)) {
+            return false;
+        }
+        mem_a.read(va, out, len);
+        return true;
+    };
+    hooks.store = [&](VirtAddr va, std::uint32_t len,
+                      const std::uint8_t* in) {
+        if (!span_valid(mem_a, va, len)) {
+            return false;
+        }
+        mem_a.write(va, in, len);
+        return true;
+    };
+    hooks.cas = [&](VirtAddr va, std::uint64_t expected,
+                    std::uint64_t desired) {
+        if (!span_valid(mem_a, va, 8)) {
+            return false;
+        }
+        if (mem_a.read_as<std::uint64_t>(va) != expected) {
+            return false;
+        }
+        mem_a.write_as<std::uint64_t>(va, desired);
+        return true;
+    };
+    const isa::TraversalOutcome actual =
+        isa::run_traversal(program, start, init_scratch, hooks);
+
+    // Reference run over the shadow of memory B. A CAS at an invalid
+    // address behaves as a failed swap on the hooks path above, so
+    // cas_fault_is_memfault is off here.
+    ShadowMemory shadow(mem_b);
+    ReferenceOptions options;
+    options.cas_fault_is_memfault = false;
+    const ReferenceOutcome expected = reference_traversal(
+        program, start, init_scratch, shadow, 0, options);
+
+    auto fail = [&](const std::string& what) {
+        result.ok = false;
+        result.violations++;
+        if (!result.message.empty()) {
+            result.message += " | ";
+        }
+        result.message += what;
+    };
+    if (actual.status != expected.status) {
+        fail("status " + std::to_string(static_cast<int>(actual.status)) +
+             " != reference " +
+             std::to_string(static_cast<int>(expected.status)));
+    }
+    if (actual.fault != expected.fault) {
+        fail("fault " + std::to_string(static_cast<int>(actual.fault)) +
+             " != reference " +
+             std::to_string(static_cast<int>(expected.fault)));
+    }
+    if (actual.iterations != expected.iterations) {
+        fail("iterations " + std::to_string(actual.iterations) +
+             " != reference " + std::to_string(expected.iterations));
+    }
+    if (actual.instructions != expected.instructions) {
+        fail("instructions " + std::to_string(actual.instructions) +
+             " != reference " + std::to_string(expected.instructions));
+    }
+    if (actual.final_ptr != expected.final_ptr) {
+        fail("final_ptr mismatch");
+    }
+    if (actual.scratch != expected.scratch) {
+        fail("scratch bytes mismatch");
+    }
+
+    // Byte-level memory diff: materialize the shadow into B, then
+    // compare the window the program could have touched (chain plus
+    // one node's 256 B store vicinity).
+    shadow.flush(mem_b);
+    const Bytes extent =
+        std::min<Bytes>(chain * 64 + 320, region.size);
+    for (Bytes off = 0; off < extent; off += 8) {
+        const auto a = mem_a.read_as<std::uint64_t>(base + off);
+        const auto b = mem_b.read_as<std::uint64_t>(base + off);
+        if (a != b) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "memory diff at +%llu: %llx != ref %llx",
+                          static_cast<unsigned long long>(off),
+                          static_cast<unsigned long long>(a),
+                          static_cast<unsigned long long>(b));
+            fail(buf);
+            break;
+        }
+    }
+    result.oracle_exact = result.ok ? 1 : 0;
+    return result;
+}
+
+}  // namespace
+
+std::string
+FuzzCase::to_json() const
+{
+    std::string out = "{";
+    out += u64_json("seed", seed);
+    out += "\"mode\": \"" + mode + "\", ";
+    out += "\"ds\": \"" + ds + "\", ";
+    out += "\"fault\": \"" + fault + "\", ";
+    out += u64_json("ops", ops);
+    out += u64_json("concurrency", concurrency);
+    out += u64_json("nodes", nodes, /*last=*/true);
+    out += "}";
+    return out;
+}
+
+bool
+FuzzCase::from_json(const std::string& text, FuzzCase* out,
+                    std::string* error)
+{
+    FuzzCase c;
+    std::uint64_t value = 0;
+    if (!json_u64(text, "seed", &c.seed)) {
+        if (error != nullptr) {
+            *error = "missing \"seed\"";
+        }
+        return false;
+    }
+    if (!json_string(text, "mode", &c.mode)) {
+        if (error != nullptr) {
+            *error = "missing \"mode\"";
+        }
+        return false;
+    }
+    if (c.mode != "workload" && c.mode != "program") {
+        if (error != nullptr) {
+            *error = "unknown mode: " + c.mode;
+        }
+        return false;
+    }
+    json_string(text, "ds", &c.ds);
+    json_string(text, "fault", &c.fault);
+    if (!known_name(kFuzzDataStructures, kNumFuzzDataStructures, c.ds)) {
+        if (error != nullptr) {
+            *error = "unknown ds: " + c.ds;
+        }
+        return false;
+    }
+    if (!known_name(kFuzzFaultConfigs, kNumFuzzFaultConfigs, c.fault)) {
+        if (error != nullptr) {
+            *error = "unknown fault: " + c.fault;
+        }
+        return false;
+    }
+    if (json_u64(text, "ops", &value)) {
+        c.ops = static_cast<std::uint32_t>(value);
+    }
+    if (json_u64(text, "concurrency", &value)) {
+        c.concurrency = static_cast<std::uint32_t>(value);
+    }
+    if (json_u64(text, "nodes", &value)) {
+        c.nodes = static_cast<std::uint32_t>(value);
+    }
+    *out = c;
+    return true;
+}
+
+faults::FaultConfig
+fuzz_fault_config(const std::string& name, std::uint64_t seed,
+                  bool* known)
+{
+    faults::FaultConfig config;
+    config.seed = seed ^ 0xFA17C0DEull;
+    bool recognized = true;
+    if (name == "healthy") {
+        // inactive
+    } else if (name == "loss") {
+        config.links.loss = 0.02;
+    } else if (name == "dup") {
+        config.links.duplicate = 0.05;
+    } else if (name == "burst") {
+        config.links.bursty = true;
+        config.links.burst_p_enter = 0.02;
+        config.links.burst_p_exit = 0.25;
+        config.links.burst_loss_bad = 0.5;
+    } else if (name == "chaos") {
+        config.links.loss = 0.01;
+        config.links.duplicate = 0.02;
+        config.links.corrupt = 0.005;
+        config.links.reorder = 0.2;
+        config.links.reorder_jitter = micros(5.0);
+    } else {
+        recognized = false;
+    }
+    if (known != nullptr) {
+        *known = recognized;
+    }
+    return config;
+}
+
+FuzzCase
+random_case(std::uint64_t seed)
+{
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 0x51);
+    FuzzCase c;
+    c.seed = seed;
+    c.mode = rng.next_bool(0.25) ? "program" : "workload";
+    c.ds = kFuzzDataStructures[rng.next_below(kNumFuzzDataStructures)];
+    c.fault = kFuzzFaultConfigs[rng.next_below(kNumFuzzFaultConfigs)];
+    c.ops = static_cast<std::uint32_t>(16 + rng.next_below(112));
+    c.concurrency = static_cast<std::uint32_t>(1 + rng.next_below(8));
+    c.nodes = static_cast<std::uint32_t>(1 + rng.next_below(4));
+    return c;
+}
+
+isa::Program
+random_program(std::uint64_t seed)
+{
+    Rng rng(seed * 0x2545F4914F6CDD1Dull + 0x1CE);
+    const std::uint32_t load_words =
+        1 + static_cast<std::uint32_t>(rng.next_below(8));
+    const std::uint32_t load_bytes = load_words * 8;
+    constexpr std::uint32_t kScratch = 64;
+
+    auto rand_src = [&]() -> isa::Operand {
+        switch (rng.next_below(4)) {
+          case 0:
+            return isa::sp(
+                8 * static_cast<std::uint32_t>(rng.next_below(8)));
+          case 1:
+            return isa::dat(8 * static_cast<std::uint32_t>(
+                                    rng.next_below(load_words)));
+          case 2: return isa::imm(rng.next_below(1 << 12));
+          default: return isa::cur();
+        }
+    };
+    auto rand_dst = [&]() -> isa::Operand {
+        if (rng.next_bool(0.7)) {
+            return isa::sp(
+                8 * static_cast<std::uint32_t>(rng.next_below(8)));
+        }
+        return isa::dat(
+            8 * static_cast<std::uint32_t>(rng.next_below(load_words)));
+    };
+
+    isa::ProgramBuilder b;
+    b.scratch_bytes(kScratch)
+        .max_iters(1 + static_cast<std::uint32_t>(rng.next_below(6)))
+        .load(load_bytes);
+
+    const std::uint64_t body = 2 + rng.next_below(6);
+    for (std::uint64_t i = 0; i < body; i++) {
+        switch (rng.next_below(8)) {
+          case 0: b.add(rand_dst(), rand_src(), rand_src()); break;
+          case 1: b.sub(rand_dst(), rand_src(), rand_src()); break;
+          case 2: b.mul(rand_dst(), rand_src(), rand_src()); break;
+          case 3:
+            // Mostly non-zero divisors; sometimes a register, so the
+            // kDivideByZero path gets fuzzed too.
+            b.div(rand_dst(), rand_src(),
+                  rng.next_bool(0.8)
+                      ? isa::imm(1 + rng.next_below(9))
+                      : rand_src());
+            break;
+          case 4: b.band(rand_dst(), rand_src(), rand_src()); break;
+          case 5: b.bor(rand_dst(), rand_src(), rand_src()); break;
+          case 6: b.bnot(rand_dst(), rand_src()); break;
+          default:
+            if (rng.next_bool(0.25) && load_bytes >= 16) {
+                // Register-vector move between the two vectors.
+                const std::uint16_t width = 16;
+                b.move(isa::sp(8 * static_cast<std::uint32_t>(
+                                       rng.next_below(
+                                           (kScratch - width) / 8 + 1)),
+                               width),
+                       isa::dat(0, width));
+            } else {
+                b.move(rand_dst(), rand_src());
+            }
+            break;
+        }
+    }
+
+    if (rng.next_bool(0.4)) {
+        b.store(8 * static_cast<std::uint32_t>(rng.next_below(16)),
+                8 * static_cast<std::uint32_t>(
+                        rng.next_below(load_words)),
+                8);
+    }
+    if (rng.next_bool(0.3)) {
+        b.cas(8 * static_cast<std::uint32_t>(rng.next_below(8)),
+              rand_src(), rand_src());
+    }
+
+    const bool jumped = rng.next_bool(0.6);
+    if (jumped) {
+        static constexpr isa::Cond kConds[] = {
+            isa::Cond::kEq, isa::Cond::kNeq, isa::Cond::kLt,
+            isa::Cond::kGt, isa::Cond::kLe,  isa::Cond::kGe,
+        };
+        b.compare(rand_src(), rand_src());
+        b.jump(kConds[rng.next_below(6)], "done");
+    }
+
+    switch (rng.next_below(3)) {
+      case 0: b.move(isa::cur(), isa::dat(0)); break;  // chase next
+      case 1: b.add(isa::cur(), isa::cur(), isa::imm(64)); break;
+      default: break;  // fixed point: spins until MAX_ITER
+    }
+    b.next_iter();
+    b.label("done");
+    if (jumped && rng.next_bool(0.5)) {
+        b.add(rand_dst(), rand_src(), rand_src());
+    }
+    b.ret();
+    return b.build();
+}
+
+FuzzResult
+run_case(const FuzzCase& c)
+{
+    if (c.mode == "program") {
+        return run_program_case(c);
+    }
+    if (c.mode == "workload") {
+        return run_workload_case(c);
+    }
+    FuzzResult result;
+    result.ok = false;
+    result.message = "unknown mode: " + c.mode;
+    return result;
+}
+
+FuzzCase
+minimize_case(const FuzzCase& c)
+{
+    FuzzCase best = c;
+    auto still_fails = [](const FuzzCase& candidate) {
+        return !run_case(candidate).ok;
+    };
+    FuzzCase trial = best;
+    while (trial.ops > 1) {
+        trial.ops /= 2;
+        if (!still_fails(trial)) {
+            break;
+        }
+        best = trial;
+    }
+    trial = best;
+    if (trial.concurrency > 1) {
+        trial.concurrency = 1;
+        if (still_fails(trial)) {
+            best = trial;
+        }
+    }
+    trial = best;
+    if (trial.nodes > 1) {
+        trial.nodes = 1;
+        if (still_fails(trial)) {
+            best = trial;
+        }
+    }
+    trial = best;
+    if (trial.fault != "healthy") {
+        trial.fault = "healthy";
+        if (still_fails(trial)) {
+            best = trial;
+        }
+    }
+    return best;
+}
+
+}  // namespace pulse::check

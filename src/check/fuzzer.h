@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Seeded ISA/workload fuzzer (docs/TESTING.md).
+ *
+ * A FuzzCase is a tiny, fully-deterministic description of one checked
+ * run — every byte of behaviour derives from (mode, seed, ds, fault,
+ * ops, concurrency, nodes), so a failing case *is* its reproducer. Two
+ * modes:
+ *
+ *   - **workload**: build one of the six data-structure adapters in a
+ *     real cluster, drive a seeded mix of reads / writes / CAS
+ *     increments through the pulse path with the golden oracle and the
+ *     invariant registry enabled, crossed with a named fault-plane
+ *     profile, then run the quiesce audit;
+ *   - **program**: generate a random *type-valid* ISA program (it must
+ *     pass Program::verify), run it through the production interpreter
+ *     (isa::run_traversal with GlobalMemory hooks) and through the
+ *     independent reference interpreter over an identically-built
+ *     second memory, and diff outcome + memory bytes.
+ *
+ * On failure the harness (tools/fuzz_harness) minimizes the case —
+ * fewer ops, one client, one node, healthy network — and emits the
+ * smallest still-failing JSON, which tests/test_fuzz_repros.cc replays
+ * from the committed corpus.
+ */
+#ifndef PULSE_CHECK_FUZZER_H
+#define PULSE_CHECK_FUZZER_H
+
+#include <cstdint>
+#include <string>
+
+#include "faults/fault_config.h"
+#include "isa/program.h"
+
+namespace pulse::check {
+
+/** The six fuzzed data structures (workload mode). */
+inline constexpr const char* kFuzzDataStructures[] = {
+    "hash", "list", "bptree", "bst", "balanced", "prox",
+};
+inline constexpr std::size_t kNumFuzzDataStructures = 6;
+
+/** Named fault-plane profiles a case can cross with. */
+inline constexpr const char* kFuzzFaultConfigs[] = {
+    "healthy", "loss", "dup", "burst", "chaos",
+};
+inline constexpr std::size_t kNumFuzzFaultConfigs = 5;
+
+/** One deterministic fuzz case (== its own reproducer). */
+struct FuzzCase
+{
+    std::uint64_t seed = 1;
+    std::string mode = "workload";  ///< "workload" | "program"
+    std::string ds = "hash";        ///< workload mode only
+    std::string fault = "healthy";  ///< named fault profile
+    std::uint32_t ops = 64;         ///< operations to drive
+    std::uint32_t concurrency = 4;  ///< closed-loop window
+    std::uint32_t nodes = 2;        ///< memory nodes
+
+    /** Flat single-line JSON encoding. */
+    std::string to_json() const;
+
+    /**
+     * Parse the flat JSON produced by to_json (tolerates whitespace
+     * and reordered keys; unknown keys are ignored). Returns false
+     * with @p error set on malformed input or unknown enum values.
+     */
+    static bool from_json(const std::string& text, FuzzCase* out,
+                          std::string* error = nullptr);
+};
+
+/** Outcome of one executed case. */
+struct FuzzResult
+{
+    bool ok = true;
+    std::uint64_t violations = 0;         ///< invariant + oracle
+    std::uint64_t oracle_exact = 0;       ///< exact comparisons run
+    std::uint64_t oracle_weak = 0;        ///< weak comparisons run
+    std::string message;                  ///< first diagnostics
+};
+
+/**
+ * The named fault profile for @p name, seeded from @p seed. @p known
+ * (if non-null) reports whether the name was recognized; unknown names
+ * yield the healthy (inactive) config.
+ */
+faults::FaultConfig fuzz_fault_config(const std::string& name,
+                                      std::uint64_t seed,
+                                      bool* known = nullptr);
+
+/**
+ * Derive a random case from @p seed: mode, structure, fault profile
+ * and shape all drawn from the seeded generator.
+ */
+FuzzCase random_case(std::uint64_t seed);
+
+/**
+ * Generate a random type-valid ISA program from @p seed. The result
+ * always passes Program::verify (run_program_case re-checks and fails
+ * the case on a generator regression).
+ */
+isa::Program random_program(std::uint64_t seed);
+
+/** Execute one case (dispatches on mode). */
+FuzzResult run_case(const FuzzCase& c);
+
+/**
+ * Greedy minimizer: starting from a failing @p c, try fewer ops, one
+ * in-flight op, one node, then a healthy network, keeping each
+ * simplification that still fails. Returns the smallest failing case
+ * (or @p c itself if nothing simpler fails).
+ */
+FuzzCase minimize_case(const FuzzCase& c);
+
+}  // namespace pulse::check
+
+#endif  // PULSE_CHECK_FUZZER_H

@@ -1,0 +1,79 @@
+#include "check/invariants.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace pulse::check {
+
+const char*
+invariant_kind_name(InvariantKind kind)
+{
+    switch (kind) {
+      case InvariantKind::kClockMonotonicity:
+        return "clock-monotonicity";
+      case InvariantKind::kPacketConservation:
+        return "packet-conservation";
+      case InvariantKind::kDuplicateExecution:
+        return "duplicate-execution";
+      case InvariantKind::kWorkspaceLeak: return "workspace-leak";
+      case InvariantKind::kInflightLeak: return "inflight-leak";
+      case InvariantKind::kQueueNotDrained: return "queue-not-drained";
+      case InvariantKind::kRouteDisagreement:
+        return "route-disagreement";
+      case InvariantKind::kOracleMismatch: return "oracle-mismatch";
+    }
+    return "?";
+}
+
+std::string
+Violation::to_string() const
+{
+    char head[128];
+    std::snprintf(head, sizeof(head),
+                  "[%s] t=%lld ps pkt=%u/%llu ",
+                  invariant_kind_name(kind),
+                  static_cast<long long>(when),
+                  static_cast<unsigned>(packet.client),
+                  static_cast<unsigned long long>(packet.seq));
+    return head + component + ": " + message;
+}
+
+void
+InvariantRegistry::report(Violation violation)
+{
+    total_++;
+    const auto index = static_cast<std::size_t>(violation.kind);
+    if (index < sizeof(by_kind_) / sizeof(by_kind_[0])) {
+        by_kind_[index]++;
+    }
+    if (fail_fast_) {
+        panic("invariant violated: %s", violation.to_string().c_str());
+    }
+    diagnostics_.push_back(std::move(violation));
+    while (diagnostics_.size() > max_diagnostics_) {
+        diagnostics_.pop_front();
+    }
+}
+
+std::uint64_t
+InvariantRegistry::count(InvariantKind kind) const
+{
+    const auto index = static_cast<std::size_t>(kind);
+    if (index >= sizeof(by_kind_) / sizeof(by_kind_[0])) {
+        return 0;
+    }
+    return by_kind_[index];
+}
+
+void
+InvariantRegistry::clear()
+{
+    total_ = 0;
+    for (auto& count : by_kind_) {
+        count = 0;
+    }
+    diagnostics_.clear();
+}
+
+}  // namespace pulse::check

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Structured invariant diagnostics for the simulator.
+ *
+ * Components that can cheaply assert structural properties (clock
+ * monotonicity in EventQueue, exactly-once execution in ReplayWindow,
+ * conservation/leak/route checks at quiesce) report violations here
+ * instead of panicking ad hoc. Each violation carries the simulated
+ * timestamp, the offending packet id (when one exists), the component
+ * name, and a human-readable message — enough to reproduce and file.
+ *
+ * Dependency note: this header depends only on common/, so sim/, net/
+ * and accel/ may include it without cycles.
+ */
+#ifndef PULSE_CHECK_INVARIANTS_H
+#define PULSE_CHECK_INVARIANTS_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace pulse::check {
+
+/** Classification of a violated invariant. */
+enum class InvariantKind : std::uint8_t {
+    kClockMonotonicity,   ///< an event fired in its past
+    kPacketConservation,  ///< injected != delivered + accounted drops
+    kDuplicateExecution,  ///< a visit executed more than once
+    kWorkspaceLeak,       ///< accelerator workspace occupied at quiesce
+    kInflightLeak,        ///< offload engine op still armed at quiesce
+    kQueueNotDrained,     ///< events still pending at quiesce
+    kRouteDisagreement,   ///< switch/TCAM/AddressMap disagree on a VA
+    kOracleMismatch,      ///< simulated result != reference result
+};
+
+/** Human-readable name of @p kind. */
+const char* invariant_kind_name(InvariantKind kind);
+
+/** One structured diagnostic. */
+struct Violation
+{
+    InvariantKind kind = InvariantKind::kClockMonotonicity;
+    Time when = 0;        ///< simulated time of detection
+    RequestId packet;     ///< offending packet ({0,0} when n/a)
+    std::string component;
+    std::string message;
+
+    /** One-line rendering: "[kind] t=<ps> pkt=c/s component: msg". */
+    std::string to_string() const;
+};
+
+/**
+ * Collector for invariant violations. Components hold a raw pointer
+ * (nullptr = checking disabled, strict no-op); the cluster owns the
+ * registry. With fail_fast the first report panics with the rendered
+ * diagnostic, so a run that completes is violation-free.
+ */
+class InvariantRegistry
+{
+  public:
+    explicit InvariantRegistry(bool fail_fast = false,
+                               std::size_t max_diagnostics = 64)
+        : fail_fast_(fail_fast), max_diagnostics_(max_diagnostics)
+    {
+    }
+
+    /** Record one violation (panics under fail_fast). */
+    void report(Violation violation);
+
+    /** Total violations reported (including evicted diagnostics). */
+    std::uint64_t total() const { return total_; }
+
+    /** Violations of @p kind reported so far. */
+    std::uint64_t count(InvariantKind kind) const;
+
+    /** Retained diagnostics, oldest first (FIFO-capped). */
+    const std::deque<Violation>& diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+    /** Drop retained diagnostics and zero all counters. */
+    void clear();
+
+    bool fail_fast() const { return fail_fast_; }
+
+  private:
+    bool fail_fast_;
+    std::size_t max_diagnostics_;
+    std::uint64_t total_ = 0;
+    std::uint64_t by_kind_[16] = {};
+    std::deque<Violation> diagnostics_;
+};
+
+}  // namespace pulse::check
+
+#endif  // PULSE_CHECK_INVARIANTS_H

@@ -1,0 +1,230 @@
+#include "check/oracle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pulse::check {
+
+using isa::TraversalStatus;
+
+namespace {
+
+const char*
+status_name(TraversalStatus status)
+{
+    switch (status) {
+      case TraversalStatus::kDone: return "done";
+      case TraversalStatus::kNotLocal: return "not-local";
+      case TraversalStatus::kMaxIter: return "max-iter";
+      case TraversalStatus::kMemFault: return "mem-fault";
+      case TraversalStatus::kExecFault: return "exec-fault";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+GoldenOracle::arm(offload::Operation& op, bool program_valid,
+                  bool will_offload)
+{
+    const std::uint64_t index = stats_.armed++;
+    Pending pending;
+    pending.program = op.program;
+    pending.mem_version_at_submit = memory_.mutation_count();
+
+    if (!program_valid) {
+        // The engine completes invalid programs synchronously with
+        // kExecFault; there is nothing to execute.
+        pending.invalid_program = true;
+    } else {
+        ShadowMemory shadow(memory_);
+        ReferenceOptions options;
+        if (will_offload) {
+            pending.expected = reference_execute(
+                *op.program, op.start_ptr, op.init_scratch, shadow,
+                per_visit_cap_, total_guard_, options);
+        } else {
+            // Client fallback: read-only, no atomic path, one global
+            // iteration budget (no per-visit legs).
+            options.apply_stores = false;
+            options.enable_cas = false;
+            pending.expected = reference_traversal(
+                *op.program, op.start_ptr, op.init_scratch, shadow,
+                static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                    total_guard_, 0xffffffffull)),
+                options);
+            // The fallback validates cur_ptr per round trip even for
+            // programs that never LOAD; the reference has no
+            // equivalent notion, so only weak-check that shape.
+            pending.weak_only = op.program->load_bytes() == 0;
+        }
+        pending.predicted_writes = shadow.write_ops();
+    }
+
+    // Solo-flight tracking (see header): any arm while others fly
+    // invalidates exactness for every overlapped writer.
+    if (inflight_ > 0) {
+        generation_++;
+    }
+    pending.arm_generation = generation_;
+    inflight_++;
+
+    offload::CompletionFn inner = std::move(op.done);
+    op.done = [this, index, inner = std::move(inner)](
+                  offload::Completion&& completion) mutable {
+        check(index, completion);
+        if (inner) {
+            inner(std::move(completion));
+        }
+    };
+    pending_.emplace(index, std::move(pending));
+}
+
+void
+GoldenOracle::mismatch(std::uint64_t index, const Pending& pending,
+                       const std::string& detail)
+{
+    stats_.mismatches++;
+    registry_.report(Violation{
+        .kind = InvariantKind::kOracleMismatch,
+        .when = queue_.now(),
+        .component = "check.oracle",
+        .message = "op #" + std::to_string(index) + ": " + detail +
+                   " (expected status=" +
+                   status_name(pending.expected.status) + " iters=" +
+                   std::to_string(pending.expected.iterations) + ")"});
+}
+
+void
+GoldenOracle::check(std::uint64_t index,
+                    const offload::Completion& completion)
+{
+    const auto it = pending_.find(index);
+    PULSE_ASSERT(it != pending_.end(),
+                 "oracle completion for unknown op");
+    const Pending pending = std::move(it->second);
+    pending_.erase(it);
+    stats_.completed++;
+    inflight_--;
+    if (inflight_ > 0) {
+        generation_++;
+    }
+
+    if (completion.timed_out) {
+        // The engine gave up; no result was produced to compare.
+        stats_.skipped_timeout++;
+        return;
+    }
+
+    if (pending.invalid_program) {
+        if (completion.status != TraversalStatus::kExecFault ||
+            completion.fault != isa::ExecFault::kIllegalInstruction) {
+            mismatch(index, pending,
+                     "invalid program completed with status=" +
+                         std::string(status_name(completion.status)));
+        } else {
+            stats_.exact++;
+        }
+        return;
+    }
+
+    const std::uint64_t delta =
+        memory_.mutation_count() - pending.mem_version_at_submit;
+    bool exact = !pending.weak_only &&
+                 completion.status != TraversalStatus::kMaxIter;
+    if (pending.predicted_writes == 0) {
+        exact = exact && delta == 0;
+    } else {
+        exact = exact && delta == pending.predicted_writes &&
+                pending.arm_generation == generation_;
+    }
+
+    if (!exact) {
+        // Weak structural checks: enough to catch gross corruption
+        // without assuming the reference's memory snapshot held.
+        stats_.weak++;
+        const bool terminal =
+            completion.status == TraversalStatus::kDone ||
+            completion.status == TraversalStatus::kMemFault ||
+            completion.status == TraversalStatus::kExecFault ||
+            completion.status == TraversalStatus::kMaxIter;
+        if (!terminal) {
+            mismatch(index, pending,
+                     "non-terminal completion status=" +
+                         std::string(status_name(completion.status)));
+        }
+        if ((completion.status == TraversalStatus::kDone ||
+             completion.status == TraversalStatus::kExecFault) &&
+            completion.iterations < 1) {
+            mismatch(index, pending,
+                     "terminal completion with zero iterations");
+        }
+        if (completion.iterations >
+            total_guard_ + per_visit_cap_) {
+            mismatch(index, pending,
+                     "iterations " +
+                         std::to_string(completion.iterations) +
+                         " exceed the global guard");
+        }
+        if (completion.scratch.size() >
+            pending.program->scratch_bytes()) {
+            mismatch(index, pending,
+                     "scratch result larger than the program's "
+                     "scratch space");
+        }
+        return;
+    }
+
+    stats_.exact++;
+    if (completion.status != pending.expected.status) {
+        mismatch(index, pending,
+                 "status=" +
+                     std::string(status_name(completion.status)) +
+                     " differs");
+        return;
+    }
+    if (completion.fault != pending.expected.fault) {
+        mismatch(index, pending, "exec fault kind differs");
+        return;
+    }
+    if (completion.final_ptr != pending.expected.final_ptr) {
+        mismatch(index, pending,
+                 "final_ptr=0x" + [&] {
+                     char buf[32];
+                     std::snprintf(
+                         buf, sizeof(buf), "%llx",
+                         static_cast<unsigned long long>(
+                             completion.final_ptr));
+                     return std::string(buf);
+                 }() + " differs");
+        return;
+    }
+    if (completion.iterations != pending.expected.iterations) {
+        mismatch(index, pending,
+                 "iterations=" +
+                     std::to_string(completion.iterations) +
+                     " differ");
+        return;
+    }
+    const std::size_t compare_len = std::min(
+        completion.scratch.size(), pending.expected.scratch.size());
+    for (std::size_t i = 0; i < compare_len; i++) {
+        if (completion.scratch[i] != pending.expected.scratch[i]) {
+            mismatch(index, pending,
+                     "scratch byte " + std::to_string(i) +
+                         " differs (" +
+                         std::to_string(completion.scratch[i]) +
+                         " != " +
+                         std::to_string(pending.expected.scratch[i]) +
+                         ")");
+            return;
+        }
+    }
+}
+
+}  // namespace pulse::check

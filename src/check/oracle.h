@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Golden differential oracle for offloaded traversals.
+ *
+ * Every operation submitted through a checked pulse submitter is armed
+ * here before it enters the offload engine: the oracle runs the same
+ * traversal a second time through the independent reference
+ * interpreter (src/check/reference_interpreter) against a ShadowMemory
+ * snapshot — latency, faults and scheduling bypassed — and diffs the
+ * simulated Completion against the reference outcome when it fires.
+ *
+ * Exactness gating. The reference executes against memory as of
+ * submit; the simulated path executes later and may interleave with
+ * other writers. The oracle therefore samples GlobalMemory's mutation
+ * counter at arm and at completion:
+ *   - a read-only operation compares exactly iff the counter did not
+ *     move during its flight;
+ *   - a writing operation compares exactly iff the counter moved by
+ *     precisely the number of writes the reference predicted AND no
+ *     other checked operation overlapped its flight;
+ *   - otherwise (concurrent writers, kMaxIter guard truncation, the
+ *     fallback path's no-load edge case) only weak structural checks
+ *     run: a valid terminal status, iteration-count bounds, and a
+ *     scratch result no larger than the program's scratch space.
+ * Operations that timed out (gave up after max retransmits) never
+ * produced a result and are skipped.
+ *
+ * Mismatches are reported as kOracleMismatch violations into the
+ * shared InvariantRegistry (panicking under fail-fast), so a sweep
+ * that completes with checking on is mismatch-free by construction.
+ */
+#ifndef PULSE_CHECK_ORACLE_H
+#define PULSE_CHECK_ORACLE_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "check/invariants.h"
+#include "check/reference_interpreter.h"
+#include "mem/global_memory.h"
+#include "offload/offload_engine.h"
+#include "sim/event_queue.h"
+
+namespace pulse::check {
+
+/** Oracle outcome counters. */
+struct OracleStats
+{
+    std::uint64_t armed = 0;      ///< operations wrapped
+    std::uint64_t completed = 0;  ///< completions observed
+    std::uint64_t exact = 0;      ///< full result comparisons
+    std::uint64_t weak = 0;       ///< structural checks only
+    std::uint64_t skipped_timeout = 0;  ///< timed out: nothing to diff
+    std::uint64_t mismatches = 0;       ///< violations reported
+};
+
+/** Differential checker for one cluster's pulse path. */
+class GoldenOracle
+{
+  public:
+    /**
+     * @param memory        the cluster memory the reference reads
+     * @param queue         clock source for diagnostics
+     * @param registry      mismatch sink (shared invariant registry)
+     * @param per_visit_cap accelerator max_iters_cap (leg budget)
+     * @param total_guard   the offload engine's global iteration guard
+     */
+    GoldenOracle(const mem::GlobalMemory& memory,
+                 const sim::EventQueue& queue,
+                 InvariantRegistry& registry,
+                 std::uint32_t per_visit_cap, std::uint64_t total_guard)
+        : memory_(memory), queue_(queue), registry_(registry),
+          per_visit_cap_(per_visit_cap), total_guard_(total_guard)
+    {
+    }
+
+    /**
+     * Run the reference prediction for @p op and wrap op.done so the
+     * simulated completion is diffed before the caller sees it. Call
+     * immediately before OffloadEngine::submit. @p program_valid and
+     * @p will_offload come from the engine's own analysis, so oracle
+     * and engine agree on which execution path is being modeled.
+     */
+    void arm(offload::Operation& op, bool program_valid,
+             bool will_offload);
+
+    const OracleStats& stats() const { return stats_; }
+
+    /** Operations armed but not yet completed. */
+    std::size_t pending() const { return pending_.size(); }
+
+  private:
+    struct Pending
+    {
+        std::shared_ptr<const isa::Program> program;
+        ReferenceOutcome expected;
+        std::uint64_t mem_version_at_submit = 0;
+        std::uint64_t predicted_writes = 0;
+        std::uint64_t arm_generation = 0;
+        bool invalid_program = false;
+        bool weak_only = false;  ///< path the reference cannot model
+    };
+
+    void check(std::uint64_t index,
+               const offload::Completion& completion);
+    void mismatch(std::uint64_t index, const Pending& pending,
+                  const std::string& detail);
+
+    const mem::GlobalMemory& memory_;
+    const sim::EventQueue& queue_;
+    InvariantRegistry& registry_;
+    std::uint32_t per_visit_cap_;
+    std::uint64_t total_guard_;
+    std::unordered_map<std::uint64_t, Pending> pending_;
+    /**
+     * Solo-flight tracking: bumped whenever concurrency changes while
+     * operations are in flight, so an op whose arm-time generation
+     * still matches at completion provably flew alone.
+     */
+    std::uint64_t generation_ = 0;
+    std::uint64_t inflight_ = 0;
+    OracleStats stats_;
+};
+
+}  // namespace pulse::check
+
+#endif  // PULSE_CHECK_ORACLE_H

@@ -1,0 +1,344 @@
+#include "check/reference_interpreter.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "isa/instruction.h"
+
+namespace pulse::check {
+namespace {
+
+// Register state of the reference machine. Kept distinct from
+// isa::Workspace on purpose: the reference path must not share even
+// the operand access helpers with the production interpreter.
+struct RefState
+{
+    VirtAddr cur_ptr = kNullAddr;
+    int flags = 0;
+    std::vector<std::uint8_t> scratch;
+    std::vector<std::uint8_t> data;
+};
+
+std::uint64_t
+ref_fetch(const RefState& state, const isa::Operand& operand)
+{
+    switch (operand.kind) {
+      case isa::OperandKind::kImm: return operand.value;
+      case isa::OperandKind::kCurPtr: return state.cur_ptr;
+      case isa::OperandKind::kScratch:
+      case isa::OperandKind::kData: {
+        const auto& vec = operand.kind == isa::OperandKind::kScratch
+                              ? state.scratch
+                              : state.data;
+        PULSE_ASSERT(operand.value + operand.width <= vec.size(),
+                     "reference operand read out of range");
+        std::uint64_t value = 0;
+        for (std::uint8_t i = 0; i < operand.width; i++) {
+            value |= static_cast<std::uint64_t>(vec[operand.value + i])
+                     << (8 * i);
+        }
+        return value;
+      }
+      case isa::OperandKind::kNone: break;
+    }
+    panic("reference fetch of kNone operand");
+}
+
+void
+ref_put(RefState& state, const isa::Operand& operand,
+        std::uint64_t value)
+{
+    switch (operand.kind) {
+      case isa::OperandKind::kCurPtr:
+        state.cur_ptr = value;
+        return;
+      case isa::OperandKind::kScratch:
+      case isa::OperandKind::kData: {
+        auto& vec = operand.kind == isa::OperandKind::kScratch
+                        ? state.scratch
+                        : state.data;
+        PULSE_ASSERT(operand.value + operand.width <= vec.size(),
+                     "reference operand write out of range");
+        for (std::uint8_t i = 0; i < operand.width; i++) {
+            vec[operand.value + i] =
+                static_cast<std::uint8_t>(value >> (8 * i));
+        }
+        return;
+      }
+      default: panic("reference write to non-writable operand");
+    }
+}
+
+bool
+ref_taken(isa::Cond cond, int flags)
+{
+    switch (cond) {
+      case isa::Cond::kAlways: return true;
+      case isa::Cond::kEq: return flags == 0;
+      case isa::Cond::kNeq: return flags != 0;
+      case isa::Cond::kLt: return flags < 0;
+      case isa::Cond::kGt: return flags > 0;
+      case isa::Cond::kLe: return flags <= 0;
+      case isa::Cond::kGe: return flags >= 0;
+    }
+    return false;
+}
+
+struct RefStore
+{
+    std::uint64_t mem_offset = 0;
+    std::uint32_t data_offset = 0;
+    std::uint32_t length = 0;
+};
+
+enum class LegEnd : std::uint8_t { kNextIter, kReturn, kFault };
+
+struct LegResult
+{
+    LegEnd end = LegEnd::kReturn;
+    isa::ExecFault fault = isa::ExecFault::kNone;
+    std::uint64_t instructions = 0;
+    std::vector<RefStore> stores;
+    bool cas_fault = false;
+};
+
+// Logic portion of one iteration; data registers already hold the
+// LOADed bytes, @p iter_ptr is the iteration-start cur_ptr (CAS
+// offsets rebase against it, never against a mid-iteration update).
+LegResult
+ref_logic(const isa::Program& program, RefState& state,
+          ShadowMemory& memory, VirtAddr iter_ptr,
+          const ReferenceOptions& options)
+{
+    LegResult result;
+    const auto& code = program.code();
+    std::uint32_t pc =
+        (!code.empty() && code.front().op == isa::Opcode::kLoad) ? 1
+                                                                 : 0;
+    while (pc < code.size()) {
+        const isa::Instruction& insn = code[pc];
+        result.instructions++;
+        switch (insn.op) {
+          case isa::Opcode::kLoad:
+            result.end = LegEnd::kFault;
+            result.fault = isa::ExecFault::kIllegalInstruction;
+            return result;
+          case isa::Opcode::kStore:
+            result.stores.push_back(RefStore{
+                insn.dst.value,
+                static_cast<std::uint32_t>(insn.src1.value),
+                static_cast<std::uint32_t>(insn.src2.value)});
+            break;
+          case isa::Opcode::kAdd:
+            ref_put(state, insn.dst,
+                    ref_fetch(state, insn.src1) +
+                        ref_fetch(state, insn.src2));
+            break;
+          case isa::Opcode::kSub:
+            ref_put(state, insn.dst,
+                    ref_fetch(state, insn.src1) -
+                        ref_fetch(state, insn.src2));
+            break;
+          case isa::Opcode::kMul:
+            ref_put(state, insn.dst,
+                    ref_fetch(state, insn.src1) *
+                        ref_fetch(state, insn.src2));
+            break;
+          case isa::Opcode::kDiv: {
+            const std::uint64_t divisor = ref_fetch(state, insn.src2);
+            if (divisor == 0) {
+                result.end = LegEnd::kFault;
+                result.fault = isa::ExecFault::kDivideByZero;
+                return result;
+            }
+            ref_put(state, insn.dst,
+                    ref_fetch(state, insn.src1) / divisor);
+            break;
+          }
+          case isa::Opcode::kAnd:
+            ref_put(state, insn.dst,
+                    ref_fetch(state, insn.src1) &
+                        ref_fetch(state, insn.src2));
+            break;
+          case isa::Opcode::kOr:
+            ref_put(state, insn.dst,
+                    ref_fetch(state, insn.src1) |
+                        ref_fetch(state, insn.src2));
+            break;
+          case isa::Opcode::kNot:
+            ref_put(state, insn.dst, ~ref_fetch(state, insn.src1));
+            break;
+          case isa::Opcode::kMove:
+            if (insn.dst.width > 8) {
+                auto& dst_vec =
+                    insn.dst.kind == isa::OperandKind::kScratch
+                        ? state.scratch
+                        : state.data;
+                const auto& src_vec =
+                    insn.src1.kind == isa::OperandKind::kScratch
+                        ? state.scratch
+                        : state.data;
+                PULSE_ASSERT(
+                    insn.dst.value + insn.dst.width <= dst_vec.size() &&
+                        insn.src1.value + insn.src1.width <=
+                            src_vec.size(),
+                    "reference vector move out of range");
+                std::memmove(dst_vec.data() + insn.dst.value,
+                             src_vec.data() + insn.src1.value,
+                             insn.dst.width);
+            } else {
+                ref_put(state, insn.dst, ref_fetch(state, insn.src1));
+            }
+            break;
+          case isa::Opcode::kCompare: {
+            const auto a = static_cast<std::int64_t>(
+                ref_fetch(state, insn.src1));
+            const auto b = static_cast<std::int64_t>(
+                ref_fetch(state, insn.src2));
+            state.flags = a < b ? -1 : a > b ? 1 : 0;
+            break;
+          }
+          case isa::Opcode::kJump:
+            if (ref_taken(insn.cond, state.flags)) {
+                pc = insn.target;
+                continue;
+            }
+            break;
+          case isa::Opcode::kReturn:
+            result.end = LegEnd::kReturn;
+            return result;
+          case isa::Opcode::kNextIter:
+            result.end = LegEnd::kNextIter;
+            return result;
+          case isa::Opcode::kCas: {
+            if (!options.enable_cas) {
+                result.end = LegEnd::kFault;
+                result.fault = isa::ExecFault::kIllegalInstruction;
+                return result;
+            }
+            bool swapped = false;
+            if (!memory.cas(iter_ptr + insn.dst.value,
+                            ref_fetch(state, insn.src1),
+                            ref_fetch(state, insn.src2), &swapped)) {
+                result.cas_fault = true;
+            }
+            state.flags = swapped ? 0 : 1;
+            break;
+          }
+        }
+        pc++;
+    }
+    panic("reference iteration fell off the end of the program");
+}
+
+}  // namespace
+
+ReferenceOutcome
+reference_traversal(const isa::Program& program, VirtAddr start_ptr,
+                    const std::vector<std::uint8_t>& init_scratch,
+                    ShadowMemory& memory, std::uint32_t max_iters,
+                    const ReferenceOptions& options)
+{
+    if (max_iters == 0) {
+        max_iters = program.max_iters();
+    }
+    RefState state;
+    state.scratch.assign(program.scratch_bytes(), 0);
+    state.data.assign(isa::kMaxLoadBytes, 0);
+    state.cur_ptr = start_ptr;
+    std::copy_n(init_scratch.begin(),
+                std::min(init_scratch.size(), state.scratch.size()),
+                state.scratch.begin());
+
+    ReferenceOutcome outcome;
+    const std::uint32_t load_bytes = program.load_bytes();
+
+    while (outcome.iterations < max_iters) {
+        const VirtAddr iter_ptr = state.cur_ptr;
+        if (load_bytes > 0) {
+            if (iter_ptr == kNullAddr) {
+                std::fill_n(state.data.begin(), load_bytes, 0);
+            } else if (!memory.load(iter_ptr, load_bytes,
+                                    state.data.data())) {
+                outcome.status = isa::TraversalStatus::kMemFault;
+                break;
+            }
+        }
+        LegResult leg =
+            ref_logic(program, state, memory, iter_ptr, options);
+        outcome.iterations++;
+        outcome.instructions += leg.instructions;
+
+        bool store_fault = false;
+        if (options.apply_stores) {
+            for (const RefStore& st : leg.stores) {
+                if (!memory.store(iter_ptr + st.mem_offset, st.length,
+                                  state.data.data() +
+                                      st.data_offset)) {
+                    store_fault = true;
+                    break;
+                }
+            }
+        }
+        if (leg.cas_fault && options.cas_fault_is_memfault) {
+            store_fault = true;
+        }
+        if (store_fault) {
+            outcome.status = isa::TraversalStatus::kMemFault;
+            break;
+        }
+        if (leg.end == LegEnd::kFault) {
+            outcome.status = isa::TraversalStatus::kExecFault;
+            outcome.fault = leg.fault;
+            break;
+        }
+        if (leg.end == LegEnd::kReturn) {
+            outcome.status = isa::TraversalStatus::kDone;
+            break;
+        }
+        if (outcome.iterations == max_iters) {
+            outcome.status = isa::TraversalStatus::kMaxIter;
+            break;
+        }
+    }
+    outcome.final_ptr = state.cur_ptr;
+    outcome.scratch = std::move(state.scratch);
+    return outcome;
+}
+
+ReferenceOutcome
+reference_execute(const isa::Program& program, VirtAddr start_ptr,
+                  const std::vector<std::uint8_t>& init_scratch,
+                  ShadowMemory& memory, std::uint32_t per_visit_cap,
+                  std::uint64_t total_guard,
+                  const ReferenceOptions& options)
+{
+    std::uint32_t leg_cap = program.max_iters();
+    if (per_visit_cap > 0) {
+        leg_cap = std::min(leg_cap, per_visit_cap);
+    }
+
+    ReferenceOutcome total;
+    VirtAddr ptr = start_ptr;
+    std::vector<std::uint8_t> scratch = init_scratch;
+    for (;;) {
+        ReferenceOutcome leg = reference_traversal(
+            program, ptr, scratch, memory, leg_cap, options);
+        total.iterations += leg.iterations;
+        total.instructions += leg.instructions;
+        total.status = leg.status;
+        total.fault = leg.fault;
+        total.final_ptr = leg.final_ptr;
+        total.scratch = std::move(leg.scratch);
+        if (total.status != isa::TraversalStatus::kMaxIter ||
+            total.iterations >= total_guard) {
+            break;
+        }
+        ptr = total.final_ptr;
+        scratch = total.scratch;
+    }
+    return total;
+}
+
+}  // namespace pulse::check

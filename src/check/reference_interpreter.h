@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Independent reference execution of pulse ISA traversals.
+ *
+ * This is a from-scratch second implementation of the ISA semantics —
+ * it deliberately shares *no* code with src/isa/interpreter.cc (only
+ * the instruction/program data definitions). That independence is the
+ * point: a bug introduced into the production interpreter (or injected
+ * by the mutation-testing hook, see isa::set_interpreter_mutation)
+ * changes the simulated result but not the reference result, so the
+ * golden oracle catches it. Latency, faults and scheduling do not
+ * exist here; execution is purely functional against a ShadowMemory.
+ *
+ * Two call shapes mirror the two production execution disciplines:
+ *   - reference_traversal(): one leg with an explicit iteration cap
+ *     (the shape of isa::run_traversal) — used by the program-
+ *     differential fuzzer;
+ *   - reference_execute(): the offload engine's view — legs of
+ *     min(program cap, accelerator cap) iterations, transparently
+ *     resumed on kMaxIter up to a global guard — used by the oracle.
+ */
+#ifndef PULSE_CHECK_REFERENCE_INTERPRETER_H
+#define PULSE_CHECK_REFERENCE_INTERPRETER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "check/shadow_memory.h"
+#include "isa/traversal.h"
+
+namespace pulse::check {
+
+/** Site-semantics knobs distinguishing the production paths. */
+struct ReferenceOptions
+{
+    /**
+     * Apply STOREs to the shadow (accelerator semantics). The client
+     * fallback path is read-only and silently discards stores.
+     */
+    bool apply_stores = true;
+
+    /**
+     * Provide the atomic path. Sites without one (the client
+     * fallback) fault kCas with kIllegalInstruction.
+     */
+    bool enable_cas = true;
+
+    /**
+     * A CAS whose address does not translate: the accelerator raises
+     * kMemFault at iteration end (true); the functional
+     * run_traversal-with-hooks path reports it as a failed swap and
+     * continues (false).
+     */
+    bool cas_fault_is_memfault = true;
+};
+
+/** Final state of a reference run (mirrors TraversalOutcome). */
+struct ReferenceOutcome
+{
+    isa::TraversalStatus status = isa::TraversalStatus::kDone;
+    isa::ExecFault fault = isa::ExecFault::kNone;
+    std::uint64_t iterations = 0;
+    std::uint64_t instructions = 0;
+    VirtAddr final_ptr = kNullAddr;
+    std::vector<std::uint8_t> scratch;
+};
+
+/**
+ * Run one leg of @p program from @p start_ptr over @p memory.
+ * @p max_iters of 0 uses the program's own cap. The program must have
+ * passed verify().
+ */
+ReferenceOutcome reference_traversal(
+    const isa::Program& program, VirtAddr start_ptr,
+    const std::vector<std::uint8_t>& init_scratch, ShadowMemory& memory,
+    std::uint32_t max_iters = 0,
+    const ReferenceOptions& options = ReferenceOptions{});
+
+/**
+ * Offload-engine-equivalent execution: legs capped at
+ * @p per_visit_cap iterations, resumed transparently on kMaxIter while
+ * the running total stays below @p total_guard (the engine's
+ * kGlobalIterationGuard discipline). Totals — iterations, final
+ * pointer, scratch — therefore match what the client observes from a
+ * completed traversal regardless of how many node visits the simulated
+ * path needed.
+ */
+ReferenceOutcome reference_execute(
+    const isa::Program& program, VirtAddr start_ptr,
+    const std::vector<std::uint8_t>& init_scratch, ShadowMemory& memory,
+    std::uint32_t per_visit_cap, std::uint64_t total_guard,
+    const ReferenceOptions& options = ReferenceOptions{});
+
+}  // namespace pulse::check
+
+#endif  // PULSE_CHECK_REFERENCE_INTERPRETER_H

@@ -1,0 +1,84 @@
+#include "check/shadow_memory.h"
+
+#include <cstring>
+
+namespace pulse::check {
+
+bool
+ShadowMemory::valid_span(VirtAddr va, Bytes len) const
+{
+    if (len == 0) {
+        return true;
+    }
+    const auto node = base_.address_map().node_for(va);
+    if (!node.has_value()) {
+        return false;
+    }
+    const Bytes offset = base_.address_map().offset_in_region(va);
+    return offset + len <= base_.address_map().region_size();
+}
+
+bool
+ShadowMemory::load(VirtAddr va, std::uint32_t len,
+                   std::uint8_t* out) const
+{
+    if (!valid_span(va, len)) {
+        return false;
+    }
+    base_.read(va, out, len);
+    if (overlay_.empty()) {
+        return true;
+    }
+    for (std::uint32_t i = 0; i < len; i++) {
+        const auto it = overlay_.find(va + i);
+        if (it != overlay_.end()) {
+            out[i] = it->second;
+        }
+    }
+    return true;
+}
+
+bool
+ShadowMemory::store(VirtAddr va, std::uint32_t len,
+                    const std::uint8_t* in)
+{
+    if (!valid_span(va, len)) {
+        return false;
+    }
+    write_ops_++;
+    for (std::uint32_t i = 0; i < len; i++) {
+        overlay_[va + i] = in[i];
+    }
+    return true;
+}
+
+bool
+ShadowMemory::cas(VirtAddr va, std::uint64_t expected,
+                  std::uint64_t desired, bool* swapped)
+{
+    *swapped = false;
+    std::uint8_t current[8];
+    if (!load(va, 8, current)) {
+        return false;
+    }
+    std::uint64_t word = 0;
+    std::memcpy(&word, current, 8);
+    if (word == expected) {
+        std::uint8_t bytes[8];
+        std::memcpy(bytes, &desired, 8);
+        store(va, 8, bytes);  // bumps write_ops_, matching the timed
+                              // path's one write() per swap
+        *swapped = true;
+    }
+    return true;
+}
+
+void
+ShadowMemory::flush(mem::GlobalMemory& target) const
+{
+    for (const auto& [va, byte] : overlay_) {
+        target.write(va, &byte, 1);
+    }
+}
+
+}  // namespace pulse::check

@@ -104,6 +104,24 @@ Cluster::Cluster(const ClusterConfig& config)
         tcp_rpc);
     aifm_ = std::make_unique<baselines::AifmClient>(queue_, *rpc_tcp_,
                                                     config.aifm);
+
+    if (config.check.enabled()) {
+        checker_ = std::make_unique<check::Checker>(
+            config.check, queue_, *network_, *memory_,
+            config.accel.max_iters_cap, offload::kGlobalIterationGuard);
+        if (config.check.invariants) {
+            queue_.set_invariants(&checker_->registry());
+        }
+        for (auto& accelerator : accelerators_) {
+            if (config.check.invariants) {
+                accelerator->set_invariants(&checker_->registry());
+            }
+            checker_->attach_accelerator(accelerator.get());
+        }
+        for (auto& engine : offload_) {
+            checker_->attach_engine(engine.get());
+        }
+    }
 }
 
 accel::Accelerator&
@@ -133,6 +151,18 @@ Cluster::offload_engine(ClientId client)
     return *offload_[client];
 }
 
+std::uint64_t
+Cluster::verify_quiesce()
+{
+    if (!checker_) {
+        return 0;
+    }
+    // Drain leftovers (quenched retransmit timers are harmless no-op
+    // events) so the structural audit sees the settled state.
+    queue_.run();
+    return checker_->verify_quiesce();
+}
+
 workloads::SubmitFn
 Cluster::submitter(SystemKind kind, ClientId client)
 {
@@ -140,6 +170,16 @@ Cluster::submitter(SystemKind kind, ClientId client)
                  "baseline systems are single-client");
     switch (kind) {
       case SystemKind::kPulse:
+        if (checker_ && checker_->oracle() != nullptr) {
+            return [this, client](offload::Operation&& op) {
+                offload::OffloadEngine& engine = *offload_[client];
+                const isa::ProgramAnalysis& analysis =
+                    engine.analysis_for(op.program);
+                checker_->oracle()->arm(op, analysis.valid,
+                                        engine.should_offload(analysis));
+                engine.submit(std::move(op));
+            };
+        }
         return [this, client](offload::Operation&& op) {
             offload_[client]->submit(std::move(op));
         };

@@ -27,6 +27,8 @@
 #include "baselines/aifm_client.h"
 #include "baselines/cache_client.h"
 #include "baselines/rpc_runtime.h"
+#include "check/check_config.h"
+#include "check/checker.h"
 #include "common/stats.h"
 #include "faults/fault_plane.h"
 #include "mem/allocator.h"
@@ -97,6 +99,16 @@ struct ClusterConfig
      */
     trace::TraceConfig trace;
 
+    /**
+     * Correctness checking (src/check): golden differential oracle on
+     * the pulse path and/or structural invariant checking. All off by
+     * default — no Checker is constructed, no submitter is wrapped,
+     * and no randomness or timing changes, so checker-off runs are
+     * bit-identical to a build without the subsystem. Benches honor
+     * the PULSE_CHECK environment variable (see CheckConfig).
+     */
+    check::CheckConfig check;
+
     ClusterConfig();
 
     /** Configure pulse-ACC (section 7.2): continuations bounce through
@@ -139,6 +151,16 @@ class Cluster
     trace::Tracer& tracer() { return tracer_; }
     const trace::Tracer& tracer() const { return tracer_; }
 
+    /** The checking subsystem; nullptr when config.check is all-off. */
+    check::Checker* checker() { return checker_.get(); }
+
+    /**
+     * Drain the event queue, then run the quiesce-time structural
+     * audit (conservation, leaks, route agreement). No-op returning 0
+     * when checking is off. Returns the total violation count.
+     */
+    std::uint64_t verify_quiesce();
+
     const ClusterConfig& config() const { return config_; }
 
     /**
@@ -178,6 +200,7 @@ class Cluster
     std::unique_ptr<mem::ClusterAllocator> allocator_;
     std::unique_ptr<net::Network> network_;
     std::unique_ptr<faults::FaultPlane> fault_plane_;
+    std::unique_ptr<check::Checker> checker_;
     std::vector<std::unique_ptr<mem::ChannelSet>> channels_;
     std::vector<std::unique_ptr<accel::Accelerator>> accelerators_;
     std::vector<std::unique_ptr<offload::OffloadEngine>> offload_;

@@ -1,6 +1,7 @@
 #include "isa/interpreter.h"
 
 #include <cstring>
+#include <string_view>
 
 #include "common/logging.h"
 
@@ -42,7 +43,39 @@ cond_holds(Cond cond, int flags)
     return false;
 }
 
+InterpreterMutation g_mutation = InterpreterMutation::kNone;
+
 }  // namespace
+
+void
+set_interpreter_mutation(InterpreterMutation mutation)
+{
+    g_mutation = mutation;
+}
+
+InterpreterMutation
+interpreter_mutation()
+{
+    return g_mutation;
+}
+
+bool
+mutation_from_name(const char* name, InterpreterMutation* out)
+{
+    const std::string_view sv(name);
+    if (sv == "none") {
+        *out = InterpreterMutation::kNone;
+    } else if (sv == "add-off-by-one") {
+        *out = InterpreterMutation::kAddOffByOne;
+    } else if (sv == "compare-inverted") {
+        *out = InterpreterMutation::kCompareInverted;
+    } else if (sv == "store-drop-byte") {
+        *out = InterpreterMutation::kStoreDropByte;
+    } else {
+        return false;
+    }
+    return true;
+}
 
 void
 Workspace::configure(const Program& program)
@@ -108,16 +141,26 @@ run_iteration(const Program& program, Workspace& workspace,
             result.end = IterEnd::kFault;
             result.fault = ExecFault::kIllegalInstruction;
             return result;
-          case Opcode::kStore:
+          case Opcode::kStore: {
+            auto length = static_cast<std::uint32_t>(insn.src2.value);
+            if (g_mutation == InterpreterMutation::kStoreDropByte &&
+                length > 0) {
+                length--;
+            }
             result.stores.push_back(PendingStore{
                 .mem_offset = insn.dst.value,
                 .data_offset = static_cast<std::uint32_t>(insn.src1.value),
-                .length = static_cast<std::uint32_t>(insn.src2.value),
+                .length = length,
             });
             break;
+          }
           case Opcode::kAdd:
-            workspace.write(insn.dst, workspace.read(insn.src1) +
-                                          workspace.read(insn.src2));
+            workspace.write(
+                insn.dst,
+                workspace.read(insn.src1) + workspace.read(insn.src2) +
+                    (g_mutation == InterpreterMutation::kAddOffByOne
+                         ? 1
+                         : 0));
             break;
           case Opcode::kSub:
             workspace.write(insn.dst, workspace.read(insn.src1) -
@@ -179,6 +222,9 @@ run_iteration(const Program& program, Workspace& workspace,
             const auto b = static_cast<std::int64_t>(
                 workspace.read(insn.src2));
             workspace.flags = (a < b) ? -1 : (a > b) ? 1 : 0;
+            if (g_mutation == InterpreterMutation::kCompareInverted) {
+                workspace.flags = -workspace.flags;
+            }
             break;
           }
           case Opcode::kJump:

@@ -95,6 +95,31 @@ IterationResult run_iteration(const Program& program,
                               Workspace& workspace,
                               const CasFn& cas = nullptr);
 
+/**
+ * Deliberate bugs injectable into run_iteration for mutation-testing
+ * the golden oracle (docs/TESTING.md): the check/ reference
+ * interpreter is an independent implementation, so any of these must
+ * surface as an oracle mismatch. Never enabled in normal runs.
+ */
+enum class InterpreterMutation : std::uint8_t {
+    kNone,             ///< faithful semantics
+    kAddOffByOne,      ///< ADD produces src1 + src2 + 1
+    kCompareInverted,  ///< COMPARE flags get the opposite sign
+    kStoreDropByte,    ///< STORE writes one byte short
+};
+
+/** Set the active mutation (process-wide; tests/tools only). */
+void set_interpreter_mutation(InterpreterMutation mutation);
+
+/** Currently active mutation. */
+InterpreterMutation interpreter_mutation();
+
+/**
+ * Parse a mutation name ("none", "add-off-by-one",
+ * "compare-inverted", "store-drop-byte"); false on unknown names.
+ */
+bool mutation_from_name(const char* name, InterpreterMutation* out);
+
 }  // namespace pulse::isa
 
 #endif  // PULSE_ISA_INTERPRETER_H

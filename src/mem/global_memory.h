@@ -53,6 +53,22 @@ class GlobalMemory
     /** Write @p len bytes to virtual address @p va (single region). */
     void write(VirtAddr va, const void* in, Bytes len);
 
+    /**
+     * Sum of PhysicalMemory::mutations() across nodes: a cheap global
+     * version counter for memory content. The golden oracle samples it
+     * at submit and completion to decide whether an exact comparison
+     * against the reference run is sound.
+     */
+    std::uint64_t
+    mutation_count() const
+    {
+        std::uint64_t total = 0;
+        for (const auto& node : nodes_) {
+            total += node->mutations();
+        }
+        return total;
+    }
+
     /** Typed read of a trivially-copyable value at @p va. */
     template <typename T>
     T

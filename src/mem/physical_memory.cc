@@ -65,6 +65,7 @@ void
 PhysicalMemory::write(PhysAddr addr, const void* in, Bytes len)
 {
     PULSE_ASSERT(addr + len <= capacity_, "write past end of memory");
+    mutations_++;
     const auto* src = static_cast<const std::uint8_t*>(in);
     while (len > 0) {
         const Bytes offset = addr % kChunkSize;

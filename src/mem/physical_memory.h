@@ -38,6 +38,14 @@ class PhysicalMemory
     /** Copy @p len bytes from @p in to physical address @p addr. */
     void write(PhysAddr addr, const void* in, Bytes len);
 
+    /**
+     * Number of write() calls since construction. Every mutation of
+     * node memory funnels through write(), so the golden oracle uses
+     * this to detect whether other writers raced a checked traversal
+     * (exact comparison is only sound when none did).
+     */
+    std::uint64_t mutations() const { return mutations_; }
+
     /** Convenience typed read of a trivially-copyable value. */
     template <typename T>
     T
@@ -62,6 +70,7 @@ class PhysicalMemory
     std::uint8_t* chunk_for(PhysAddr addr, bool commit) const;
 
     Bytes capacity_;
+    std::uint64_t mutations_ = 0;
     // mutable: reads of never-written chunks return zeros without commit,
     // but the chunk table itself may grow on first commit during write.
     mutable std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;

@@ -148,6 +148,7 @@ Network::deliver_traversal(EndpointAddr to, Time at_switch, Bytes size,
         to.kind == EndpointAddr::Kind::kMemNode) {
         if (fault_plane_->node_dark(to.index, delivery)) {
             fault_plane_->count_blackout_drop();
+            flow_.delivery_blackout++;
             return;
         }
         const Time release =
@@ -168,8 +169,10 @@ Network::deliver_traversal(EndpointAddr to, Time at_switch, Bytes size,
         if (!verify_packet(packet)) {
             // Receiving NIC: UDP checksum mismatch, discard silently.
             checksum_drops_++;
+            flow_.checksum_dropped++;
             return;
         }
+        flow_.delivered++;
         sink(std::move(packet));
     });
 }
@@ -177,9 +180,11 @@ Network::deliver_traversal(EndpointAddr to, Time at_switch, Bytes size,
 void
 Network::send_traversal(EndpointAddr from, TraversalPacket packet)
 {
+    flow_.injected++;
     if (source_dark(from)) {
         // A blacked-out node transmits nothing.
         fault_plane_->count_blackout_drop();
+        flow_.source_dark++;
         return;
     }
     if (packet.checksum == 0) {
@@ -219,6 +224,7 @@ Network::send_traversal(EndpointAddr from, TraversalPacket packet)
 
     DeliveryPlan plan = plan_delivery(from, decision.destination);
     if (plan.drop) {
+        flow_.plan_dropped++;
         return;
     }
     if (plan.corrupt) {
@@ -228,6 +234,7 @@ Network::send_traversal(EndpointAddr from, TraversalPacket packet)
         packet.cur_ptr ^= plan.corrupt_mask;
     }
     if (plan.duplicate) {
+        flow_.duplicated++;
         TraversalPacket copy = packet;
         deliver_traversal(decision.destination,
                           at_switch + plan.extra_delay, size,

@@ -69,6 +69,34 @@ struct NetworkConfig
     std::uint64_t seed = 42;
 };
 
+/**
+ * Lifetime accounting of every traversal packet the fabric handled,
+ * for the packet-conservation invariant: once the event queue drains,
+ * each injected or duplicated copy must be delivered or charged to
+ * exactly one accounted loss bucket. Deliberately *not* cleared by
+ * reset_stats(): a measurement-window stat reset must not unbalance
+ * conservation for copies injected before it.
+ */
+struct TraversalFlow
+{
+    std::uint64_t injected = 0;    ///< send_traversal() calls
+    std::uint64_t duplicated = 0;  ///< extra copies the faults created
+    std::uint64_t delivered = 0;   ///< copies that reached a sink
+    std::uint64_t source_dark = 0;      ///< sender node blacked out
+    std::uint64_t plan_dropped = 0;     ///< loss knob / fault plane
+    std::uint64_t delivery_blackout = 0;  ///< receiver dark at arrival
+    std::uint64_t checksum_dropped = 0;   ///< NIC discarded (corrupt)
+
+    /** True when every copy is accounted for. */
+    bool
+    balanced() const
+    {
+        return injected + duplicated ==
+               delivered + source_dark + plan_dropped +
+                   delivery_blackout + checksum_dropped;
+    }
+};
+
 /** Delivery callback for traversal packets. */
 using TraversalSink = std::function<void(TraversalPacket&&)>;
 
@@ -116,6 +144,9 @@ class Network
 
     /** Packets a receiving NIC discarded for a bad header checksum. */
     std::uint64_t checksum_drops() const { return checksum_drops_; }
+
+    /** Lifetime traversal-packet accounting (conservation check). */
+    const TraversalFlow& traversal_flow() const { return flow_; }
 
     /**
      * Attach the fault-injection plane (nullptr detaches). The network
@@ -203,6 +234,7 @@ class Network
     std::uint64_t dropped_ = 0;
     std::uint64_t routed_ = 0;
     std::uint64_t checksum_drops_ = 0;
+    TraversalFlow flow_;
 };
 
 }  // namespace pulse::net

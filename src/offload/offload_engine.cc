@@ -11,9 +11,6 @@ using isa::TraversalStatus;
 
 namespace {
 
-/** Engine-level guard against runaway traversals (cycles in data). */
-constexpr std::uint64_t kGlobalIterationGuard = 1u << 20;
-
 /** Wire size of a one-sided read request (headers + addr + len). */
 constexpr Bytes kRemoteReadRequestBytes = net::kNetHeaderBytes + 16;
 

@@ -21,6 +21,7 @@
 #ifndef PULSE_OFFLOAD_OFFLOAD_ENGINE_H
 #define PULSE_OFFLOAD_OFFLOAD_ENGINE_H
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -35,6 +36,13 @@
 #include "trace/trace.h"
 
 namespace pulse::offload {
+
+/**
+ * Engine-level guard against runaway traversals (cycles in data):
+ * total iterations across all continuation legs of one operation.
+ * Exposed so the golden oracle replays the same resume discipline.
+ */
+inline constexpr std::uint64_t kGlobalIterationGuard = 1u << 20;
 
 /** Offload-engine tunables. */
 struct OffloadConfig

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "check/invariants.h"
 #include "common/logging.h"
 
 namespace pulse::sim {
@@ -48,6 +49,15 @@ EventQueue::step()
     // the local `fn` is unaffected if pool_ reallocates meanwhile.
     const Entry entry = heap_.top();
     heap_.pop();
+    if (invariants_ && entry.when < now_) {
+        invariants_->report(check::Violation{
+            .kind = check::InvariantKind::kClockMonotonicity,
+            .when = now_,
+            .component = "sim.event_queue",
+            .message = "event at t=" + std::to_string(entry.when) +
+                       " fired behind the clock (seq=" +
+                       std::to_string(entry.sequence) + ")"});
+    }
     now_ = entry.when;
     executed_++;
     EventFn fn = std::move(pool_[entry.slot]);

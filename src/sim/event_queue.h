@@ -28,6 +28,10 @@
 #include "common/units.h"
 #include "sim/inline_function.h"
 
+namespace pulse::check {
+class InvariantRegistry;
+}
+
 namespace pulse::sim {
 
 /**
@@ -120,6 +124,17 @@ class EventQueue
      */
     std::size_t pool_slots() const { return pool_.size(); }
 
+    /**
+     * Attach an invariant registry (nullptr detaches). When present,
+     * step() cross-checks clock monotonicity against the popped entry
+     * — a safety net under the heap ordering itself, which the
+     * schedule_at() precondition cannot cover.
+     */
+    void set_invariants(check::InvariantRegistry* registry)
+    {
+        invariants_ = registry;
+    }
+
   private:
     /**
      * Heap entry: plain data only. The callback lives in pool_[slot]
@@ -149,6 +164,7 @@ class EventQueue
     std::vector<EventFn> pool_;
     std::vector<std::uint32_t> free_slots_;
     Time now_ = 0;
+    check::InvariantRegistry* invariants_ = nullptr;
     std::uint64_t next_sequence_ = 0;
     std::uint64_t executed_ = 0;
     std::size_t peak_pending_ = 0;

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the simulation invariant checker (src/check/invariants +
+ * the Checker quiesce audit): registry bookkeeping, clean quiesce under
+ * healthy and faulty networks, exactly-once under duplication, and
+ * negative tests proving the audit actually detects a non-drained
+ * queue and a tampered route table.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/checker.h"
+#include "check/fuzzer.h"
+#include "check/invariants.h"
+#include "core/cluster.h"
+#include "ds/linked_list.h"
+
+namespace pulse::check {
+namespace {
+
+core::ClusterConfig
+checked_config(bool oracle = true)
+{
+    core::ClusterConfig config;
+    config.check.oracle = oracle;
+    config.check.invariants = true;
+    config.check.fail_fast = false;
+    return config;
+}
+
+/** Drive @p n list finds through the pulse path and drain the queue. */
+void
+drive_finds(core::Cluster& cluster, int n)
+{
+    ds::LinkedList list(cluster.memory(), cluster.allocator());
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t v = 1; v <= 32; v++) {
+        values.push_back(v * 5);
+    }
+    list.build(values);
+
+    int done = 0;
+    auto submit = cluster.submitter(core::SystemKind::kPulse);
+    for (int i = 0; i < n; i++) {
+        submit(list.make_find(values[i % values.size()],
+                              [&](offload::Completion&&) { done++; }));
+    }
+    cluster.queue().run();
+    EXPECT_EQ(done, n);
+}
+
+TEST(InvariantRegistry, CountsByKindAndTotal)
+{
+    InvariantRegistry registry(/*fail_fast=*/false);
+    EXPECT_EQ(registry.total(), 0u);
+
+    Violation v;
+    v.kind = InvariantKind::kPacketConservation;
+    v.component = "net";
+    v.message = "lost accounting";
+    registry.report(v);
+    v.kind = InvariantKind::kOracleMismatch;
+    registry.report(v);
+    registry.report(v);
+
+    EXPECT_EQ(registry.total(), 3u);
+    EXPECT_EQ(registry.count(InvariantKind::kPacketConservation), 1u);
+    EXPECT_EQ(registry.count(InvariantKind::kOracleMismatch), 2u);
+    EXPECT_EQ(registry.count(InvariantKind::kClockMonotonicity), 0u);
+    EXPECT_EQ(registry.diagnostics().size(), 3u);
+
+    registry.clear();
+    EXPECT_EQ(registry.total(), 0u);
+    EXPECT_EQ(registry.count(InvariantKind::kOracleMismatch), 0u);
+    EXPECT_TRUE(registry.diagnostics().empty());
+}
+
+TEST(InvariantRegistry, DiagnosticsAreFifoCapped)
+{
+    InvariantRegistry registry(/*fail_fast=*/false,
+                               /*max_diagnostics=*/2);
+    for (int i = 0; i < 5; i++) {
+        Violation v;
+        v.kind = InvariantKind::kWorkspaceLeak;
+        v.component = "accel";
+        v.message = "leak #" + std::to_string(i);
+        registry.report(v);
+    }
+    // Counters keep the truth; diagnostics retain only the newest two.
+    EXPECT_EQ(registry.total(), 5u);
+    ASSERT_EQ(registry.diagnostics().size(), 2u);
+    EXPECT_EQ(registry.diagnostics().front().message, "leak #3");
+    EXPECT_EQ(registry.diagnostics().back().message, "leak #4");
+}
+
+TEST(InvariantRegistry, ViolationRendersKindComponentMessage)
+{
+    Violation v;
+    v.kind = InvariantKind::kRouteDisagreement;
+    v.when = 1234;
+    v.component = "tcam[0]";
+    v.message = "miss at base";
+    const std::string text = v.to_string();
+    EXPECT_NE(text.find(invariant_kind_name(
+                  InvariantKind::kRouteDisagreement)),
+              std::string::npos);
+    EXPECT_NE(text.find("tcam[0]"), std::string::npos);
+    EXPECT_NE(text.find("miss at base"), std::string::npos);
+}
+
+TEST(CheckerQuiesce, HealthyClusterIsClean)
+{
+    core::Cluster cluster(checked_config());
+    drive_finds(cluster, 64);
+    EXPECT_EQ(cluster.verify_quiesce(), 0u);
+    EXPECT_EQ(cluster.checker()->registry().total(), 0u);
+}
+
+TEST(CheckerQuiesce, LossyNetworkStillConservesPackets)
+{
+    // Packet conservation is the point: every injected or duplicated
+    // copy must end up delivered or charged to an accounted loss
+    // bucket, even when the fault plane is dropping packets and the
+    // offload engine is retransmitting.
+    core::ClusterConfig config = checked_config();
+    config.faults = fuzz_fault_config("loss", /*seed=*/7);
+    config.offload.adaptive_rto = true;
+    config.offload.retransmit_timeout = micros(2000.0);
+    core::Cluster cluster(config);
+    drive_finds(cluster, 64);
+    EXPECT_EQ(cluster.verify_quiesce(), 0u)
+        << cluster.checker()->registry().diagnostics().size()
+        << " violation(s)";
+}
+
+TEST(CheckerQuiesce, DuplicationNeverDoubleExecutes)
+{
+    // Under duplicate delivery the replay window must keep execution
+    // exactly-once: a CAS counter incremented n times ends at exactly
+    // n, and the accelerator's duplicate-execution invariant is quiet.
+    core::ClusterConfig config = checked_config();
+    config.faults = fuzz_fault_config("dup", /*seed=*/11);
+    config.offload.adaptive_rto = true;
+    config.offload.retransmit_timeout = micros(2000.0);
+    core::Cluster cluster(config);
+
+    const VirtAddr counter = cluster.allocator().alloc_on(0, 8, 256);
+    cluster.memory().write_as<std::uint64_t>(counter, 0);
+    isa::ProgramBuilder b;
+    b.load(8)
+        .add(isa::sp(8), isa::dat(0), isa::imm(1))
+        .cas(0, isa::dat(0), isa::sp(8))
+        .jump_eq("done")
+        .next_iter()
+        .label("done")
+        .ret();
+    auto program = std::make_shared<const isa::Program>(b.build());
+
+    const int n = 64;
+    int done = 0;
+    auto submit = cluster.submitter(core::SystemKind::kPulse);
+    for (int i = 0; i < n; i++) {
+        offload::Operation op;
+        op.program = program;
+        op.start_ptr = counter;
+        op.init_scratch.assign(16, 0);
+        op.done = [&](offload::Completion&&) { done++; };
+        submit(std::move(op));
+    }
+    cluster.queue().run();
+
+    EXPECT_EQ(done, n);
+    EXPECT_EQ(cluster.memory().read_as<std::uint64_t>(counter),
+              static_cast<std::uint64_t>(n));
+    EXPECT_EQ(cluster.verify_quiesce(), 0u);
+    EXPECT_EQ(cluster.checker()->registry().count(
+                  InvariantKind::kDuplicateExecution),
+              0u);
+}
+
+TEST(CheckerQuiesce, DetectsNonDrainedQueue)
+{
+    // Negative test: bypass Cluster::verify_quiesce (which drains
+    // first) and audit with an event still pending.
+    core::Cluster cluster(checked_config(/*oracle=*/false));
+    drive_finds(cluster, 4);
+    cluster.queue().schedule_after(1000, [] {});
+    EXPECT_GT(cluster.checker()->verify_quiesce(), 0u);
+    EXPECT_GT(cluster.checker()->registry().count(
+                  InvariantKind::kQueueNotDrained),
+              0u);
+    cluster.queue().run();  // drain so destruction is clean
+}
+
+TEST(CheckerQuiesce, DetectsTamperedRouteTable)
+{
+    // Negative test: rip a node's TCAM entry out from under the audit;
+    // AddressMap and switch still claim the region routes, so the
+    // route-agreement sweep must flag the disagreement.
+    core::Cluster cluster(checked_config(/*oracle=*/false));
+    drive_finds(cluster, 4);
+    const auto& region = cluster.memory().address_map().region(0);
+    cluster.accelerator(0).tcam().remove(region.base);
+    EXPECT_GT(cluster.verify_quiesce(), 0u);
+    EXPECT_GT(cluster.checker()->registry().count(
+                  InvariantKind::kRouteDisagreement),
+              0u);
+}
+
+}  // namespace
+}  // namespace pulse::check

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Tests for the golden differential oracle (src/check): the shadow
+ * memory, the independent reference interpreter's equivalence with the
+ * production interpreter, exact/weak gating on a live cluster, and the
+ * mutation test — an intentionally injected production-interpreter bug
+ * must be caught (docs/TESTING.md).
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "check/reference_interpreter.h"
+#include "check/shadow_memory.h"
+#include "core/cluster.h"
+#include "ds/hash_table.h"
+#include "ds/linked_list.h"
+#include "isa/interpreter.h"
+#include "isa/traversal.h"
+
+namespace pulse::check {
+namespace {
+
+/** Reset the production-interpreter mutation on scope exit. */
+struct MutationGuard
+{
+    explicit MutationGuard(isa::InterpreterMutation mutation)
+    {
+        isa::set_interpreter_mutation(mutation);
+    }
+    ~MutationGuard()
+    {
+        isa::set_interpreter_mutation(isa::InterpreterMutation::kNone);
+    }
+};
+
+core::ClusterConfig
+checked_config(bool oracle = true, bool invariants = true)
+{
+    core::ClusterConfig config;
+    config.check.oracle = oracle;
+    config.check.invariants = invariants;
+    config.check.fail_fast = false;
+    return config;
+}
+
+isa::Program
+chain_walk_program()
+{
+    // Walk next pointers (word 0), folding word 1 into sp[0].
+    isa::ProgramBuilder b;
+    b.load(16)
+        .add(isa::sp(0), isa::sp(0), isa::dat(8))
+        .compare(isa::dat(0), isa::imm(0))
+        .jump_eq("end")
+        .move(isa::cur(), isa::dat(0))
+        .next_iter()
+        .label("end")
+        .ret();
+    return b.build();
+}
+
+isa::Program
+store_program()
+{
+    // Copy the node's word 0 over its word 1, then stop.
+    isa::ProgramBuilder b;
+    b.load(16).store(8, 0, 8).ret();
+    return b.build();
+}
+
+TEST(ShadowMemory, CopyOnWriteIsolation)
+{
+    mem::GlobalMemory memory(1, 1 * kMiB);
+    const VirtAddr base = memory.address_map().region(0).base;
+    memory.write_as<std::uint64_t>(base, 42);
+
+    ShadowMemory shadow(memory);
+    std::uint64_t word = 0;
+    ASSERT_TRUE(shadow.load(base, 8,
+                            reinterpret_cast<std::uint8_t*>(&word)));
+    EXPECT_EQ(word, 42u);
+
+    const std::uint64_t updated = 99;
+    ASSERT_TRUE(shadow.store(
+        base, 8, reinterpret_cast<const std::uint8_t*>(&updated)));
+    ASSERT_TRUE(shadow.load(base, 8,
+                            reinterpret_cast<std::uint8_t*>(&word)));
+    EXPECT_EQ(word, 99u);
+    // The base memory never sees overlay writes.
+    EXPECT_EQ(memory.read_as<std::uint64_t>(base), 42u);
+    EXPECT_EQ(shadow.write_ops(), 1u);
+
+    // CAS against the overlay view.
+    bool swapped = false;
+    ASSERT_TRUE(shadow.cas(base, 99, 7, &swapped));
+    EXPECT_TRUE(swapped);
+    ASSERT_TRUE(shadow.cas(base, 99, 8, &swapped));
+    EXPECT_FALSE(swapped);
+    EXPECT_EQ(shadow.write_ops(), 2u);  // one swap applied
+
+    // Invalid spans are rejected, not faulted.
+    const mem::NodeRegion& region = memory.address_map().region(0);
+    EXPECT_FALSE(shadow.valid_span(region.base + region.size, 8));
+    EXPECT_FALSE(shadow.cas(region.base + region.size, 0, 1, &swapped));
+
+    // flush materializes the overlay.
+    mem::GlobalMemory target(1, 1 * kMiB);
+    shadow.flush(target);
+    EXPECT_EQ(target.read_as<std::uint64_t>(base), 7u);
+}
+
+TEST(ReferenceInterpreter, MatchesProductionOnChainWalk)
+{
+    mem::GlobalMemory memory(1, 1 * kMiB);
+    const VirtAddr base = memory.address_map().region(0).base;
+    // Three-node chain: values 5, 6, 7.
+    for (std::uint64_t i = 0; i < 3; i++) {
+        const VirtAddr node = base + i * 64;
+        memory.write_as<std::uint64_t>(node,
+                                       i + 1 < 3 ? base + (i + 1) * 64
+                                                 : kNullAddr);
+        memory.write_as<std::uint64_t>(node + 8, 5 + i);
+    }
+    const isa::Program program = chain_walk_program();
+    ASSERT_TRUE(program.verify());
+    const std::vector<std::uint8_t> init(16, 0);
+
+    isa::MemoryHooks hooks;
+    hooks.load = [&](VirtAddr va, std::uint32_t len, std::uint8_t* out) {
+        memory.read(va, out, len);
+        return true;
+    };
+    const isa::TraversalOutcome actual =
+        isa::run_traversal(program, base, init, hooks);
+
+    ShadowMemory shadow(memory);
+    const ReferenceOutcome expected =
+        reference_traversal(program, base, init, shadow);
+
+    EXPECT_EQ(actual.status, expected.status);
+    EXPECT_EQ(expected.status, isa::TraversalStatus::kDone);
+    EXPECT_EQ(actual.iterations, expected.iterations);
+    EXPECT_EQ(actual.instructions, expected.instructions);
+    EXPECT_EQ(actual.final_ptr, expected.final_ptr);
+    EXPECT_EQ(actual.scratch, expected.scratch);
+    std::uint64_t fold = 0;
+    std::memcpy(&fold, expected.scratch.data(), 8);
+    EXPECT_EQ(fold, 5u + 6u + 7u);
+}
+
+TEST(ReferenceInterpreter, ExecuteResumesAcrossLegCaps)
+{
+    mem::GlobalMemory memory(1, 1 * kMiB);
+    const VirtAddr base = memory.address_map().region(0).base;
+    const std::uint64_t chain = 10;
+    for (std::uint64_t i = 0; i < chain; i++) {
+        const VirtAddr node = base + i * 64;
+        memory.write_as<std::uint64_t>(
+            node, i + 1 < chain ? base + (i + 1) * 64 : kNullAddr);
+        memory.write_as<std::uint64_t>(node + 8, 1);
+    }
+    const isa::Program program = chain_walk_program();
+    ShadowMemory shadow(memory);
+    // Leg cap 3 forces resumes; the totals must match one long run.
+    const ReferenceOutcome split = reference_execute(
+        program, base, {}, shadow, /*per_visit_cap=*/3,
+        /*total_guard=*/1u << 20);
+    shadow.clear();
+    const ReferenceOutcome whole =
+        reference_traversal(program, base, {}, shadow);
+    EXPECT_EQ(split.status, isa::TraversalStatus::kDone);
+    EXPECT_EQ(split.iterations, whole.iterations);
+    EXPECT_EQ(split.scratch, whole.scratch);
+    EXPECT_EQ(split.final_ptr, whole.final_ptr);
+}
+
+TEST(GoldenOracle, CleanClusterRunHasNoMismatches)
+{
+    core::Cluster cluster(checked_config());
+    ds::HashTableConfig ht;
+    ht.num_buckets = 16;
+    ds::HashTable table(cluster.memory(), cluster.allocator(), ht);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 1; k <= 64; k++) {
+        keys.push_back(k * 3);
+    }
+    table.insert_many(keys);
+
+    int done = 0;
+    auto submit = cluster.submitter(core::SystemKind::kPulse);
+    for (const std::uint64_t key : keys) {
+        submit(table.make_find(key, [&](offload::Completion&& c) {
+            EXPECT_EQ(c.status, isa::TraversalStatus::kDone);
+            done++;
+        }));
+    }
+    // A miss and a write ride along.
+    submit(table.make_find(999999,
+                           [&](offload::Completion&&) { done++; }));
+    std::vector<std::uint8_t> value(ht.value_bytes);
+    ds::fill_value_pattern(7, value.data(), value.size());
+    submit(table.make_update(keys[0], value,
+                             [&](offload::Completion&&) { done++; }));
+    cluster.queue().run();
+
+    EXPECT_EQ(done, static_cast<int>(keys.size()) + 2);
+    EXPECT_EQ(cluster.verify_quiesce(), 0u);
+    const OracleStats& stats = cluster.checker()->oracle()->stats();
+    EXPECT_EQ(stats.armed, keys.size() + 2);
+    EXPECT_EQ(stats.completed, keys.size() + 2);
+    EXPECT_EQ(stats.mismatches, 0u);
+    EXPECT_GT(stats.exact, 0u);
+}
+
+TEST(GoldenOracle, ConcurrentCasFallsBackToWeakChecks)
+{
+    core::Cluster cluster(checked_config());
+    const VirtAddr counter = cluster.allocator().alloc_on(0, 8, 256);
+    cluster.memory().write_as<std::uint64_t>(counter, 0);
+
+    isa::ProgramBuilder b;
+    b.load(8)
+        .add(isa::sp(8), isa::dat(0), isa::imm(1))
+        .cas(0, isa::dat(0), isa::sp(8))
+        .jump_eq("done")
+        .next_iter()
+        .label("done")
+        .ret();
+    auto program = std::make_shared<const isa::Program>(b.build());
+
+    const int n = 50;
+    int done = 0;
+    auto submit = cluster.submitter(core::SystemKind::kPulse);
+    for (int i = 0; i < n; i++) {
+        offload::Operation op;
+        op.program = program;
+        op.start_ptr = counter;
+        op.init_scratch.assign(16, 0);
+        op.done = [&](offload::Completion&&) { done++; };
+        submit(std::move(op));
+    }
+    cluster.queue().run();
+
+    EXPECT_EQ(done, n);
+    // Atomicity itself must hold...
+    EXPECT_EQ(cluster.memory().read_as<std::uint64_t>(counter),
+              static_cast<std::uint64_t>(n));
+    // ...and the oracle must not have raised false mismatches: the
+    // interleaved CAS retries make exact prediction unsound, so most
+    // of these flights are weak-checked.
+    EXPECT_EQ(cluster.verify_quiesce(), 0u);
+    const OracleStats& stats = cluster.checker()->oracle()->stats();
+    EXPECT_EQ(stats.mismatches, 0u);
+    EXPECT_GT(stats.weak, 0u);
+}
+
+TEST(GoldenOracle, InvalidProgramComparedExactly)
+{
+    core::Cluster cluster(checked_config());
+    // NOT with an immediate destination never verifies.
+    std::vector<isa::Instruction> code;
+    code.push_back({.op = isa::Opcode::kNot,
+                    .dst = isa::imm(1),
+                    .src1 = isa::imm(2)});
+    code.push_back({.op = isa::Opcode::kReturn});
+    auto program = std::make_shared<const isa::Program>(
+        isa::Program(std::move(code), 64, 4));
+    ASSERT_FALSE(program->verify());
+
+    offload::Completion result;
+    offload::Operation op;
+    op.program = program;
+    op.start_ptr = cluster.memory().address_map().region(0).base;
+    op.done = [&](offload::Completion&& c) { result = std::move(c); };
+    cluster.submitter(core::SystemKind::kPulse)(std::move(op));
+    cluster.queue().run();
+
+    EXPECT_EQ(result.status, isa::TraversalStatus::kExecFault);
+    EXPECT_EQ(cluster.verify_quiesce(), 0u);
+    EXPECT_EQ(cluster.checker()->oracle()->stats().mismatches, 0u);
+}
+
+/**
+ * The mutation test (docs/TESTING.md): arm each intentional
+ * production-interpreter bug and prove the oracle reports mismatches
+ * for a workload whose results depend on the mutated behaviour.
+ */
+TEST(GoldenOracle, CatchesAddOffByOneMutation)
+{
+    // The fold walk accumulates with ADD every iteration, so the
+    // off-by-one add skews the scratch result and the read-only exact
+    // compare must flag it.
+    MutationGuard guard(isa::InterpreterMutation::kAddOffByOne);
+    core::Cluster cluster(checked_config());
+    const VirtAddr base = cluster.allocator().alloc_on(0, 64 * 4, 256);
+    for (std::uint64_t i = 0; i < 4; i++) {
+        const VirtAddr node = base + i * 64;
+        cluster.memory().write_as<std::uint64_t>(
+            node, i + 1 < 4 ? base + (i + 1) * 64 : kNullAddr);
+        cluster.memory().write_as<std::uint64_t>(node + 8, 100 + i);
+    }
+    auto program =
+        std::make_shared<const isa::Program>(chain_walk_program());
+    ASSERT_TRUE(program->verify());
+
+    int done = 0;
+    offload::Operation op;
+    op.program = program;
+    op.start_ptr = base;
+    op.init_scratch.assign(16, 0);
+    op.done = [&](offload::Completion&&) { done++; };
+    cluster.submitter(core::SystemKind::kPulse)(std::move(op));
+    cluster.queue().run();
+
+    EXPECT_EQ(done, 1);
+    EXPECT_GT(cluster.checker()->registry().count(
+                  InvariantKind::kOracleMismatch),
+              0u);
+}
+
+TEST(GoldenOracle, CatchesCompareInvertedMutation)
+{
+    // Flag inversion is invisible to EQ/NEQ jumps (negating zero is
+    // still zero) — the program must branch on an ordering condition.
+    MutationGuard guard(isa::InterpreterMutation::kCompareInverted);
+    core::Cluster cluster(checked_config());
+    const VirtAddr node = cluster.allocator().alloc_on(0, 16, 256);
+    cluster.memory().write_as<std::uint64_t>(node, 0);
+    cluster.memory().write_as<std::uint64_t>(node + 8, 5);
+
+    isa::ProgramBuilder b;
+    b.load(16)
+        .compare(isa::dat(8), isa::imm(10))
+        .jump_lt("less")
+        .add(isa::sp(0), isa::sp(0), isa::imm(1))
+        .ret()
+        .label("less")
+        .ret();
+    auto program = std::make_shared<const isa::Program>(b.build());
+    ASSERT_TRUE(program->verify());
+
+    int done = 0;
+    offload::Operation op;
+    op.program = program;
+    op.start_ptr = node;
+    op.init_scratch.assign(16, 0);
+    op.done = [&](offload::Completion&&) { done++; };
+    cluster.submitter(core::SystemKind::kPulse)(std::move(op));
+    cluster.queue().run();
+
+    // 5 < 10, so the untainted path takes the jump and returns
+    // sp[0] == 0; the inverted flags fall through and return 1.
+    EXPECT_EQ(done, 1);
+    EXPECT_GT(cluster.checker()->registry().count(
+                  InvariantKind::kOracleMismatch),
+              0u);
+}
+
+TEST(GoldenOracle, CatchesStoreDropByteMutation)
+{
+    // A dropped store byte leaves completions identical, so the
+    // cluster oracle cannot see it — the program-differential path
+    // (production interpreter vs reference, then a byte compare of the
+    // two memories) is what catches this one.
+    MutationGuard guard(isa::InterpreterMutation::kStoreDropByte);
+    mem::GlobalMemory mem_a(1, 1 * kMiB);
+    mem::GlobalMemory mem_b(1, 1 * kMiB);
+    const VirtAddr base = mem_a.address_map().region(0).base;
+    const std::uint64_t value = 0x1122334455667788ull;
+    mem_a.write_as<std::uint64_t>(base, value);
+    mem_b.write_as<std::uint64_t>(base, value);
+
+    const isa::Program program = store_program();
+    ASSERT_TRUE(program.verify());
+
+    isa::MemoryHooks hooks;
+    hooks.load = [&](VirtAddr va, std::uint32_t len, std::uint8_t* out) {
+        mem_a.read(va, out, len);
+        return true;
+    };
+    hooks.store = [&](VirtAddr va, std::uint32_t len,
+                      const std::uint8_t* in) {
+        mem_a.write(va, in, len);
+        return true;
+    };
+    const isa::TraversalOutcome actual =
+        isa::run_traversal(program, base, {}, hooks);
+    ASSERT_EQ(actual.status, isa::TraversalStatus::kDone);
+
+    ShadowMemory shadow(mem_b);
+    const ReferenceOutcome expected =
+        reference_traversal(program, base, {}, shadow);
+    ASSERT_EQ(expected.status, isa::TraversalStatus::kDone);
+    shadow.flush(mem_b);
+
+    // The mutated production store wrote only 7 of the 8 bytes.
+    EXPECT_EQ(mem_b.read_as<std::uint64_t>(base + 8), value);
+    EXPECT_NE(mem_a.read_as<std::uint64_t>(base + 8),
+              mem_b.read_as<std::uint64_t>(base + 8));
+}
+
+TEST(GoldenOracle, CheckerOffConfigBuildsNoChecker)
+{
+    core::ClusterConfig config;  // all-off default
+    core::Cluster cluster(config);
+    EXPECT_EQ(cluster.checker(), nullptr);
+    EXPECT_EQ(cluster.verify_quiesce(), 0u);
+}
+
+}  // namespace
+}  // namespace pulse::check

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Edge-case tests for the RangeTcam translation/protection table: the
+ * non-overlap insert contract in every overlap geometry, full-table
+ * behaviour at capacity, span translation past an entry's end, and —
+ * at cluster level — rule updates (protection flips) around and during
+ * in-flight routed operations.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cluster.h"
+#include "isa/program.h"
+#include "mem/range_tcam.h"
+
+namespace pulse::mem {
+namespace {
+
+RangeEntry
+entry(VirtAddr base, Bytes length, PhysAddr phys,
+      Perm perm = Perm::kReadWrite)
+{
+    return {base, length, phys, perm};
+}
+
+TEST(RangeTcam, RejectsEveryOverlapGeometry)
+{
+    RangeTcam tcam(8);
+    ASSERT_TRUE(tcam.insert(entry(1000, 100, 0)));
+
+    // Same base, partial front/back, containing, contained: all overlap.
+    EXPECT_FALSE(tcam.insert(entry(1000, 100, 0)));
+    EXPECT_FALSE(tcam.insert(entry(950, 100, 0)));
+    EXPECT_FALSE(tcam.insert(entry(1050, 100, 0)));
+    EXPECT_FALSE(tcam.insert(entry(900, 400, 0)));
+    EXPECT_FALSE(tcam.insert(entry(1040, 10, 0)));
+    EXPECT_EQ(tcam.size(), 1u);
+
+    // Exactly adjacent ranges do not overlap.
+    EXPECT_TRUE(tcam.insert(entry(900, 100, 0)));
+    EXPECT_TRUE(tcam.insert(entry(1100, 100, 0)));
+    EXPECT_EQ(tcam.size(), 3u);
+
+    // Each address resolves through the entry that contains it.
+    EXPECT_EQ(tcam.translate(999, Perm::kRead).status,
+              TranslateStatus::kOk);
+    EXPECT_EQ(tcam.translate(1000, Perm::kRead).status,
+              TranslateStatus::kOk);
+    EXPECT_EQ(tcam.translate(1199, Perm::kRead).status,
+              TranslateStatus::kOk);
+    EXPECT_EQ(tcam.translate(1200, Perm::kRead).status,
+              TranslateStatus::kMiss);
+    EXPECT_EQ(tcam.translate(899, Perm::kRead).status,
+              TranslateStatus::kMiss);
+}
+
+TEST(RangeTcam, FullTableRejectsUntilRemove)
+{
+    RangeTcam tcam(4);
+    for (std::size_t i = 0; i < 4; i++) {
+        ASSERT_TRUE(
+            tcam.insert(entry(i * 1000, 500, i * 500)));
+    }
+    EXPECT_EQ(tcam.size(), tcam.capacity());
+    // Full: even a disjoint range is rejected...
+    EXPECT_FALSE(tcam.insert(entry(9000, 100, 0)));
+    // ...until an entry is removed.
+    EXPECT_TRUE(tcam.remove(2000));
+    EXPECT_FALSE(tcam.remove(2000));  // already gone
+    EXPECT_TRUE(tcam.insert(entry(9000, 100, 0)));
+    EXPECT_EQ(tcam.translate(2100, Perm::kRead).status,
+              TranslateStatus::kMiss);
+    EXPECT_EQ(tcam.translate(9050, Perm::kRead).status,
+              TranslateStatus::kOk);
+}
+
+TEST(RangeTcam, SpanPastEntryEndMisses)
+{
+    RangeTcam tcam(2);
+    ASSERT_TRUE(tcam.insert(entry(4096, 256, 0)));
+    EXPECT_EQ(tcam.translate_span(4096, 256, Perm::kRead).status,
+              TranslateStatus::kOk);
+    EXPECT_EQ(tcam.translate_span(4344, 8, Perm::kRead).status,
+              TranslateStatus::kOk);
+    // Last byte would land outside the range: not a local pointer.
+    EXPECT_EQ(tcam.translate_span(4345, 8, Perm::kRead).status,
+              TranslateStatus::kMiss);
+    EXPECT_EQ(tcam.translate_span(4096, 257, Perm::kRead).status,
+              TranslateStatus::kMiss);
+}
+
+TEST(RangeTcam, PermissionChecksUsePermits)
+{
+    RangeTcam tcam(2);
+    ASSERT_TRUE(tcam.insert(entry(0, 100, 0, Perm::kRead)));
+    EXPECT_EQ(tcam.translate(50, Perm::kRead).status,
+              TranslateStatus::kOk);
+    EXPECT_EQ(tcam.translate(50, Perm::kWrite).status,
+              TranslateStatus::kProtectionFault);
+    EXPECT_EQ(tcam.translate(50, Perm::kReadWrite).status,
+              TranslateStatus::kProtectionFault);
+    EXPECT_TRUE(permits(Perm::kReadWrite, Perm::kWrite));
+    EXPECT_TRUE(permits(Perm::kReadWrite, Perm::kNone));
+    EXPECT_FALSE(permits(Perm::kRead, Perm::kWrite));
+    EXPECT_FALSE(permits(Perm::kNone, Perm::kRead));
+}
+
+isa::Program
+cas_increment_program()
+{
+    isa::ProgramBuilder b;
+    b.load(8)
+        .add(isa::sp(8), isa::dat(0), isa::imm(1))
+        .cas(0, isa::dat(0), isa::sp(8))
+        .jump_eq("done")
+        .next_iter()
+        .label("done")
+        .ret();
+    return b.build();
+}
+
+TEST(RangeTcamCluster, RuleUpdateBetweenOperationsFlipsOutcome)
+{
+    // Serial rule update: op succeeds, entry re-installed read-only,
+    // identical op now protection-faults, entry restored, op succeeds
+    // again. The TCAM rule is the only thing changing.
+    core::Cluster cluster((core::ClusterConfig()));
+    const VirtAddr counter = cluster.allocator().alloc_on(0, 8, 256);
+    cluster.memory().write_as<std::uint64_t>(counter, 0);
+    auto program =
+        std::make_shared<const isa::Program>(cas_increment_program());
+
+    auto run_one = [&] {
+        isa::TraversalStatus status = isa::TraversalStatus::kDone;
+        offload::Operation op;
+        op.program = program;
+        op.start_ptr = counter;
+        op.init_scratch.assign(16, 0);
+        op.done = [&](offload::Completion&& completion) {
+            status = completion.status;
+        };
+        cluster.submitter(core::SystemKind::kPulse)(std::move(op));
+        cluster.queue().run();
+        return status;
+    };
+
+    EXPECT_EQ(run_one(), isa::TraversalStatus::kDone);
+
+    auto& tcam = cluster.accelerator(0).tcam();
+    const auto& region = cluster.memory().address_map().region(0);
+    ASSERT_TRUE(tcam.remove(region.base));
+    ASSERT_TRUE(
+        tcam.insert({region.base, region.size, 0, Perm::kRead}));
+    EXPECT_EQ(run_one(), isa::TraversalStatus::kMemFault);
+
+    ASSERT_TRUE(tcam.remove(region.base));
+    ASSERT_TRUE(tcam.insert(
+        {region.base, region.size, 0, Perm::kReadWrite}));
+    EXPECT_EQ(run_one(), isa::TraversalStatus::kDone);
+    EXPECT_EQ(cluster.memory().read_as<std::uint64_t>(counter), 2u);
+}
+
+TEST(RangeTcamCluster, RuleUpdateDuringInFlightRouting)
+{
+    // The hard case: flip the rule while operations are in flight.
+    // Every operation must still complete (kDone before the flip /
+    // after the restore, kMemFault inside the window — never hang or
+    // vanish), the CAS counter must equal the number of successes, and
+    // the invariant audit must stay clean.
+    core::ClusterConfig config;
+    config.check.invariants = true;  // no oracle: rules change mid-run
+    core::Cluster cluster(config);
+    const VirtAddr counter = cluster.allocator().alloc_on(0, 8, 256);
+    cluster.memory().write_as<std::uint64_t>(counter, 0);
+    auto program =
+        std::make_shared<const isa::Program>(cas_increment_program());
+
+    auto& tcam = cluster.accelerator(0).tcam();
+    const auto& region = cluster.memory().address_map().region(0);
+    cluster.queue().schedule_after(micros(2.0), [&] {
+        tcam.remove(region.base);
+        tcam.insert({region.base, region.size, 0, Perm::kRead});
+    });
+    cluster.queue().schedule_after(micros(30.0), [&] {
+        tcam.remove(region.base);
+        tcam.insert({region.base, region.size, 0, Perm::kReadWrite});
+    });
+
+    const int n = 48;
+    int done = 0;
+    int ok = 0;
+    auto submit = cluster.submitter(core::SystemKind::kPulse);
+    for (int i = 0; i < n; i++) {
+        offload::Operation op;
+        op.program = program;
+        op.start_ptr = counter;
+        op.init_scratch.assign(16, 0);
+        op.done = [&](offload::Completion&& completion) {
+            done++;
+            if (completion.status == isa::TraversalStatus::kDone) {
+                ok++;
+            } else {
+                EXPECT_EQ(completion.status,
+                          isa::TraversalStatus::kMemFault);
+            }
+        };
+        submit(std::move(op));
+    }
+    cluster.queue().run();
+
+    EXPECT_EQ(done, n);
+    EXPECT_EQ(cluster.memory().read_as<std::uint64_t>(counter),
+              static_cast<std::uint64_t>(ok));
+    EXPECT_EQ(cluster.verify_quiesce(), 0u);
+}
+
+}  // namespace
+}  // namespace pulse::mem

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Property tests for the adaptive RTO estimator (RFC 6298 in integer
+ * picoseconds): clamp bounds hold under arbitrary jitter streams, the
+ * timeout is monotone in sample variance, the srtt-multiplier floor is
+ * respected, and reset() restores the pre-sample state.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "offload/rto_estimator.h"
+
+namespace pulse::offload {
+namespace {
+
+constexpr Time kInitial = 1'000'000;  // 1 us in ps
+constexpr Time kMin = 100'000;
+constexpr Time kMax = 50'000'000;
+
+TEST(RtoEstimator, InitialTimeoutUntilFirstSample)
+{
+    RtoEstimator estimator(kInitial, kMin, kMax, 1.5);
+    EXPECT_FALSE(estimator.has_sample());
+    EXPECT_EQ(estimator.rto(), kInitial);
+
+    estimator.sample(800'000);
+    EXPECT_TRUE(estimator.has_sample());
+    // RFC 6298 first sample: srtt = R, rttvar = R/2.
+    EXPECT_EQ(estimator.srtt(), 800'000);
+    EXPECT_EQ(estimator.rttvar(), 400'000);
+    EXPECT_EQ(estimator.rto(), 800'000 + 4 * 400'000);
+
+    estimator.reset();
+    EXPECT_FALSE(estimator.has_sample());
+    EXPECT_EQ(estimator.rto(), kInitial);
+}
+
+TEST(RtoEstimator, ClampBoundsHoldUnderExtremeJitter)
+{
+    // Property: whatever the sample stream — huge spikes, zeros,
+    // alternating extremes — rto() stays inside [min, max].
+    Rng rng(0xD15EA5E);
+    for (int stream = 0; stream < 64; stream++) {
+        RtoEstimator estimator(kInitial, kMin, kMax, 1.5);
+        const int n = 1 + static_cast<int>(rng.next_below(200));
+        for (int i = 0; i < n; i++) {
+            Time rtt = 0;
+            switch (rng.next_below(4)) {
+            case 0:  // tiny
+                rtt = static_cast<Time>(rng.next_below(1000));
+                break;
+            case 1:  // around the initial value
+                rtt = static_cast<Time>(rng.next_range(
+                    500'000, 2'000'000));
+                break;
+            case 2:  // enormous spike (would exceed max unclamped)
+                rtt = static_cast<Time>(rng.next_range(
+                    100'000'000, 10'000'000'000ull));
+                break;
+            default:  // negative input is clamped to zero inside
+                rtt = -static_cast<Time>(rng.next_below(1'000'000));
+                break;
+            }
+            estimator.sample(rtt);
+            const Time rto = estimator.rto();
+            EXPECT_GE(rto, kMin) << "stream " << stream;
+            EXPECT_LE(rto, kMax) << "stream " << stream;
+            EXPECT_GE(estimator.rttvar(), 0) << "stream " << stream;
+        }
+    }
+}
+
+/** Feed an alternating center +/- dev stream; return the final rto. */
+Time
+rto_for_deviation(Time center, Time dev, int samples)
+{
+    RtoEstimator estimator(kInitial, kMin, kMax, /*multiplier=*/1.0);
+    for (int i = 0; i < samples; i++) {
+        estimator.sample(i % 2 == 0 ? center + dev : center - dev);
+    }
+    return estimator.rto();
+}
+
+TEST(RtoEstimator, TimeoutIsMonotoneInVariance)
+{
+    // Property: same center, more jitter => never a smaller timeout.
+    const Time center = 5'000'000;
+    Time previous = 0;
+    for (const Time dev :
+         {0ll, 10'000ll, 100'000ll, 500'000ll, 1'000'000ll,
+          2'000'000ll}) {
+        const Time rto = rto_for_deviation(center, dev, 64);
+        EXPECT_GE(rto, previous) << "dev " << dev;
+        previous = rto;
+    }
+}
+
+TEST(RtoEstimator, UniformRttsConvergeTowardSrttFloor)
+{
+    // Identical samples collapse rttvar; the srtt-multiplier floor
+    // must keep rto() >= srtt * multiplier (then clamped).
+    RtoEstimator estimator(kInitial, kMin, kMax, /*multiplier=*/2.0);
+    for (int i = 0; i < 256; i++) {
+        estimator.sample(1'000'000);
+    }
+    EXPECT_EQ(estimator.srtt(), 1'000'000);
+    EXPECT_GE(estimator.rto(), 2'000'000);
+
+    // And the floor itself is clamped by max_rto.
+    RtoEstimator capped(kInitial, kMin, /*max_rto=*/1'500'000, 2.0);
+    for (int i = 0; i < 256; i++) {
+        capped.sample(1'000'000);
+    }
+    EXPECT_EQ(capped.rto(), 1'500'000);
+}
+
+TEST(RtoEstimator, SpikeRaisesThenCalmDecays)
+{
+    // Sanity on the Jacobson dynamics: a spike inflates the timeout,
+    // a long calm stretch brings it back down (never below the floor).
+    RtoEstimator estimator(kInitial, kMin, kMax, 1.0);
+    for (int i = 0; i < 32; i++) {
+        estimator.sample(1'000'000);
+    }
+    const Time calm = estimator.rto();
+    estimator.sample(20'000'000);
+    const Time spiked = estimator.rto();
+    EXPECT_GT(spiked, calm);
+    for (int i = 0; i < 256; i++) {
+        estimator.sample(1'000'000);
+    }
+    EXPECT_LT(estimator.rto(), spiked);
+}
+
+}  // namespace
+}  // namespace pulse::offload
