@@ -168,6 +168,11 @@ struct RunOutcome
     double mean_us = 0.0;
     double p99_us = 0.0;
     double kops = 0.0;            ///< throughput, K ops/s
+    /** Per-node load skew over the measure window (max/mean of the
+     *  accelerators' request counts; 1.0 = balanced). Not part of the
+     *  default metrics export to keep fig4/5/9 outputs stable —
+     *  benches that care (fig8, ablation_migration) report it. */
+    double node_imbalance = 1.0;
 };
 
 /**
@@ -222,6 +227,10 @@ make_config(const RunSpec& spec)
     // subsystem for any bench run; unset leaves it all-off and the
     // outputs bit-identical (see docs/TESTING.md).
     config.check = check::CheckConfig::from_env();
+    // PULSE_PLACEMENT=static|elastic turns on the placement plane for
+    // any bench run; unset (or =off) constructs nothing and leaves the
+    // outputs bit-identical (see docs/PLACEMENT.md).
+    config.placement = placement::PlacementConfig::from_env();
     if (spec.tweak) {
         spec.tweak(config);
     }
@@ -498,6 +507,7 @@ run_cell(const RunSpec& requested, std::vector<SinkRecord>* records,
     outcome.mean_us = to_micros(outcome.driver.latency.mean());
     outcome.p99_us = to_micros(outcome.driver.latency.percentile(0.99));
     outcome.kops = outcome.driver.throughput / 1e3;
+    outcome.node_imbalance = cluster.node_load_imbalance();
     if (records != nullptr && MetricsSink::instance().enabled()) {
         records->push_back(make_sink_record(spec, outcome, cluster));
     }

@@ -32,6 +32,7 @@ struct Cell
 {
     double mean_us = 0.0;
     double kops = 0.0;
+    double imbalance = 1.0;  ///< per-node request skew (max/mean)
 };
 
 std::map<std::string, Cell> g_cells;
@@ -92,7 +93,8 @@ add_cells(SweepRunner& sweep)
                                  ? latency_spec(app, acc, nodes)
                                  : throughput_spec(app, acc, nodes);
         sweep.add_spec(key, spec, [key](const RunOutcome& outcome) {
-            g_cells[key] = Cell{outcome.mean_us, outcome.kops};
+            g_cells[key] = Cell{outcome.mean_us, outcome.kops,
+                                outcome.node_imbalance};
         });
     });
 }
@@ -124,13 +126,15 @@ print_tables()
     }
     lat.print();
 
-    Table thr("Fig 8b: pulse vs pulse-ACC throughput, K ops/s");
+    Table thr("Fig 8b: pulse vs pulse-ACC throughput, K ops/s "
+              "(imbal(2): per-node request skew, max/mean)");
     thr.set_header({"app", "pulse(1)", "ACC(1)", "pulse(2)", "ACC(2)",
-                    "ACC/pulse(2)"});
+                    "ACC/pulse(2)", "imbal(2)"});
     for (const App app : kApps) {
         std::vector<std::string> row = {app_name(app)};
         double pulse2 = 0.0;
         double acc2 = 0.0;
+        double imbalance2 = 0.0;
         for (const std::uint32_t nodes : {1u, 2u}) {
             for (const bool acc : {false, true}) {
                 const auto it =
@@ -140,10 +144,14 @@ print_tables()
                                   : fmt(it->second.kops));
                 if (it != g_cells.end() && nodes == 2) {
                     (acc ? acc2 : pulse2) = it->second.kops;
+                    if (!acc) {
+                        imbalance2 = it->second.imbalance;
+                    }
                 }
             }
         }
         row.push_back(pulse2 > 0 ? fmt(acc2 / pulse2, "%.2f") : "-");
+        row.push_back(imbalance2 > 0 ? fmt(imbalance2, "%.2f") : "-");
         thr.add_row(row);
     }
     thr.print();

@@ -133,6 +133,23 @@ Accelerator::on_packet(net::TraversalPacket&& packet)
                 // than re-running (exactly-once for stores/CAS). This
                 // also repairs a dropped forward: the cached packet IS
                 // the continuation the switch re-routes.
+                //
+                // Exception: a zero-progress kNotLocal bounce (no
+                // iteration ran, so no side effects). Its cached packet
+                // only says "route me by current ownership" — and when
+                // this node *became* the owner since it was recorded
+                // (the slab migrated here, or the entry arrived via a
+                // cutover's replay-digest handoff), replaying it would
+                // bounce the packet between switch and accelerator
+                // forever. Re-execute under current routes instead.
+                if (const net::TraversalPacket* bounce =
+                        replay_.cached_response(key);
+                    bounce->status == TraversalStatus::kNotLocal &&
+                    bounce->iterations_done == packet.iterations_done) {
+                    replay_.forget(key);
+                    replay_.mark_in_progress(key);
+                    break;
+                }
                 stats_.replays_sent.increment();
                 net::TraversalPacket cached =
                     *replay_.cached_response(key);
@@ -186,8 +203,16 @@ Accelerator::admit(net::TraversalPacket&& packet)
                     // visit never executed, so forget it — the
                     // retransmit must be allowed to run.
                     stats_.queue_drops.increment();
-                    replay_.unmark(
-                        {packet.id, packet.iterations_done});
+                    const ReplayWindow::Key key{packet.id,
+                                                packet.iterations_done};
+                    replay_.unmark(key);
+                    if (placement_ != nullptr &&
+                        replay_.consume_handoff(key)) {
+                        // A cutover absorbed this visit as in-progress
+                        // elsewhere; clear those copies too, or the
+                        // retransmit would be suppressed forever.
+                        placement_->mirror_unmark(node_, key);
+                    }
                     return;
                 }
                 packet.trace.queued_at = queue_.now();
@@ -344,6 +369,10 @@ Accelerator::start_memory_phase(CoreId core_id, WorkspaceId ws)
         start + scaled(config_.mem_pipeline_latency), channel_done);
     core.mem_pipe_free = channel_done;
     stats_.loads.increment();
+    if (placement_ != nullptr) {
+        placement_->record_access(context.workspace.cur_ptr,
+                                  load_bytes);
+    }
     stats_.mem_pipeline_time.add(static_cast<double>(done - start));
     if (tracing(context.packet)) {
         record_span(context.packet, trace::SpanKind::kAccelMemPipeline,
@@ -391,6 +420,20 @@ Accelerator::start_logic_phase(CoreId core_id, WorkspaceId ws,
         const auto translated = tcam_.translate_span(
             cas_base + mem_off, 8, mem::Perm::kReadWrite);
         if (translated.status != mem::TranslateStatus::kOk) {
+            // Dual-residency window: the slab migrated after this
+            // iteration's load; apply the CAS at the current owner.
+            if (translated.status == mem::TranslateStatus::kMiss &&
+                placement_ != nullptr) {
+                const auto forwarded = placement_->try_forward_cas(
+                    node_, cas_base + mem_off, expected, desired,
+                    queue_.now());
+                if (forwarded.has_value()) {
+                    if (*forwarded) {
+                        stats_.cas_ops.increment();
+                    }
+                    return *forwarded;
+                }
+            }
             cas_fault = true;
             return false;
         }
@@ -436,6 +479,19 @@ Accelerator::start_logic_phase(CoreId core_id, WorkspaceId ws,
         const auto translated = tcam_.translate_span(
             iter_ptr + st.mem_offset, st.length, mem::Perm::kWrite);
         if (translated.status != mem::TranslateStatus::kOk) {
+            // Dual-residency window: a cutover raced this iteration
+            // (its load translated here before the slab moved). The
+            // write is applied at the current owner via the placement
+            // plane — never a spurious fault, never stale bytes.
+            if (translated.status == mem::TranslateStatus::kMiss &&
+                placement_ != nullptr &&
+                placement_->try_forward_store(
+                    node_, iter_ptr + st.mem_offset,
+                    context.workspace.data.data() + st.data_offset,
+                    st.length, done)) {
+                stats_.stores.increment();
+                continue;
+            }
             stats_.protection_faults.increment();
             store_fault = true;
             break;
@@ -558,9 +614,15 @@ Accelerator::send_response(Context& context, TraversalStatus status,
     }
     // Complete the visit in the replay window: duplicates arriving
     // from now on get this exact packet replayed.
-    replay_.record_response({context.packet.id,
-                             context.arrival_iterations},
-                            response);
+    const ReplayWindow::Key visit_key{context.packet.id,
+                                      context.arrival_iterations};
+    replay_.record_response(visit_key, response);
+    if (placement_ != nullptr && replay_.consume_handoff(visit_key)) {
+        // A migration cutover absorbed this still-executing visit into
+        // another node's window; complete the absorbed copies so a
+        // retransmit routed to the new owner replays this response.
+        placement_->mirror_completion(node_, visit_key, response);
+    }
     const Time deparse = scaled(config_.net_stack_latency);
     stats_.net_stack_time.add(static_cast<double>(deparse));
     if (tracing(response)) {

@@ -38,6 +38,7 @@
 #include "mem/memory_channel.h"
 #include "mem/range_tcam.h"
 #include "net/network.h"
+#include "placement/placement_plane.h"
 #include "sim/event_queue.h"
 #include "trace/trace.h"
 
@@ -88,6 +89,9 @@ class Accelerator
     mem::RangeTcam& tcam() { return tcam_; }
     const mem::RangeTcam& tcam() const { return tcam_; }
 
+    /** Dedup window (the placement plane hands it off at cutovers). */
+    ReplayWindow& replay_window() { return replay_; }
+
     /** Statistics. */
     const AccelStats& stats() const { return stats_; }
 
@@ -109,6 +113,19 @@ class Accelerator
     void set_fault_plane(const faults::FaultPlane* plane)
     {
         fault_plane_ = plane;
+    }
+
+    /**
+     * Attach the placement plane (nullptr detaches). While attached,
+     * every translated load is reported for hotness sampling, and a
+     * store/CAS whose TCAM translation misses because a migration
+     * cutover raced the traversal is forwarded to the slab's current
+     * owner instead of faulting (the dual-residency window). Detached
+     * — the default — this path is a single null check.
+     */
+    void set_placement(placement::PlacementPlane* plane)
+    {
+        placement_ = plane;
     }
 
     /**
@@ -199,6 +216,7 @@ class Accelerator
         analysis_cache_;
     ReplayWindow replay_;
     const faults::FaultPlane* fault_plane_ = nullptr;
+    placement::PlacementPlane* placement_ = nullptr;
     trace::Tracer* tracer_ = nullptr;
     check::InvariantRegistry* invariants_ = nullptr;
     /** Visits that began executing (only tracked while checking). */

@@ -1,6 +1,8 @@
 #include "accel/replay_window.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 namespace pulse::accel {
 
@@ -52,6 +54,24 @@ ReplayWindow::unmark(const Key& key)
 }
 
 void
+ReplayWindow::forget(const Key& key)
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        return;
+    }
+    entries_.erase(it);
+    std::deque<Key>& order = order_[key.id.client];
+    for (auto order_it = order.begin(); order_it != order.end();
+         ++order_it) {
+        if (*order_it == key) {
+            order.erase(order_it);
+            break;
+        }
+    }
+}
+
+void
 ReplayWindow::record_response(const Key& key,
                               net::TraversalPacket response)
 {
@@ -65,6 +85,64 @@ ReplayWindow::record_response(const Key& key,
     }
     it->second.done = true;
     it->second.response = std::move(response);
+}
+
+std::size_t
+ReplayWindow::absorb_from(ReplayWindow& donor)
+{
+    if (!enabled() || !donor.enabled()) {
+        return 0;
+    }
+    // Deterministic absorption order: unordered_map iteration varies
+    // between runs, so walk clients ascending and each client's FIFO.
+    std::vector<ClientId> clients;
+    clients.reserve(donor.order_.size());
+    for (const auto& [client, order] : donor.order_) {
+        if (!order.empty()) {
+            clients.push_back(client);
+        }
+    }
+    std::sort(clients.begin(), clients.end());
+    std::size_t copied = 0;
+    for (const ClientId client : clients) {
+        for (const Key& key : donor.order_.at(client)) {
+            const auto donor_it = donor.entries_.find(key);
+            if (donor_it == donor.entries_.end()) {
+                continue;
+            }
+            const auto [it, inserted] =
+                entries_.try_emplace(key, donor_it->second);
+            if (!inserted) {
+                continue;  // already here from an earlier handoff
+            }
+            evict_for(key.id.client);
+            order_[key.id.client].push_back(key);
+            copied++;
+            if (!donor_it->second.done) {
+                // Still executing at the donor: remember to mirror the
+                // eventual response (or admission drop) to the windows
+                // holding the absorbed copy, so a later retransmit is
+                // replayed there instead of suppressed forever.
+                donor.handed_off_.insert(key);
+            }
+        }
+    }
+    return copied;
+}
+
+void
+ReplayWindow::import_completion(const Key& key,
+                                const net::TraversalPacket& response)
+{
+    if (!enabled()) {
+        return;
+    }
+    const auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.done) {
+        return;  // not absorbed here, or already completed
+    }
+    it->second.done = true;
+    it->second.response = response;
 }
 
 const net::TraversalPacket*

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/types.h"
 #include "net/packet.h"
@@ -100,8 +101,53 @@ class ReplayWindow
     /** Record the outgoing packet for @p key; later dups replay it. */
     void record_response(const Key& key, net::TraversalPacket response);
 
+    /**
+     * Erase @p key entirely, even if completed. Used when a cached
+     * response must not be replayed: a zero-progress kNotLocal bounce
+     * is a routing decision, not a side effect, and replaying it from
+     * the node that now *owns* the data (slab migrated here, or the
+     * entry was absorbed at a cutover) would ping-pong the packet
+     * between switch and accelerator forever. The caller re-executes
+     * the visit under current routes instead.
+     */
+    void forget(const Key& key);
+
     /** Cached response for @p key (nullptr unless Verdict::kCached). */
     const net::TraversalPacket* cached_response(const Key& key) const;
+
+    /**
+     * Copy every entry of @p donor into this window (migration
+     * cutover: the reconfiguration message carries the source's replay
+     * digest, so the exactly-once domain moves with the data — a
+     * retransmitted request that chases a migrated slab to its new
+     * owner replays the cached response instead of re-executing).
+     * Entries this window already holds are kept as-is. Donor entries
+     * still executing are absorbed as in-progress and marked handed
+     * off in @p donor, so the donor's eventual completion (or
+     * admission drop) can be mirrored here via import_completion /
+     * unmark. Deterministic: clients ascending, FIFO within a client.
+     * Returns the number of entries copied.
+     */
+    std::size_t absorb_from(ReplayWindow& donor);
+
+    /**
+     * Complete an absorbed in-progress entry with a response that was
+     * produced on another node. No-op unless @p key is held here and
+     * still in progress.
+     */
+    void import_completion(const Key& key,
+                           const net::TraversalPacket& response);
+
+    /**
+     * True exactly once after @p key was handed off by absorb_from and
+     * has not been consumed yet; clears the mark. The executing node
+     * calls this when the visit completes or is dropped, to know
+     * whether other windows hold an absorbed copy needing an update.
+     */
+    bool consume_handoff(const Key& key)
+    {
+        return handed_off_.erase(key) > 0;
+    }
 
     std::size_t size() const { return entries_.size(); }
 
@@ -118,6 +164,9 @@ class ReplayWindow
     std::unordered_map<Key, Entry, KeyHash> entries_;
     /** Insertion order per client for FIFO eviction. */
     std::unordered_map<ClientId, std::deque<Key>> order_;
+    /** In-progress visits absorbed elsewhere at a migration cutover;
+     *  their completion must be mirrored to the absorbing windows. */
+    std::unordered_set<Key, KeyHash> handed_off_;
 };
 
 }  // namespace pulse::accel

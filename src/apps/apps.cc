@@ -28,8 +28,8 @@ tsv_data_bytes(const AppScale& scale)
 
 UpcApp::UpcApp(core::Cluster& cluster, const AppScale& scale,
                std::uint64_t seed)
-    : generator_(scale.upc_keys), rng_(seed),
-      num_keys_(scale.upc_keys)
+    : generator_(scale.upc_keys, scale.zipf_theta, scale.zipf_scatter),
+      rng_(seed), num_keys_(scale.upc_keys)
 {
     ds::HashTableConfig config;
     config.num_buckets =
@@ -38,11 +38,26 @@ UpcApp::UpcApp(core::Cluster& cluster, const AppScale& scale,
     // Key-partitioned across all memory nodes (Table 2: UPC is
     // partitionable and never crosses nodes).
     config.partitions = cluster.memory().num_nodes();
+    config.sequential_buckets = scale.sequential_buckets;
     table_ = std::make_unique<ds::HashTable>(cluster.memory(),
                                              cluster.allocator(),
                                              config);
-    for (std::uint64_t i = 0; i < scale.upc_keys; i++) {
-        table_->insert(workloads::key_of(i));
+    if (scale.sequential_buckets) {
+        // Bucket-major build: each chain's nodes come from consecutive
+        // bump allocations, so a hot bucket's whole chain sits in one
+        // contiguous, slab-migratable range.
+        const std::uint64_t buckets = config.num_buckets;
+        for (std::uint64_t b = 0; b < buckets; b++) {
+            const std::uint64_t first = (b + buckets - 1) % buckets;
+            for (std::uint64_t i = first; i < scale.upc_keys;
+                 i += buckets) {
+                table_->insert(workloads::key_of(i));
+            }
+        }
+    } else {
+        for (std::uint64_t i = 0; i < scale.upc_keys; i++) {
+            table_->insert(workloads::key_of(i));
+        }
     }
 }
 

@@ -40,6 +40,20 @@ struct AppScale
     /** Fraction of the data set mirrored by client caches (the paper
      *  uses 2 GB against ~120 GB, i.e. ~1.7%). */
     double cache_fraction = 0.02;
+
+    /** UPC: Zipf skew of the lookup stream (0 = uniform, the paper's
+     *  YCSB-C setting; 0.99 = the standard YCSB skew). */
+    double zipf_theta = 0.0;
+
+    /** UPC: scatter Zipf ranks over the key space (hashed-popularity
+     *  model). false keeps hot ranks on the lowest indices, so skew
+     *  piles onto one partition — the placement-ablation setup. */
+    bool zipf_scatter = true;
+
+    /** UPC: sequential-index bucketing + bucket-major build, so each
+     *  chain's nodes are physically contiguous and hot chains form
+     *  migratable slabs (see ds::HashTableConfig). */
+    bool sequential_buckets = false;
 };
 
 /** Data-set size estimates, for sizing client caches up front. */

@@ -73,6 +73,18 @@ Checker::check_route_agreement()
     if (map.num_nodes() > 0 && map.region(0).base > 0) {
         samples.push_back(map.region(0).base - 1);
     }
+    // Migration remap overlays: sample each remapped range's edges and
+    // interior too — the AddressMap overlay, the switch overlay rule
+    // and the two reconfigured TCAMs must agree after every cutover.
+    for (const mem::Remap& remap : map.remaps()) {
+        samples.push_back(remap.va_base);
+        samples.push_back(remap.va_base + remap.length / 2);
+        samples.push_back(remap.va_base + remap.length - 1);
+        samples.push_back(remap.va_base + remap.length);
+        if (remap.va_base > 0) {
+            samples.push_back(remap.va_base - 1);
+        }
+    }
 
     for (const VirtAddr va : samples) {
         const std::optional<NodeId> owner = map.node_for(va);

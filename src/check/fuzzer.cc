@@ -167,6 +167,15 @@ run_workload_case(const FuzzCase& c)
         config.offload.adaptive_rto = true;
         config.offload.retransmit_timeout = micros(2000.0);
     }
+    // Opt-in (PULSE_PLACEMENT=elastic in the CI migration-soak job):
+    // run every fuzz case with the placement plane live, so cutovers
+    // race the fuzzed traversals under the oracle and invariants. A
+    // short epoch makes migrations plausible within a case's runtime.
+    config.placement = placement::PlacementConfig::from_env();
+    if (config.placement.enabled()) {
+        config.placement.epoch = micros(5.0);
+        config.placement.trigger_imbalance = 1.1;
+    }
 
     core::Cluster cluster(config);
     Rng rng(c.seed * 0x9E3779B97F4A7C15ull + 0xD5);

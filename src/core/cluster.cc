@@ -1,5 +1,6 @@
 #include "core/cluster.h"
 
+#include <algorithm>
 #include <string>
 
 #include "common/logging.h"
@@ -79,6 +80,28 @@ Cluster::Cluster(const ClusterConfig& config)
             mem::RangeEntry{region.base, region.size, 0,
                             mem::Perm::kReadWrite});
         PULSE_ASSERT(installed, "TCAM rejected the node region");
+    }
+
+    if (config.placement.enabled()) {
+        std::vector<mem::RangeTcam*> tcams;
+        tcams.reserve(accelerators_.size());
+        for (auto& accelerator : accelerators_) {
+            tcams.push_back(&accelerator->tcam());
+        }
+        placement_plane_ = std::make_unique<placement::PlacementPlane>(
+            queue_, *network_, *memory_, *allocator_, std::move(tcams),
+            channel_ptrs, config.placement);
+        for (auto& accelerator : accelerators_) {
+            accelerator->set_placement(placement_plane_.get());
+        }
+        // Cutovers hand the source accelerator's dedup window to the
+        // destination so exactly-once survives the responder change.
+        std::vector<accel::ReplayWindow*> replays;
+        replays.reserve(accelerators_.size());
+        for (auto& accelerator : accelerators_) {
+            replays.push_back(&accelerator->replay_window());
+        }
+        placement_plane_->attach_replay_windows(std::move(replays));
     }
 
     for (ClientId client = 0; client < config.num_clients; client++) {
@@ -211,6 +234,9 @@ Cluster::reset_stats()
     if (fault_plane_) {
         fault_plane_->reset_stats();
     }
+    if (placement_plane_) {
+        placement_plane_->reset_stats();
+    }
     for (auto& channels : channels_) {
         channels->reset_stats();
     }
@@ -225,6 +251,36 @@ Cluster::reset_stats()
     rpc_wimpy_->reset_stats();
     rpc_tcp_->reset_stats();
     aifm_->reset_stats();
+}
+
+std::vector<std::uint64_t>
+Cluster::node_request_counts() const
+{
+    std::vector<std::uint64_t> counts;
+    counts.reserve(accelerators_.size());
+    for (const auto& accelerator : accelerators_) {
+        counts.push_back(
+            accelerator->stats().requests_received.value());
+    }
+    return counts;
+}
+
+double
+Cluster::node_load_imbalance() const
+{
+    const std::vector<std::uint64_t> counts = node_request_counts();
+    std::uint64_t max = 0;
+    std::uint64_t sum = 0;
+    for (const std::uint64_t count : counts) {
+        max = std::max(max, count);
+        sum += count;
+    }
+    if (sum == 0 || counts.empty()) {
+        return 1.0;
+    }
+    const double mean =
+        static_cast<double>(sum) / static_cast<double>(counts.size());
+    return static_cast<double>(max) / mean;
 }
 
 Rate
@@ -285,6 +341,9 @@ Cluster::register_stats(StatRegistry& registry)
     }
     if (fault_plane_) {
         fault_plane_->register_stats("faults", registry);
+    }
+    if (placement_plane_) {
+        placement_plane_->register_stats("placement", registry);
     }
     {
         const auto& stats = cache_->stats();

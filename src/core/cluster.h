@@ -36,6 +36,8 @@
 #include "mem/memory_channel.h"
 #include "net/network.h"
 #include "offload/offload_engine.h"
+#include "placement/placement_config.h"
+#include "placement/placement_plane.h"
 #include "sim/event_queue.h"
 #include "trace/metrics_exporter.h"
 #include "trace/trace.h"
@@ -109,6 +111,17 @@ struct ClusterConfig
      */
     check::CheckConfig check;
 
+    /**
+     * Elastic placement plane (src/placement): hotness tracking, live
+     * slab migration, online switch/TCAM reconfiguration. Off by
+     * default — no plane is constructed, accelerators keep a null
+     * placement pointer, and no stats keys are registered, so
+     * placement-off runs stay bit-identical to a build without the
+     * subsystem. Benches honor the PULSE_PLACEMENT environment
+     * variable (see PlacementConfig).
+     */
+    placement::PlacementConfig placement;
+
     ClusterConfig();
 
     /** Configure pulse-ACC (section 7.2): continuations bounce through
@@ -154,6 +167,12 @@ class Cluster
     /** The checking subsystem; nullptr when config.check is all-off. */
     check::Checker* checker() { return checker_.get(); }
 
+    /** The placement plane; nullptr when config.placement is off. */
+    placement::PlacementPlane* placement_plane()
+    {
+        return placement_plane_.get();
+    }
+
     /**
      * Drain the event queue, then run the quiesce-time structural
      * audit (conservation, leaks, route agreement). No-op returning 0
@@ -172,6 +191,17 @@ class Cluster
 
     /** Reset every statistic (bandwidth, component busy, caches). */
     void reset_stats();
+
+    /**
+     * Per-memory-node load imbalance: max/mean of the accelerators'
+     * request counts since the last reset_stats(). 1.0 means perfectly
+     * balanced (and is also returned for an idle cluster); the Zipf
+     * skew the placement plane fights shows up here directly.
+     */
+    double node_load_imbalance() const;
+
+    /** Per-node accelerator request counts since the last reset. */
+    std::vector<std::uint64_t> node_request_counts() const;
 
     /** Aggregate achieved memory bandwidth over @p window (bytes/s). */
     Rate memory_bandwidth(Time window) const;
@@ -201,6 +231,7 @@ class Cluster
     std::unique_ptr<net::Network> network_;
     std::unique_ptr<faults::FaultPlane> fault_plane_;
     std::unique_ptr<check::Checker> checker_;
+    std::unique_ptr<placement::PlacementPlane> placement_plane_;
     std::vector<std::unique_ptr<mem::ChannelSet>> channels_;
     std::vector<std::unique_ptr<accel::Accelerator>> accelerators_;
     std::vector<std::unique_ptr<offload::OffloadEngine>> offload_;

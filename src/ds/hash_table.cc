@@ -34,6 +34,9 @@ HashTable::HashTable(mem::GlobalMemory& memory,
 std::uint64_t
 HashTable::bucket_of(std::uint64_t key) const
 {
+    if (config_.sequential_buckets) {
+        return (key >> 3) % config_.num_buckets;
+    }
     return mix64(key) % config_.num_buckets;
 }
 

@@ -47,6 +47,16 @@ struct HashTableConfig
      * nodes by contiguous bucket range; 1 keeps everything on node 0.
      */
     std::uint32_t partitions = 1;
+
+    /**
+     * Bucket by sequential key index ((key >> 3) % num_buckets, the
+     * inverse of workloads::key_of) instead of mix64. Adjacent keys
+     * then share nearby buckets, so a skewed generator concentrates
+     * load on a contiguous bucket range of one partition — the setup
+     * the elastic-placement ablation migrates out of. Default off:
+     * mix64 keeps the paper's uniform bucket occupancy.
+     */
+    bool sequential_buckets = false;
 };
 
 /** The remote chained hash table. */

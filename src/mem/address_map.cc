@@ -1,5 +1,7 @@
 #include "mem/address_map.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace pulse::mem {
@@ -31,6 +33,20 @@ AddressMap::region(NodeId node) const
 std::optional<NodeId>
 AddressMap::node_for(VirtAddr va) const
 {
+    if (!remaps_.empty()) {
+        auto pos = std::upper_bound(
+            remaps_.begin(), remaps_.end(), va,
+            [](VirtAddr v, const Remap& r) { return v < r.va_base; });
+        if (pos != remaps_.begin() && (pos - 1)->contains(va)) {
+            return (pos - 1)->node;
+        }
+    }
+    return home_node_for(va);
+}
+
+std::optional<NodeId>
+AddressMap::home_node_for(VirtAddr va) const
+{
     if (va < base_) {
         return std::nullopt;
     }
@@ -44,10 +60,137 @@ AddressMap::node_for(VirtAddr va) const
 Bytes
 AddressMap::offset_in_region(VirtAddr va) const
 {
-    const auto node = node_for(va);
+    const auto node = home_node_for(va);
     PULSE_ASSERT(node.has_value(), "va 0x%llx outside the VA space",
                  static_cast<unsigned long long>(va));
     return va - regions_[*node].base;
+}
+
+Placement
+AddressMap::placement_for(VirtAddr va) const
+{
+    if (!remaps_.empty()) {
+        auto pos = std::upper_bound(
+            remaps_.begin(), remaps_.end(), va,
+            [](VirtAddr v, const Remap& r) { return v < r.va_base; });
+        if (pos != remaps_.begin() && (pos - 1)->contains(va)) {
+            const Remap& r = *(pos - 1);
+            return Placement{
+                .node = r.node,
+                .phys = r.phys_base + (va - r.va_base),
+                .contiguous = r.length - (va - r.va_base),
+            };
+        }
+        const auto home = home_node_for(va);
+        PULSE_ASSERT(home.has_value(), "va 0x%llx outside the VA space",
+                     static_cast<unsigned long long>(va));
+        const NodeRegion& region = regions_[*home];
+        Bytes contiguous = region.base + region.size - va;
+        if (pos != remaps_.end() && pos->va_base < va + contiguous) {
+            contiguous = pos->va_base - va;
+        }
+        return Placement{
+            .node = region.node,
+            .phys = va - region.base,
+            .contiguous = contiguous,
+        };
+    }
+    const auto home = home_node_for(va);
+    PULSE_ASSERT(home.has_value(), "va 0x%llx outside the VA space",
+                 static_cast<unsigned long long>(va));
+    const NodeRegion& region = regions_[*home];
+    return Placement{
+        .node = region.node,
+        .phys = va - region.base,
+        .contiguous = region.base + region.size - va,
+    };
+}
+
+void
+AddressMap::punch_remaps(VirtAddr va_base, Bytes length)
+{
+    if (length == 0 || remaps_.empty()) {
+        return;
+    }
+    const VirtAddr span_end = va_base + length;
+    // First remap whose end could reach past va_base.
+    auto it = std::upper_bound(
+        remaps_.begin(), remaps_.end(), va_base,
+        [](VirtAddr v, const Remap& r) { return v < r.va_base; });
+    if (it != remaps_.begin() &&
+        (it - 1)->va_base + (it - 1)->length > va_base) {
+        --it;
+    }
+    while (it != remaps_.end() && it->va_base < span_end) {
+        const VirtAddr r_end = it->va_base + it->length;
+        if (it->va_base < va_base && r_end > span_end) {
+            // Middle hole: split into head (in place) + tail (inserted).
+            Remap tail = *it;
+            tail.va_base = span_end;
+            tail.phys_base = it->phys_base + (span_end - it->va_base);
+            tail.length = r_end - span_end;
+            it->length = va_base - it->va_base;
+            remaps_.insert(it + 1, tail);
+            return;
+        }
+        if (it->va_base < va_base) {
+            it->length = va_base - it->va_base;  // trim the back
+            ++it;
+        } else if (r_end > span_end) {
+            it->phys_base += span_end - it->va_base;
+            it->length = r_end - span_end;
+            it->va_base = span_end;  // trim the front
+            return;
+        } else {
+            it = remaps_.erase(it);  // fully covered
+        }
+    }
+}
+
+bool
+AddressMap::install_remap(const Remap& remap)
+{
+    if (remap.length == 0 || remap.node >= regions_.size() ||
+        !home_node_for(remap.va_base).has_value() ||
+        !home_node_for(remap.va_base + remap.length - 1).has_value()) {
+        return false;
+    }
+    punch_remaps(remap.va_base, remap.length);
+    auto pos = std::lower_bound(
+        remaps_.begin(), remaps_.end(), remap.va_base,
+        [](const Remap& r, VirtAddr va) { return r.va_base < va; });
+    // Coalesce with neighbours when node matches and phys continues.
+    if (pos != remaps_.begin()) {
+        Remap& prev = *(pos - 1);
+        if (prev.node == remap.node &&
+            prev.va_base + prev.length == remap.va_base &&
+            prev.phys_base + prev.length == remap.phys_base) {
+            prev.length += remap.length;
+            if (pos != remaps_.end() && pos->node == prev.node &&
+                prev.va_base + prev.length == pos->va_base &&
+                prev.phys_base + prev.length == pos->phys_base) {
+                prev.length += pos->length;
+                remaps_.erase(pos);
+            }
+            return true;
+        }
+    }
+    if (pos != remaps_.end() && pos->node == remap.node &&
+        remap.va_base + remap.length == pos->va_base &&
+        remap.phys_base + remap.length == pos->phys_base) {
+        pos->va_base = remap.va_base;
+        pos->phys_base = remap.phys_base;
+        pos->length += remap.length;
+        return true;
+    }
+    remaps_.insert(pos, remap);
+    return true;
+}
+
+void
+AddressMap::clear_remap(VirtAddr va_base, Bytes length)
+{
+    punch_remaps(va_base, length);
 }
 
 }  // namespace pulse::mem

@@ -35,9 +35,40 @@ struct NodeRegion
 };
 
 /**
+ * A migrated sub-range: VA [va_base, va_base + length) now lives on
+ * @p node at node-local physical offset @p phys_base, overriding the
+ * home (arithmetic) partition. Installed by the placement plane at
+ * migration cutover.
+ */
+struct Remap
+{
+    VirtAddr va_base = 0;
+    Bytes length = 0;
+    NodeId node = kInvalidNode;
+    PhysAddr phys_base = 0;
+
+    bool
+    contains(VirtAddr va) const
+    {
+        return va >= va_base && va - va_base < length;
+    }
+};
+
+/** Resolved placement of one VA: owning node + node-local address. */
+struct Placement
+{
+    NodeId node = kInvalidNode;
+    PhysAddr phys = 0;
+    /** Bytes mapped contiguously (same node, linear phys) from here. */
+    Bytes contiguous = 0;
+};
+
+/**
  * The global VA partition. Construction assigns each of @p num_nodes a
  * contiguous @p region_size slice starting at @p base; lookups map a VA
- * to the owning node in O(1).
+ * to the owning node in O(1). Live migration overlays a small sorted
+ * set of Remap entries on top of the arithmetic partition; lookups on a
+ * remapped VA resolve to the new owner.
  */
 class AddressMap
 {
@@ -60,19 +91,57 @@ class AddressMap
     /** Region descriptor for @p node. */
     const NodeRegion& region(NodeId node) const;
 
-    /** Owning node for @p va, or nullopt if va is outside the space. */
+    /**
+     * Owning node for @p va, or nullopt if va is outside the space.
+     * Honours remap overlays: a migrated VA resolves to its current
+     * owner, not its home node.
+     */
     std::optional<NodeId> node_for(VirtAddr va) const;
 
-    /** Node-local offset of @p va within its owning region. */
+    /** Home (arithmetic-partition) node for @p va, ignoring remaps. */
+    std::optional<NodeId> home_node_for(VirtAddr va) const;
+
+    /**
+     * Node-local offset of @p va within its *home* region. Used as a
+     * bounds check against the home partition (allocations never
+     * straddle home regions even after migration).
+     */
     Bytes offset_in_region(VirtAddr va) const;
+
+    /**
+     * Resolve @p va to its current owner and node-local physical
+     * address, honouring remap overlays. Asserts that va is mapped.
+     */
+    Placement placement_for(VirtAddr va) const;
+
+    /**
+     * Overlay a migrated sub-range. Any previously-installed remaps
+     * overlapping the span are superseded (carved away first); adjacent
+     * remaps to the same node with contiguous phys are coalesced.
+     * Returns false only for a degenerate (empty / out-of-space) remap.
+     */
+    bool install_remap(const Remap& remap);
+
+    /**
+     * Restore the home mapping for [@p va_base, @p va_base + @p length):
+     * carves the span out of any overlapping remap overlays.
+     */
+    void clear_remap(VirtAddr va_base, Bytes length);
+
+    /** Current remap overlays, sorted by va_base. */
+    const std::vector<Remap>& remaps() const { return remaps_; }
 
     /** All regions, ordered by node id (== ascending base). */
     const std::vector<NodeRegion>& regions() const { return regions_; }
 
   private:
+    /** Remove the portion of every remap overlapping the span. */
+    void punch_remaps(VirtAddr va_base, Bytes length);
+
     VirtAddr base_;
     Bytes region_size_;
     std::vector<NodeRegion> regions_;
+    std::vector<Remap> remaps_;  // sorted by va_base, non-overlapping
 };
 
 }  // namespace pulse::mem

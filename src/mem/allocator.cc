@@ -1,5 +1,7 @@
 #include "mem/allocator.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace pulse::mem {
@@ -20,7 +22,8 @@ ClusterAllocator::ClusterAllocator(const AddressMap& map,
                                    std::uint64_t seed,
                                    Bytes uniform_chunk_bytes)
     : map_(map), policy_(policy), rng_(seed),
-      chunk_bytes_(uniform_chunk_bytes), bump_(map.num_nodes(), 0)
+      chunk_bytes_(uniform_chunk_bytes), bump_(map.num_nodes(), 0),
+      free_lists_(map.num_nodes())
 {
 }
 
@@ -106,6 +109,90 @@ ClusterAllocator::free_on(NodeId node) const
 {
     PULSE_ASSERT(node < bump_.size(), "bad node id %u", node);
     return map_.region_size() - bump_[node];
+}
+
+Bytes
+ClusterAllocator::alloc_backing(NodeId node, Bytes size, Bytes align)
+{
+    PULSE_ASSERT(node < bump_.size(), "bad node id %u", node);
+    PULSE_ASSERT(size > 0, "zero-size backing allocation");
+    // First fit in the recycled ranges.
+    auto& holes = free_lists_[node];
+    for (auto it = holes.begin(); it != holes.end(); ++it) {
+        const Bytes start = align_up(it->offset, align);
+        const Bytes waste = start - it->offset;
+        if (waste + size > it->size) {
+            continue;
+        }
+        const Bytes tail = it->size - waste - size;
+        if (waste == 0 && tail == 0) {
+            holes.erase(it);
+        } else if (waste == 0) {
+            it->offset = start + size;
+            it->size = tail;
+        } else if (tail == 0) {
+            it->size = waste;
+        } else {
+            const Bytes tail_offset = start + size;
+            it->size = waste;
+            holes.insert(it + 1, FreeRange{tail_offset, tail});
+        }
+        return start;
+    }
+    // Fall back to the bump frontier.
+    const Bytes start = align_up(bump_[node], align);
+    if (start + size > map_.region_size()) {
+        return kNoBacking;
+    }
+    bump_[node] = start + size;
+    return start;
+}
+
+void
+ClusterAllocator::free_backing(NodeId node, Bytes offset, Bytes size)
+{
+    PULSE_ASSERT(node < bump_.size(), "bad node id %u", node);
+    PULSE_ASSERT(size > 0, "zero-size backing free");
+    PULSE_ASSERT(offset + size <= bump_[node],
+                 "freeing past the bump frontier");
+    auto& holes = free_lists_[node];
+    auto pos = std::lower_bound(
+        holes.begin(), holes.end(), offset,
+        [](const FreeRange& r, Bytes o) { return r.offset < o; });
+    PULSE_ASSERT(pos == holes.end() || offset + size <= pos->offset,
+                 "double free of backing range");
+    PULSE_ASSERT(pos == holes.begin() ||
+                     (pos - 1)->offset + (pos - 1)->size <= offset,
+                 "double free of backing range");
+    // Merge with adjacent holes so repeated migration reuses space at
+    // full slab size.
+    const bool merge_prev =
+        pos != holes.begin() &&
+        (pos - 1)->offset + (pos - 1)->size == offset;
+    const bool merge_next =
+        pos != holes.end() && offset + size == pos->offset;
+    if (merge_prev && merge_next) {
+        (pos - 1)->size += size + pos->size;
+        holes.erase(pos);
+    } else if (merge_prev) {
+        (pos - 1)->size += size;
+    } else if (merge_next) {
+        pos->offset = offset;
+        pos->size += size;
+    } else {
+        holes.insert(pos, FreeRange{offset, size});
+    }
+}
+
+Bytes
+ClusterAllocator::free_list_bytes(NodeId node) const
+{
+    PULSE_ASSERT(node < free_lists_.size(), "bad node id %u", node);
+    Bytes total = 0;
+    for (const FreeRange& r : free_lists_[node]) {
+        total += r.size;
+    }
+    return total;
 }
 
 }  // namespace pulse::mem

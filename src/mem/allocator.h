@@ -14,7 +14,11 @@
  *
  * Within a node this is a bump allocator with alignment; the evaluation
  * never frees mid-run (builders populate once, then the workload is
- * read-mostly), matching the paper's setup.
+ * read-mostly), matching the paper's setup. The one exception is live
+ * migration: the placement plane reserves backing store for a slab's
+ * new home with alloc_backing and returns the vacated range with
+ * free_backing, so repeated rebalancing reuses addresses instead of
+ * leaking the old ranges.
  */
 #ifndef PULSE_MEM_ALLOCATOR_H
 #define PULSE_MEM_ALLOCATOR_H
@@ -73,12 +77,40 @@ class ClusterAllocator
     /** Remaining capacity on @p node. */
     Bytes free_on(NodeId node) const;
 
+    /**
+     * Reserve @p size bytes of node-local backing store on @p node for
+     * a migrated slab. Prefers ranges recycled by free_backing (first
+     * fit) and falls back to the bump frontier. Returns the node-local
+     * physical offset, or kNullAddr-equivalent failure as
+     * @c Bytes(-1) when the node is exhausted.
+     */
+    static constexpr Bytes kNoBacking = static_cast<Bytes>(-1);
+    Bytes alloc_backing(NodeId node, Bytes size, Bytes align = 8);
+
+    /**
+     * Return a backing range reserved by alloc_backing (or vacated by
+     * migrating a slab off @p node) to the node's free list, merging
+     * with adjacent free ranges so the space is reusable at full size.
+     */
+    void free_backing(NodeId node, Bytes offset, Bytes size);
+
+    /** Total bytes currently sitting in @p node's free list. */
+    Bytes free_list_bytes(NodeId node) const;
+
   private:
+    /** One reusable hole in a node's backing store. */
+    struct FreeRange
+    {
+        Bytes offset = 0;
+        Bytes size = 0;
+    };
+
     const AddressMap& map_;
     AllocPolicy policy_;
     Rng rng_;
     Bytes chunk_bytes_;
     std::vector<Bytes> bump_;  // next free offset per node
+    std::vector<std::vector<FreeRange>> free_lists_;  // sorted by offset
     NodeId round_robin_ = 0;
     VirtAddr chunk_next_ = kNullAddr;  // uniform-policy slab cursor
     VirtAddr chunk_end_ = kNullAddr;

@@ -30,25 +30,41 @@ GlobalMemory::node(NodeId id) const
 void
 GlobalMemory::read(VirtAddr va, void* out, Bytes len) const
 {
-    const auto node_id = map_.node_for(va);
-    PULSE_ASSERT(node_id.has_value(), "read from unmapped va 0x%llx",
+    PULSE_ASSERT(map_.node_for(va).has_value(),
+                 "read from unmapped va 0x%llx",
                  static_cast<unsigned long long>(va));
-    const Bytes offset = map_.offset_in_region(va);
-    PULSE_ASSERT(offset + len <= map_.region_size(),
+    PULSE_ASSERT(map_.offset_in_region(va) + len <= map_.region_size(),
                  "read straddles node regions");
-    nodes_[*node_id]->read(offset, out, len);
+    auto* dst = static_cast<std::uint8_t*>(out);
+    // Migration may have split the span across placements; each
+    // segment is contiguous on one node.
+    while (len > 0) {
+        const Placement p = map_.placement_for(va);
+        const Bytes chunk = len < p.contiguous ? len : p.contiguous;
+        nodes_[p.node]->read(p.phys, dst, chunk);
+        va += chunk;
+        dst += chunk;
+        len -= chunk;
+    }
 }
 
 void
 GlobalMemory::write(VirtAddr va, const void* in, Bytes len)
 {
-    const auto node_id = map_.node_for(va);
-    PULSE_ASSERT(node_id.has_value(), "write to unmapped va 0x%llx",
+    PULSE_ASSERT(map_.node_for(va).has_value(),
+                 "write to unmapped va 0x%llx",
                  static_cast<unsigned long long>(va));
-    const Bytes offset = map_.offset_in_region(va);
-    PULSE_ASSERT(offset + len <= map_.region_size(),
+    PULSE_ASSERT(map_.offset_in_region(va) + len <= map_.region_size(),
                  "write straddles node regions");
-    nodes_[*node_id]->write(offset, in, len);
+    const auto* src = static_cast<const std::uint8_t*>(in);
+    while (len > 0) {
+        const Placement p = map_.placement_for(va);
+        const Bytes chunk = len < p.contiguous ? len : p.contiguous;
+        nodes_[p.node]->write(p.phys, src, chunk);
+        va += chunk;
+        src += chunk;
+        len -= chunk;
+    }
 }
 
 }  // namespace pulse::mem

@@ -37,6 +37,12 @@ class GlobalMemory
     /** The VA partition. */
     const AddressMap& address_map() const { return map_; }
 
+    /**
+     * Mutable VA partition, for the placement plane to install/clear
+     * remap overlays at migration cutover.
+     */
+    AddressMap& mutable_address_map() { return map_; }
+
     /** Direct access to one node's backing store. */
     PhysicalMemory& node(NodeId id);
     const PhysicalMemory& node(NodeId id) const;

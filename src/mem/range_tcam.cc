@@ -37,6 +37,101 @@ RangeTcam::insert(const RangeEntry& entry)
 }
 
 bool
+RangeTcam::insert_coalesce(const RangeEntry& entry)
+{
+    if (entry.length == 0) {
+        return false;
+    }
+    auto pos = std::lower_bound(
+        entries_.begin(), entries_.end(), entry.va_base,
+        [](const RangeEntry& e, VirtAddr va) { return e.va_base < va; });
+    if (pos != entries_.begin()) {
+        RangeEntry& prev = *(pos - 1);
+        if (prev.va_base + prev.length > entry.va_base) {
+            return false;  // overlap
+        }
+        if (prev.va_base + prev.length == entry.va_base &&
+            prev.phys_base + prev.length == entry.phys_base &&
+            prev.perm == entry.perm) {
+            prev.length += entry.length;
+            // The grown entry may now also abut its successor.
+            if (pos != entries_.end() &&
+                prev.va_base + prev.length == pos->va_base &&
+                prev.phys_base + prev.length == pos->phys_base &&
+                prev.perm == pos->perm) {
+                prev.length += pos->length;
+                entries_.erase(pos);
+            }
+            return true;
+        }
+    }
+    if (pos != entries_.end()) {
+        RangeEntry& next = *pos;
+        if (entry.va_base + entry.length > next.va_base) {
+            return false;  // overlap
+        }
+        if (entry.va_base + entry.length == next.va_base &&
+            entry.phys_base + entry.length == next.phys_base &&
+            entry.perm == next.perm) {
+            next.va_base = entry.va_base;
+            next.phys_base = entry.phys_base;
+            next.length += entry.length;
+            return true;
+        }
+    }
+    return insert(entry);
+}
+
+bool
+RangeTcam::can_punch(VirtAddr va_base, Bytes length) const
+{
+    if (length == 0) {
+        return false;
+    }
+    const RangeEntry* entry = find(va_base);
+    if (entry == nullptr || !entry->contains(va_base + length - 1)) {
+        return false;
+    }
+    const bool middle_split = entry->va_base < va_base &&
+                              va_base + length <
+                                  entry->va_base + entry->length;
+    return !middle_split || entries_.size() < capacity_;
+}
+
+bool
+RangeTcam::punch(VirtAddr va_base, Bytes length)
+{
+    if (!can_punch(va_base, length)) {
+        return false;
+    }
+    auto pos = std::upper_bound(
+        entries_.begin(), entries_.end(), va_base,
+        [](VirtAddr v, const RangeEntry& e) { return v < e.va_base; });
+    RangeEntry& entry = *(pos - 1);
+    const VirtAddr hole_end = va_base + length;
+    const VirtAddr entry_end = entry.va_base + entry.length;
+    if (entry.va_base == va_base && entry_end == hole_end) {
+        entries_.erase(pos - 1);
+    } else if (entry.va_base == va_base) {
+        // Trim the front; the mapping of the tail shifts with it.
+        entry.phys_base += length;
+        entry.va_base = hole_end;
+        entry.length -= length;
+    } else if (entry_end == hole_end) {
+        entry.length -= length;  // trim the back
+    } else {
+        // Middle hole: keep the head in place, insert the tail after.
+        RangeEntry tail = entry;
+        tail.va_base = hole_end;
+        tail.phys_base = entry.phys_base + (hole_end - entry.va_base);
+        tail.length = entry_end - hole_end;
+        entry.length = va_base - entry.va_base;
+        entries_.insert(pos, tail);
+    }
+    return true;
+}
+
+bool
 RangeTcam::remove(VirtAddr va_base)
 {
     auto pos = std::lower_bound(

@@ -83,8 +83,37 @@ class RangeTcam
     /** Install a range entry. Returns false on overlap/full table. */
     bool insert(const RangeEntry& entry);
 
+    /**
+     * Install a range entry, merging with a VA-adjacent neighbour when
+     * the physical mapping continues seamlessly (same perm, phys_base
+     * contiguous with the neighbour's). Live migration installs one
+     * sub-range per migrated slab; adjacent slabs moving to the same
+     * node would otherwise fragment the table past its capacity.
+     * Returns false on overlap, or on a full table when no merge is
+     * possible.
+     */
+    bool insert_coalesce(const RangeEntry& entry);
+
     /** Remove the entry whose va_base equals @p va_base, if present. */
     bool remove(VirtAddr va_base);
+
+    /**
+     * True if punch(@p va_base, @p length) would succeed: the span is
+     * fully covered by one entry and splitting it would not exceed
+     * capacity. Migration checks this before committing a cutover.
+     */
+    bool can_punch(VirtAddr va_base, Bytes length) const;
+
+    /**
+     * Carve a hole out of the entry covering [@p va_base, @p va_base +
+     * @p length): translations inside the hole then miss (the pointer
+     * is no longer local) while the surrounding pieces keep their
+     * original mapping. Splitting an entry in the middle adds one
+     * entry; punching at an edge (or the whole entry) does not grow
+     * the table. Returns false when the span is not fully covered by a
+     * single entry or the split would exceed capacity.
+     */
+    bool punch(VirtAddr va_base, Bytes length);
 
     /** Translate @p va for an access needing @p need permissions. */
     TranslateResult translate(VirtAddr va, Perm need) const;

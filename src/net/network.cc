@@ -206,9 +206,12 @@ Network::send_traversal(EndpointAddr from, TraversalPacket packet)
                          static_cast<std::uint64_t>(size)});
     }
 
-    // The switch routes at at_switch; model the decision now (state at
-    // decision time equals state now: rules only change between runs)
-    // and schedule delivery.
+    // The switch routes at at_switch; model the decision now. Live
+    // migration can flip a rule in the window between decision and
+    // delivery, making the decision stale — that is safe: the packet
+    // lands on a node whose TCAM was punched, misses, and returns
+    // kNotLocal, which re-routes it through the updated table (the
+    // same backstop that covers packets already in flight).
     RouteDecision decision = table_.route(packet);
     routed_++;
     if (decision.invalid_pointer) {

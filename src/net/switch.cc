@@ -1,5 +1,7 @@
 #include "net/switch.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace pulse::net {
@@ -23,9 +25,58 @@ SwitchTable::remove_rule(NodeId node)
     return false;
 }
 
+void
+SwitchTable::add_overlay_rule(const SwitchRule& rule)
+{
+    PULSE_ASSERT(rule.size > 0, "empty switch overlay rule");
+    auto pos = std::lower_bound(
+        overlay_.begin(), overlay_.end(), rule.base,
+        [](const SwitchRule& r, VirtAddr va) { return r.base < va; });
+    if (pos != overlay_.begin()) {
+        SwitchRule& prev = *(pos - 1);
+        PULSE_ASSERT(prev.base + prev.size <= rule.base,
+                     "overlapping switch overlay rule");
+        if (prev.node == rule.node && prev.base + prev.size == rule.base) {
+            prev.size += rule.size;
+            if (pos != overlay_.end() && pos->node == prev.node &&
+                prev.base + prev.size == pos->base) {
+                prev.size += pos->size;
+                overlay_.erase(pos);
+            }
+            return;
+        }
+    }
+    if (pos != overlay_.end()) {
+        PULSE_ASSERT(rule.base + rule.size <= pos->base,
+                     "overlapping switch overlay rule");
+        if (pos->node == rule.node && rule.base + rule.size == pos->base) {
+            pos->base = rule.base;
+            pos->size += rule.size;
+            return;
+        }
+    }
+    overlay_.insert(pos, rule);
+}
+
+void
+SwitchTable::clear_overlay()
+{
+    overlay_.clear();
+}
+
 std::optional<NodeId>
 SwitchTable::lookup(VirtAddr va) const
 {
+    // Overlay rules are carved out of home regions and more specific:
+    // they win the match-action lookup.
+    if (!overlay_.empty()) {
+        auto pos = std::upper_bound(
+            overlay_.begin(), overlay_.end(), va,
+            [](VirtAddr v, const SwitchRule& r) { return v < r.base; });
+        if (pos != overlay_.begin() && (pos - 1)->matches(va)) {
+            return (pos - 1)->node;
+        }
+    }
     for (const SwitchRule& rule : rules_) {
         if (rule.matches(va)) {
             return rule.node;

@@ -66,7 +66,24 @@ class SwitchTable
     /** Number of installed rules (paper: one per memory node). */
     std::size_t num_rules() const { return rules_.size(); }
 
-    /** Owning node for @p va, if any rule matches. */
+    /**
+     * Install a migration overlay rule: a sub-range carved out of some
+     * node's home region that now routes to a different node. Overlay
+     * rules are more specific than the per-node home rules and win the
+     * match. Rules must not overlap each other; VA-adjacent rules to
+     * the same node are coalesced. The placement plane re-installs the
+     * overlay at each cutover so the switch always mirrors the
+     * AddressMap's remap set.
+     */
+    void add_overlay_rule(const SwitchRule& rule);
+
+    /** Drop every overlay rule (home rules are untouched). */
+    void clear_overlay();
+
+    /** Number of installed overlay rules. */
+    std::size_t num_overlay_rules() const { return overlay_.size(); }
+
+    /** Owning node for @p va, if any rule matches (overlay wins). */
     std::optional<NodeId> lookup(VirtAddr va) const;
 
     /** Apply the section-5 routing policy to @p packet. */
@@ -74,6 +91,7 @@ class SwitchTable
 
   private:
     std::vector<SwitchRule> rules_;
+    std::vector<SwitchRule> overlay_;  // sorted by base, non-overlapping
 };
 
 }  // namespace pulse::net

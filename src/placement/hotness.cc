@@ -1,0 +1,118 @@
+#include "placement/hotness.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pulse::placement {
+
+namespace {
+/** EWMAs below this many bytes/epoch are indistinguishable from idle
+ *  and are dropped to bound the histogram's size. */
+constexpr double kNoiseFloor = 1.0;
+}  // namespace
+
+HotnessTracker::HotnessTracker(const mem::AddressMap& map,
+                               const PlacementConfig& config)
+    : map_(map), space_base_(map.region(0).base),
+      slab_bytes_(config.slab_bytes), alpha_(config.ewma_alpha)
+{
+    PULSE_ASSERT(slab_bytes_ > 0, "zero slab size");
+    PULSE_ASSERT(map.region_size() % slab_bytes_ == 0,
+                 "slab size must divide the node region size");
+    PULSE_ASSERT(alpha_ > 0.0 && alpha_ <= 1.0, "bad EWMA alpha");
+}
+
+std::uint64_t
+HotnessTracker::slab_of(VirtAddr va) const
+{
+    PULSE_ASSERT(va >= space_base_, "va below the VA space");
+    return (va - space_base_) / slab_bytes_;
+}
+
+VirtAddr
+HotnessTracker::slab_base(std::uint64_t slab) const
+{
+    return space_base_ + slab * slab_bytes_;
+}
+
+void
+HotnessTracker::record(VirtAddr va, Bytes bytes)
+{
+    epoch_bytes_[slab_of(va)] += bytes;
+}
+
+void
+HotnessTracker::roll_epoch()
+{
+    // Decay every known slab, then blend in this epoch's traffic.
+    for (auto it = ewma_.begin(); it != ewma_.end();) {
+        it->second *= 1.0 - alpha_;
+        if (it->second < kNoiseFloor &&
+            epoch_bytes_.find(it->first) == epoch_bytes_.end()) {
+            it = ewma_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (const auto& [slab, bytes] : epoch_bytes_) {
+        ewma_[slab] += alpha_ * static_cast<double>(bytes);
+    }
+    epoch_bytes_.clear();
+}
+
+std::vector<double>
+HotnessTracker::node_loads() const
+{
+    std::vector<double> loads(map_.num_nodes(), 0.0);
+    for (const auto& [slab, weight] : ewma_) {
+        const auto node = map_.node_for(slab_base(slab));
+        if (node.has_value()) {
+            loads[*node] += weight;
+        }
+    }
+    return loads;
+}
+
+double
+HotnessTracker::imbalance() const
+{
+    const std::vector<double> loads = node_loads();
+    double max = 0.0;
+    double sum = 0.0;
+    for (const double load : loads) {
+        max = std::max(max, load);
+        sum += load;
+    }
+    if (sum <= 0.0) {
+        return 1.0;
+    }
+    return max / (sum / static_cast<double>(loads.size()));
+}
+
+std::vector<SlabLoad>
+HotnessTracker::hottest_on(NodeId node) const
+{
+    std::vector<SlabLoad> slabs;
+    for (const auto& [slab, weight] : ewma_) {
+        const VirtAddr base = slab_base(slab);
+        const auto owner = map_.node_for(base);
+        if (owner.has_value() && *owner == node) {
+            slabs.push_back(SlabLoad{base, weight});
+        }
+    }
+    std::stable_sort(slabs.begin(), slabs.end(),
+                     [](const SlabLoad& a, const SlabLoad& b) {
+                         return a.weight > b.weight;
+                     });
+    return slabs;
+}
+
+void
+HotnessTracker::clear()
+{
+    epoch_bytes_.clear();
+    ewma_.clear();
+}
+
+}  // namespace pulse::placement

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Slab-granular hotness tracking for the placement plane.
+ *
+ * Accelerators report every translated load (address + bytes); the
+ * tracker accumulates bytes per slab for the current epoch and folds
+ * them into a per-slab decayed EWMA when the epoch rolls. Per-node
+ * loads are derived on demand by attributing each slab's EWMA to its
+ * *current* owner (AddressMap remaps included), so a migrated slab's
+ * traffic immediately counts against its new home and the planner sees
+ * the effect of its own moves.
+ *
+ * All state lives in ordered maps and every query iterates them in
+ * slab order with deterministic tie-breaks, so planning is a pure
+ * function of the access stream — no randomness, reproducible runs.
+ */
+#ifndef PULSE_PLACEMENT_HOTNESS_H
+#define PULSE_PLACEMENT_HOTNESS_H
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "mem/address_map.h"
+#include "placement/placement_config.h"
+
+namespace pulse::placement {
+
+/** One slab's identity + smoothed load, for planner queries. */
+struct SlabLoad
+{
+    VirtAddr va_base = 0;
+    double weight = 0.0;  ///< EWMA bytes/epoch
+};
+
+/** Decayed-EWMA hotness histogram over fixed-size slabs. */
+class HotnessTracker
+{
+  public:
+    HotnessTracker(const mem::AddressMap& map,
+                   const PlacementConfig& config);
+
+    /** Account @p bytes of access traffic at @p va (current epoch). */
+    void record(VirtAddr va, Bytes bytes);
+
+    /** True if record() was called since the last roll_epoch(). */
+    bool epoch_activity() const { return !epoch_bytes_.empty(); }
+
+    /** Fold the epoch accumulators into the EWMAs and decay the rest;
+     *  slabs whose EWMA decays to noise are dropped. */
+    void roll_epoch();
+
+    /** Smoothed load per node, attributed via the current placement. */
+    std::vector<double> node_loads() const;
+
+    /** max/mean of node_loads(); 1.0 when the cluster is idle. */
+    double imbalance() const;
+
+    /** Slabs currently owned by @p node, hottest first (ties broken by
+     *  ascending va_base). */
+    std::vector<SlabLoad> hottest_on(NodeId node) const;
+
+    /** Forget all hotness state (measurement-window reset). */
+    void clear();
+
+  private:
+    std::uint64_t slab_of(VirtAddr va) const;
+    VirtAddr slab_base(std::uint64_t slab) const;
+
+    const mem::AddressMap& map_;
+    VirtAddr space_base_;
+    Bytes slab_bytes_;
+    double alpha_;
+    std::map<std::uint64_t, std::uint64_t> epoch_bytes_;
+    std::map<std::uint64_t, double> ewma_;
+};
+
+}  // namespace pulse::placement
+
+#endif  // PULSE_PLACEMENT_HOTNESS_H

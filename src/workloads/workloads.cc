@@ -7,8 +7,9 @@
 
 namespace pulse::workloads {
 
-YcsbC::YcsbC(std::uint64_t num_keys, double zipf_theta)
-    : num_keys_(num_keys), theta_(zipf_theta)
+YcsbC::YcsbC(std::uint64_t num_keys, double zipf_theta,
+             bool zipf_scatter)
+    : num_keys_(num_keys), theta_(zipf_theta), scatter_(zipf_scatter)
 {
     PULSE_ASSERT(num_keys > 0, "empty key space");
     if (theta_ > 0.0) {
@@ -20,6 +21,10 @@ std::uint64_t
 YcsbC::next_index(Rng& rng)
 {
     if (zipf_) {
+        if (!scatter_) {
+            // Raw ranks: the hottest keys are the lowest indices.
+            return zipf_->next(rng);
+        }
         // Scatter ranks so popular keys are not physically adjacent.
         return ds::mix64(zipf_->next(rng)) % num_keys_;
     }

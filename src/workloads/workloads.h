@@ -41,8 +41,14 @@ class YcsbC
     /**
      * @param num_keys records in the table
      * @param zipf_theta 0 = uniform (the paper's UPC setting)
+     * @param zipf_scatter true scatters Zipf ranks across the key
+     *        space (popularity uncorrelated with index, as after
+     *        hashing); false returns raw ranks, so the hottest keys
+     *        are the lowest indices — skew then lands on whichever
+     *        partition holds them (the placement ablations)
      */
-    YcsbC(std::uint64_t num_keys, double zipf_theta = 0.0);
+    YcsbC(std::uint64_t num_keys, double zipf_theta = 0.0,
+          bool zipf_scatter = true);
 
     /** Next record index to look up. */
     std::uint64_t next_index(Rng& rng);
@@ -52,6 +58,7 @@ class YcsbC
   private:
     std::uint64_t num_keys_;
     double theta_;
+    bool scatter_;
     std::unique_ptr<ZipfGenerator> zipf_;
 };
 

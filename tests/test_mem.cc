@@ -270,6 +270,54 @@ TEST(Allocator, RandomAllocationsNeverOverlap)
     }
 }
 
+TEST(Allocator, BackingFreeAndReallocReusesAddresses)
+{
+    // The migration path: free a vacated slab's backing, reallocate on
+    // the same node, and the hole is reused instead of leaking.
+    AddressMap map(2, 1 * kMiB);
+    ClusterAllocator alloc(map, AllocPolicy::kPartitioned);
+    const Bytes slab = 64 * kKiB;
+    const Bytes a = alloc.alloc_backing(0, slab, 256);
+    const Bytes b = alloc.alloc_backing(0, slab, 256);
+    ASSERT_NE(a, ClusterAllocator::kNoBacking);
+    ASSERT_EQ(b, a + slab);  // bump frontier
+    EXPECT_EQ(alloc.free_list_bytes(0), 0u);
+
+    alloc.free_backing(0, a, slab);
+    EXPECT_EQ(alloc.free_list_bytes(0), slab);
+
+    // First fit reuses the hole; the frontier does not move.
+    const Bytes frontier = alloc.allocated_on(0);
+    const Bytes c = alloc.alloc_backing(0, 16 * kKiB, 256);
+    EXPECT_EQ(c, a);
+    EXPECT_EQ(alloc.free_list_bytes(0), slab - 16 * kKiB);
+    EXPECT_EQ(alloc.allocated_on(0), frontier);
+
+    // Freeing merges back into one hole, reusable at full size.
+    alloc.free_backing(0, c, 16 * kKiB);
+    EXPECT_EQ(alloc.free_list_bytes(0), slab);
+    EXPECT_EQ(alloc.alloc_backing(0, slab, 256), a);
+    EXPECT_EQ(alloc.free_list_bytes(0), 0u);
+
+    // Per-node isolation: node 1's list is untouched throughout.
+    EXPECT_EQ(alloc.free_list_bytes(1), 0u);
+
+    // Too-large requests fall back to the frontier, not the holes.
+    alloc.free_backing(0, a, slab);
+    const Bytes d = alloc.alloc_backing(0, 2 * slab, 256);
+    EXPECT_EQ(d, frontier);
+    EXPECT_EQ(alloc.free_list_bytes(0), slab);
+}
+
+TEST(AllocatorDeath, BackingDoubleFreePanics)
+{
+    AddressMap map(1, 1 * kMiB);
+    ClusterAllocator alloc(map, AllocPolicy::kPartitioned);
+    const Bytes a = alloc.alloc_backing(0, 4 * kKiB, 256);
+    alloc.free_backing(0, a, 4 * kKiB);
+    EXPECT_DEATH(alloc.free_backing(0, a, 4 * kKiB), "free");
+}
+
 // ---------------------------------------------------------- channels
 
 TEST(MemoryChannel, OccupancySerializes)

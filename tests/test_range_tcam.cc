@@ -90,6 +90,93 @@ TEST(RangeTcam, SpanPastEntryEndMisses)
               TranslateStatus::kMiss);
 }
 
+TEST(RangeTcam, PunchEveryGeometry)
+{
+    // Whole-entry punch removes it outright.
+    RangeTcam tcam(8);
+    ASSERT_TRUE(tcam.insert(entry(0x1000, 0x400, 0x9000)));
+    EXPECT_TRUE(tcam.can_punch(0x1000, 0x400));
+    EXPECT_TRUE(tcam.punch(0x1000, 0x400));
+    EXPECT_EQ(tcam.size(), 0u);
+
+    // Front trim: the tail keeps its original phys mapping.
+    ASSERT_TRUE(tcam.insert(entry(0x1000, 0x400, 0x9000)));
+    EXPECT_TRUE(tcam.punch(0x1000, 0x100));
+    EXPECT_EQ(tcam.size(), 1u);
+    EXPECT_EQ(tcam.translate(0x10FF, Perm::kRead).status,
+              TranslateStatus::kMiss);
+    EXPECT_EQ(tcam.translate(0x1100, Perm::kRead).phys, 0x9100u);
+
+    // Back trim.
+    EXPECT_TRUE(tcam.punch(0x1300, 0x100));
+    EXPECT_EQ(tcam.size(), 1u);
+    EXPECT_EQ(tcam.translate(0x12FF, Perm::kRead).phys, 0x92FFu);
+    EXPECT_EQ(tcam.translate(0x1300, Perm::kRead).status,
+              TranslateStatus::kMiss);
+
+    // Middle split: one extra entry; both sides translate as before.
+    EXPECT_TRUE(tcam.punch(0x1180, 0x80));
+    EXPECT_EQ(tcam.size(), 2u);
+    EXPECT_EQ(tcam.translate(0x1100, Perm::kRead).phys, 0x9100u);
+    EXPECT_EQ(tcam.translate(0x11FF, Perm::kRead).status,
+              TranslateStatus::kMiss);
+    EXPECT_EQ(tcam.translate(0x1200, Perm::kRead).phys, 0x9200u);
+}
+
+TEST(RangeTcam, PunchRefusalsLeaveTableIntact)
+{
+    RangeTcam tcam(2);
+    ASSERT_TRUE(tcam.insert(entry(0x1000, 0x400, 0x9000)));
+    ASSERT_TRUE(tcam.insert(entry(0x2000, 0x400, 0xA000)));
+
+    // A span not fully inside one entry is not punchable.
+    EXPECT_FALSE(tcam.can_punch(0x0F00, 0x200));   // straddles front
+    EXPECT_FALSE(tcam.can_punch(0x1300, 0x200));   // runs past end
+    EXPECT_FALSE(tcam.can_punch(0x1800, 0x100));   // in a gap
+    EXPECT_FALSE(tcam.punch(0x1300, 0x200));
+
+    // A middle split needs a free slot; the table is full.
+    EXPECT_FALSE(tcam.can_punch(0x1100, 0x100));
+    EXPECT_FALSE(tcam.punch(0x1100, 0x100));
+    // Edge punches still work at capacity (no growth).
+    EXPECT_TRUE(tcam.can_punch(0x1000, 0x100));
+    EXPECT_TRUE(tcam.punch(0x1000, 0x100));
+    EXPECT_EQ(tcam.size(), 2u);
+}
+
+TEST(RangeTcam, InsertCoalesceMergesSeamlessNeighbours)
+{
+    // Punch a hole, then re-install the identical mapping: the entry
+    // must coalesce back to one — the migrate-home path depends on it.
+    RangeTcam tcam(4);
+    ASSERT_TRUE(tcam.insert(entry(0x1000, 0x400, 0x9000)));
+    ASSERT_TRUE(tcam.punch(0x1100, 0x100));
+    EXPECT_EQ(tcam.size(), 2u);
+    EXPECT_TRUE(
+        tcam.insert_coalesce(entry(0x1100, 0x100, 0x9100)));
+    EXPECT_EQ(tcam.size(), 1u);
+    EXPECT_EQ(tcam.translate(0x13FF, Perm::kRead).phys, 0x93FFu);
+
+    // Seamless on one side only: merges into that side.
+    RangeTcam side(4);
+    ASSERT_TRUE(side.insert(entry(0x1000, 0x100, 0x9000)));
+    ASSERT_TRUE(
+        side.insert_coalesce(entry(0x1100, 0x100, 0x9100)));
+    EXPECT_EQ(side.size(), 1u);
+
+    // VA-adjacent but phys-discontiguous: stays separate.
+    ASSERT_TRUE(
+        side.insert_coalesce(entry(0x1200, 0x100, 0xF000)));
+    EXPECT_EQ(side.size(), 2u);
+    // Different perm: stays separate too.
+    ASSERT_TRUE(side.insert_coalesce(
+        entry(0x1300, 0x100, 0xF100, Perm::kRead)));
+    EXPECT_EQ(side.size(), 3u);
+    // Overlap still rejected through the coalescing path.
+    EXPECT_FALSE(
+        side.insert_coalesce(entry(0x1080, 0x100, 0x9080)));
+}
+
 TEST(RangeTcam, PermissionChecksUsePermits)
 {
     RangeTcam tcam(2);

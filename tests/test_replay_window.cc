@@ -66,6 +66,30 @@ TEST(ReplayWindow, UnmarkAllowsReexecution)
     EXPECT_EQ(window.size(), 0u);
 }
 
+TEST(ReplayWindow, ForgetDropsCompletedEntries)
+{
+    // A cached zero-progress kNotLocal bounce must be droppable even
+    // though it is done: if the node has become the owner since (slab
+    // migrated here, or the entry arrived via a cutover handoff),
+    // replaying the bounce would ping-pong the packet between switch
+    // and accelerator forever — the accelerator forgets the entry and
+    // re-executes the visit under current routes instead.
+    ReplayWindow window(4);
+    const auto k = key(2, 3);
+    window.mark_in_progress(k);
+    net::TraversalPacket bounce = response_for(k);
+    bounce.status = isa::TraversalStatus::kNotLocal;
+    bounce.iterations_done = k.visit;  // no iteration ran
+    window.record_response(k, bounce);
+    EXPECT_EQ(window.classify(k), ReplayWindow::Verdict::kCached);
+
+    window.forget(k);
+    EXPECT_EQ(window.classify(k), ReplayWindow::Verdict::kNew);
+    EXPECT_EQ(window.size(), 0u);
+    window.forget(k);  // idempotent on a missing key
+    EXPECT_EQ(window.classify(k), ReplayWindow::Verdict::kNew);
+}
+
 TEST(ReplayWindow, DistinctVisitsAreDistinctKeys)
 {
     // A multi-hop traversal legitimately revisits a node with a larger

@@ -167,6 +167,19 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(
                     cluster.tracer().dropped()));
 
+    // Per-memory-node load skew (max/mean of request counts): the
+    // signal the elastic placement plane acts on. Trivially 1.00 on
+    // this single-node workload; bench/ablation_migration and fig8
+    // report the multi-node values.
+    const std::vector<std::uint64_t> node_ops =
+        cluster.node_request_counts();
+    std::printf("node load imbalance %.2f (requests:",
+                cluster.node_load_imbalance());
+    for (const std::uint64_t ops : node_ops) {
+        std::printf(" %llu", static_cast<unsigned long long>(ops));
+    }
+    std::printf(")\n");
+
     if (!trace_out.empty() &&
         !write_text(trace_out, cluster.tracer().to_csv())) {
         std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
@@ -183,6 +196,8 @@ main(int argc, char** argv)
                      breakdown.mem_pipeline_ns_per_load());
         exporter.set("trace_report.logic_per_iter_ns",
                      breakdown.logic_ns_per_iter());
+        exporter.set("trace_report.node_imbalance",
+                     cluster.node_load_imbalance());
         exporter.add_histogram("trace_report.latency",
                                result.latency);
         if (!exporter.write_file(metrics_out)) {
