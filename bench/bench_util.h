@@ -231,6 +231,10 @@ make_config(const RunSpec& spec)
     // any bench run; unset (or =off) constructs nothing and leaves the
     // outputs bit-identical (see docs/PLACEMENT.md).
     config.placement = placement::PlacementConfig::from_env();
+    // PULSE_REPLICATION=k2|k3 turns on the fault-tolerance plane for
+    // any bench run; unset (or =off) constructs nothing and leaves the
+    // outputs bit-identical (see docs/REPLICATION.md).
+    config.replication = replication::ReplicationConfig::from_env();
     if (spec.tweak) {
         spec.tweak(config);
     }

@@ -169,6 +169,12 @@ Accelerator::on_packet(net::TraversalPacket&& packet)
             }
             case ReplayWindow::Verdict::kNew:
                 replay_.mark_in_progress(key);
+                if (replication_ != nullptr) {
+                    // Write-synchronous digest mirroring: replicas must
+                    // suppress a retransmit of this visit even if this
+                    // node dies before completing it.
+                    replication_->mirror_mark(node_, key);
+                }
                 break;
         }
     }
@@ -212,6 +218,12 @@ Accelerator::admit(net::TraversalPacket&& packet)
                         // elsewhere; clear those copies too, or the
                         // retransmit would be suppressed forever.
                         placement_->mirror_unmark(node_, key);
+                    }
+                    if (replication_ != nullptr) {
+                        // Same for the replicated digest copies: the
+                        // visit never executed, so the retransmit must
+                        // be allowed to run anywhere.
+                        replication_->mirror_unmark(node_, key);
                     }
                     return;
                 }
@@ -430,6 +442,11 @@ Accelerator::start_logic_phase(CoreId core_id, WorkspaceId ws,
                 if (forwarded.has_value()) {
                     if (*forwarded) {
                         stats_.cas_ops.increment();
+                        if (replication_ != nullptr) {
+                            replication_->mirror_cas(
+                                node_, cas_base + mem_off, desired,
+                                queue_.now());
+                        }
                     }
                     return *forwarded;
                 }
@@ -447,6 +464,12 @@ Accelerator::start_logic_phase(CoreId core_id, WorkspaceId ws,
         memory_.node(node_).write_as<std::uint64_t>(translated.phys,
                                                     desired);
         stats_.cas_ops.increment();
+        if (replication_ != nullptr) {
+            // Synchronous replication channel: the winning value is
+            // applied to every live replica in the same event.
+            replication_->mirror_cas(node_, cas_base + mem_off,
+                                     desired, queue_.now());
+        }
         return true;
     };
     isa::IterationResult iter =
@@ -490,6 +513,12 @@ Accelerator::start_logic_phase(CoreId core_id, WorkspaceId ws,
                     context.workspace.data.data() + st.data_offset,
                     st.length, done)) {
                 stats_.stores.increment();
+                if (replication_ != nullptr) {
+                    replication_->mirror_store(
+                        node_, iter_ptr + st.mem_offset,
+                        context.workspace.data.data() + st.data_offset,
+                        st.length, done);
+                }
                 continue;
             }
             stats_.protection_faults.increment();
@@ -501,6 +530,12 @@ Accelerator::start_logic_phase(CoreId core_id, WorkspaceId ws,
             translated.phys,
             context.workspace.data.data() + st.data_offset, st.length);
         stats_.stores.increment();
+        if (replication_ != nullptr) {
+            replication_->mirror_store(
+                node_, iter_ptr + st.mem_offset,
+                context.workspace.data.data() + st.data_offset,
+                st.length, done);
+        }
     }
 
     TraversalStatus status = TraversalStatus::kDone;
@@ -622,6 +657,13 @@ Accelerator::send_response(Context& context, TraversalStatus status,
         // another node's window; complete the absorbed copies so a
         // retransmit routed to the new owner replays this response.
         placement_->mirror_completion(node_, visit_key, response);
+    }
+    if (replication_ != nullptr) {
+        // Mirror the completed visit into the replicas' windows: if
+        // this node dies before the response escapes, the retransmit
+        // that lands on the surviving replica replays this packet
+        // instead of re-executing its stores.
+        replication_->mirror_response(node_, visit_key, response);
     }
     const Time deparse = scaled(config_.net_stack_latency);
     stats_.net_stack_time.add(static_cast<double>(deparse));

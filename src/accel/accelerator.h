@@ -39,6 +39,7 @@
 #include "mem/range_tcam.h"
 #include "net/network.h"
 #include "placement/placement_plane.h"
+#include "replication/replication_plane.h"
 #include "sim/event_queue.h"
 #include "trace/trace.h"
 
@@ -126,6 +127,19 @@ class Accelerator
     void set_placement(placement::PlacementPlane* plane)
     {
         placement_ = plane;
+    }
+
+    /**
+     * Attach the replication plane (nullptr detaches). While attached,
+     * every store/CAS the accelerator applies is mirrored into live
+     * replicas (write-synchronous k-way replication) and every replay-
+     * window transition is mirrored into the other nodes' windows, so
+     * exactly-once survives this node dying mid-request. Detached —
+     * the default — each hook is a single null check.
+     */
+    void set_replication(replication::ReplicationPlane* plane)
+    {
+        replication_ = plane;
     }
 
     /**
@@ -217,6 +231,7 @@ class Accelerator
     ReplayWindow replay_;
     const faults::FaultPlane* fault_plane_ = nullptr;
     placement::PlacementPlane* placement_ = nullptr;
+    replication::ReplicationPlane* replication_ = nullptr;
     trace::Tracer* tracer_ = nullptr;
     check::InvariantRegistry* invariants_ = nullptr;
     /** Visits that began executing (only tracked while checking). */

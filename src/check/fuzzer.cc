@@ -11,6 +11,7 @@
 #include "check/shadow_memory.h"
 #include "common/random.h"
 #include "core/cluster.h"
+#include "faults/nemesis.h"
 #include "ds/balanced_tree.h"
 #include "ds/bptree.h"
 #include "ds/bst_map.h"
@@ -176,6 +177,11 @@ run_workload_case(const FuzzCase& c)
         config.placement.epoch = micros(5.0);
         config.placement.trigger_imbalance = 1.1;
     }
+    // Opt-in (PULSE_REPLICATION=k2 in the CI chaos-soak job): run
+    // every fuzz case with the replication plane live, so crash
+    // detection and failover race the fuzzed traversals under the
+    // oracle and invariants.
+    config.replication = replication::ReplicationConfig::from_env();
 
     core::Cluster cluster(config);
     Rng rng(c.seed * 0x9E3779B97F4A7C15ull + 0xD5);
@@ -607,6 +613,16 @@ fuzz_fault_config(const std::string& name, std::uint64_t seed,
         config.links.corrupt = 0.005;
         config.links.reorder = 0.2;
         config.links.reorder_jitter = micros(5.0);
+    } else if (name == "nemesis") {
+        // Scripted node crash/recover windows: stalls the detector
+        // must ride out and blackouts it must declare. Targets up to
+        // four nodes; windows for nodes a smaller case lacks are
+        // harmless no-ops.
+        faults::NemesisConfig nemesis;
+        nemesis.seed = seed ^ 0xFA11C0DEull;
+        nemesis.num_nodes = 4;
+        nemesis.crashes = 2;
+        config.timeline = faults::nemesis_timeline(nemesis);
     } else {
         recognized = false;
     }

@@ -40,11 +40,15 @@ inline constexpr const char* kFuzzDataStructures[] = {
 };
 inline constexpr std::size_t kNumFuzzDataStructures = 6;
 
-/** Named fault-plane profiles a case can cross with. */
+/** Named fault-plane profiles a case can cross with. "nemesis" is the
+ *  scripted crash/recover schedule (src/faults/nemesis.h): memory
+ *  nodes black out or stall mid-case, exercising engine give-ups and —
+ *  when PULSE_REPLICATION opts the plane in — detection and failover
+ *  under the oracle. */
 inline constexpr const char* kFuzzFaultConfigs[] = {
-    "healthy", "loss", "dup", "burst", "chaos",
+    "healthy", "loss", "dup", "burst", "chaos", "nemesis",
 };
-inline constexpr std::size_t kNumFuzzFaultConfigs = 5;
+inline constexpr std::size_t kNumFuzzFaultConfigs = 6;
 
 /** One deterministic fuzz case (== its own reproducer). */
 struct FuzzCase

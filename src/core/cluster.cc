@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "faults/nemesis.h"
 
 namespace pulse::core {
 
@@ -104,6 +105,42 @@ Cluster::Cluster(const ClusterConfig& config)
         placement_plane_->attach_replay_windows(std::move(replays));
     }
 
+    if (config.replication.enabled()) {
+        std::vector<mem::RangeTcam*> tcams;
+        std::vector<accel::ReplayWindow*> replays;
+        tcams.reserve(accelerators_.size());
+        replays.reserve(accelerators_.size());
+        for (auto& accelerator : accelerators_) {
+            tcams.push_back(&accelerator->tcam());
+            replays.push_back(&accelerator->replay_window());
+        }
+        replication_plane_ =
+            std::make_unique<replication::ReplicationPlane>(
+                queue_, *network_, *memory_, *allocator_,
+                std::move(tcams), channel_ptrs, config.replication);
+        replication_plane_->attach_replay_windows(std::move(replays));
+        for (auto& accelerator : accelerators_) {
+            accelerator->set_replication(replication_plane_.get());
+        }
+        // A migration cutover changes the authoritative owner of a
+        // span; the plane must know so its mirrors skip the owner.
+        if (placement_plane_) {
+            placement_plane_->set_cutover_observer(
+                [plane = replication_plane_.get()](
+                    NodeId src, NodeId dst, VirtAddr va_base,
+                    Bytes length) {
+                    plane->notify_cutover(src, dst, va_base, length);
+                });
+        }
+        // Scripted crash windows heal at their end: resume probing the
+        // node and let the scan rebuild redundancy involving it.
+        faults::schedule_recoveries(
+            queue_, config.faults.timeline,
+            [plane = replication_plane_.get()](NodeId node) {
+                plane->notify_recovered(node);
+            });
+    }
+
     for (ClientId client = 0; client < config.num_clients; client++) {
         offload_.push_back(std::make_unique<offload::OffloadEngine>(
             queue_, *network_, *memory_, client, config.offload));
@@ -200,10 +237,16 @@ Cluster::submitter(SystemKind kind, ClientId client)
                     engine.analysis_for(op.program);
                 checker_->oracle()->arm(op, analysis.valid,
                                         engine.should_offload(analysis));
+                if (replication_plane_) {
+                    replication_plane_->note_activity();
+                }
                 engine.submit(std::move(op));
             };
         }
         return [this, client](offload::Operation&& op) {
+            if (replication_plane_) {
+                replication_plane_->note_activity();
+            }
             offload_[client]->submit(std::move(op));
         };
       case SystemKind::kCache:
@@ -236,6 +279,9 @@ Cluster::reset_stats()
     }
     if (placement_plane_) {
         placement_plane_->reset_stats();
+    }
+    if (replication_plane_) {
+        replication_plane_->reset_stats();
     }
     for (auto& channels : channels_) {
         channels->reset_stats();
@@ -345,6 +391,9 @@ Cluster::register_stats(StatRegistry& registry)
     if (placement_plane_) {
         placement_plane_->register_stats("placement", registry);
     }
+    if (replication_plane_) {
+        replication_plane_->register_stats("replication", registry);
+    }
     {
         const auto& stats = cache_->stats();
         registry.register_counter("client0.cache.operations",
@@ -402,6 +451,20 @@ Cluster::export_metrics(trace::MetricsExporter& exporter,
                  static_cast<double>(tracer_.recorded()));
     exporter.set(prefix + "trace.spans_dropped",
                  static_cast<double>(tracer_.dropped()));
+    if (replication_plane_) {
+        exporter.set(
+            prefix + "replication.backlog_bytes",
+            static_cast<double>(
+                replication_plane_->rereplication_backlog_bytes()));
+        exporter.set(prefix + "replication.failovers",
+                     static_cast<double>(
+                         replication_plane_->failovers().size()));
+        for (NodeId node = 0; node < accelerators_.size(); node++) {
+            exporter.set(prefix + "replication.node" +
+                             std::to_string(node) + ".suspicion",
+                         replication_plane_->suspicion(node));
+        }
+    }
 }
 
 }  // namespace pulse::core

@@ -38,6 +38,8 @@
 #include "offload/offload_engine.h"
 #include "placement/placement_config.h"
 #include "placement/placement_plane.h"
+#include "replication/replication_config.h"
+#include "replication/replication_plane.h"
 #include "sim/event_queue.h"
 #include "trace/metrics_exporter.h"
 #include "trace/trace.h"
@@ -122,6 +124,17 @@ struct ClusterConfig
      */
     placement::PlacementConfig placement;
 
+    /**
+     * Fault-tolerance plane (src/replication): k-way slab replication,
+     * heartbeat failure detection, automatic failover. Off by default
+     * (replication factor 1) — no plane is constructed, accelerators
+     * keep a null replication pointer, and no stats keys are
+     * registered, so replication-off runs stay bit-identical to a
+     * build without the subsystem. Benches honor the PULSE_REPLICATION
+     * environment variable (see ReplicationConfig).
+     */
+    replication::ReplicationConfig replication;
+
     ClusterConfig();
 
     /** Configure pulse-ACC (section 7.2): continuations bounce through
@@ -171,6 +184,12 @@ class Cluster
     placement::PlacementPlane* placement_plane()
     {
         return placement_plane_.get();
+    }
+
+    /** The replication plane; nullptr when config.replication is off. */
+    replication::ReplicationPlane* replication_plane()
+    {
+        return replication_plane_.get();
     }
 
     /**
@@ -232,6 +251,7 @@ class Cluster
     std::unique_ptr<faults::FaultPlane> fault_plane_;
     std::unique_ptr<check::Checker> checker_;
     std::unique_ptr<placement::PlacementPlane> placement_plane_;
+    std::unique_ptr<replication::ReplicationPlane> replication_plane_;
     std::vector<std::unique_ptr<mem::ChannelSet>> channels_;
     std::vector<std::unique_ptr<accel::Accelerator>> accelerators_;
     std::vector<std::unique_ptr<offload::OffloadEngine>> offload_;

@@ -1,0 +1,62 @@
+#include "faults/nemesis.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace pulse::faults {
+
+std::vector<NodeFaultWindow>
+nemesis_timeline(const NemesisConfig& config)
+{
+    PULSE_ASSERT(config.num_nodes >= 1, "nemesis needs a node");
+    PULSE_ASSERT(config.max_duration >= config.min_duration,
+                 "inverted nemesis duration bounds");
+    Rng rng(config.seed * 0x9E3779B97F4A7C15ull + 0xFA11);
+    std::vector<NodeFaultWindow> timeline;
+    timeline.reserve(config.crashes);
+    Time start = config.first_start;
+    for (std::uint32_t i = 0; i < config.crashes; i++) {
+        NodeFaultWindow window;
+        window.node =
+            static_cast<NodeId>(rng.next_below(config.num_nodes));
+        window.kind = rng.next_bool(config.stall_fraction)
+                          ? NodeFaultKind::kStall
+                          : NodeFaultKind::kBlackout;
+        const Time duration =
+            config.min_duration +
+            static_cast<Time>(rng.next_below(
+                static_cast<std::uint64_t>(config.max_duration -
+                                           config.min_duration) +
+                1));
+        // Jitter the start by up to a quarter of the spacing so crash
+        // cadence never phase-locks with workload periodicity.
+        const Time jitter = static_cast<Time>(
+            rng.next_below(static_cast<std::uint64_t>(
+                               config.spacing / 4) +
+                           1));
+        window.start = start + jitter;
+        window.end = window.start + duration;
+        timeline.push_back(window);
+        start += config.spacing;
+    }
+    return timeline;
+}
+
+void
+schedule_recoveries(sim::EventQueue& queue,
+                    const std::vector<NodeFaultWindow>& timeline,
+                    std::function<void(NodeId)> on_recover)
+{
+    for (const NodeFaultWindow& window : timeline) {
+        if (window.end == 0) {
+            continue;  // permanent crash: nothing to recover
+        }
+        const NodeId node = window.node;
+        auto fn = on_recover;
+        queue.schedule_at(window.end, [node, fn = std::move(fn)] {
+            fn(node);
+        });
+    }
+}
+
+}  // namespace pulse::faults

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Nemesis scheduler: seeded crash/recover scripts over random nodes.
+ *
+ * Produces deterministic NodeFaultWindow timelines — the crash half of
+ * a crash -> detect -> failover -> recover -> re-replicate sequence —
+ * for the fuzzer's "nemesis" fault profile, the chaos CAS soak, and
+ * the availability bench. The recovery half is driven by the caller:
+ * schedule_recoveries() arms one event per window end that tells the
+ * replication plane (when present) the node is back, which restarts
+ * heartbeat probing and triggers background re-replication.
+ */
+#ifndef PULSE_FAULTS_NEMESIS_H
+#define PULSE_FAULTS_NEMESIS_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "faults/fault_config.h"
+#include "sim/event_queue.h"
+
+namespace pulse::faults {
+
+/** Shape of one generated crash schedule. */
+struct NemesisConfig
+{
+    std::uint64_t seed = 1;
+
+    /** Nodes the nemesis may target (windows for ids >= the cluster's
+     *  actual node count are harmless no-ops in the fault plane). */
+    std::uint32_t num_nodes = 2;
+
+    /** Crash windows to script. */
+    std::uint32_t crashes = 1;
+
+    /** Earliest window start. */
+    Time first_start = micros(100.0);
+
+    /** Gap between consecutive window starts (plus jitter below). */
+    Time spacing = micros(400.0);
+
+    /** Window length bounds (uniform). */
+    Time min_duration = micros(100.0);
+    Time max_duration = micros(300.0);
+
+    /** Fraction of windows that stall instead of black out: the
+     *  detector must ride these out without declaring death. */
+    double stall_fraction = 0.25;
+};
+
+/**
+ * Generate the scripted crash windows for @p config. Deterministic:
+ * the same config yields the same timeline. Node choice, start jitter,
+ * duration, and the stall-vs-blackout coin all come from one seeded
+ * stream consumed in window order.
+ */
+std::vector<NodeFaultWindow> nemesis_timeline(
+    const NemesisConfig& config);
+
+/**
+ * Arm one event per window end that invokes @p on_recover(node) —
+ * typically ReplicationPlane::notify_recovered, so probing resumes and
+ * the re-replication loop runs. Windows with end == 0 (a permanent
+ * crash) get no recovery event.
+ */
+void schedule_recoveries(sim::EventQueue& queue,
+                         const std::vector<NodeFaultWindow>& timeline,
+                         std::function<void(NodeId)> on_recover);
+
+}  // namespace pulse::faults
+
+#endif  // PULSE_FAULTS_NEMESIS_H

@@ -23,7 +23,7 @@ ClusterAllocator::ClusterAllocator(const AddressMap& map,
                                    Bytes uniform_chunk_bytes)
     : map_(map), policy_(policy), rng_(seed),
       chunk_bytes_(uniform_chunk_bytes), bump_(map.num_nodes(), 0),
-      free_lists_(map.num_nodes())
+      app_high_(map.num_nodes(), 0), free_lists_(map.num_nodes())
 {
 }
 
@@ -84,6 +84,7 @@ ClusterAllocator::alloc_on(NodeId node, Bytes size, Bytes align)
         return kNullAddr;
     }
     bump_[node] = start + size;
+    app_high_[node] = bump_[node];
     return map_.region(node).base + start;
 }
 
@@ -92,6 +93,13 @@ ClusterAllocator::allocated_on(NodeId node) const
 {
     PULSE_ASSERT(node < bump_.size(), "bad node id %u", node);
     return bump_[node];
+}
+
+Bytes
+ClusterAllocator::app_allocated_on(NodeId node) const
+{
+    PULSE_ASSERT(node < app_high_.size(), "bad node id %u", node);
+    return app_high_[node];
 }
 
 Bytes

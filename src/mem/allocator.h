@@ -68,8 +68,19 @@ class ClusterAllocator
     /** Allocate @p size bytes on a specific node. */
     VirtAddr alloc_on(NodeId node, Bytes size, Bytes align = 8);
 
-    /** Bytes allocated so far on @p node. */
+    /** Bytes allocated so far on @p node (application data plus any
+     *  backing store taken from the bump frontier). */
     Bytes allocated_on(NodeId node) const;
+
+    /**
+     * Frontier of *application* allocation on @p node: the highest
+     * offset reached by alloc/alloc_on, excluding backing-store
+     * reservations (alloc_backing). Planes that treat a node's
+     * allocation prefix as traversable application data (replication)
+     * must use this, not allocated_on — backing store holds byte
+     * copies of data homed elsewhere and must never be re-replicated.
+     */
+    Bytes app_allocated_on(NodeId node) const;
 
     /** Total bytes allocated. */
     Bytes total_allocated() const;
@@ -110,6 +121,7 @@ class ClusterAllocator
     Rng rng_;
     Bytes chunk_bytes_;
     std::vector<Bytes> bump_;  // next free offset per node
+    std::vector<Bytes> app_high_;  // frontier sans backing store
     std::vector<std::vector<FreeRange>> free_lists_;  // sorted by offset
     NodeId round_robin_ = 0;
     VirtAddr chunk_next_ = kNullAddr;  // uniform-policy slab cursor

@@ -1,0 +1,116 @@
+#include "net/heartbeat.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pulse::net {
+
+namespace {
+/** EWMA weight for new inter-ack samples (Jacobson-style 1/8 would be
+ *  sluggish at heartbeat cadence; 0.25 tracks load shifts in a few
+ *  rounds while still smoothing one-off queueing excursions). */
+constexpr double kAlpha = 0.25;
+}  // namespace
+
+HeartbeatDetector::HeartbeatDetector(std::size_t num_nodes,
+                                     Time interval, double threshold,
+                                     std::uint32_t min_missed)
+    : interval_(interval), threshold_(threshold),
+      min_missed_(min_missed), nodes_(num_nodes)
+{
+    PULSE_ASSERT(interval_ > 0, "zero heartbeat interval");
+    PULSE_ASSERT(threshold_ > 0.0, "zero suspicion threshold");
+}
+
+void
+HeartbeatDetector::on_probe_sent(NodeId node, Time now)
+{
+    NodeState& state = nodes_[node];
+    if (state.dead) {
+        return;
+    }
+    if (!state.seen_ack && state.last_ack == 0) {
+        // First contact: anchor the silence clock at the first probe
+        // so a node that never answers accrues suspicion from here.
+        state.last_ack = now;
+    }
+    if (state.probe_outstanding) {
+        state.missed++;
+    }
+    state.probe_outstanding = true;
+}
+
+void
+HeartbeatDetector::on_ack(NodeId node, Time now)
+{
+    NodeState& state = nodes_[node];
+    if (state.dead) {
+        return;  // late ack from a declared-dead node: ignored
+    }
+    if (state.seen_ack) {
+        const double gap = static_cast<double>(now - state.last_ack);
+        state.smoothed_interval =
+            (1.0 - kAlpha) * state.smoothed_interval + kAlpha * gap;
+    } else {
+        state.seen_ack = true;
+        state.smoothed_interval = static_cast<double>(interval_);
+    }
+    state.last_ack = now;
+    state.missed = 0;
+    state.probe_outstanding = false;
+}
+
+double
+HeartbeatDetector::suspicion(NodeId node, Time now) const
+{
+    const NodeState& state = nodes_[node];
+    if (state.dead || state.last_ack == 0) {
+        return 0.0;
+    }
+    const double floor = static_cast<double>(interval_);
+    const double scale = std::max(state.smoothed_interval, floor);
+    return static_cast<double>(now - state.last_ack) / scale;
+}
+
+bool
+HeartbeatDetector::should_declare(NodeId node, Time now) const
+{
+    const NodeState& state = nodes_[node];
+    return !state.dead && state.missed >= min_missed_ &&
+           suspicion(node, now) >= threshold_;
+}
+
+void
+HeartbeatDetector::declare_dead(NodeId node)
+{
+    nodes_[node].dead = true;
+    nodes_[node].probe_outstanding = false;
+    nodes_[node].missed = 0;
+}
+
+void
+HeartbeatDetector::mark_recovered(NodeId node, Time now)
+{
+    NodeState& state = nodes_[node];
+    state = NodeState{};
+    state.last_ack = now;
+    state.seen_ack = false;
+}
+
+bool
+HeartbeatDetector::unresolved() const
+{
+    for (NodeId node = 0; node < nodes_.size(); node++) {
+        const NodeState& state = nodes_[node];
+        if (state.dead) {
+            continue;
+        }
+        if (state.probe_outstanding || state.missed > 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace pulse::net

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Switch-side heartbeat failure detector (docs/REPLICATION.md).
+ *
+ * A phi-accrual-style suspicion state machine over per-node heartbeat
+ * acks: the replication plane probes every live memory node through the
+ * ordinary message path each round and feeds ack arrivals here. The
+ * detector keeps a smoothed inter-ack interval per node and reports
+ * suspicion as the ratio of silence to that smoothed interval — a node
+ * is declared dead only when suspicion crosses the threshold AND a
+ * minimum number of consecutive probes went unanswered.
+ *
+ * The two-signal rule is what distinguishes a stall from a blackout:
+ * a stalled node's NIC holds probe deliveries and flushes them at the
+ * window end, so acks arrive late but arrive — suspicion spikes and
+ * then collapses before the missed-probe floor is reached. A blacked-
+ * out node drops probes and acks alike, so both signals keep growing
+ * until death is declared. Purely deterministic: all times come from
+ * the simulated clock, and the detector itself draws no randomness.
+ */
+#ifndef PULSE_NET_HEARTBEAT_H
+#define PULSE_NET_HEARTBEAT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace pulse::net {
+
+/** Per-node suspicion tracker (one per cluster, indexed by node). */
+class HeartbeatDetector
+{
+  public:
+    /**
+     * @param num_nodes   memory nodes to track
+     * @param interval    nominal probe period (floor for the smoothed
+     *                    inter-ack interval, so one slow ack cannot
+     *                    make the detector hair-triggered)
+     * @param threshold   suspicion level that, with the missed-probe
+     *                    floor, declares a node dead
+     * @param min_missed  consecutive unanswered probes required
+     */
+    HeartbeatDetector(std::size_t num_nodes, Time interval,
+                      double threshold, std::uint32_t min_missed);
+
+    /** A probe round targeted @p node at @p now (no ack seen yet). */
+    void on_probe_sent(NodeId node, Time now);
+
+    /** An ack from @p node arrived at @p now. */
+    void on_ack(NodeId node, Time now);
+
+    /** Silence ratio: (now - last ack) / smoothed inter-ack interval.
+     *  0 for a node already declared dead. */
+    double suspicion(NodeId node, Time now) const;
+
+    /** Both death conditions hold for the (live) node. */
+    bool should_declare(NodeId node, Time now) const;
+
+    /** Administratively mark @p node dead: probing stops, suspicion
+     *  reads 0, and is_dead() holds until mark_recovered(). */
+    void declare_dead(NodeId node);
+
+    bool is_dead(NodeId node) const { return nodes_[node].dead; }
+
+    /** The node came back (nemesis recovery): reset its history so
+     *  probing resumes with a clean slate anchored at @p now. */
+    void mark_recovered(NodeId node, Time now);
+
+    /** A probe of some live node is still unanswered — the probe loop
+     *  must keep running until it resolves into an ack or a death. */
+    bool unresolved() const;
+
+    std::size_t num_nodes() const { return nodes_.size(); }
+
+  private:
+    struct NodeState
+    {
+        Time last_ack = 0;
+        double smoothed_interval = 0.0;  ///< EWMA of inter-ack gaps
+        std::uint32_t missed = 0;        ///< consecutive unacked probes
+        bool probe_outstanding = false;
+        bool dead = false;
+        bool seen_ack = false;
+    };
+
+    Time interval_;
+    double threshold_;
+    std::uint32_t min_missed_;
+    std::vector<NodeState> nodes_;
+};
+
+}  // namespace pulse::net
+
+#endif  // PULSE_NET_HEARTBEAT_H

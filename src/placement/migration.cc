@@ -235,7 +235,7 @@ MigrationEngine::cutover()
     // executed — otherwise a lost response plus a retransmit chasing
     // the migrated slab would re-execute a store/CAS.
     if (on_cutover_) {
-        on_cutover_(m.src, m.dst);
+        on_cutover_(m.src, m.dst, m.va_base, m.length);
     }
 
     // RETIRE the vacated backing into the allocator's free list so a

@@ -85,11 +85,14 @@ class MigrationEngine
 
     /**
      * Invoked inside the cutover event, after routing flips, with the
-     * (src, dst) nodes. The placement plane uses it to hand the
-     * source accelerator's replay-window digest to the destination —
-     * the exactly-once domain moves with the data.
+     * (src, dst) nodes and the migrated span. The placement plane uses
+     * it to hand the source accelerator's replay-window digest to the
+     * destination — the exactly-once domain moves with the data — and
+     * forwards the span to the replication plane (when present) so
+     * replica bookkeeping can follow ownership changes.
      */
-    void set_cutover_listener(std::function<void(NodeId, NodeId)> fn)
+    void set_cutover_listener(
+        std::function<void(NodeId, NodeId, VirtAddr, Bytes)> fn)
     {
         on_cutover_ = std::move(fn);
     }
@@ -126,7 +129,7 @@ class MigrationEngine
     std::vector<mem::RangeTcam*> tcams_;
     std::vector<mem::ChannelSet*> channels_;
     PlacementConfig config_;
-    std::function<void(NodeId, NodeId)> on_cutover_;
+    std::function<void(NodeId, NodeId, VirtAddr, Bytes)> on_cutover_;
     std::optional<Active> active_;
     /** Bumped whenever a migration ends; stale timers/acks from a
      *  finished migration check it and become no-ops. */

@@ -28,14 +28,18 @@ PlacementPlane::attach_replay_windows(
     std::vector<accel::ReplayWindow*> windows)
 {
     replay_windows_ = std::move(windows);
-    engine_.set_cutover_listener([this](NodeId src, NodeId dst) {
-        if (src >= replay_windows_.size() ||
-            dst >= replay_windows_.size()) {
-            return;
+    engine_.set_cutover_listener([this](NodeId src, NodeId dst,
+                                        VirtAddr va_base, Bytes length) {
+        if (src < replay_windows_.size() &&
+            dst < replay_windows_.size()) {
+            const std::size_t copied =
+                replay_windows_[dst]->absorb_from(
+                    *replay_windows_[src]);
+            stats_.replay_entries_handed_off.increment(copied);
         }
-        const std::size_t copied =
-            replay_windows_[dst]->absorb_from(*replay_windows_[src]);
-        stats_.replay_entries_handed_off.increment(copied);
+        if (cutover_observer_) {
+            cutover_observer_(src, dst, va_base, length);
+        }
     });
 }
 

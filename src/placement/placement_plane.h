@@ -74,6 +74,18 @@ class PlacementPlane
         std::vector<accel::ReplayWindow*> windows);
 
     /**
+     * Observe every migration cutover: fires inside the cutover event,
+     * after routing flips and the digest handoff, with (src, dst,
+     * va_base, length). The cluster wires the replication plane in
+     * here so its mirror bookkeeping can note ownership changes.
+     */
+    void set_cutover_observer(
+        std::function<void(NodeId, NodeId, VirtAddr, Bytes)> fn)
+    {
+        cutover_observer_ = std::move(fn);
+    }
+
+    /**
      * A visit absorbed at a cutover while still executing on @p from
      * just completed there; record @p response in every other window
      * holding the absorbed in-progress copy.
@@ -147,6 +159,8 @@ class PlacementPlane
     HotnessTracker hotness_;
     MigrationEngine engine_;
     std::vector<accel::ReplayWindow*> replay_windows_;
+    std::function<void(NodeId, NodeId, VirtAddr, Bytes)>
+        cutover_observer_;
     std::deque<std::pair<VirtAddr, NodeId>> pending_;
     bool epoch_armed_ = false;
     PlacementStats stats_;

@@ -1,8 +1,10 @@
 #include "workloads/driver.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/logging.h"
+#include "common/random.h"
 
 namespace pulse::workloads {
 namespace {
@@ -11,11 +13,17 @@ struct DriverState
 {
     DriverConfig config;
     DriverResult result;
+    Rng retry_rng;
     std::uint64_t issued = 0;
     std::uint64_t done = 0;
     Time measure_start = 0;
     bool measuring = false;
     bool finished = false;
+
+    explicit DriverState(const DriverConfig& c)
+        : config(c), retry_rng(c.retry_seed)
+    {
+    }
 };
 
 }  // namespace
@@ -27,27 +35,65 @@ run_closed_loop(sim::EventQueue& queue, const SubmitFn& submit,
     PULSE_ASSERT(config.concurrency >= 1, "need concurrency >= 1");
     PULSE_ASSERT(config.measure_ops >= 1, "nothing to measure");
 
-    auto state = std::make_shared<DriverState>();
-    state->config = config;
+    auto state = std::make_shared<DriverState>(config);
     const std::uint64_t total_ops =
         config.warmup_ops + config.measure_ops;
 
-    // Issues the next operation; completions re-enter here.
+    // Issues the next fresh operation; completions re-enter here.
     auto issue_next = std::make_shared<std::function<void()>>();
-    *issue_next = [&queue, &submit, &factory, state, issue_next,
-                   total_ops] {
-        if (state->issued >= total_ops) {
-            return;
+    // Submits one attempt of one operation; timed-out attempts with
+    // retry budget left loop back here after a backoff.
+    auto run_attempt = std::make_shared<
+        std::function<void(offload::Operation&&, std::uint32_t)>>();
+
+    *run_attempt = [&queue, &submit, state, issue_next, run_attempt,
+                    total_ops](offload::Operation&& op,
+                               std::uint32_t attempt) {
+        // Keep a resubmittable copy only when the retry policy is on
+        // (the copy is taken before `done` is set, so it is cheap:
+        // program pointer + start state, no callback chain).
+        auto retry_copy = std::shared_ptr<offload::Operation>();
+        if (state->config.max_retries > 0) {
+            retry_copy = std::make_shared<offload::Operation>(op);
         }
-        const std::uint64_t index = state->issued++;
-        offload::Operation op = factory(index);
-        op.done = [&queue, state, issue_next, total_ops](
-                      offload::Completion&& completion) {
+        op.done = [&queue, state, issue_next, run_attempt, total_ops,
+                   retry_copy,
+                   attempt](offload::Completion&& completion) {
+            if (completion.timed_out && retry_copy &&
+                attempt < state->config.max_retries) {
+                // Engine gave up (e.g. the responder is dark): back
+                // off exponentially with seeded jitter and resubmit.
+                // Not a terminal completion — nothing is counted yet
+                // and the concurrency slot stays occupied.
+                if (state->measuring) {
+                    state->result.retries++;
+                }
+                const std::uint32_t shift = std::min<std::uint32_t>(
+                    attempt, 20);
+                const double jitter =
+                    1.0 + state->config.retry_jitter *
+                              state->retry_rng.next_double();
+                const Time delay = static_cast<Time>(
+                    static_cast<double>(state->config.retry_backoff
+                                        << shift) *
+                    jitter);
+                const std::uint32_t next_attempt = attempt + 1;
+                queue.schedule_after(
+                    delay, [run_attempt, retry_copy, next_attempt] {
+                        (*run_attempt)(
+                            offload::Operation(*retry_copy),
+                            next_attempt);
+                    });
+                return;
+            }
             state->done++;
             if (state->measuring) {
                 state->result.completed++;
                 if (completion.timed_out) {
                     state->result.failed_ops++;
+                    if (state->config.max_retries > 0) {
+                        state->result.retries_exhausted++;
+                    }
                 } else {
                     state->result.latency.add(completion.latency);
                 }
@@ -76,6 +122,14 @@ run_closed_loop(sim::EventQueue& queue, const SubmitFn& submit,
         submit(std::move(op));
     };
 
+    *issue_next = [&factory, state, run_attempt, total_ops] {
+        if (state->issued >= total_ops) {
+            return;
+        }
+        const std::uint64_t index = state->issued++;
+        (*run_attempt)(factory(index), /*attempt=*/0);
+    };
+
     // Degenerate warmup: open the measurement window immediately.
     if (config.warmup_ops == 0) {
         state->measuring = true;
@@ -95,10 +149,11 @@ run_closed_loop(sim::EventQueue& queue, const SubmitFn& submit,
                  static_cast<unsigned long long>(state->done),
                  static_cast<unsigned long long>(total_ops));
 
-    // issue_next's lambda captures issue_next itself (so completions
-    // can re-enter it); clear the function to break the cycle, or the
-    // state never frees.
+    // The two dispatch lambdas capture their own shared handles (so
+    // completions can re-enter them); clear the functions to break the
+    // cycles, or the state never frees.
     *issue_next = nullptr;
+    *run_attempt = nullptr;
 
     DriverResult result = std::move(state->result);
     if (result.measure_time > 0) {

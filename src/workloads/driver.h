@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "common/histogram.h"
+#include "common/units.h"
 #include "offload/offload_engine.h"
 #include "sim/event_queue.h"
 
@@ -36,6 +37,26 @@ struct DriverConfig
     /** Outstanding operations (1 for latency, high for throughput). */
     std::uint32_t concurrency = 1;
 
+    /**
+     * Bounded retry on engine give-up (timed_out completions): the
+     * driver resubmits the same operation up to this many times with
+     * exponential backoff before accepting the failure. 0 (default)
+     * disables retry, keeping every existing run bit-identical. The
+     * retried attempts are what keep a workload progressing across a
+     * memory-node outage while the replication plane fails over.
+     */
+    std::uint32_t max_retries = 0;
+
+    /** First-retry backoff; doubles per subsequent attempt. */
+    Time retry_backoff = micros(500.0);
+
+    /** Uniform backoff jitter fraction (delay *= 1 + jitter * U[0,1)),
+     *  drawn from a private seeded stream so runs stay deterministic. */
+    double retry_jitter = 0.1;
+
+    /** Seed for the backoff-jitter stream. */
+    std::uint64_t retry_seed = 0x7e7247;
+
     /** Invoked when the measurement window opens. */
     std::function<void()> on_measure_start;
 };
@@ -54,6 +75,14 @@ struct DriverResult
      * instead of polluting the tail percentiles.
      */
     std::uint64_t failed_ops = 0;
+    /** Timed-out attempts resubmitted by the retry policy. */
+    std::uint64_t retries = 0;
+    /**
+     * Operations that failed even after max_retries resubmissions —
+     * the driver-level give-up, distinct from failed_ops (which counts
+     * every terminal engine give-up whether or not retry was on).
+     */
+    std::uint64_t retries_exhausted = 0;
     std::uint64_t iterations = 0;
     double throughput = 0.0;    ///< ops per second over the window
 };

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Driver bounded-retry tests: a retried operation rides out a blackout
+ * the engine's retransmit ladder gives up on, exhausted retries are
+ * counted separately from engine give-ups, max_retries=0 keeps the
+ * seed behaviour, and the jittered backoff stream is deterministic.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cluster.h"
+#include "isa/program.h"
+#include "workloads/driver.h"
+
+namespace pulse::workloads {
+namespace {
+
+isa::Program
+load_program()
+{
+    isa::ProgramBuilder b;
+    b.load(8).move(isa::sp(0, 8), isa::dat(0, 8)).ret();
+    b.scratch_bytes(8);
+    return b.build();
+}
+
+/**
+ * A 2-node cluster whose node 0 is dark for [1us, @p outage_end) with
+ * an engine retransmit ladder short enough to give up mid-outage
+ * (3 retransmits of 20us), so the driver's retry policy is what
+ * decides whether operations targeting node 0 ever complete.
+ */
+core::ClusterConfig
+blackout_config(Time outage_end)
+{
+    core::ClusterConfig config;
+    config.num_mem_nodes = 2;
+    config.offload.retransmit_timeout = micros(20.0);
+    config.offload.max_retransmits = 3;
+    config.faults.timeline.push_back(faults::NodeFaultWindow{
+        /*node=*/0, faults::NodeFaultKind::kBlackout, micros(1.0),
+        outage_end});
+    return config;
+}
+
+DriverResult
+run_reads(core::Cluster& cluster, const DriverConfig& driver,
+          int total)
+{
+    auto program =
+        std::make_shared<const isa::Program>(load_program());
+    const VirtAddr va = cluster.allocator().alloc_on(0, 64, 8);
+    EXPECT_NE(va, kNullAddr);
+    cluster.memory().write_as<std::uint64_t>(va, 42);
+    DriverConfig config = driver;
+    config.warmup_ops = 0;
+    config.measure_ops = total;
+    return run_closed_loop(
+        cluster.queue(), cluster.submitter(core::SystemKind::kPulse),
+        [&, program](std::uint64_t) {
+            offload::Operation op;
+            op.program = program;
+            op.start_ptr = va;
+            op.init_scratch.assign(8, 0);
+            return op;
+        },
+        config);
+}
+
+TEST(DriverRetry, RetriesThroughOutage)
+{
+    // The outage ends at 600us; the engine gives up long before that,
+    // so only retried resubmissions can complete the operations.
+    core::Cluster cluster(blackout_config(micros(600.0)));
+    DriverConfig driver;
+    driver.concurrency = 4;
+    driver.max_retries = 12;
+    driver.retry_backoff = micros(100.0);
+    const DriverResult result = run_reads(cluster, driver, 32);
+
+    EXPECT_EQ(result.completed, 32u);
+    EXPECT_EQ(result.errors, 0u);
+    EXPECT_GT(result.retries, 0u);
+    EXPECT_EQ(result.retries_exhausted, 0u);
+    EXPECT_EQ(result.failed_ops, 0u);
+}
+
+TEST(DriverRetry, ExhaustionIsCountedSeparately)
+{
+    // The outage outlasts the whole retry budget: every operation
+    // fails terminally, and the driver-level give-up is reported both
+    // as a failed op and as an exhausted retry budget.
+    core::Cluster cluster(blackout_config(micros(50000.0)));
+    DriverConfig driver;
+    driver.concurrency = 2;
+    driver.max_retries = 2;
+    driver.retry_backoff = micros(50.0);
+    const DriverResult result = run_reads(cluster, driver, 8);
+
+    EXPECT_EQ(result.completed, 8u);
+    EXPECT_EQ(result.errors, 8u);
+    EXPECT_EQ(result.failed_ops, 8u);
+    EXPECT_EQ(result.retries_exhausted, 8u);
+    EXPECT_EQ(result.retries, 16u);  // 2 resubmissions per op
+}
+
+TEST(DriverRetry, DisabledByDefaultKeepsSeedBehaviour)
+{
+    core::Cluster cluster(blackout_config(micros(50000.0)));
+    DriverConfig driver;
+    driver.concurrency = 2;
+    const DriverResult result = run_reads(cluster, driver, 8);
+
+    // No resubmissions: every op surfaces the engine give-up directly.
+    EXPECT_EQ(result.completed, 8u);
+    EXPECT_EQ(result.failed_ops, 8u);
+    EXPECT_EQ(result.retries, 0u);
+    EXPECT_EQ(result.retries_exhausted, 0u);
+}
+
+TEST(DriverRetry, BackoffIsDeterministic)
+{
+    auto run_once = [] {
+        core::Cluster cluster(blackout_config(micros(600.0)));
+        DriverConfig driver;
+        driver.concurrency = 4;
+        driver.max_retries = 12;
+        driver.retry_backoff = micros(100.0);
+        return run_reads(cluster, driver, 32);
+    };
+    const DriverResult a = run_once();
+    const DriverResult b = run_once();
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.measure_time, b.measure_time);
+    EXPECT_EQ(a.latency.count(), b.latency.count());
+    EXPECT_EQ(a.latency.mean(), b.latency.mean());
+}
+
+}  // namespace
+}  // namespace pulse::workloads

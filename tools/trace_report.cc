@@ -31,6 +31,7 @@
 #include "common/random.h"
 #include "core/cluster.h"
 #include "ds/hash_table.h"
+#include "replication/replication_plane.h"
 #include "trace/metrics_exporter.h"
 #include "trace/trace.h"
 #include "workloads/driver.h"
@@ -94,8 +95,12 @@ main(int argc, char** argv)
     }
 
     // The exact fig9_breakdown workload, with tracing switched on.
+    // PULSE_REPLICATION is honoured like everywhere else so the
+    // health section below reflects an opted-in fault-tolerance
+    // plane.
     core::ClusterConfig config;
     config.trace.enabled = true;
+    config.replication = replication::ReplicationConfig::from_env();
     core::Cluster cluster(config);
     ds::HashTableConfig ht;
     ht.num_buckets = 512;
@@ -179,6 +184,43 @@ main(int argc, char** argv)
         std::printf(" %llu", static_cast<unsigned long long>(ops));
     }
     std::printf(")\n");
+
+    // Fault-tolerance health (only when PULSE_REPLICATION opted the
+    // plane in): per-node detector state plus the failover and
+    // redundancy-repair ledger.
+    if (const replication::ReplicationPlane* plane =
+            cluster.replication_plane()) {
+        const auto& rstats = plane->stats();
+        std::printf("replication k=%u: %llu replicas live, "
+                    "%llu failovers, %llu spans rerouted, "
+                    "%llu spans lost, %llu rereplications, "
+                    "backlog %llu B\n",
+                    plane->config().replication_factor,
+                    static_cast<unsigned long long>(
+                        rstats.replicas_established.value()),
+                    static_cast<unsigned long long>(
+                        rstats.failovers_executed.value()),
+                    static_cast<unsigned long long>(
+                        rstats.failover_spans_rerouted.value()),
+                    static_cast<unsigned long long>(
+                        rstats.failover_spans_lost.value()),
+                    static_cast<unsigned long long>(
+                        rstats.rereplications.value()),
+                    static_cast<unsigned long long>(
+                        plane->rereplication_backlog_bytes()));
+        std::printf("detector:");
+        for (NodeId node = 0;
+             node < cluster.memory().num_nodes(); node++) {
+            std::printf(" node%u=%s(%.2f)", node,
+                        plane->is_dead(node) ? "DEAD" : "live",
+                        plane->suspicion(node));
+        }
+        std::printf(" (probes %llu, acks %llu)\n",
+                    static_cast<unsigned long long>(
+                        rstats.heartbeats_sent.value()),
+                    static_cast<unsigned long long>(
+                        rstats.heartbeat_acks.value()));
+    }
 
     if (!trace_out.empty() &&
         !write_text(trace_out, cluster.tracer().to_csv())) {
