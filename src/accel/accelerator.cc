@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/env_knobs.h"
 #include "common/logging.h"
 
 namespace pulse::accel {
@@ -15,10 +16,57 @@ Accelerator::Accelerator(sim::EventQueue& queue, net::Network& network,
     : queue_(queue), network_(network), memory_(memory),
       channels_(channels), node_(node), config_(config),
       tcam_(config.tcam_entries), pending_(config.sched_policy),
-      replay_(config.replay_window_entries)
+      replay_(config.replay_window_entries),
+      pooling_(pooling_enabled())
 {
     PULSE_ASSERT(config.num_cores > 0, "accelerator needs cores");
     PULSE_ASSERT(config.eta_pipelines > 0, "eta must be >= 1");
+    // Built once; start_logic_phase re-arms cas_base_/cas_fault_ per
+    // iteration instead of rebuilding a closure (see header).
+    cas_fn_ = [this](std::uint64_t mem_off, std::uint64_t expected,
+                     std::uint64_t desired) {
+        const auto translated = tcam_.translate_span(
+            cas_base_ + mem_off, 8, mem::Perm::kReadWrite);
+        if (translated.status != mem::TranslateStatus::kOk) {
+            // Dual-residency window: the slab migrated after this
+            // iteration's load; apply the CAS at the current owner.
+            if (translated.status == mem::TranslateStatus::kMiss &&
+                placement_ != nullptr) {
+                const auto forwarded = placement_->try_forward_cas(
+                    node_, cas_base_ + mem_off, expected, desired,
+                    queue_.now());
+                if (forwarded.has_value()) {
+                    if (*forwarded) {
+                        stats_.cas_ops.increment();
+                        if (replication_ != nullptr) {
+                            replication_->mirror_cas(
+                                node_, cas_base_ + mem_off, desired,
+                                queue_.now());
+                        }
+                    }
+                    return *forwarded;
+                }
+            }
+            cas_fault_ = true;
+            return false;
+        }
+        channels_.access(queue_.now(), 8);
+        const std::uint64_t current =
+            memory_.node(node_).read_as<std::uint64_t>(translated.phys);
+        if (current != expected) {
+            return false;
+        }
+        memory_.node(node_).write_as<std::uint64_t>(translated.phys,
+                                                    desired);
+        stats_.cas_ops.increment();
+        if (replication_ != nullptr) {
+            // Synchronous replication channel: the winning value is
+            // applied to every live replica in the same event.
+            replication_->mirror_cas(node_, cas_base_ + mem_off,
+                                     desired, queue_.now());
+        }
+        return true;
+    };
     cores_.resize(config.num_cores);
     for (Core& core : cores_) {
         core.logic_free.assign(config.eta_pipelines, 0);
@@ -83,6 +131,36 @@ Accelerator::inflight() const
         }
     }
     return n;
+}
+
+std::unique_ptr<Accelerator::Context>
+Accelerator::acquire_context()
+{
+    if (!context_pool_.empty()) {
+        std::unique_ptr<Context> context =
+            std::move(context_pool_.back());
+        context_pool_.pop_back();
+        contexts_reused_++;
+        // configure() re-zeroes the workspace on the valid-program
+        // path; reset the rest here so even the invalid-program early
+        // exit never sees a previous visit's state.
+        context->analysis = nullptr;
+        context->iterations_this_visit = 0;
+        context->arrival_iterations = 0;
+        context->workspace.cur_ptr = kNullAddr;
+        context->workspace.flags = 0;
+        return context;
+    }
+    contexts_created_++;
+    return std::make_unique<Context>();
+}
+
+void
+Accelerator::release_context(std::unique_ptr<Context> context)
+{
+    if (pooling_) {
+        context_pool_.push_back(std::move(context));
+    }
 }
 
 const isa::ProgramAnalysis*
@@ -262,9 +340,10 @@ Accelerator::try_dispatch(net::TraversalPacket& packet)
         slot++;
     }
 
-    auto context = std::make_unique<Context>();
+    std::unique_ptr<Context> context = acquire_context();
     context->packet = std::move(packet);
     context->arrival_iterations = context->packet.iterations_done;
+    context->iterations_this_visit = 0;
     if (invariants_ != nullptr && replay_.enabled()) {
         const ReplayWindow::Key key{context->packet.id,
                                     context->arrival_iterations};
@@ -286,6 +365,7 @@ Accelerator::try_dispatch(net::TraversalPacket& packet)
         // Reject malformed programs with an execution fault response.
         send_response(*context, TraversalStatus::kExecFault,
                       isa::ExecFault::kIllegalInstruction);
+        release_context(std::move(context));
         return true;
     }
     context->workspace.configure(*context->packet.code);
@@ -423,57 +503,15 @@ Accelerator::start_logic_phase(CoreId core_id, WorkspaceId ws,
 
     // Functional execution of the iteration's logic. The CAS
     // extension performs its read-modify-write through the TCAM and
-    // channels right here; event-level execution makes it atomic.
-    const VirtAddr cas_base = context.packet.cur_ptr;
-    bool cas_fault = false;
-    isa::CasFn cas = [this, cas_base, &cas_fault](
-                         std::uint64_t mem_off, std::uint64_t expected,
-                         std::uint64_t desired) {
-        const auto translated = tcam_.translate_span(
-            cas_base + mem_off, 8, mem::Perm::kReadWrite);
-        if (translated.status != mem::TranslateStatus::kOk) {
-            // Dual-residency window: the slab migrated after this
-            // iteration's load; apply the CAS at the current owner.
-            if (translated.status == mem::TranslateStatus::kMiss &&
-                placement_ != nullptr) {
-                const auto forwarded = placement_->try_forward_cas(
-                    node_, cas_base + mem_off, expected, desired,
-                    queue_.now());
-                if (forwarded.has_value()) {
-                    if (*forwarded) {
-                        stats_.cas_ops.increment();
-                        if (replication_ != nullptr) {
-                            replication_->mirror_cas(
-                                node_, cas_base + mem_off, desired,
-                                queue_.now());
-                        }
-                    }
-                    return *forwarded;
-                }
-            }
-            cas_fault = true;
-            return false;
-        }
-        channels_.access(queue_.now(), 8);
-        const std::uint64_t current =
-            memory_.node(node_).read_as<std::uint64_t>(
-                translated.phys);
-        if (current != expected) {
-            return false;
-        }
-        memory_.node(node_).write_as<std::uint64_t>(translated.phys,
-                                                    desired);
-        stats_.cas_ops.increment();
-        if (replication_ != nullptr) {
-            // Synchronous replication channel: the winning value is
-            // applied to every live replica in the same event.
-            replication_->mirror_cas(node_, cas_base + mem_off,
-                                     desired, queue_.now());
-        }
-        return true;
-    };
+    // channels inside cas_fn_ (built once at construction);
+    // event-level execution makes it atomic. Iterations run
+    // synchronously and never nest, so the member operand slots are
+    // safe to re-arm here.
+    cas_base_ = context.packet.cur_ptr;
+    cas_fault_ = false;
     isa::IterationResult iter =
-        run_iteration(*context.packet.code, context.workspace, cas);
+        run_iteration(*context.packet.code, context.workspace, cas_fn_);
+    const bool cas_fault = cas_fault_;
     const Time t_c =
         scaled(static_cast<Time>(iter.instructions_executed) *
                config_.logic_time_per_insn);
@@ -588,6 +626,7 @@ Accelerator::finish(CoreId core_id, WorkspaceId ws,
     Core& core = cores_[core_id];
     std::unique_ptr<Context> context = std::move(core.workspaces[ws]);
     send_response(*context, status, fault);
+    release_context(std::move(context));
 
     if (!pending_.empty()) {
         net::TraversalPacket next = pending_.pop();
@@ -676,6 +715,96 @@ Accelerator::send_response(Context& context, TraversalStatus status,
             network_.send_traversal(net::EndpointAddr::mem_node(node_),
                                     std::move(response));
         });
+}
+
+void
+Accelerator::save_state(StateWriter& writer) const
+{
+    PULSE_ASSERT(inflight() == 0,
+                 "checkpoint requires a quiesced accelerator");
+    writer.put_tag("ACCL");
+    writer.put_u64(cores_.size());
+    for (const Core& core : cores_) {
+        writer.put_i64(core.mem_pipe_free);
+        writer.put_u64(core.logic_free.size());
+        for (const Time t : core.logic_free) {
+            writer.put_i64(t);
+        }
+    }
+    const auto& entries = tcam_.entries();
+    writer.put_u64(entries.size());
+    for (const mem::RangeEntry& entry : entries) {
+        writer.put_u64(entry.va_base);
+        writer.put_u64(entry.length);
+        writer.put_u64(entry.phys_base);
+        writer.put_u8(static_cast<std::uint8_t>(entry.perm));
+    }
+    writer.put_u64(stats_.requests_received.value());
+    writer.put_u64(stats_.responses_sent.value());
+    writer.put_u64(stats_.forwards_sent.value());
+    writer.put_u64(stats_.iterations.value());
+    writer.put_u64(stats_.loads.value());
+    writer.put_u64(stats_.stores.value());
+    writer.put_u64(stats_.cas_ops.value());
+    writer.put_u64(stats_.protection_faults.value());
+    writer.put_u64(stats_.queue_drops.value());
+    writer.put_u64(stats_.duplicates_suppressed.value());
+    writer.put_u64(stats_.replays_sent.value());
+    for (const Accumulator* acc :
+         {&stats_.net_stack_time, &stats_.scheduler_time,
+          &stats_.mem_pipeline_time, &stats_.logic_pipeline_time,
+          &stats_.logic_busy_time, &stats_.workspace_wait_time}) {
+        writer.put_double(acc->sum());
+        writer.put_u64(acc->count());
+    }
+}
+
+void
+Accelerator::load_state(StateReader& reader)
+{
+    PULSE_ASSERT(inflight() == 0,
+                 "restore requires a quiesced accelerator");
+    reader.expect_tag("ACCL");
+    const std::uint64_t num_cores = reader.get_u64();
+    PULSE_ASSERT(num_cores == cores_.size(),
+                 "checkpoint core count mismatch");
+    for (Core& core : cores_) {
+        core.mem_pipe_free = reader.get_i64();
+        const std::uint64_t pipes = reader.get_u64();
+        PULSE_ASSERT(pipes == core.logic_free.size(),
+                     "checkpoint logic-pipeline count mismatch");
+        for (Time& t : core.logic_free) {
+            t = reader.get_i64();
+        }
+    }
+    const std::uint64_t num_entries = reader.get_u64();
+    std::vector<mem::RangeEntry> entries(num_entries);
+    for (mem::RangeEntry& entry : entries) {
+        entry.va_base = reader.get_u64();
+        entry.length = reader.get_u64();
+        entry.phys_base = reader.get_u64();
+        entry.perm = static_cast<mem::Perm>(reader.get_u8());
+    }
+    tcam_.restore_entries(std::move(entries));
+    stats_.requests_received.set(reader.get_u64());
+    stats_.responses_sent.set(reader.get_u64());
+    stats_.forwards_sent.set(reader.get_u64());
+    stats_.iterations.set(reader.get_u64());
+    stats_.loads.set(reader.get_u64());
+    stats_.stores.set(reader.get_u64());
+    stats_.cas_ops.set(reader.get_u64());
+    stats_.protection_faults.set(reader.get_u64());
+    stats_.queue_drops.set(reader.get_u64());
+    stats_.duplicates_suppressed.set(reader.get_u64());
+    stats_.replays_sent.set(reader.get_u64());
+    for (Accumulator* acc :
+         {&stats_.net_stack_time, &stats_.scheduler_time,
+          &stats_.mem_pipeline_time, &stats_.logic_pipeline_time,
+          &stats_.logic_busy_time, &stats_.workspace_wait_time}) {
+        const double sum = reader.get_double();
+        const std::uint64_t count = reader.get_u64();
+        acc->set(sum, count);
+    }
 }
 
 }  // namespace pulse::accel

@@ -31,6 +31,7 @@
 #include "accel/admission_queue.h"
 #include "accel/replay_window.h"
 #include "check/invariants.h"
+#include "common/serial.h"
 #include "common/stats.h"
 #include "faults/fault_plane.h"
 #include "isa/analysis.h"
@@ -164,6 +165,35 @@ class Accelerator
 
     const AccelConfig& config() const { return config_; }
 
+    /**
+     * Checkpoint support (core/checkpoint.h): requires a quiesced
+     * accelerator (no queued or executing requests). The replay window
+     * is deliberately not serialized — at quiesce every client
+     * operation has completed, so no retransmit of a recorded visit can
+     * arrive after restore, and new visits classify as kNew.
+     */
+    void save_state(StateWriter& writer) const;
+    void load_state(StateReader& reader);
+
+    /** Context-pool telemetry (bench_wallclock's visit-pool row). */
+    std::uint64_t contexts_created() const { return contexts_created_; }
+    std::uint64_t contexts_reused() const { return contexts_reused_; }
+
+    /** Packet-pool telemetry: heap blocks allocated / recycled by the
+     *  admission-queue and replay-window pools (bench_wallclock's
+     *  packet-pool row). */
+    std::uint64_t
+    packet_pool_fresh() const
+    {
+        return pending_.pool_fresh() + replay_.pool_fresh();
+    }
+
+    std::uint64_t
+    packet_pool_reused() const
+    {
+        return pending_.pool_reused() + replay_.pool_reused();
+    }
+
   private:
     /** One in-flight traversal bound to a workspace. */
     struct Context
@@ -183,6 +213,16 @@ class Accelerator
         std::vector<Time> logic_free;         // per logic pipeline
         std::vector<std::unique_ptr<Context>> workspaces;
     };
+
+    /**
+     * Pop a recycled Context (or allocate the pool's next one). The
+     * steady state recycles: contexts only live in workspace slots, so
+     * the pool never exceeds num_cores * workspaces_per_core entries.
+     */
+    std::unique_ptr<Context> acquire_context();
+
+    /** Return a finished context to the pool (frees it if pooling off). */
+    void release_context(std::unique_ptr<Context> context);
 
     void on_packet(net::TraversalPacket&& packet);
     void admit(net::TraversalPacket&& packet);
@@ -237,6 +277,26 @@ class Accelerator
     /** Visits that began executing (only tracked while checking). */
     std::unordered_set<ReplayWindow::Key, ReplayWindow::KeyHash>
         executed_visits_;
+    /**
+     * Context freelist: finished visits park their Context here instead
+     * of freeing it, so the dispatch hot path stops allocating once the
+     * pool is warm. Disabled (acquire news, release frees) when
+     * PULSE_POOLING=off.
+     */
+    std::vector<std::unique_ptr<Context>> context_pool_;
+    bool pooling_ = true;
+    std::uint64_t contexts_created_ = 0;
+    std::uint64_t contexts_reused_ = 0;
+    /**
+     * Persistent CAS functor for the logic phase. Captures only `this`
+     * (fits std::function's inline buffer); per-iteration operands
+     * travel in cas_base_/cas_fault_ so no closure is rebuilt — the
+     * old per-iteration lambda's 24-byte capture heap-allocated on
+     * every single iteration.
+     */
+    isa::CasFn cas_fn_;
+    VirtAddr cas_base_ = 0;
+    bool cas_fault_ = false;
     AccelStats stats_;
 };
 

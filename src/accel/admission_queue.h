@@ -16,6 +16,7 @@
 #include <map>
 
 #include "accel/accel_config.h"
+#include "common/pool_allocator.h"
 #include "net/packet.h"
 
 namespace pulse::accel {
@@ -36,12 +37,48 @@ class AdmissionQueue
      *  false. */
     net::TraversalPacket pop();
 
+    /** Heap blocks the backing pools had to allocate (bench_wallclock
+     *  attribution: steady state should add ~none). */
+    std::uint64_t
+    pool_fresh() const
+    {
+        std::uint64_t fresh = fifo_.get_allocator().state()->fresh() +
+                              per_client_.get_allocator().state()->fresh();
+        for (const auto& [client, fifo] : per_client_) {
+            fresh += fifo.get_allocator().state()->fresh();
+        }
+        return fresh;
+    }
+
+    /** Heap blocks recycled from the pools instead of the heap. */
+    std::uint64_t
+    pool_reused() const
+    {
+        std::uint64_t reused =
+            fifo_.get_allocator().state()->reused() +
+            per_client_.get_allocator().state()->reused();
+        for (const auto& [client, fifo] : per_client_) {
+            reused += fifo.get_allocator().state()->reused();
+        }
+        return reused;
+    }
+
   private:
+    /**
+     * Packets are ~half a KiB of inline state, so a deque block holds
+     * one: without pooling every push/pop pair is a block alloc/free.
+     */
+    using PacketDeque =
+        std::deque<net::TraversalPacket,
+                   PoolAllocator<net::TraversalPacket>>;
+
     SchedPolicy policy_;
     std::size_t size_ = 0;
-    std::deque<net::TraversalPacket> fifo_;
+    PacketDeque fifo_;
     /** kFairShare: one FIFO per origin client + round-robin cursor. */
-    std::map<ClientId, std::deque<net::TraversalPacket>> per_client_;
+    std::map<ClientId, PacketDeque, std::less<ClientId>,
+             PoolAllocator<std::pair<const ClientId, PacketDeque>>>
+        per_client_;
     ClientId cursor_ = 0;
 };
 

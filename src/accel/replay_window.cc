@@ -9,7 +9,7 @@ namespace pulse::accel {
 void
 ReplayWindow::evict_for(ClientId client)
 {
-    std::deque<Key>& order = order_[client];
+    auto& order = order_[client];
     while (order.size() >= capacity_ && !order.empty()) {
         // FIFO like the real dedup SRAM: oldest visit leaves first. An
         // entry evicted while a duplicate is still in flight merely
@@ -43,7 +43,7 @@ ReplayWindow::unmark(const Key& key)
         return;
     }
     entries_.erase(it);
-    std::deque<Key>& order = order_[key.id.client];
+    auto& order = order_[key.id.client];
     for (auto order_it = order.begin(); order_it != order.end();
          ++order_it) {
         if (*order_it == key) {
@@ -61,7 +61,7 @@ ReplayWindow::forget(const Key& key)
         return;
     }
     entries_.erase(it);
-    std::deque<Key>& order = order_[key.id.client];
+    auto& order = order_[key.id.client];
     for (auto order_it = order.begin(); order_it != order.end();
          ++order_it) {
         if (*order_it == key) {

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/pool_allocator.h"
 #include "common/types.h"
 #include "net/packet.h"
 
@@ -151,6 +152,30 @@ class ReplayWindow
 
     std::size_t size() const { return entries_.size(); }
 
+    /** Heap blocks the entry/order pools had to allocate (bench
+     *  attribution: plateaus once the FIFO budget is reached). */
+    std::uint64_t
+    pool_fresh() const
+    {
+        std::uint64_t fresh = entries_.get_allocator().state()->fresh();
+        for (const auto& [client, order] : order_) {
+            fresh += order.get_allocator().state()->fresh();
+        }
+        return fresh;
+    }
+
+    /** Heap blocks recycled from the pools instead of the heap. */
+    std::uint64_t
+    pool_reused() const
+    {
+        std::uint64_t reused =
+            entries_.get_allocator().state()->reused();
+        for (const auto& [client, order] : order_) {
+            reused += order.get_allocator().state()->reused();
+        }
+        return reused;
+    }
+
   private:
     struct Entry
     {
@@ -161,9 +186,17 @@ class ReplayWindow
     void evict_for(ClientId client);
 
     std::size_t capacity_;
-    std::unordered_map<Key, Entry, KeyHash> entries_;
+    /**
+     * Once the FIFO budget is reached, every visit is one insert plus
+     * one eviction — pooled node recycling keeps that churn off the
+     * heap (each Entry embeds a ~half-KiB cached packet).
+     */
+    std::unordered_map<Key, Entry, KeyHash, std::equal_to<Key>,
+                       PoolAllocator<std::pair<const Key, Entry>>>
+        entries_;
     /** Insertion order per client for FIFO eviction. */
-    std::unordered_map<ClientId, std::deque<Key>> order_;
+    std::unordered_map<ClientId, std::deque<Key, PoolAllocator<Key>>>
+        order_;
     /** In-progress visits absorbed elsewhere at a migration cutover;
      *  their completion must be mirrored to the absorbing windows. */
     std::unordered_set<Key, KeyHash> handed_off_;

@@ -46,7 +46,7 @@ GoldenOracle::arm(offload::Operation& op, bool program_valid,
         ReferenceOptions options;
         if (will_offload) {
             pending.expected = reference_execute(
-                *op.program, op.start_ptr, op.init_scratch, shadow,
+                *op.program, op.start_ptr, op.init_scratch.to_vector(), shadow,
                 per_visit_cap_, total_guard_, options);
         } else {
             // Client fallback: read-only, no atomic path, one global
@@ -54,7 +54,7 @@ GoldenOracle::arm(offload::Operation& op, bool program_valid,
             options.apply_stores = false;
             options.enable_cas = false;
             pending.expected = reference_traversal(
-                *op.program, op.start_ptr, op.init_scratch, shadow,
+                *op.program, op.start_ptr, op.init_scratch.to_vector(), shadow,
                 static_cast<std::uint32_t>(std::min<std::uint64_t>(
                     total_guard_, 0xffffffffull)),
                 options);

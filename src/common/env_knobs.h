@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Process-wide performance knobs read from the environment.
+ *
+ * PULSE_POOLING mirrors PULSE_CHECK / PULSE_PLACEMENT / PULSE_REPLICATION:
+ * unset (or any value but "off"/"0") leaves the zero-alloc fast paths on;
+ * "off" or "0" falls back to the naive per-event allocation paths. The
+ * two are bit-identical by construction — the CI perf-guard job diffs
+ * fig4/5/9 stdout and metrics across the knob — so the fallback exists
+ * purely as a live differential check and a debugging aid.
+ */
+#ifndef PULSE_COMMON_ENV_KNOBS_H
+#define PULSE_COMMON_ENV_KNOBS_H
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pulse {
+
+/** True unless PULSE_POOLING=off|0: pools and event batching enabled. */
+inline bool
+pooling_enabled()
+{
+    static const bool enabled = [] {
+        const char* value = std::getenv("PULSE_POOLING");
+        if (value == nullptr) {
+            return true;
+        }
+        return std::strcmp(value, "off") != 0 &&
+               std::strcmp(value, "0") != 0;
+    }();
+    return enabled;
+}
+
+}  // namespace pulse
+
+#endif  // PULSE_COMMON_ENV_KNOBS_H

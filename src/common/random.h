@@ -41,6 +41,24 @@ class Rng
     /** Bernoulli trial with probability @p p. */
     bool next_bool(double p);
 
+    /** Checkpoint support: copy the raw engine state into @p out. */
+    void
+    save_state(std::uint64_t (&out)[4]) const
+    {
+        for (int i = 0; i < 4; i++) {
+            out[i] = state_[i];
+        }
+    }
+
+    /** Checkpoint support: reinstate a saved engine state. */
+    void
+    restore_state(const std::uint64_t (&in)[4])
+    {
+        for (int i = 0; i < 4; i++) {
+            state_[i] = in[i];
+        }
+    }
+
   private:
     std::uint64_t state_[4];
 };

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tiny tagged binary serializer for simulation checkpoints.
+ *
+ * Checkpoint blobs are written and read by the same build on the same
+ * machine (fork-from-warm-snapshot, not an interchange format), so the
+ * encoding is deliberately simple: little-endian fixed-width scalars
+ * and length-prefixed byte runs, with optional u32 section tags so a
+ * component mismatch fails loudly at the offending section instead of
+ * desynchronizing silently. Doubles round-trip bit-exactly via
+ * memcpy — required for the restore-determinism guarantee.
+ */
+#ifndef PULSE_COMMON_SERIAL_H
+#define PULSE_COMMON_SERIAL_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pulse {
+
+/** Append-only checkpoint writer. */
+class StateWriter
+{
+  public:
+    void
+    put_u8(std::uint8_t v)
+    {
+        bytes_.push_back(v);
+    }
+
+    void
+    put_u32(std::uint32_t v)
+    {
+        put_raw(&v, sizeof(v));
+    }
+
+    void
+    put_u64(std::uint64_t v)
+    {
+        put_raw(&v, sizeof(v));
+    }
+
+    void
+    put_i64(std::int64_t v)
+    {
+        put_raw(&v, sizeof(v));
+    }
+
+    void
+    put_double(double v)
+    {
+        put_raw(&v, sizeof(v));
+    }
+
+    void
+    put_bool(bool v)
+    {
+        put_u8(v ? 1 : 0);
+    }
+
+    /** Length-prefixed byte run. */
+    void
+    put_bytes(const void* data, std::size_t len)
+    {
+        put_u64(len);
+        put_raw(data, len);
+    }
+
+    /** Section tag: a four-char marker checked on read. */
+    void
+    put_tag(const char (&tag)[5])
+    {
+        put_raw(tag, 4);
+    }
+
+    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    void
+    put_raw(const void* data, std::size_t len)
+    {
+        const auto* p = static_cast<const std::uint8_t*>(data);
+        bytes_.insert(bytes_.end(), p, p + len);
+    }
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Bounds-checked checkpoint reader. */
+class StateReader
+{
+  public:
+    explicit StateReader(const std::vector<std::uint8_t>& bytes)
+        : data_(bytes.data()), size_(bytes.size())
+    {
+    }
+
+    std::uint8_t
+    get_u8()
+    {
+        std::uint8_t v = 0;
+        get_raw(&v, sizeof(v));
+        return v;
+    }
+
+    std::uint32_t
+    get_u32()
+    {
+        std::uint32_t v = 0;
+        get_raw(&v, sizeof(v));
+        return v;
+    }
+
+    std::uint64_t
+    get_u64()
+    {
+        std::uint64_t v = 0;
+        get_raw(&v, sizeof(v));
+        return v;
+    }
+
+    std::int64_t
+    get_i64()
+    {
+        std::int64_t v = 0;
+        get_raw(&v, sizeof(v));
+        return v;
+    }
+
+    double
+    get_double()
+    {
+        double v = 0;
+        get_raw(&v, sizeof(v));
+        return v;
+    }
+
+    bool get_bool() { return get_u8() != 0; }
+
+    std::vector<std::uint8_t>
+    get_bytes()
+    {
+        const std::uint64_t len = get_u64();
+        PULSE_ASSERT(len <= size_ - offset_,
+                     "checkpoint truncated inside a byte run");
+        std::vector<std::uint8_t> out(data_ + offset_,
+                                      data_ + offset_ + len);
+        offset_ += len;
+        return out;
+    }
+
+    /** Read a byte run directly into @p dest (must be len long). */
+    void
+    get_bytes_into(void* dest, std::size_t expected_len)
+    {
+        const std::uint64_t len = get_u64();
+        PULSE_ASSERT(len == expected_len,
+                     "checkpoint byte-run length mismatch "
+                     "(%llu vs expected %zu)",
+                     static_cast<unsigned long long>(len),
+                     expected_len);
+        get_raw(dest, expected_len);
+    }
+
+    /** Consume and verify a section tag written by put_tag. */
+    void
+    expect_tag(const char (&tag)[5])
+    {
+        char got[5] = {0, 0, 0, 0, 0};
+        get_raw(got, 4);
+        PULSE_ASSERT(std::memcmp(got, tag, 4) == 0,
+                     "checkpoint section mismatch: expected '%s' got "
+                     "'%s'",
+                     tag, got);
+    }
+
+    bool done() const { return offset_ == size_; }
+    std::size_t remaining() const { return size_ - offset_; }
+
+  private:
+    void
+    get_raw(void* dest, std::size_t len)
+    {
+        PULSE_ASSERT(len <= size_ - offset_, "checkpoint truncated");
+        std::memcpy(dest, data_ + offset_, len);
+        offset_ += len;
+    }
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t offset_ = 0;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_COMMON_SERIAL_H

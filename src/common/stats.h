@@ -25,6 +25,9 @@ class Counter
     void reset() { value_ = 0; }
     std::uint64_t value() const { return value_; }
 
+    /** Checkpoint support: reinstate a saved count. */
+    void set(std::uint64_t value) { value_ = value; }
+
   private:
     std::uint64_t value_ = 0;
 };
@@ -50,6 +53,14 @@ class Accumulator
     double sum() const { return sum_; }
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Checkpoint support: reinstate a saved sum/count pair. */
+    void
+    set(double sum, std::uint64_t count)
+    {
+        sum_ = sum;
+        count_ = count;
+    }
 
   private:
     double sum_ = 0.0;

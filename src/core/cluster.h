@@ -241,6 +241,30 @@ class Cluster
     void export_metrics(trace::MetricsExporter& exporter,
                         const std::string& prefix = "");
 
+    /**
+     * Checkpoint/restore (src/core/checkpoint.cc): serialize the full
+     * simulation state — clock + telemetry counters, network, memory
+     * contents, allocator, channels, accelerators, offload engines —
+     * so long scenarios can fork from a warmed snapshot instead of
+     * replaying the build + warmup phases.
+     *
+     * Preconditions (asserted): the cluster is *quiesced* — the event
+     * queue is empty and no traversal is in flight — and the optional
+     * planes (faults, checker, placement, replication, tracing) are
+     * off; their state machines hold type-erased callbacks and are
+     * deliberately outside the snapshot. restore_checkpoint must be
+     * applied to a cluster built from a ClusterConfig whose
+     * fingerprint matches the snapshot's (same topology, policies and
+     * seed); a restored run then continues bit-identically to the
+     * uninterrupted one.
+     */
+    std::vector<std::uint8_t> save_checkpoint() const;
+    void restore_checkpoint(const std::vector<std::uint8_t>& bytes);
+
+    /** File-based convenience wrappers around the blob API. */
+    void save_checkpoint_file(const std::string& path) const;
+    void restore_checkpoint_file(const std::string& path);
+
   private:
     ClusterConfig config_;
     sim::EventQueue queue_;

@@ -6,10 +6,13 @@
 
 namespace pulse::isa {
 
+namespace {
+
 TraversalOutcome
-run_traversal(const Program& program, VirtAddr start_ptr,
-              const std::vector<std::uint8_t>& init_scratch,
-              const MemoryHooks& hooks, std::uint32_t max_iters)
+run_traversal_impl(const Program& program, VirtAddr start_ptr,
+                   const std::uint8_t* init_scratch,
+                   std::size_t init_len, const MemoryHooks& hooks,
+                   std::uint32_t max_iters)
 {
     PULSE_ASSERT(program.load_bytes() == 0 ||
                      static_cast<bool>(hooks.load),
@@ -21,8 +24,8 @@ run_traversal(const Program& program, VirtAddr start_ptr,
     Workspace workspace;
     workspace.configure(program);
     workspace.cur_ptr = start_ptr;
-    std::copy_n(init_scratch.begin(),
-                std::min(init_scratch.size(), workspace.scratch.size()),
+    std::copy_n(init_scratch,
+                std::min(init_len, workspace.scratch.size()),
                 workspace.scratch.begin());
 
     TraversalOutcome outcome;
@@ -89,6 +92,26 @@ run_traversal(const Program& program, VirtAddr start_ptr,
     outcome.final_ptr = workspace.cur_ptr;
     outcome.scratch = std::move(workspace.scratch);
     return outcome;
+}
+
+}  // namespace
+
+TraversalOutcome
+run_traversal(const Program& program, VirtAddr start_ptr,
+              const std::vector<std::uint8_t>& init_scratch,
+              const MemoryHooks& hooks, std::uint32_t max_iters)
+{
+    return run_traversal_impl(program, start_ptr, init_scratch.data(),
+                              init_scratch.size(), hooks, max_iters);
+}
+
+TraversalOutcome
+run_traversal(const Program& program, VirtAddr start_ptr,
+              const ScratchBuffer& init_scratch,
+              const MemoryHooks& hooks, std::uint32_t max_iters)
+{
+    return run_traversal_impl(program, start_ptr, init_scratch.data(),
+                              init_scratch.size(), hooks, max_iters);
 }
 
 }  // namespace pulse::isa

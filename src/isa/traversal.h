@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/scratch_buffer.h"
 #include "common/types.h"
 #include "isa/interpreter.h"
 
@@ -72,6 +73,15 @@ struct MemoryHooks
  */
 TraversalOutcome run_traversal(const Program& program, VirtAddr start_ptr,
                                const std::vector<std::uint8_t>& init_scratch,
+                               const MemoryHooks& hooks,
+                               std::uint32_t max_iters = 0);
+
+/**
+ * Same, seeded from an inline ScratchBuffer (what Operation carries).
+ * Avoids materializing a vector just to seed the workspace.
+ */
+TraversalOutcome run_traversal(const Program& program, VirtAddr start_ptr,
+                               const ScratchBuffer& init_scratch,
                                const MemoryHooks& hooks,
                                std::uint32_t max_iters = 0);
 

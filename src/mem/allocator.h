@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/serial.h"
 #include "mem/address_map.h"
 
 namespace pulse::mem {
@@ -107,6 +108,10 @@ class ClusterAllocator
 
     /** Total bytes currently sitting in @p node's free list. */
     Bytes free_list_bytes(NodeId node) const;
+
+    /** Checkpoint support (core/checkpoint.h). */
+    void save_state(StateWriter& writer) const;
+    void load_state(StateReader& reader);
 
   private:
     /** One reusable hole in a node's backing store. */

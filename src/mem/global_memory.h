@@ -93,6 +93,29 @@ class GlobalMemory
         write(va, &value, sizeof(T));
     }
 
+    /** Checkpoint support: every node's committed pages + counters. */
+    void
+    save_state(StateWriter& writer) const
+    {
+        writer.put_tag("GMEM");
+        writer.put_u64(nodes_.size());
+        for (const auto& node : nodes_) {
+            node->save_state(writer);
+        }
+    }
+
+    void
+    load_state(StateReader& reader)
+    {
+        reader.expect_tag("GMEM");
+        const std::uint64_t count = reader.get_u64();
+        PULSE_ASSERT(count == nodes_.size(),
+                     "checkpoint memory-node count mismatch");
+        for (auto& node : nodes_) {
+            node->load_state(reader);
+        }
+    }
+
   private:
     AddressMap map_;
     std::vector<std::unique_ptr<PhysicalMemory>> nodes_;

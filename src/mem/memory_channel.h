@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serial.h"
 #include "common/stats.h"
 #include "common/units.h"
 #include "trace/trace.h"
@@ -64,6 +65,15 @@ class MemoryChannel
 
     /** Reset statistics (not the busy horizon). */
     void reset_stats();
+
+    /** Checkpoint support: reinstate horizon + counters. */
+    void
+    restore(Time busy_until, Bytes bytes, Time busy_time)
+    {
+        busy_until_ = busy_until;
+        bytes_ = bytes;
+        busy_time_ = busy_time;
+    }
 
   private:
     Rate raw_bw_;
@@ -118,6 +128,10 @@ class ChannelSet
 
     /** Reset statistics on all channels. */
     void reset_stats();
+
+    /** Checkpoint support (core/checkpoint.h). */
+    void save_state(StateWriter& writer) const;
+    void load_state(StateReader& reader);
 
     /**
      * Attach the cluster's span tracer; @p node labels the spans.

@@ -78,4 +78,48 @@ PhysicalMemory::write(PhysAddr addr, const void* in, Bytes len)
     }
 }
 
+void
+PhysicalMemory::save_state(StateWriter& writer) const
+{
+    writer.put_tag("PMEM");
+    writer.put_u64(capacity_);
+    writer.put_u64(mutations_);
+    std::uint64_t committed_chunks = 0;
+    for (const auto& chunk : chunks_) {
+        if (chunk) {
+            committed_chunks++;
+        }
+    }
+    writer.put_u64(committed_chunks);
+    for (std::size_t i = 0; i < chunks_.size(); i++) {
+        if (chunks_[i]) {
+            writer.put_u64(i);
+            writer.put_bytes(chunks_[i].get(), kChunkSize);
+        }
+    }
+}
+
+void
+PhysicalMemory::load_state(StateReader& reader)
+{
+    reader.expect_tag("PMEM");
+    const Bytes capacity = reader.get_u64();
+    PULSE_ASSERT(capacity == capacity_,
+                 "checkpoint node capacity mismatch");
+    mutations_ = reader.get_u64();
+    // Decommit everything first: a chunk committed by the current run
+    // but absent from the snapshot must read zeros again.
+    for (auto& chunk : chunks_) {
+        chunk.reset();
+    }
+    const std::uint64_t committed_chunks = reader.get_u64();
+    for (std::uint64_t c = 0; c < committed_chunks; c++) {
+        const std::uint64_t index = reader.get_u64();
+        PULSE_ASSERT(index < chunks_.size(),
+                     "checkpoint chunk index out of range");
+        chunks_[index] = std::make_unique<std::uint8_t[]>(kChunkSize);
+        reader.get_bytes_into(chunks_[index].get(), kChunkSize);
+    }
+}
+
 }  // namespace pulse::mem

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/serial.h"
 #include "common/types.h"
 #include "common/units.h"
 
@@ -63,6 +64,14 @@ class PhysicalMemory
     {
         write(addr, &value, sizeof(T));
     }
+
+    /**
+     * Checkpoint support (core/checkpoint.h): serializes only the
+     * committed chunks (index + bytes), so a sparse multi-GiB node
+     * costs what the workload actually touched.
+     */
+    void save_state(StateWriter& writer) const;
+    void load_state(StateReader& reader);
 
   private:
     static constexpr Bytes kChunkSize = 1 * kMiB;

@@ -184,4 +184,17 @@ RangeTcam::translate_span(VirtAddr va, Bytes length, Perm need) const
     return {TranslateStatus::kOk, entry->phys_base + (va - entry->va_base)};
 }
 
+void
+RangeTcam::restore_entries(std::vector<RangeEntry> entries)
+{
+    PULSE_ASSERT(entries.size() <= capacity_,
+                 "restored TCAM snapshot exceeds capacity");
+    for (std::size_t i = 1; i < entries.size(); i++) {
+        PULSE_ASSERT(entries[i - 1].va_base + entries[i - 1].length <=
+                         entries[i].va_base,
+                     "restored TCAM snapshot not sorted/disjoint");
+    }
+    entries_ = std::move(entries);
+}
+
 }  // namespace pulse::mem

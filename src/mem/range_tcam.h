@@ -129,6 +129,13 @@ class RangeTcam
     std::size_t capacity() const { return capacity_; }
     const std::vector<RangeEntry>& entries() const { return entries_; }
 
+    /**
+     * Checkpoint support: replace the whole table with a saved
+     * entries() snapshot (already sorted, non-overlapping). Asserts
+     * capacity and ordering rather than re-validating overlap pairwise.
+     */
+    void restore_entries(std::vector<RangeEntry> entries);
+
   private:
     const RangeEntry* find(VirtAddr va) const;
 

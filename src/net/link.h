@@ -52,6 +52,17 @@ class Link
     /** Reset statistics (not the busy horizon). */
     void reset_stats();
 
+    /** Checkpoint support: reinstate horizon + counters. */
+    void
+    restore(Time busy_until, Bytes bytes, std::uint64_t packets,
+            Time busy_time)
+    {
+        busy_until_ = busy_until;
+        bytes_ = bytes;
+        packets_ = packets;
+        busy_time_ = busy_time;
+    }
+
   private:
     Rate bandwidth_;
     Time propagation_;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/serial.h"
 #include "common/units.h"
 #include "faults/fault_plane.h"
 #include "net/link.h"
@@ -169,6 +170,15 @@ class Network
 
     /** Reset byte/packet statistics. */
     void reset_stats();
+
+    /**
+     * Checkpoint support (core/checkpoint.h): link horizons, byte and
+     * flow accounting, the loss RNG stream, and the switch table.
+     * Requires a quiesced network (no packets on the wire), which the
+     * caller guarantees by checkpointing only on an empty event queue.
+     */
+    void save_state(StateWriter& writer) const;
+    void load_state(StateReader& reader);
 
     const NetworkConfig& config() const { return config_; }
 

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/scratch_buffer.h"
 #include "common/types.h"
 #include "common/units.h"
 #include "isa/codec.h"
@@ -148,8 +149,11 @@ struct TraversalPacket
      * Shipped scratch_pad contents. Only the program's scratch
      * footprint travels (the offload engine trims it), matching an
      * implementation that ships the configured scratchpad prefix.
+     * Stored inline (see scratch_buffer.h) so the packet copies made
+     * on every hop — retransmit buffers, replay caches, forwarded
+     * continuations, event captures — never touch the heap.
      */
-    std::vector<std::uint8_t> scratch;
+    ScratchBuffer scratch;
 
     /** Modelled bytes on the wire. */
     Bytes
@@ -159,6 +163,14 @@ struct TraversalPacket
                scratch.size();
     }
 };
+
+/**
+ * Compile-time no-heap assertion for the packet hot path: every copy a
+ * hop makes (and every InlineFunction capture holding a packet) must
+ * be a flat memcpy. Adding an allocating member here would silently
+ * reintroduce per-event heap traffic — fail the build instead.
+ */
+static_assert(std::is_trivially_copyable_v<TraversalPacket>);
 
 /**
  * Attach @p program to @p packet, caching its encoded wire size. The

@@ -103,4 +103,47 @@ SwitchTable::route(const TraversalPacket& packet) const
     return {EndpointAddr::client(packet.origin), false};
 }
 
+namespace {
+
+void
+save_rules(StateWriter& writer, const std::vector<SwitchRule>& rules)
+{
+    writer.put_u64(rules.size());
+    for (const SwitchRule& rule : rules) {
+        writer.put_u64(rule.base);
+        writer.put_u64(rule.size);
+        writer.put_u32(rule.node);
+    }
+}
+
+std::vector<SwitchRule>
+load_rules(StateReader& reader)
+{
+    std::vector<SwitchRule> rules(reader.get_u64());
+    for (SwitchRule& rule : rules) {
+        rule.base = reader.get_u64();
+        rule.size = reader.get_u64();
+        rule.node = reader.get_u32();
+    }
+    return rules;
+}
+
+}  // namespace
+
+void
+SwitchTable::save_state(StateWriter& writer) const
+{
+    writer.put_tag("SWCH");
+    save_rules(writer, rules_);
+    save_rules(writer, overlay_);
+}
+
+void
+SwitchTable::load_state(StateReader& reader)
+{
+    reader.expect_tag("SWCH");
+    rules_ = load_rules(reader);
+    overlay_ = load_rules(reader);
+}
+
 }  // namespace pulse::net

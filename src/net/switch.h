@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/serial.h"
 #include "common/stats.h"
 #include "net/packet.h"
 
@@ -88,6 +89,10 @@ class SwitchTable
 
     /** Apply the section-5 routing policy to @p packet. */
     RouteDecision route(const TraversalPacket& packet) const;
+
+    /** Checkpoint support (core/checkpoint.h). */
+    void save_state(StateWriter& writer) const;
+    void load_state(StateReader& reader);
 
   private:
     std::vector<SwitchRule> rules_;

@@ -1,8 +1,10 @@
 #include "offload/offload_engine.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/logging.h"
+#include "isa/codec.h"
 #include "isa/traversal.h"
 
 namespace pulse::offload {
@@ -22,6 +24,21 @@ jitter_hash(std::uint64_t x)
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
     return x ^ (x >> 31);
+}
+
+/**
+ * Content digest of a program (FNV-1a over its encoding): the stable
+ * identity that lets checkpointed installation counts survive the
+ * Program* interning boundary.
+ */
+std::uint64_t
+program_digest(const isa::Program& program)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint8_t byte : isa::encode_program(program)) {
+        h = (h ^ byte) * 0x100000001b3ull;
+    }
+    return h;
 }
 
 }  // namespace
@@ -67,9 +84,95 @@ OffloadEngine::analysis_for(
         return it->second;
     }
     program_pins_.emplace(program.get(), program);
+    if (!restored_code_sends_.empty()) {
+        // A checkpointed run already shipped install copies of this
+        // program; resume its count so continuation traffic (and wire
+        // accounting) matches the uninterrupted run byte for byte.
+        const auto sends =
+            restored_code_sends_.find(program_digest(*program));
+        if (sends != restored_code_sends_.end()) {
+            code_sends_[program.get()] = sends->second;
+            restored_code_sends_.erase(sends);
+        }
+    }
     return analysis_cache_
         .emplace(program.get(), isa::analyze(*program))
         .first->second;
+}
+
+void
+OffloadEngine::save_state(StateWriter& writer) const
+{
+    PULSE_ASSERT(inflight_.empty(),
+                 "checkpoint requires a quiesced offload engine "
+                 "(%zu in flight)",
+                 inflight_.size());
+    writer.put_tag("OFFL");
+    writer.put_u64(next_seq_);
+    writer.put_bool(rto_.has_sample());
+    writer.put_i64(rto_.srtt());
+    writer.put_i64(rto_.rttvar());
+    writer.put_u64(stats_.submitted.value());
+    writer.put_u64(stats_.offloaded.value());
+    writer.put_u64(stats_.fallback.value());
+    writer.put_u64(stats_.retransmits.value());
+    writer.put_u64(stats_.client_bounces.value());
+    writer.put_u64(stats_.continuations.value());
+    writer.put_u64(stats_.failures.value());
+    writer.put_u64(stats_.stale_responses.value());
+    // Installation counts, keyed by content digest in sorted order so
+    // the blob is independent of hash-map iteration.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> sends;
+    sends.reserve(code_sends_.size() + restored_code_sends_.size());
+    for (const auto& [program, count] : code_sends_) {
+        sends.emplace_back(program_digest(*program), count);
+    }
+    for (const auto& [digest, count] : restored_code_sends_) {
+        sends.emplace_back(digest, count);
+    }
+    std::sort(sends.begin(), sends.end());
+    writer.put_u64(sends.size());
+    for (const auto& [digest, count] : sends) {
+        writer.put_u64(digest);
+        writer.put_u32(count);
+    }
+}
+
+void
+OffloadEngine::load_state(StateReader& reader)
+{
+    PULSE_ASSERT(inflight_.empty(),
+                 "restore requires a quiesced offload engine");
+    reader.expect_tag("OFFL");
+    next_seq_ = reader.get_u64();
+    const bool has_sample = reader.get_bool();
+    const Time srtt = reader.get_i64();
+    const Time rttvar = reader.get_i64();
+    rto_.restore(has_sample, srtt, rttvar);
+    stats_.submitted.set(reader.get_u64());
+    stats_.offloaded.set(reader.get_u64());
+    stats_.fallback.set(reader.get_u64());
+    stats_.retransmits.set(reader.get_u64());
+    stats_.client_bounces.set(reader.get_u64());
+    stats_.continuations.set(reader.get_u64());
+    stats_.failures.set(reader.get_u64());
+    stats_.stale_responses.set(reader.get_u64());
+    restored_code_sends_.clear();
+    const std::uint64_t count = reader.get_u64();
+    for (std::uint64_t i = 0; i < count; i++) {
+        const std::uint64_t digest = reader.get_u64();
+        restored_code_sends_[digest] = reader.get_u32();
+    }
+    // Counts for programs this engine already pinned re-attach now;
+    // the rest wait for their program's first submit.
+    for (const auto& entry : program_pins_) {
+        const auto sends =
+            restored_code_sends_.find(program_digest(*entry.first));
+        if (sends != restored_code_sends_.end()) {
+            code_sends_[entry.first] = sends->second;
+            restored_code_sends_.erase(sends);
+        }
+    }
 }
 
 void
@@ -99,7 +202,7 @@ OffloadEngine::submit(Operation&& op)
     inflight.submit_time = queue_.now();
     const VirtAddr start = inflight.op.start_ptr;
     // Trim the shipped scratch_pad to the program's static footprint.
-    std::vector<std::uint8_t> scratch = inflight.op.init_scratch;
+    ScratchBuffer scratch = inflight.op.init_scratch;
     scratch.resize(std::max<std::size_t>(analysis.scratch_footprint,
                                          scratch.size()),
                    0);
@@ -112,16 +215,14 @@ OffloadEngine::submit(Operation&& op)
                          queue_.now(), cpu_time, 0});
     }
     inflight_.emplace(key, std::move(inflight));
-    queue_.schedule_after(cpu_time,
-                          [this, key, start,
-                           scratch = std::move(scratch)]() mutable {
-                              issue(key, start, std::move(scratch), 0);
-                          });
+    queue_.schedule_after(cpu_time, [this, key, start, scratch] {
+        issue(key, start, scratch, 0);
+    });
 }
 
 void
 OffloadEngine::issue(std::uint64_t key, VirtAddr cur_ptr,
-                     std::vector<std::uint8_t> scratch,
+                     const ScratchBuffer& scratch,
                      std::uint64_t iterations_done)
 {
     auto it = inflight_.find(key);
@@ -151,7 +252,7 @@ OffloadEngine::issue(std::uint64_t key, VirtAddr cur_ptr,
     } else {
         sends++;
     }
-    packet.scratch = std::move(scratch);
+    packet.scratch = scratch;
 
     inflight.last_request = packet;
     inflight.leg_issue_time = queue_.now();
@@ -285,8 +386,8 @@ OffloadEngine::on_response(net::TraversalPacket&& packet)
             config_.response_software_overhead +
                 config_.request_software_overhead,
             [this, key, cur_ptr, iterations,
-             scratch = std::move(packet.scratch)]() mutable {
-                issue(key, cur_ptr, std::move(scratch), iterations);
+             scratch = packet.scratch] {
+                issue(key, cur_ptr, scratch, iterations);
             });
         return;
     }
@@ -295,7 +396,8 @@ OffloadEngine::on_response(net::TraversalPacket&& packet)
     completion.status = packet.status;
     completion.fault = packet.fault;
     completion.final_ptr = packet.cur_ptr;
-    completion.scratch = std::move(packet.scratch);
+    completion.scratch.assign(packet.scratch.begin(),
+                              packet.scratch.end());
     completion.iterations = packet.iterations_done;
     completion.offloaded = true;
     completion.retransmits = inflight.retransmits;

@@ -27,6 +27,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/pool_allocator.h"
+#include "common/scratch_buffer.h"
+#include "common/serial.h"
 #include "common/stats.h"
 #include "isa/analysis.h"
 #include "mem/global_memory.h"
@@ -151,7 +154,7 @@ struct Operation
 {
     std::shared_ptr<const isa::Program> program;
     VirtAddr start_ptr = kNullAddr;
-    std::vector<std::uint8_t> init_scratch;  ///< produced by init()
+    ScratchBuffer init_scratch;  ///< produced by init()
     /** Extra client-side time spent in init() (e.g. hashing). */
     Time init_cpu_time = 0;
 
@@ -210,12 +213,36 @@ class OffloadEngine
     /** Operations still in flight. */
     std::size_t inflight() const { return inflight_.size(); }
 
+    /** In-flight-map pool telemetry (bench_wallclock attribution). */
+    std::uint64_t
+    pool_fresh() const
+    {
+        return inflight_.get_allocator().state()->fresh();
+    }
+
+    std::uint64_t
+    pool_reused() const
+    {
+        return inflight_.get_allocator().state()->reused();
+    }
+
     const OffloadStats& stats() const { return stats_; }
     void reset_stats() { stats_ = OffloadStats{}; }
     const OffloadConfig& config() const { return config_; }
 
     /** The adaptive RTT estimator (exposed for tests/benches). */
     const RtoEstimator& rto_estimator() const { return rto_; }
+
+    /**
+     * Checkpoint support (core/checkpoint.h): requires a quiesced
+     * engine (no in-flight operations). Program installation state
+     * (code_sends_) is keyed by interned Program pointers, which do
+     * not survive a process or cluster boundary — it is serialized as
+     * encoded-program digests and re-attached when the restored run
+     * re-pins each program via analysis_for().
+     */
+    void save_state(StateWriter& writer) const;
+    void load_state(StateReader& reader);
 
     /**
      * Attach the cluster's span tracer (nullptr detaches). While the
@@ -245,7 +272,7 @@ class OffloadEngine
     };
 
     void issue(std::uint64_t key, VirtAddr cur_ptr,
-               std::vector<std::uint8_t> scratch,
+               const ScratchBuffer& scratch,
                std::uint64_t iterations_done);
     void arm_timer(std::uint64_t key);
     void on_response(net::TraversalPacket&& packet);
@@ -258,7 +285,15 @@ class OffloadEngine
     ClientId client_;
     OffloadConfig config_;
     std::uint64_t next_seq_ = 1;
-    std::unordered_map<std::uint64_t, InFlight> inflight_;
+    /**
+     * In-flight table churns once per operation; the pool allocator
+     * recycles its nodes so the steady state allocates nothing.
+     */
+    std::unordered_map<
+        std::uint64_t, InFlight, std::hash<std::uint64_t>,
+        std::equal_to<std::uint64_t>,
+        PoolAllocator<std::pair<const std::uint64_t, InFlight>>>
+        inflight_;
     std::unordered_map<const isa::Program*, isa::ProgramAnalysis>
         analysis_cache_;
     /** Lifetime pins backing TraversalPacket's non-owning code refs. */
@@ -267,6 +302,13 @@ class OffloadEngine
         program_pins_;
     std::unordered_map<const isa::Program*, std::uint32_t>
         code_sends_;
+    /**
+     * Installation counts restored from a checkpoint, keyed by encoded-
+     * program digest until the owning program is re-pinned (see
+     * save_state).
+     */
+    std::unordered_map<std::uint64_t, std::uint32_t>
+        restored_code_sends_;
     RtoEstimator rto_;
     trace::Tracer* tracer_ = nullptr;
     OffloadStats stats_;

@@ -97,6 +97,15 @@ class RtoEstimator
         rttvar_ = 0;
     }
 
+    /** Checkpoint support: reinstate a saved estimator state. */
+    void
+    restore(bool has_sample, Time srtt, Time rttvar)
+    {
+        has_sample_ = has_sample;
+        srtt_ = srtt;
+        rttvar_ = rttvar;
+    }
+
   private:
     Time initial_rto_;
     Time min_rto_;

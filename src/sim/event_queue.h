@@ -16,10 +16,25 @@
  * InlineFunction (see inline_function.h): capture state is stored
  * inline, with oversized captures rejected at compile time rather than
  * silently heap-allocated.
+ *
+ * Same-timestamp batching: bursty components (links draining a busy
+ * period, switch ports, DRAM channels, the accelerator's net-stack
+ * stages) frequently schedule many events at one identical timestamp.
+ * Instead of paying a heap push/pop per event, schedule_at() chains
+ * such events onto the pending event already heaped at that timestamp
+ * (via a small direct-mapped timestamp cache) and step() drains the
+ * chain one event per call. Execution order is provably unchanged:
+ * chain appends carry strictly increasing sequence numbers, chains for
+ * one timestamp occupy disjoint, heap-ordered sequence ranges, and the
+ * cache entry is invalidated when its chain's head is popped so events
+ * scheduled *during* a drain start a fresh (later) chain. The
+ * coalescing_ flag (PULSE_POOLING) exists as a live differential
+ * check, not a semantic switch.
  */
 #ifndef PULSE_SIM_EVENT_QUEUE_H
 #define PULSE_SIM_EVENT_QUEUE_H
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -37,12 +52,14 @@ namespace pulse::sim {
 /**
  * Inline capture budget for event callbacks, in bytes. Sized for the
  * largest capture the simulator schedules: a network delivery thunk
- * [this, &sink, packet] carrying a TraversalPacket by value. Growing a
- * capture past this is a compile-time error at the schedule site —
- * bump the budget deliberately rather than letting the hot path regress
- * to heap allocation.
+ * [this, &sink, packet] carrying a TraversalPacket by value — which
+ * since the scratch pad moved inline (common/scratch_buffer.h) is a
+ * ~500-byte trivially-copyable block. Growing a capture past this is a
+ * compile-time error at the schedule site — bump the budget
+ * deliberately rather than letting the hot path regress to heap
+ * allocation.
  */
-inline constexpr std::size_t kEventInlineCapacity = 152;
+inline constexpr std::size_t kEventInlineCapacity = 576;
 
 /** Callback executed when an event fires. */
 using EventFn = InlineFunction<kEventInlineCapacity>;
@@ -56,7 +73,7 @@ using EventFn = InlineFunction<kEventInlineCapacity>;
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue();
 
     EventQueue(const EventQueue&) = delete;
     EventQueue& operator=(const EventQueue&) = delete;
@@ -71,10 +88,10 @@ class EventQueue
     void schedule_after(Time delay, EventFn fn);
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return pending_; }
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return pending_ == 0; }
 
     /**
      * Execute the earliest pending event, advancing the clock to its
@@ -125,6 +142,24 @@ class EventQueue
     std::size_t pool_slots() const { return pool_.size(); }
 
     /**
+     * Events that joined an already-heaped same-timestamp chain
+     * instead of paying their own heap push/pop.
+     */
+    std::uint64_t events_coalesced() const { return coalesced_; }
+
+    /** Heap pops that drained a multi-event chain. */
+    std::uint64_t batches_drained() const { return batches_; }
+
+    /**
+     * Enable/disable same-timestamp batching (defaults to the
+     * PULSE_POOLING environment knob). Execution order is identical
+     * either way; the switch exists as a differential check. Resets
+     * the timestamp cache, so it is safe to flip at any quiesce point
+     * (and between events in general).
+     */
+    void set_coalescing(bool enabled);
+
+    /**
      * Attach an invariant registry (nullptr detaches). When present,
      * step() cross-checks clock monotonicity against the popped entry
      * — a safety net under the heap ordering itself, which the
@@ -135,11 +170,30 @@ class EventQueue
         invariants_ = registry;
     }
 
+    /**
+     * Checkpoint support (core/checkpoint.h). Only a *quiesced* queue
+     * — no pending events — can be captured or restored: in-flight
+     * callbacks are type-erased closures over live component state and
+     * are deliberately not serializable. Restoring the schedule/
+     * execute counters keeps continuation-run telemetry bit-identical
+     * to the uninterrupted run.
+     */
+    struct QuiesceState
+    {
+        Time now = 0;
+        std::uint64_t scheduled = 0;
+        std::uint64_t executed = 0;
+    };
+
+    QuiesceState quiesce_state() const;
+    void restore_quiesce(const QuiesceState& state);
+
   private:
     /**
      * Heap entry: plain data only. The callback lives in pool_[slot]
      * and is moved out exactly once, when the entry is popped — the
-     * heap's sift operations never touch callable state.
+     * heap's sift operations never touch callable state. `slot` heads
+     * a chain of same-timestamp events linked through chain_next_.
      */
     struct Entry
     {
@@ -160,14 +214,44 @@ class EventQueue
         }
     };
 
+    static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+    static constexpr std::size_t kChainCacheSize = 64;
+
+    /** Open chain per cached timestamp (direct-mapped). */
+    struct ChainRef
+    {
+        Time when = -1;  // schedule_at rejects negative times
+        std::uint32_t head = kNilSlot;
+        std::uint32_t tail = kNilSlot;
+    };
+
+    static std::size_t
+    chain_index(Time when)
+    {
+        return static_cast<std::size_t>(
+            (static_cast<std::uint64_t>(when) * 0x9E3779B97F4A7C15ull) >>
+            58);
+    }
+
+    std::uint32_t acquire_slot(EventFn&& fn);
+
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     std::vector<EventFn> pool_;
+    /** Next slot in the same-timestamp chain (kNilSlot = end). */
+    std::vector<std::uint32_t> chain_next_;
     std::vector<std::uint32_t> free_slots_;
+    std::array<ChainRef, kChainCacheSize> chains_;
     Time now_ = 0;
     check::InvariantRegistry* invariants_ = nullptr;
     std::uint64_t next_sequence_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t pending_ = 0;
     std::size_t peak_pending_ = 0;
+    std::uint64_t coalesced_ = 0;
+    std::uint64_t batches_ = 0;
+    /** Chain tail still to drain from the last popped heap entry. */
+    std::uint32_t drain_next_ = kNilSlot;
+    bool coalescing_ = true;
 };
 
 }  // namespace pulse::sim

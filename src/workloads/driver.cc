@@ -1,7 +1,8 @@
 #include "workloads/driver.h"
 
 #include <algorithm>
-#include <memory>
+#include <type_traits>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -9,21 +10,173 @@
 namespace pulse::workloads {
 namespace {
 
-struct DriverState
+/**
+ * The closed-loop state machine. Lives on run_closed_loop's stack for
+ * the whole drain, so completion callbacks capture only {this, slot} —
+ * 16 bytes, inside std::function's inline buffer. The previous
+ * shared_ptr-recursion formulation captured five shared handles
+ * (~88 bytes), heap-allocating one closure per submitted attempt.
+ */
+class DriverLoop
 {
-    DriverConfig config;
-    DriverResult result;
-    Rng retry_rng;
-    std::uint64_t issued = 0;
-    std::uint64_t done = 0;
-    Time measure_start = 0;
-    bool measuring = false;
-    bool finished = false;
-
-    explicit DriverState(const DriverConfig& c)
-        : config(c), retry_rng(c.retry_seed)
+  public:
+    DriverLoop(sim::EventQueue& queue, const SubmitFn& submit,
+               const OpFactory& factory, const DriverConfig& config)
+        : queue_(queue), submit_(submit), factory_(factory),
+          config_(config), retry_rng_(config.retry_seed),
+          total_ops_(config.warmup_ops + config.measure_ops),
+          slots_(config.concurrency)
     {
     }
+
+    DriverResult
+    run()
+    {
+        // Degenerate warmup: open the measurement window immediately.
+        if (config_.warmup_ops == 0) {
+            open_measurement();
+        }
+        for (std::uint32_t c = 0;
+             c < config_.concurrency && issued_ < total_ops_; c++) {
+            issue_next(c);
+        }
+        queue_.run();
+        PULSE_ASSERT(finished_, "driver drained before completion "
+                                "(%llu of %llu ops done)",
+                     static_cast<unsigned long long>(done_),
+                     static_cast<unsigned long long>(total_ops_));
+        DriverResult result = std::move(result_);
+        if (result.measure_time > 0) {
+            result.throughput =
+                static_cast<double>(result.completed) /
+                to_seconds(result.measure_time);
+        }
+        return result;
+    }
+
+  private:
+    /** Per-concurrency-slot retry state. A slot's completion either
+     *  resubmits into the same slot (retry) or issues the next fresh
+     *  operation into it, so slots never need a free list. */
+    struct Slot
+    {
+        offload::Operation retry_copy;
+        std::uint32_t attempt = 0;
+    };
+
+    void
+    open_measurement()
+    {
+        measuring_ = true;
+        measure_start_ = queue_.now();
+        if (config_.on_measure_start) {
+            config_.on_measure_start();
+        }
+    }
+
+    void
+    issue_next(std::uint32_t slot)
+    {
+        if (issued_ >= total_ops_) {
+            return;
+        }
+        const std::uint64_t index = issued_++;
+        slots_[slot].attempt = 0;
+        run_attempt(factory_(index), slot);
+    }
+
+    void
+    run_attempt(offload::Operation&& op, std::uint32_t slot)
+    {
+        // Keep a resubmittable copy only when the retry policy is on
+        // (taken before `done` is set, so it is cheap: program pointer
+        // + inline start state, no callback chain).
+        if (config_.max_retries > 0) {
+            slots_[slot].retry_copy = op;
+        }
+        auto done = [this, slot](offload::Completion&& completion) {
+            on_done(slot, std::move(completion));
+        };
+        // The whole point of the slot scheme: the completion closure
+        // must stay inside std::function's inline buffer (16 bytes,
+        // trivially-copyable captures) so the steady-state submit path
+        // never heap-allocates.
+        static_assert(sizeof(done) <= 16 &&
+                          std::is_trivially_copyable_v<decltype(done)>,
+                      "completion capture must fit the SBO buffer");
+        op.done = done;
+        submit_(std::move(op));
+    }
+
+    void
+    on_done(std::uint32_t slot, offload::Completion&& completion)
+    {
+        if (completion.timed_out && config_.max_retries > 0 &&
+            slots_[slot].attempt < config_.max_retries) {
+            // Engine gave up (e.g. the responder is dark): back off
+            // exponentially with seeded jitter and resubmit. Not a
+            // terminal completion — nothing is counted yet and the
+            // concurrency slot stays occupied.
+            if (measuring_) {
+                result_.retries++;
+            }
+            const std::uint32_t attempt = slots_[slot].attempt;
+            const std::uint32_t shift =
+                std::min<std::uint32_t>(attempt, 20);
+            const double jitter =
+                1.0 +
+                config_.retry_jitter * retry_rng_.next_double();
+            const Time delay = static_cast<Time>(
+                static_cast<double>(config_.retry_backoff << shift) *
+                jitter);
+            slots_[slot].attempt = attempt + 1;
+            queue_.schedule_after(delay, [this, slot] {
+                run_attempt(
+                    offload::Operation(slots_[slot].retry_copy), slot);
+            });
+            return;
+        }
+        done_++;
+        if (measuring_) {
+            result_.completed++;
+            if (completion.timed_out) {
+                result_.failed_ops++;
+                if (config_.max_retries > 0) {
+                    result_.retries_exhausted++;
+                }
+            } else {
+                result_.latency.add(completion.latency);
+            }
+            result_.iterations += completion.iterations;
+            if (completion.status != isa::TraversalStatus::kDone ||
+                completion.timed_out) {
+                result_.errors++;
+            }
+        }
+        if (done_ == config_.warmup_ops && !measuring_) {
+            open_measurement();
+        }
+        if (done_ == total_ops_) {
+            finished_ = true;
+            result_.measure_time = queue_.now() - measure_start_;
+            return;
+        }
+        issue_next(slot);
+    }
+
+    sim::EventQueue& queue_;
+    const SubmitFn& submit_;
+    const OpFactory& factory_;
+    DriverConfig config_;
+    DriverResult result_;
+    Rng retry_rng_;
+    std::uint64_t total_ops_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t done_ = 0;
+    Time measure_start_ = 0;
+    bool measuring_ = false;
+    bool finished_ = false;
+    std::vector<Slot> slots_;
 };
 
 }  // namespace
@@ -34,133 +187,8 @@ run_closed_loop(sim::EventQueue& queue, const SubmitFn& submit,
 {
     PULSE_ASSERT(config.concurrency >= 1, "need concurrency >= 1");
     PULSE_ASSERT(config.measure_ops >= 1, "nothing to measure");
-
-    auto state = std::make_shared<DriverState>(config);
-    const std::uint64_t total_ops =
-        config.warmup_ops + config.measure_ops;
-
-    // Issues the next fresh operation; completions re-enter here.
-    auto issue_next = std::make_shared<std::function<void()>>();
-    // Submits one attempt of one operation; timed-out attempts with
-    // retry budget left loop back here after a backoff.
-    auto run_attempt = std::make_shared<
-        std::function<void(offload::Operation&&, std::uint32_t)>>();
-
-    *run_attempt = [&queue, &submit, state, issue_next, run_attempt,
-                    total_ops](offload::Operation&& op,
-                               std::uint32_t attempt) {
-        // Keep a resubmittable copy only when the retry policy is on
-        // (the copy is taken before `done` is set, so it is cheap:
-        // program pointer + start state, no callback chain).
-        auto retry_copy = std::shared_ptr<offload::Operation>();
-        if (state->config.max_retries > 0) {
-            retry_copy = std::make_shared<offload::Operation>(op);
-        }
-        op.done = [&queue, state, issue_next, run_attempt, total_ops,
-                   retry_copy,
-                   attempt](offload::Completion&& completion) {
-            if (completion.timed_out && retry_copy &&
-                attempt < state->config.max_retries) {
-                // Engine gave up (e.g. the responder is dark): back
-                // off exponentially with seeded jitter and resubmit.
-                // Not a terminal completion — nothing is counted yet
-                // and the concurrency slot stays occupied.
-                if (state->measuring) {
-                    state->result.retries++;
-                }
-                const std::uint32_t shift = std::min<std::uint32_t>(
-                    attempt, 20);
-                const double jitter =
-                    1.0 + state->config.retry_jitter *
-                              state->retry_rng.next_double();
-                const Time delay = static_cast<Time>(
-                    static_cast<double>(state->config.retry_backoff
-                                        << shift) *
-                    jitter);
-                const std::uint32_t next_attempt = attempt + 1;
-                queue.schedule_after(
-                    delay, [run_attempt, retry_copy, next_attempt] {
-                        (*run_attempt)(
-                            offload::Operation(*retry_copy),
-                            next_attempt);
-                    });
-                return;
-            }
-            state->done++;
-            if (state->measuring) {
-                state->result.completed++;
-                if (completion.timed_out) {
-                    state->result.failed_ops++;
-                    if (state->config.max_retries > 0) {
-                        state->result.retries_exhausted++;
-                    }
-                } else {
-                    state->result.latency.add(completion.latency);
-                }
-                state->result.iterations += completion.iterations;
-                if (completion.status != isa::TraversalStatus::kDone ||
-                    completion.timed_out) {
-                    state->result.errors++;
-                }
-            }
-            if (state->done == state->config.warmup_ops &&
-                !state->measuring) {
-                state->measuring = true;
-                state->measure_start = queue.now();
-                if (state->config.on_measure_start) {
-                    state->config.on_measure_start();
-                }
-            }
-            if (state->done == total_ops) {
-                state->finished = true;
-                state->result.measure_time =
-                    queue.now() - state->measure_start;
-                return;
-            }
-            (*issue_next)();
-        };
-        submit(std::move(op));
-    };
-
-    *issue_next = [&factory, state, run_attempt, total_ops] {
-        if (state->issued >= total_ops) {
-            return;
-        }
-        const std::uint64_t index = state->issued++;
-        (*run_attempt)(factory(index), /*attempt=*/0);
-    };
-
-    // Degenerate warmup: open the measurement window immediately.
-    if (config.warmup_ops == 0) {
-        state->measuring = true;
-        state->measure_start = queue.now();
-        if (config.on_measure_start) {
-            config.on_measure_start();
-        }
-    }
-
-    for (std::uint32_t c = 0;
-         c < config.concurrency && state->issued < total_ops; c++) {
-        (*issue_next)();
-    }
-    queue.run();
-    PULSE_ASSERT(state->finished, "driver drained before completion "
-                                  "(%llu of %llu ops done)",
-                 static_cast<unsigned long long>(state->done),
-                 static_cast<unsigned long long>(total_ops));
-
-    // The two dispatch lambdas capture their own shared handles (so
-    // completions can re-enter them); clear the functions to break the
-    // cycles, or the state never frees.
-    *issue_next = nullptr;
-    *run_attempt = nullptr;
-
-    DriverResult result = std::move(state->result);
-    if (result.measure_time > 0) {
-        result.throughput = static_cast<double>(result.completed) /
-                            to_seconds(result.measure_time);
-    }
-    return result;
+    DriverLoop loop(queue, submit, factory, config);
+    return loop.run();
 }
 
 }  // namespace pulse::workloads

@@ -386,7 +386,7 @@ TEST(GoldenOracle, CatchesStoreDropByteMutation)
         return true;
     };
     const isa::TraversalOutcome actual =
-        isa::run_traversal(program, base, {}, hooks);
+        isa::run_traversal(program, base, ScratchBuffer{}, hooks);
     ASSERT_EQ(actual.status, isa::TraversalStatus::kDone);
 
     ShadowMemory shadow(mem_b);

@@ -215,5 +215,114 @@ TEST(EventQueueDeath, SchedulingIntoThePastPanics)
     EXPECT_DEATH(queue.schedule_at(50, [] {}), "past");
 }
 
+// ---- Same-timestamp coalescing (docs/PERF.md) -----------------------
+
+TEST(EventQueueCoalescing, ChainsPreserveFifoOrder)
+{
+    EventQueue queue;
+    queue.set_coalescing(true);
+    std::vector<int> order;
+    // Interleave two timestamps so chains grow out of arrival order.
+    for (int i = 0; i < 16; i++) {
+        const Time when = (i % 2 == 0) ? 100 : 200;
+        queue.schedule_at(when, [&order, i] { order.push_back(i); });
+    }
+    queue.run();
+    ASSERT_EQ(order.size(), 16u);
+    // All evens (t=100) in arrival order, then all odds (t=200).
+    for (int i = 0; i < 8; i++) {
+        EXPECT_EQ(order[i], 2 * i);
+        EXPECT_EQ(order[8 + i], 2 * i + 1);
+    }
+    EXPECT_GT(queue.events_coalesced(), 0u);
+    EXPECT_GT(queue.batches_drained(), 0u);
+}
+
+TEST(EventQueueCoalescing, ManyTimestampsEvictTheCacheSafely)
+{
+    // More live timestamps than the direct-mapped chain cache has
+    // slots: evicted timestamps fall back to plain heap entries, and
+    // order is still globally correct.
+    EventQueue queue;
+    queue.set_coalescing(true);
+    std::vector<Time> fired;
+    for (int pass = 0; pass < 2; pass++) {
+        for (Time t = 1; t <= 300; t++) {
+            queue.schedule_at(t, [&fired, t] { fired.push_back(t); });
+        }
+    }
+    queue.run();
+    ASSERT_EQ(fired.size(), 600u);
+    for (std::size_t i = 0; i + 1 < fired.size(); i++) {
+        EXPECT_LE(fired[i], fired[i + 1]);
+    }
+}
+
+TEST(EventQueueCoalescing, SchedulingDuringDrainJoinsTheChain)
+{
+    // An event scheduled *at the current timestamp while its chain is
+    // draining* must still run within this drain, in FIFO position.
+    EventQueue queue;
+    queue.set_coalescing(true);
+    std::vector<int> order;
+    queue.schedule_at(10, [&] {
+        order.push_back(0);
+        queue.schedule_after(0, [&order] { order.push_back(2); });
+    });
+    queue.schedule_at(10, [&order] { order.push_back(1); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(queue.now(), 10);
+}
+
+TEST(EventQueueCoalescing, OffKnobExecutesIdentically)
+{
+    const auto run_once = [](bool coalesce) {
+        EventQueue queue;
+        queue.set_coalescing(coalesce);
+        std::vector<int> order;
+        for (int i = 0; i < 32; i++) {
+            queue.schedule_at((i % 4) * 10,
+                              [&order, i] { order.push_back(i); });
+        }
+        queue.run();
+        return std::make_tuple(order, queue.now(),
+                               queue.events_executed());
+    };
+    EXPECT_EQ(run_once(true), run_once(false));
+}
+
+TEST(EventQueueCoalescing, RunUntilRespectsChainedDeadline)
+{
+    EventQueue queue;
+    queue.set_coalescing(true);
+    int before = 0;
+    int after = 0;
+    for (int i = 0; i < 4; i++) {
+        queue.schedule_at(50, [&before] { before++; });
+        queue.schedule_at(150, [&after] { after++; });
+    }
+    queue.run_until(100);
+    EXPECT_EQ(before, 4);
+    EXPECT_EQ(after, 0);
+    EXPECT_EQ(queue.now(), 100);
+    queue.run();
+    EXPECT_EQ(after, 4);
+}
+
+TEST(EventQueueCoalescing, CountersTrackChainedEvents)
+{
+    EventQueue queue;
+    queue.set_coalescing(true);
+    for (int i = 0; i < 10; i++) {
+        queue.schedule_at(7, [] {});
+    }
+    queue.run();
+    // One heap pop drained all ten: nine rode along a chain.
+    EXPECT_EQ(queue.events_executed(), 10u);
+    EXPECT_EQ(queue.events_coalesced(), 9u);
+    EXPECT_EQ(queue.batches_drained(), 1u);
+}
+
 }  // namespace
 }  // namespace pulse::sim

@@ -232,7 +232,7 @@ TEST(Traversal, CountLoopTerminates)
     Program program = simple_count_program(10);
     MemoryHooks hooks;  // no loads in this program
     TraversalOutcome outcome =
-        run_traversal(program, kNullAddr, {}, hooks);
+        run_traversal(program, kNullAddr, ScratchBuffer{}, hooks);
     EXPECT_EQ(outcome.status, TraversalStatus::kDone);
     EXPECT_EQ(outcome.iterations, 10u);
 }
@@ -242,7 +242,7 @@ TEST(Traversal, MaxIterStopsRunaway)
     Program program = simple_count_program(1000);
     MemoryHooks hooks;
     TraversalOutcome outcome =
-        run_traversal(program, kNullAddr, {}, hooks, /*max_iters=*/16);
+        run_traversal(program, kNullAddr, ScratchBuffer{}, hooks, /*max_iters=*/16);
     EXPECT_EQ(outcome.status, TraversalStatus::kMaxIter);
     EXPECT_EQ(outcome.iterations, 16u);
     // Repeated continuations from the returned scratch (what the
@@ -281,7 +281,7 @@ TEST(Traversal, NullPointerLoadsZeros)
         return true;
     };
     TraversalOutcome outcome =
-        run_traversal(program, kNullAddr, {}, hooks);
+        run_traversal(program, kNullAddr, ScratchBuffer{}, hooks);
     EXPECT_EQ(outcome.status, TraversalStatus::kDone);
     EXPECT_EQ(loads, 0);  // the null page never reaches the hook
     std::uint64_t marker = 0;
@@ -300,7 +300,7 @@ TEST(Traversal, LoadFailureReportsMemFault)
         return false;
     };
     TraversalOutcome outcome =
-        run_traversal(program, 0x1000, {}, hooks);
+        run_traversal(program, 0x1000, ScratchBuffer{}, hooks);
     EXPECT_EQ(outcome.status, TraversalStatus::kMemFault);
 }
 

@@ -76,7 +76,7 @@ TEST(StoreTraversal, WritesReachMemoryHook)
         writes.emplace_back(addr, word);
         return true;
     };
-    const auto outcome = run_traversal(program, 0x4000, {}, hooks);
+    const auto outcome = run_traversal(program, 0x4000, ScratchBuffer{}, hooks);
     EXPECT_EQ(outcome.status, TraversalStatus::kDone);
     ASSERT_EQ(writes.size(), 2u);
     EXPECT_EQ(writes[0].first, 0x4000u);
@@ -97,7 +97,7 @@ TEST(StoreTraversal, StoreFailureFaults)
     hooks.store = [](VirtAddr, std::uint32_t, const std::uint8_t*) {
         return false;  // protection failure
     };
-    const auto outcome = run_traversal(program, 0x4000, {}, hooks);
+    const auto outcome = run_traversal(program, 0x4000, ScratchBuffer{}, hooks);
     EXPECT_EQ(outcome.status, TraversalStatus::kMemFault);
 }
 

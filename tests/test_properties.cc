@@ -271,7 +271,7 @@ TEST_P(ProgramFuzz, VerifiedProgramsExecuteSafely)
         hooks.store = [](VirtAddr, std::uint32_t, const std::uint8_t*) {
             return true;
         };
-        const auto outcome = run_traversal(program, 0x1000, {}, hooks);
+        const auto outcome = run_traversal(program, 0x1000, ScratchBuffer{}, hooks);
         // Must terminate via a legal status within the iteration cap.
         EXPECT_LE(outcome.iterations, program.max_iters());
         EXPECT_TRUE(outcome.status == isa::TraversalStatus::kDone ||
