@@ -370,6 +370,7 @@ Accelerator::try_dispatch(net::TraversalPacket& packet)
     }
     context->workspace.configure(*context->packet.code);
     context->workspace.cur_ptr = context->packet.cur_ptr;
+    context->workspace.spawn_depth = context->packet.spawn_depth;
     std::copy_n(context->packet.scratch.begin(),
                 std::min(context->packet.scratch.size(),
                          context->workspace.scratch.size()),
@@ -576,6 +577,18 @@ Accelerator::start_logic_phase(CoreId core_id, WorkspaceId ws,
         }
     }
 
+    // Fork/join: collect the iteration's SPAWN records onto the packet.
+    // The visit ends the moment an iteration spawns ("spawn flush"), so
+    // the list can only overflow under a broken implementation (e.g.
+    // the double-join mutation) — fault instead of dropping branches.
+    bool spawn_overflow = false;
+    for (const isa::SpawnRecord& record : iter.spawns) {
+        if (!context.packet.spawns.push(record)) {
+            spawn_overflow = true;
+            break;
+        }
+    }
+
     TraversalStatus status = TraversalStatus::kDone;
     isa::ExecFault fault = isa::ExecFault::kNone;
     bool continue_traversal = false;
@@ -585,11 +598,23 @@ Accelerator::start_logic_phase(CoreId core_id, WorkspaceId ws,
     }
     if (store_fault) {
         status = TraversalStatus::kMemFault;
+    } else if (spawn_overflow) {
+        status = TraversalStatus::kExecFault;
+        fault = isa::ExecFault::kSpawnOverflow;
     } else if (iter.end == isa::IterEnd::kFault) {
         status = TraversalStatus::kExecFault;
         fault = iter.fault;
     } else if (iter.end == isa::IterEnd::kReturn) {
         status = TraversalStatus::kDone;
+    } else if (iter.end == isa::IterEnd::kJoin) {
+        // The chain is done; the engine holds the request open until
+        // every spawned subtree has reduced into the join record.
+        status = TraversalStatus::kDone;
+    } else if (!iter.spawns.empty()) {
+        // Spawn flush: ship the records to the issuing engine now (it
+        // forks the children) and let it resume this traversal with a
+        // fresh visit — same resume semantics as a MAX_ITER bounce.
+        status = TraversalStatus::kMaxIter;
     } else {
         // MAX_ITER is a per-request (per-visit) budget (section 3.1):
         // a continuation re-issued by the client or another node gets a
@@ -661,6 +686,14 @@ Accelerator::send_response(Context& context, TraversalStatus status,
     response.iterations_done = context.packet.iterations_done;
     response.visit_echo = context.packet.visit_echo;
     response.trace.sampled = context.packet.trace.sampled;
+    // Fork/join: the spawn records collected this visit travel back to
+    // the issuing engine; lineage and depth are echoed so the engine
+    // (or a failover replica's) can rendezvous the packet at the
+    // parent's join record.
+    response.spawns = context.packet.spawns;
+    response.spawn_depth = context.packet.spawn_depth;
+    response.parent_id = context.packet.parent_id;
+    response.branch_index = context.packet.branch_index;
     response.code = context.packet.code;
     // Responses and forwarded continuations reference installed code.
     response.code_size = net::kCodeIdBytes;

@@ -269,8 +269,22 @@ RpcRuntime::execute_step(const std::shared_ptr<OpState>& state,
                       st.length);
     }
 
+    // The RPC baseline has no fork coordinator: a SPAWN that actually
+    // fires is outside its supported ISA subset (mirrors the
+    // single-chain production path in isa/traversal.cc).
+    if (!iter.spawns.empty()) {
+        queue_.schedule_at(iter_done, [this, state, node, worker,
+                                       start] {
+            finish_execution(state, node, worker, start,
+                             TraversalStatus::kExecFault,
+                             isa::ExecFault::kIllegalInstruction);
+        });
+        return;
+    }
+
     switch (iter.end) {
       case isa::IterEnd::kReturn:
+      case isa::IterEnd::kJoin:  // join of zero branches == RETURN
         queue_.schedule_at(iter_done, [this, state, node, worker,
                                        start] {
             finish_execution(state, node, worker, start,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <utility>
@@ -9,6 +10,7 @@
 
 #include "check/reference_interpreter.h"
 #include "check/shadow_memory.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "core/cluster.h"
 #include "faults/nemesis.h"
@@ -521,6 +523,122 @@ run_program_case(const FuzzCase& c)
     return result;
 }
 
+FuzzResult
+run_fork_case(const FuzzCase& c)
+{
+    FuzzResult result;
+    bool fault_known = false;
+
+    core::ClusterConfig config;
+    config.num_mem_nodes = c.nodes == 0 ? 1 : c.nodes;
+    config.node_capacity = 32 * kMiB;
+    config.seed = c.seed;
+    config.check.oracle = true;
+    config.check.invariants = true;
+    config.check.fail_fast = false;
+    config.check.max_diagnostics = 16;
+    config.faults = fuzz_fault_config(c.fault, c.seed, &fault_known);
+    if (!fault_known) {
+        result.ok = false;
+        result.message = "unknown fault profile: " + c.fault;
+        return result;
+    }
+    if (config.faults.enabled()) {
+        config.offload.adaptive_rto = true;
+        config.offload.retransmit_timeout = micros(2000.0);
+    }
+    config.placement = placement::PlacementConfig::from_env();
+    if (config.placement.enabled()) {
+        config.placement.epoch = micros(5.0);
+        config.placement.trigger_imbalance = 1.1;
+    }
+    config.replication = replication::ReplicationConfig::from_env();
+
+    core::Cluster cluster(config);
+    Rng rng(c.seed * 0x9E3779B97F4A7C15ull + 0xF0);
+
+    const std::uint32_t fanout =
+        std::clamp<std::uint32_t>(c.forks, 1, 4);
+    const std::uint32_t depth =
+        std::clamp<std::uint32_t>(c.fork_depth, 1, 3);
+
+    // Random pointer tree: 64 B nodes, child pointers in words
+    // 0..fanout-1 (some branches pruned to null, exercising the
+    // conditional-fork idiom), value in word 7.
+    std::function<VirtAddr(std::uint32_t)> grow =
+        [&](std::uint32_t level) -> VirtAddr {
+        const VirtAddr node = cluster.allocator().alloc(64, 64);
+        PULSE_ASSERT(node != kNullAddr, "out of memory for fork tree");
+        std::uint8_t buffer[64] = {};
+        const std::uint64_t value = rng.next_below(1ull << 20);
+        std::memcpy(buffer + 56, &value, 8);
+        if (level < depth) {
+            for (std::uint32_t f = 0; f < fanout; f++) {
+                if (!rng.next_bool(0.85)) {
+                    continue;  // pruned branch: null pointer
+                }
+                const VirtAddr child = grow(level + 1);
+                std::memcpy(buffer + f * 8, &child, 8);
+            }
+        }
+        cluster.memory().write(node, buffer, 64);
+        return node;
+    };
+    const VirtAddr root = grow(0);
+
+    auto program = std::make_shared<const isa::Program>(
+        random_fork_program(c.seed, fanout, depth));
+    std::string verify_error;
+    if (!program->verify(&verify_error)) {
+        result.ok = false;
+        result.message =
+            "generated fork program failed verify: " + verify_error;
+        return result;
+    }
+
+    std::uint32_t submitted = 0;
+    std::uint32_t completed = 0;
+    const std::uint32_t window = c.concurrency == 0 ? 1 : c.concurrency;
+    auto submit = cluster.submitter(core::SystemKind::kPulse);
+
+    std::function<void()> pump;
+    offload::CompletionFn on_done = [&](offload::Completion&&) {
+        completed++;
+        pump();
+    };
+    pump = [&] {
+        while (submitted < c.ops && submitted - completed < window) {
+            submitted++;
+            offload::Operation op;
+            op.program = program;
+            op.start_ptr = root;
+            op.init_scratch.assign(32, 0);
+            const std::uint64_t hops = depth;
+            std::memcpy(op.init_scratch.data(), &hops, 8);
+            op.done = on_done;
+            submit(std::move(op));
+        }
+    };
+
+    pump();
+    cluster.queue().run();
+
+    result.violations = cluster.verify_quiesce();
+    const OracleStats& oracle = cluster.checker()->oracle()->stats();
+    result.oracle_exact = oracle.exact;
+    result.oracle_weak = oracle.weak;
+    result.ok = result.violations == 0 && completed == c.ops;
+    if (result.violations != 0) {
+        result.message =
+            diagnostics_message(cluster.checker()->registry());
+    } else if (completed != c.ops) {
+        result.message = "only " + std::to_string(completed) + "/" +
+                         std::to_string(c.ops) +
+                         " operations completed";
+    }
+    return result;
+}
+
 }  // namespace
 
 std::string
@@ -533,7 +651,9 @@ FuzzCase::to_json() const
     out += "\"fault\": \"" + fault + "\", ";
     out += u64_json("ops", ops);
     out += u64_json("concurrency", concurrency);
-    out += u64_json("nodes", nodes, /*last=*/true);
+    out += u64_json("nodes", nodes);
+    out += u64_json("forks", forks);
+    out += u64_json("fork_depth", fork_depth, /*last=*/true);
     out += "}";
     return out;
 }
@@ -556,7 +676,8 @@ FuzzCase::from_json(const std::string& text, FuzzCase* out,
         }
         return false;
     }
-    if (c.mode != "workload" && c.mode != "program") {
+    if (c.mode != "workload" && c.mode != "program" &&
+        c.mode != "fork") {
         if (error != nullptr) {
             *error = "unknown mode: " + c.mode;
         }
@@ -584,6 +705,12 @@ FuzzCase::from_json(const std::string& text, FuzzCase* out,
     }
     if (json_u64(text, "nodes", &value)) {
         c.nodes = static_cast<std::uint32_t>(value);
+    }
+    if (json_u64(text, "forks", &value)) {
+        c.forks = static_cast<std::uint32_t>(value);
+    }
+    if (json_u64(text, "fork_depth", &value)) {
+        c.fork_depth = static_cast<std::uint32_t>(value);
     }
     *out = c;
     return true;
@@ -644,6 +771,14 @@ random_case(std::uint64_t seed)
     c.ops = static_cast<std::uint32_t>(16 + rng.next_below(112));
     c.concurrency = static_cast<std::uint32_t>(1 + rng.next_below(8));
     c.nodes = static_cast<std::uint32_t>(1 + rng.next_below(4));
+    // Fork-mode draws come last so pre-fork seeds keep their exact
+    // shape: a seed only becomes a fork case via this trailing roll.
+    if (rng.next_bool(0.15)) {
+        c.mode = "fork";
+        c.forks = static_cast<std::uint32_t>(1 + rng.next_below(4));
+        c.fork_depth = static_cast<std::uint32_t>(1 + rng.next_below(3));
+        c.ops = static_cast<std::uint32_t>(8 + rng.next_below(24));
+    }
     return c;
 }
 
@@ -750,6 +885,52 @@ random_program(std::uint64_t seed)
     return b.build();
 }
 
+isa::Program
+random_fork_program(std::uint64_t seed, std::uint32_t fanout,
+                    std::uint32_t depth)
+{
+    Rng rng(seed * 0x2545F4914F6CDD1Dull + 0xF02C);
+    const auto op = static_cast<isa::ReduceOp>(rng.next_below(6));
+
+    // Scratch: hops-remaining arg word @0 (the spawn-argument window),
+    // reduce lane @8, noise cells @16/@24. The lane starts zeroed on
+    // every path — the root's init scratch and each child's fresh
+    // scratch — so "lane += value" leaves exactly this node's value
+    // for the fold, whatever the reduce operator.
+    isa::ProgramBuilder b;
+    b.load(64)
+        .reduce(op, 8, 1)
+        .add(isa::sp(8), isa::sp(8), isa::dat(56));
+    // ALU noise on cells outside the arg and lane windows keeps the
+    // generated bodies diverse without perturbing the fold.
+    const std::uint64_t noise = rng.next_below(4);
+    for (std::uint64_t i = 0; i < noise; i++) {
+        const isa::Operand dst = isa::sp(
+            16 + 8 * static_cast<std::uint32_t>(rng.next_below(2)));
+        const isa::Operand src =
+            rng.next_bool(0.5)
+                ? isa::dat(8 * static_cast<std::uint32_t>(
+                                   rng.next_below(8)))
+                : isa::imm(rng.next_below(1 << 12));
+        switch (rng.next_below(3)) {
+          case 0: b.add(dst, dst, src); break;
+          case 1: b.sub(dst, dst, src); break;
+          default: b.band(dst, dst, src); break;
+        }
+    }
+    b.compare(isa::sp(0), isa::imm(0))
+        .jump_eq("leaf")
+        .sub(isa::sp(0), isa::sp(0), isa::imm(1));
+    for (std::uint32_t f = 0; f < fanout; f++) {
+        // Pruned branches leave a null pointer here: the SPAWN skips.
+        b.spawn(isa::dat(f * 8), 0, 8);
+    }
+    b.label("leaf").join();
+    b.scratch_bytes(32);
+    b.max_spawn_depth(depth);
+    return b.build();
+}
+
 FuzzResult
 run_case(const FuzzCase& c)
 {
@@ -758,6 +939,9 @@ run_case(const FuzzCase& c)
     }
     if (c.mode == "workload") {
         return run_workload_case(c);
+    }
+    if (c.mode == "fork") {
+        return run_fork_case(c);
     }
     FuzzResult result;
     result.ok = false;

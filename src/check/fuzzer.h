@@ -16,7 +16,13 @@
  *     pass Program::verify), run it through the production interpreter
  *     (isa::run_traversal with GlobalMemory hooks) and through the
  *     independent reference interpreter over an identically-built
- *     second memory, and diff outcome + memory bytes.
+ *     second memory, and diff outcome + memory bytes;
+ *   - **fork**: build a random pointer tree (bounded fan-out and
+ *     depth, with pruned null branches exercising the conditional-
+ *     fork idiom) in a real cluster and drive a type-valid SPAWN /
+ *     REDUCE / JOIN program over it through the full engine DAG path
+ *     with the golden oracle armed — forking programs cannot run on
+ *     the bare run_traversal path, which has no fork coordinator.
  *
  * On failure the harness (tools/fuzz_harness) minimizes the case —
  * fewer ops, one client, one node, healthy network — and emits the
@@ -54,12 +60,14 @@ inline constexpr std::size_t kNumFuzzFaultConfigs = 6;
 struct FuzzCase
 {
     std::uint64_t seed = 1;
-    std::string mode = "workload";  ///< "workload" | "program"
+    std::string mode = "workload";  ///< "workload" | "program" | "fork"
     std::string ds = "hash";        ///< workload mode only
     std::string fault = "healthy";  ///< named fault profile
     std::uint32_t ops = 64;         ///< operations to drive
     std::uint32_t concurrency = 4;  ///< closed-loop window
     std::uint32_t nodes = 2;        ///< memory nodes
+    std::uint32_t forks = 0;        ///< fork mode: SPAWN fan-out (1-4)
+    std::uint32_t fork_depth = 2;   ///< fork mode: DAG depth (1-3)
 
     /** Flat single-line JSON encoding. */
     std::string to_json() const;
@@ -104,6 +112,18 @@ FuzzCase random_case(std::uint64_t seed);
  * the case on a generator regression).
  */
 isa::Program random_program(std::uint64_t seed);
+
+/**
+ * Generate a type-valid fork/join program from @p seed: one visit
+ * accumulates the node's value into the reduce lane, then — while the
+ * hops-remaining argument word is positive — SPAWNs up to @p fanout
+ * children from the node's pointer slots (null slots skip) at hops-1.
+ * The REDUCE operator is drawn from the full commutative set. Always
+ * passes Program::verify with max_spawn_depth @p depth.
+ */
+isa::Program random_fork_program(std::uint64_t seed,
+                                 std::uint32_t fanout,
+                                 std::uint32_t depth);
 
 /** Execute one case (dispatches on mode). */
 FuzzResult run_case(const FuzzCase& c);

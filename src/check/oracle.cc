@@ -44,8 +44,16 @@ GoldenOracle::arm(offload::Operation& op, bool program_valid,
     } else {
         ShadowMemory shadow(memory_);
         ReferenceOptions options;
+        for (const isa::Instruction& insn : op.program->code()) {
+            if (insn.op == isa::Opcode::kSpawn) {
+                pending.forked = true;
+                break;
+            }
+        }
         if (will_offload) {
-            pending.expected = reference_execute(
+            // reference_execute_dag recurses fork/join programs and
+            // takes the plain reference_execute path otherwise.
+            pending.expected = reference_execute_dag(
                 *op.program, op.start_ptr, op.init_scratch.to_vector(), shadow,
                 per_visit_cap_, total_guard_, options);
         } else {
@@ -137,6 +145,12 @@ GoldenOracle::check(std::uint64_t index,
         memory_.mutation_count() - pending.mem_version_at_submit;
     bool exact = !pending.weak_only &&
                  completion.status != TraversalStatus::kMaxIter;
+    if (pending.forked) {
+        // A completed join is order-insensitive (commutative REDUCE);
+        // a failed one reports whichever branch failure arrived
+        // first, an ordering the reference does not model.
+        exact = exact && completion.status == TraversalStatus::kDone;
+    }
     if (pending.predicted_writes == 0) {
         exact = exact && delta == 0;
     } else {
@@ -164,8 +178,15 @@ GoldenOracle::check(std::uint64_t index,
             mismatch(index, pending,
                      "terminal completion with zero iterations");
         }
-        if (completion.iterations >
-            total_guard_ + per_visit_cap_) {
+        // The iteration guard applies per DAG node; a forked root
+        // aggregates its sub-traversals' iterations.
+        const std::uint64_t per_node_bound =
+            total_guard_ + per_visit_cap_;
+        const std::uint64_t guard_bound =
+            pending.forked
+                ? per_node_bound * (isa::kForkNodeGuard + 1ull)
+                : per_node_bound;
+        if (completion.iterations > guard_bound) {
             mismatch(index, pending,
                      "iterations " +
                          std::to_string(completion.iterations) +

@@ -99,6 +99,15 @@ class GoldenOracle
         std::uint64_t arm_generation = 0;
         bool invalid_program = false;
         bool weak_only = false;  ///< path the reference cannot model
+
+        /**
+         * Fork/join DAG: exact comparison is gated to kDone
+         * completions. The commutative REDUCE makes a completed join
+         * order-insensitive, so the depth-first reference reproduces
+         * it exactly; a *failed* join reports whichever branch
+         * failure completed first, which the reference cannot order.
+         */
+        bool forked = false;
     };
 
     void check(std::uint64_t index,

@@ -92,7 +92,7 @@ struct RefStore
     std::uint32_t length = 0;
 };
 
-enum class LegEnd : std::uint8_t { kNextIter, kReturn, kFault };
+enum class LegEnd : std::uint8_t { kNextIter, kReturn, kFault, kJoin };
 
 struct LegResult
 {
@@ -100,6 +100,7 @@ struct LegResult
     isa::ExecFault fault = isa::ExecFault::kNone;
     std::uint64_t instructions = 0;
     std::vector<RefStore> stores;
+    std::vector<ReferenceSpawn> spawns;
     bool cas_fault = false;
 };
 
@@ -211,6 +212,36 @@ ref_logic(const isa::Program& program, RefState& state,
           case isa::Opcode::kNextIter:
             result.end = LegEnd::kNextIter;
             return result;
+          case isa::Opcode::kSpawn: {
+            if (options.spawn_depth >= program.max_spawn_depth()) {
+                result.end = LegEnd::kFault;
+                result.fault = isa::ExecFault::kSpawnDepth;
+                return result;
+            }
+            const VirtAddr child = ref_fetch(state, insn.src1);
+            if (child == kNullAddr) {
+                // Conditional-fork idiom: a null pointer spawns
+                // nothing (padded child-pointer slots).
+                break;
+            }
+            PULSE_ASSERT(insn.dst.value + insn.dst.width <=
+                             state.scratch.size(),
+                         "reference spawn args out of range");
+            ReferenceSpawn spawn;
+            spawn.start_ptr = child;
+            spawn.arg_offset = static_cast<std::uint32_t>(insn.dst.value);
+            spawn.args.assign(
+                state.scratch.data() + insn.dst.value,
+                state.scratch.data() + insn.dst.value + insn.dst.width);
+            result.spawns.push_back(std::move(spawn));
+            break;
+          }
+          case isa::Opcode::kReduce:
+            // Static declaration; a runtime no-op.
+            break;
+          case isa::Opcode::kJoin:
+            result.end = LegEnd::kJoin;
+            return result;
           case isa::Opcode::kCas: {
             if (!options.enable_cas) {
                 result.end = LegEnd::kFault;
@@ -288,13 +319,33 @@ reference_traversal(const isa::Program& program, VirtAddr start_ptr,
             outcome.status = isa::TraversalStatus::kMemFault;
             break;
         }
+        if (!leg.spawns.empty()) {
+            if (!options.enable_spawns) {
+                // Single-chain execution site with no fork coordinator
+                // (run_traversal's convention, src/isa/traversal.cc).
+                outcome.status = isa::TraversalStatus::kExecFault;
+                outcome.fault = isa::ExecFault::kIllegalInstruction;
+                break;
+            }
+            for (ReferenceSpawn& spawn : leg.spawns) {
+                outcome.spawns.push_back(std::move(spawn));
+            }
+        }
         if (leg.end == LegEnd::kFault) {
             outcome.status = isa::TraversalStatus::kExecFault;
             outcome.fault = leg.fault;
             break;
         }
-        if (leg.end == LegEnd::kReturn) {
+        if (leg.end == LegEnd::kReturn || leg.end == LegEnd::kJoin) {
+            // A JOIN ends the chain; outstanding branches rendezvous
+            // at the caller's join record.
             outcome.status = isa::TraversalStatus::kDone;
+            break;
+        }
+        if (!outcome.spawns.empty()) {
+            // Spawn flush: the visit ends with the iteration that
+            // forked (accelerator semantics), resumable via kMaxIter.
+            outcome.status = isa::TraversalStatus::kMaxIter;
             break;
         }
         if (outcome.iterations == max_iters) {
@@ -339,6 +390,175 @@ reference_execute(const isa::Program& program, VirtAddr start_ptr,
         scratch = total.scratch;
     }
     return total;
+}
+
+namespace {
+
+// One DAG node: the node's own chain under reference_execute()
+// discipline, with every spawn flush recursed depth-first and the
+// children's accumulator lanes folded commutatively — the functional
+// mirror of the offload engine's join record (offload/fork_join.h).
+// @p forked counts sub-traversals across the whole DAG (the per-root
+// fork-node guard).
+ReferenceOutcome
+ref_dag_node(const isa::Program& program, VirtAddr start_ptr,
+             const std::vector<std::uint8_t>& init_scratch,
+             ShadowMemory& memory, std::uint32_t per_visit_cap,
+             std::uint64_t total_guard, const ReferenceOptions& options,
+             isa::ReduceOp op, std::uint32_t reduce_offset,
+             std::uint32_t reduce_lanes, std::uint32_t depth,
+             std::uint64_t* forked)
+{
+    std::uint32_t leg_cap = program.max_iters();
+    if (per_visit_cap > 0) {
+        leg_cap = std::min(leg_cap, per_visit_cap);
+    }
+    ReferenceOptions node_options = options;
+    node_options.enable_spawns = true;
+    node_options.spawn_depth = depth;
+
+    // Identity-seeded accumulator lanes (JoinAccumulator::configure).
+    const std::uint32_t lanes =
+        std::min(reduce_lanes, isa::kMaxReduceLanes);
+    std::uint64_t acc[isa::kMaxReduceLanes] = {};
+    for (std::uint32_t i = 0; i < lanes; i++) {
+        acc[i] = isa::reduce_identity(op);
+    }
+
+    bool branch_failed = false;
+    isa::TraversalStatus branch_status = isa::TraversalStatus::kDone;
+    isa::ExecFault branch_fault = isa::ExecFault::kNone;
+    std::uint64_t child_iterations = 0;
+    std::uint64_t child_instructions = 0;
+
+    ReferenceOutcome total;
+    VirtAddr ptr = start_ptr;
+    std::vector<std::uint8_t> scratch = init_scratch;
+    for (;;) {
+        ReferenceOutcome leg = reference_traversal(
+            program, ptr, scratch, memory, leg_cap, node_options);
+        total.iterations += leg.iterations;
+        total.instructions += leg.instructions;
+        total.status = leg.status;
+        total.fault = leg.fault;
+        total.final_ptr = leg.final_ptr;
+        total.scratch = std::move(leg.scratch);
+
+        for (const ReferenceSpawn& spawn : leg.spawns) {
+            if (*forked >= isa::kForkNodeGuard) {
+                // DAG termination guard: stop forking and fail the
+                // join (the engine's kSpawnOverflow discipline).
+                if (!branch_failed) {
+                    branch_failed = true;
+                    branch_status = isa::TraversalStatus::kExecFault;
+                    branch_fault = isa::ExecFault::kSpawnOverflow;
+                }
+                break;
+            }
+            (*forked)++;
+            // The child starts from a zeroed scratch_pad with the
+            // spawn-time argument bytes at their parent offsets.
+            std::vector<std::uint8_t> child_scratch(
+                program.scratch_bytes(), 0);
+            std::copy_n(spawn.args.begin(),
+                        std::min<std::size_t>(
+                            spawn.args.size(),
+                            child_scratch.size() - spawn.arg_offset),
+                        child_scratch.begin() + spawn.arg_offset);
+            ReferenceOutcome child = ref_dag_node(
+                program, spawn.start_ptr, child_scratch, memory,
+                per_visit_cap, total_guard, options, op, reduce_offset,
+                reduce_lanes, depth + 1, forked);
+            child_iterations += child.iterations;
+            child_instructions += child.instructions;
+            if (child.status != isa::TraversalStatus::kDone &&
+                !branch_failed) {
+                branch_failed = true;
+                branch_status = child.status;
+                branch_fault = child.fault;
+            }
+            // Branches fold whether or not they failed; a failed join
+            // discards the fold below (OffloadEngine::child_joined /
+            // finalize).
+            for (std::uint32_t i = 0; i < lanes; i++) {
+                const std::size_t at = reduce_offset + 8ull * i;
+                std::uint64_t value = 0;
+                if (at + 8 <= child.scratch.size()) {
+                    std::memcpy(&value, child.scratch.data() + at, 8);
+                }
+                acc[i] = isa::reduce_apply(op, acc[i], value);
+            }
+        }
+
+        if (total.status != isa::TraversalStatus::kMaxIter ||
+            total.iterations >= total_guard) {
+            break;
+        }
+        ptr = total.final_ptr;
+        scratch = total.scratch;
+    }
+
+    if (total.status == isa::TraversalStatus::kDone) {
+        if (branch_failed) {
+            // The join reports the first branch failure.
+            total.status = branch_status;
+            total.fault = branch_fault;
+        } else {
+            // Fold the joined subtree lanes into the own-chain lanes
+            // (JoinAccumulator::fold_into).
+            for (std::uint32_t i = 0; i < lanes; i++) {
+                const std::size_t at = reduce_offset + 8ull * i;
+                if (at + 8 > total.scratch.size()) {
+                    break;
+                }
+                std::uint64_t own = 0;
+                std::memcpy(&own, total.scratch.data() + at, 8);
+                const std::uint64_t folded =
+                    isa::reduce_apply(op, acc[i], own);
+                std::memcpy(total.scratch.data() + at, &folded, 8);
+            }
+        }
+    }
+    total.iterations += child_iterations;
+    total.instructions += child_instructions;
+    total.spawns.clear();
+    return total;
+}
+
+}  // namespace
+
+ReferenceOutcome
+reference_execute_dag(const isa::Program& program, VirtAddr start_ptr,
+                      const std::vector<std::uint8_t>& init_scratch,
+                      ShadowMemory& memory,
+                      std::uint32_t per_visit_cap,
+                      std::uint64_t total_guard,
+                      const ReferenceOptions& options)
+{
+    // Read the fork declaration straight off the code — the reference
+    // path stays independent of isa::analyze().
+    bool has_spawn = false;
+    isa::ReduceOp op = isa::ReduceOp::kAdd;
+    std::uint32_t reduce_offset = 0;
+    std::uint32_t reduce_lanes = 0;
+    for (const isa::Instruction& insn : program.code()) {
+        if (insn.op == isa::Opcode::kSpawn) {
+            has_spawn = true;
+        } else if (insn.op == isa::Opcode::kReduce) {
+            reduce_offset = static_cast<std::uint32_t>(insn.dst.value);
+            reduce_lanes = static_cast<std::uint32_t>(insn.src1.value);
+            op = static_cast<isa::ReduceOp>(insn.src2.value);
+        }
+    }
+    if (!has_spawn) {
+        return reference_execute(program, start_ptr, init_scratch,
+                                 memory, per_visit_cap, total_guard,
+                                 options);
+    }
+    std::uint64_t forked = 0;
+    return ref_dag_node(program, start_ptr, init_scratch, memory,
+                        per_visit_cap, total_guard, options, op,
+                        reduce_offset, reduce_lanes, 0, &forked);
 }
 
 }  // namespace pulse::check

@@ -52,6 +52,29 @@ struct ReferenceOptions
      * continues (false).
      */
     bool cas_fault_is_memfault = true;
+
+    /**
+     * Surface SPAWN records to the caller (accelerator semantics).
+     * Single-chain sites — the client fallback and bare
+     * run_traversal — have no fork coordinator and fault
+     * kIllegalInstruction when an iteration emits spawn records
+     * (src/isa/traversal.cc's convention), which is the default here.
+     */
+    bool enable_spawns = false;
+
+    /**
+     * Fork depth this execution runs at (0 = root). A SPAWN executed
+     * at the program's max_spawn_depth faults kSpawnDepth.
+     */
+    std::uint32_t spawn_depth = 0;
+};
+
+/** One sub-traversal forked by a reference run. */
+struct ReferenceSpawn
+{
+    VirtAddr start_ptr = kNullAddr;
+    std::uint32_t arg_offset = 0;
+    std::vector<std::uint8_t> args;
 };
 
 /** Final state of a reference run (mirrors TraversalOutcome). */
@@ -63,6 +86,13 @@ struct ReferenceOutcome
     std::uint64_t instructions = 0;
     VirtAddr final_ptr = kNullAddr;
     std::vector<std::uint8_t> scratch;
+
+    /**
+     * Sub-traversals forked by this run, in program order (only with
+     * options.enable_spawns; reference_execute_dag consumes them
+     * internally and returns none).
+     */
+    std::vector<ReferenceSpawn> spawns;
 };
 
 /**
@@ -86,6 +116,35 @@ ReferenceOutcome reference_traversal(
  * path needed.
  */
 ReferenceOutcome reference_execute(
+    const isa::Program& program, VirtAddr start_ptr,
+    const std::vector<std::uint8_t>& init_scratch, ShadowMemory& memory,
+    std::uint32_t per_visit_cap, std::uint64_t total_guard,
+    const ReferenceOptions& options = ReferenceOptions{});
+
+/**
+ * Reference execution of a fork/join traversal DAG. The root chain
+ * runs under reference_execute() discipline; every SPAWN record it
+ * emits becomes a child execution (zeroed scratch with the captured
+ * argument window at the same offsets, one fork level deeper) that is
+ * recursed depth-first, and each completed child's accumulator lanes
+ * are folded into an identity-seeded accumulator with the program's
+ * REDUCE operator, which is finally folded into the root's own lanes —
+ * exactly the offload engine's join-record arithmetic. Because the
+ * REDUCE operator is commutative and associative, this depth-first
+ * order reproduces the engine's completion-order-dependent folds
+ * bit-identically; that equivalence is what makes the golden oracle's
+ * comparison order-insensitive (docs/TESTING.md).
+ *
+ * Iterations/instructions aggregate over the whole DAG (matching the
+ * engine's child-iteration roll-up). The per-root fork-node guard
+ * (isa::kForkNodeGuard) and spawn-depth limit are enforced as in
+ * production: exceeding them yields kExecFault/kSpawnOverflow or
+ * kSpawnDepth. A child (or the root chain) failing makes the first
+ * failure in depth-first order the DAG's outcome, and the final fold
+ * is skipped. Non-forking programs take the plain reference_execute()
+ * path unchanged.
+ */
+ReferenceOutcome reference_execute_dag(
     const isa::Program& program, VirtAddr start_ptr,
     const std::vector<std::uint8_t>& init_scratch, ShadowMemory& memory,
     std::uint32_t per_visit_cap, std::uint64_t total_guard,

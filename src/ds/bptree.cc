@@ -458,6 +458,116 @@ BPTree::aggregate_program(AggKind kind) const
     return slot;
 }
 
+std::shared_ptr<const isa::Program>
+BPTree::aggregate_forked_program() const
+{
+    PULSE_ASSERT(config_.inline_values,
+                 "aggregate expects inline payloads");
+    if (agg_forked_program_) {
+        return agg_forked_program_;
+    }
+    using isa::cur;
+    using isa::dat;
+    using isa::imm;
+    using isa::sp;
+
+    isa::ProgramBuilder b;
+    b.load(256)
+        .reduce(isa::ReduceOp::kAdd, kFkSum, 2)
+        .compare(sp(kFkPhase), imm(1))
+        .jump_eq("scansec")
+        .compare(sp(kFkDepth), imm(0))
+        .jump_neq("seq");
+
+    // Root visit. A root that is itself a leaf scans sequentially.
+    b.move(sp(kSpTmp), dat(kMetaOff))
+        .band(sp(kSpTmp), sp(kSpTmp), imm(1))
+        .compare(sp(kSpTmp), imm(1))
+        .jump_eq("enterleaf");
+
+    // Inner root: the window is split into at most kMaxSpawnsPerVisit
+    // disjoint chunks at the separator keys, one SPAWN per chunk.
+    // Chunk s starts at child 2s and covers children 2s and 2s+1 —
+    // the spawned traversal descends by its chunk's lo and the leaf
+    // sibling chain carries its scan across the pair's boundary, so
+    // even a full root (16 children) forks within the per-visit spawn
+    // budget. The chunk windows are narrowed to the separator ranges,
+    // so they are disjoint and no entry is counted twice.
+    static_assert(kInnerMaxKeys + 1 <= 2 * isa::kMaxSpawnsPerVisit,
+                  "pairwise chunking must cover a full root");
+    b.move(sp(kFkOwnLo), sp(kFkLo))
+        .move(sp(kFkOwnHi), sp(kFkHi))
+        .move(sp(kSpCnt), dat(kMetaOff))
+        .div(sp(kSpCnt), sp(kSpCnt), imm(256));
+    for (std::uint32_t s = 0; s < isa::kMaxSpawnsPerVisit; s++) {
+        const std::uint32_t first = 2 * s;  // chunk's first child
+        // Chunks whose first child is past the last one don't exist.
+        b.compare(imm(first), sp(kSpCnt)).jump_gt("spawned");
+        // chunk_hi = min(hi, keys[2s+1]); the last chunk is uncapped.
+        b.move(sp(kFkChildHi), sp(kFkOwnHi));
+        if (first + 1 < kInnerMaxKeys) {
+            b.compare(imm(first + 1), sp(kSpCnt))
+                .jump_ge(lbl("nocap", s))
+                .compare(dat(kInnerKeysOff + (first + 1) * 8),
+                         sp(kFkChildHi))
+                .jump_ge(lbl("nocap", s))
+                .move(sp(kFkChildHi),
+                      dat(kInnerKeysOff + (first + 1) * 8))
+                .label(lbl("nocap", s));
+        }
+        // chunk_lo = max(lo, keys[2s-1] + 1).
+        b.move(sp(kFkChildLo), sp(kFkOwnLo));
+        if (s > 0) {
+            b.move(sp(kFkTmp), dat(kInnerKeysOff + (first - 1) * 8))
+                .add(sp(kFkTmp), sp(kFkTmp), imm(1))
+                .compare(sp(kFkTmp), sp(kFkChildLo))
+                .jump_le(lbl("noraise", s))
+                .move(sp(kFkChildLo), sp(kFkTmp))
+                .label(lbl("noraise", s));
+        }
+        b.compare(sp(kFkChildLo), sp(kFkChildHi))
+            .jump_gt(lbl("skip", s))
+            // Stage the chunk's argument window and fork.
+            .move(sp(kFkLo), sp(kFkChildLo))
+            .move(sp(kFkHi), sp(kFkChildHi))
+            .move(sp(kFkDepth), imm(1))
+            .spawn(dat(kInnerChildrenOff + first * 8), 0, kFkArgBytes)
+            .label(lbl("skip", s));
+    }
+    b.label("spawned").move(sp(kFkFlag), imm(1)).join();
+
+    // Child path: sequential descend by lo, then the windowed scan.
+    b.label("seq");
+    emit_descend(b, "enterleaf");
+    b.label("enterleaf").move(sp(kFkPhase), imm(1));
+    b.label("scansec");
+    for (std::uint32_t i = 0; i < config_.leaf_slots; i++) {
+        const std::uint32_t key_off = kLeafSlotsOff + i * kLeafSlotBytes;
+        const std::uint32_t val_off = key_off + 8;
+        // Keys are sorted; padding (INT64_MAX) exceeds any hi bound.
+        b.compare(dat(key_off), sp(kFkHi))
+            .jump_gt("finish")
+            .compare(dat(key_off), sp(kFkLo))
+            .jump_lt(lbl("fskip", i))
+            .add(sp(kFkSum), sp(kFkSum), dat(val_off))
+            .add(sp(kFkCount), sp(kFkCount), imm(1))
+            .label(lbl("fskip", i));
+    }
+    b.compare(dat(kLeafNextOff), imm(0))
+        .jump_eq("finish")
+        .move(cur(), dat(kLeafNextOff))
+        .next_iter();
+    // JOIN with no outstanding branches completes immediately (the
+    // terminal of fork leaves; RETURN is illegal in forking programs).
+    b.label("finish").move(sp(kFkFlag), imm(1)).join();
+
+    b.scratch_bytes(kFkBytes);
+    b.max_spawn_depth(1);
+    agg_forked_program_ =
+        std::make_shared<const isa::Program>(b.build());
+    return agg_forked_program_;
+}
+
 // ---------------------------------------------------------------------
 // Operations
 // ---------------------------------------------------------------------
@@ -518,6 +628,22 @@ BPTree::make_aggregate(AggKind kind, std::uint64_t lo, std::uint64_t hi,
     std::memcpy(op.init_scratch.data() + kSpKey2, &hi, 8);
     const std::uint64_t init = agg_init(kind);
     std::memcpy(op.init_scratch.data() + kSpResult, &init, 8);
+    op.init_cpu_time = nanos(35.0);
+    op.done = std::move(done);
+    return op;
+}
+
+offload::Operation
+BPTree::make_aggregate_forked(std::uint64_t lo, std::uint64_t hi,
+                              offload::CompletionFn done) const
+{
+    PULSE_ASSERT(lo <= hi, "empty window");
+    offload::Operation op;
+    op.program = aggregate_forked_program();
+    op.start_ptr = root_;
+    op.init_scratch.assign(kFkBytes, 0);
+    std::memcpy(op.init_scratch.data() + kFkLo, &lo, 8);
+    std::memcpy(op.init_scratch.data() + kFkHi, &hi, 8);
     op.init_cpu_time = nanos(35.0);
     op.done = std::move(done);
     return op;
@@ -584,6 +710,20 @@ BPTree::parse_aggregate(const offload::Completion& completion,
     result.value = static_cast<std::int64_t>(
         kind == AggKind::kCount ? result.count
                                 : scratch_word(completion, kSpResult));
+    return result;
+}
+
+BPTree::AggResult
+BPTree::parse_aggregate_forked(const offload::Completion& completion)
+{
+    AggResult result;
+    if (completion.status != isa::TraversalStatus::kDone) {
+        return result;
+    }
+    result.complete = scratch_word(completion, kFkFlag) == 1;
+    result.count = scratch_word(completion, kFkCount);
+    result.value =
+        static_cast<std::int64_t>(scratch_word(completion, kFkSum));
     return result;
 }
 

@@ -136,6 +136,29 @@ class BPTree
     /** Scratch bytes for find/aggregate; scans add the staging area. */
     static constexpr std::uint32_t kSpBytes = 96;
 
+    /**
+     * Scratch layout of the fork/join aggregation (SUM only). The
+     * spawn-argument window [0, 24) rides at the same offsets in the
+     * child: the narrowed key window plus the fork depth. The reduce
+     * lanes are the sum and the in-window count, both folded with ADD.
+     */
+    static constexpr std::uint32_t kFkLo = 0;       ///< arg: window lo
+    static constexpr std::uint32_t kFkHi = 8;       ///< arg: window hi
+    static constexpr std::uint32_t kFkDepth = 16;   ///< arg: fork depth
+    static constexpr std::uint32_t kFkArgBytes = 24;
+    static constexpr std::uint32_t kFkSum = 24;     ///< reduce lane 0
+    static constexpr std::uint32_t kFkCount = 32;   ///< reduce lane 1
+    static constexpr std::uint32_t kFkFlag = 40;    ///< done flag
+    static constexpr std::uint32_t kFkChildLo = 64;
+    static constexpr std::uint32_t kFkChildHi = 72;
+    static constexpr std::uint32_t kFkTmp = 80;
+    static constexpr std::uint32_t kFkPhase = 88;
+    /** Staging children's windows into [0, 24) clobbers the root's own
+     *  window, so it is saved here before the spawn loop. */
+    static constexpr std::uint32_t kFkOwnLo = 96;
+    static constexpr std::uint32_t kFkOwnHi = 104;
+    static constexpr std::uint32_t kFkBytes = 112;
+
     BPTree(mem::GlobalMemory& memory, mem::ClusterAllocator& alloc,
            const BPTreeConfig& config);
 
@@ -155,6 +178,18 @@ class BPTree
     std::shared_ptr<const isa::Program> aggregate_program(
         AggKind kind) const;
 
+    /**
+     * Fork/join windowed SUM: the root visit SPAWNs one sub-traversal
+     * per *pair* of child subtrees overlapping [lo, hi] — each with
+     * the window narrowed at the separator keys, so the chunks are
+     * disjoint and no entry is counted twice — and JOINs; children
+     * run the sequential descend+scan on their narrowed window, the
+     * leaf sibling chain carrying the scan across the pair boundary.
+     * Pairing keeps even a full 16-child root within the per-visit
+     * spawn budget. One fork level (max_spawn_depth = 1).
+     */
+    std::shared_ptr<const isa::Program> aggregate_forked_program() const;
+
     /** Operation: exact-match find. */
     offload::Operation make_find(std::uint64_t key,
                                  offload::CompletionFn done) const;
@@ -168,6 +203,12 @@ class BPTree
     offload::Operation make_aggregate(AggKind kind, std::uint64_t lo,
                                       std::uint64_t hi,
                                       offload::CompletionFn done) const;
+
+    /** Operation: fork/join SUM over [lo, hi] (one fork per pair of
+     *  root subtrees). */
+    offload::Operation make_aggregate_forked(
+        std::uint64_t lo, std::uint64_t hi,
+        offload::CompletionFn done) const;
 
     /** Parsed results. */
     struct FindResult
@@ -193,6 +234,11 @@ class BPTree
     static ScanResult parse_scan(const offload::Completion& completion);
     static AggResult parse_aggregate(
         const offload::Completion& completion, AggKind kind);
+
+    /** Parse a fork/join SUM completion (compare with
+     *  aggregate_reference(AggKind::kSum, ...)). */
+    static AggResult parse_aggregate_forked(
+        const offload::Completion& completion);
 
     /** Host-side references (plain remote reads, no ISA). */
     std::optional<std::uint64_t> find_reference(std::uint64_t key) const;
@@ -239,6 +285,7 @@ class BPTree
     mutable std::shared_ptr<const isa::Program> find_program_;
     mutable std::shared_ptr<const isa::Program> scan_program_;
     mutable std::shared_ptr<const isa::Program> agg_programs_[4];
+    mutable std::shared_ptr<const isa::Program> agg_forked_program_;
 };
 
 }  // namespace pulse::ds

@@ -203,4 +203,102 @@ ProxGraph::search_reference(std::uint64_t target) const
     }
 }
 
+std::shared_ptr<const isa::Program>
+ProxGraph::nhood_program(std::uint32_t max_hops) const
+{
+    PULSE_ASSERT(max_hops >= 1 && max_hops <= 3,
+                 "hop count outside the fork-depth budget (a 4-hop "
+                 "expansion would overrun the fork-node guard)");
+    auto& slot = nhood_programs_[max_hops];
+    if (slot) {
+        return slot;
+    }
+    using isa::dat;
+    using isa::imm;
+    using isa::sp;
+
+    // Each sub-traversal is a single iteration: visit the vertex,
+    // fold it, fork the links (hops permitting), JOIN. The DAG shape
+    // comes entirely from SPAWN — there is no NEXT_ITER chain.
+    isa::ProgramBuilder b;
+    b.load(static_cast<std::uint32_t>(kNodeBytes))
+        .reduce(isa::ReduceOp::kAdd, kNhCount, 2)
+        .add(sp(kNhCount), sp(kNhCount), imm(1))
+        .add(sp(kNhKeySum), sp(kNhKeySum), dat(kKeyOff))
+        .compare(sp(kNhHops), imm(0))
+        .jump_eq("done")
+        .sub(sp(kNhHops), sp(kNhHops), imm(1));
+    for (std::uint32_t i = 0; i < kNeighbors; i++) {
+        // Padded slots hold a null pointer: the SPAWN is a no-op.
+        b.spawn(dat(kLinksOff + i * 16 + 8), kNhHops, kNhArgBytes);
+    }
+    b.label("done").move(sp(kNhFlag), imm(1)).join();
+    b.scratch_bytes(kNhBytes);
+    b.max_spawn_depth(max_hops);
+    slot = std::make_shared<const isa::Program>(b.build());
+    return slot;
+}
+
+offload::Operation
+ProxGraph::make_nhood(VirtAddr start, std::uint32_t hops,
+                      offload::CompletionFn done) const
+{
+    offload::Operation op;
+    op.program = nhood_program(hops);
+    op.start_ptr = start == kNullAddr ? entry_ : start;
+    op.init_scratch.assign(kNhBytes, 0);
+    const std::uint64_t hops_word = hops;
+    std::memcpy(op.init_scratch.data() + kNhHops, &hops_word, 8);
+    op.init_cpu_time = nanos(30.0);
+    op.done = std::move(done);
+    return op;
+}
+
+ProxGraph::NhoodResult
+ProxGraph::parse_nhood(const offload::Completion& completion)
+{
+    NhoodResult result;
+    if (completion.status != isa::TraversalStatus::kDone ||
+        completion.scratch.size() < kNhBytes) {
+        return result;
+    }
+    const auto word = [&](std::uint32_t off) {
+        std::uint64_t value = 0;
+        std::memcpy(&value, completion.scratch.data() + off, 8);
+        return value;
+    };
+    result.complete = word(kNhFlag) == 1;
+    result.vertices = word(kNhCount);
+    result.key_sum = word(kNhKeySum);
+    return result;
+}
+
+ProxGraph::NhoodResult
+ProxGraph::nhood_reference(VirtAddr start, std::uint32_t hops) const
+{
+    NhoodResult result;
+    result.complete = true;
+    const VirtAddr vertex = start == kNullAddr ? entry_ : start;
+    result.vertices = 1;
+    result.key_sum = memory_.read_as<std::uint64_t>(vertex + kKeyOff);
+    if (hops == 0) {
+        return result;
+    }
+    const std::uint64_t count =
+        memory_.read_as<std::uint64_t>(vertex + kNumOff);
+    for (std::uint64_t i = 0; i < count; i++) {
+        const std::uint32_t off =
+            kLinksOff + static_cast<std::uint32_t>(i) * 16;
+        const VirtAddr nbr =
+            memory_.read_as<std::uint64_t>(vertex + off + 8);
+        if (nbr == kNullAddr) {
+            continue;
+        }
+        const NhoodResult sub = nhood_reference(nbr, hops - 1);
+        result.vertices += sub.vertices;
+        result.key_sum += sub.key_sum;
+    }
+    return result;
+}
+
 }  // namespace pulse::ds

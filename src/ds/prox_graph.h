@@ -54,6 +54,21 @@ class ProxGraph
     static constexpr std::uint32_t kSpTmp = 48;
     static constexpr std::uint32_t kSpBytes = 56;
 
+    /**
+     * Scratch layout for the fork/join k-hop neighbourhood expansion.
+     * The spawn-argument window is just the hops-remaining word; the
+     * reduce lanes count the vertices reached (with multiplicity —
+     * neighbour lists overlap) and sum their keys. Every link slot is
+     * SPAWNed unconditionally: padded slots carry a null pointer, and
+     * a null-pointer SPAWN is a no-op (the conditional-fork idiom).
+     */
+    static constexpr std::uint32_t kNhHops = 0;      ///< arg
+    static constexpr std::uint32_t kNhArgBytes = 8;
+    static constexpr std::uint32_t kNhCount = 8;     ///< reduce lane 0
+    static constexpr std::uint32_t kNhKeySum = 16;   ///< reduce lane 1
+    static constexpr std::uint32_t kNhFlag = 24;
+    static constexpr std::uint32_t kNhBytes = 32;
+
     ProxGraph(mem::GlobalMemory& memory, mem::ClusterAllocator& alloc);
 
     /**
@@ -89,12 +104,40 @@ class ProxGraph
     /** Host-side reference greedy search from the entry vertex. */
     SearchResult search_reference(std::uint64_t target) const;
 
+    /**
+     * The fork/join neighbourhood program: visit the current vertex,
+     * fold (1, key) into the reduce lanes, and — while hops remain —
+     * SPAWN one sub-traversal per link at hops-1. @p max_hops bounds
+     * the program's fork depth.
+     */
+    std::shared_ptr<const isa::Program> nhood_program(
+        std::uint32_t max_hops) const;
+
+    /** Operation: expand the @p hops-hop neighbourhood of @p start. */
+    offload::Operation make_nhood(VirtAddr start, std::uint32_t hops,
+                                  offload::CompletionFn done) const;
+
+    struct NhoodResult
+    {
+        bool complete = false;
+        std::uint64_t vertices = 0;  ///< reached, with multiplicity
+        std::uint64_t key_sum = 0;
+    };
+
+    static NhoodResult parse_nhood(
+        const offload::Completion& completion);
+
+    /** Host-side reference expansion (same multiplicity semantics). */
+    NhoodResult nhood_reference(VirtAddr start,
+                                std::uint32_t hops) const;
+
   private:
     mem::GlobalMemory& memory_;
     mem::ClusterAllocator& alloc_;
     VirtAddr entry_ = kNullAddr;
     std::uint64_t size_ = 0;
     mutable std::shared_ptr<const isa::Program> program_;
+    mutable std::shared_ptr<const isa::Program> nhood_programs_[4];
 };
 
 }  // namespace pulse::ds

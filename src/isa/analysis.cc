@@ -28,6 +28,23 @@ analyze(const Program& program)
         if (insn.op == Opcode::kCas) {
             analysis.has_cas = true;
         }
+        if (insn.op == Opcode::kSpawn) {
+            analysis.has_spawn = true;
+            analysis.spawn_sites++;
+        }
+        if (insn.op == Opcode::kReduce) {
+            // verify() guarantees exactly one REDUCE iff the program
+            // spawns, and that the accumulator window fits scratch.
+            analysis.reduce_op =
+                static_cast<ReduceOp>(insn.src2.value);
+            analysis.reduce_offset =
+                static_cast<std::uint32_t>(insn.dst.value);
+            analysis.reduce_lanes =
+                static_cast<std::uint32_t>(insn.src1.value);
+            analysis.scratch_footprint = std::max(
+                analysis.scratch_footprint,
+                analysis.reduce_offset + 8 * analysis.reduce_lanes);
+        }
         for (const Operand* operand :
              {&insn.dst, &insn.src1, &insn.src2}) {
             if (operand->kind == OperandKind::kData) {
@@ -59,6 +76,7 @@ analyze(const Program& program)
             break;
           case Opcode::kReturn:
           case Opcode::kNextIter:
+          case Opcode::kJoin:
             longest[idx] = 1;
             break;
           case Opcode::kJump: {

@@ -40,6 +40,23 @@ struct ProgramAnalysis
     bool has_store = false;
     bool has_div = false;
     bool has_cas = false;  ///< uses the atomic extension
+
+    /**
+     * Fork/join extension (DAG traversals). A forking program's
+     * termination argument extends the chain case: each sub-traversal
+     * is itself a bounded chain (max_iters), the spawn depth is capped
+     * by max_spawn_depth <= 7, the per-iteration fan-out is capped by
+     * the static spawn-site count (<= 8, forward-only jumps execute
+     * each site at most once per iteration), and the engine's
+     * per-root fork-node guard bounds the total DAG size. eta is
+     * computed per sub-traversal — every branch runs the same
+     * iteration logic, so the chain cost model applies unchanged.
+     */
+    bool has_spawn = false;          ///< program forks sub-traversals
+    std::uint32_t spawn_sites = 0;   ///< static SPAWN count (<= 8)
+    ReduceOp reduce_op = ReduceOp::kAdd;  ///< join accumulator op
+    std::uint32_t reduce_offset = 0;      ///< accumulator scratch offset
+    std::uint32_t reduce_lanes = 0;       ///< 8-byte lanes (0 = no fork)
 };
 
 /** Analyze @p program (includes verification). */

@@ -146,6 +146,7 @@ assemble(const std::string& source)
     std::vector<PendingJump> pending;
     std::uint32_t scratch_bytes = kDefaultScratchBytes;
     std::uint32_t max_iters = kDefaultMaxIters;
+    std::uint32_t max_spawn_depth = 0;
 
     std::istringstream stream(source);
     std::string line;
@@ -176,15 +177,18 @@ assemble(const std::string& source)
             return parse_operand(tokens[i], out);
         };
 
-        if (mnemonic == ".scratch" || mnemonic == ".max_iters") {
+        if (mnemonic == ".scratch" || mnemonic == ".max_iters" ||
+            mnemonic == ".max_spawn_depth") {
             std::uint64_t value = 0;
             if (!need(1) || !parse_u64(tokens[1], &value)) {
                 return error_at(line_number, "directive needs a number");
             }
             if (mnemonic == ".scratch") {
                 scratch_bytes = static_cast<std::uint32_t>(value);
-            } else {
+            } else if (mnemonic == ".max_iters") {
                 max_iters = static_cast<std::uint32_t>(value);
+            } else {
+                max_spawn_depth = static_cast<std::uint32_t>(value);
             }
             continue;
         }
@@ -266,6 +270,37 @@ assemble(const std::string& source)
             code.push_back({.op = Opcode::kNextIter});
             continue;
         }
+        if (mnemonic == "JOIN") {
+            code.push_back({.op = Opcode::kJoin});
+            continue;
+        }
+        if (mnemonic == "SPAWN") {
+            // SPAWN sp[arg_off:arg_len], <start-ptr operand>
+            Instruction insn{.op = Opcode::kSpawn};
+            if (!need(2) || !operand(1, &insn.dst) ||
+                !operand(2, &insn.src1)) {
+                return error_at(line_number,
+                                "SPAWN needs sp[off:len] start_ptr");
+            }
+            code.push_back(insn);
+            continue;
+        }
+        if (mnemonic == "REDUCE") {
+            // REDUCE acc_off, lanes, <ADD|AND|OR|XOR|MIN|MAX>
+            std::uint64_t acc_off = 0;
+            std::uint64_t lanes = 0;
+            ReduceOp op = ReduceOp::kAdd;
+            if (!need(3) || !parse_u64(tokens[1], &acc_off) ||
+                !parse_u64(tokens[2], &lanes) ||
+                !reduce_op_from_name(tokens[3].c_str(), &op)) {
+                return error_at(line_number,
+                                "REDUCE needs acc_off lanes op-name");
+            }
+            code.push_back({.op = Opcode::kReduce, .dst = imm(acc_off),
+                            .src1 = imm(lanes),
+                            .src2 = imm(static_cast<std::uint64_t>(op))});
+            continue;
+        }
         return error_at(line_number,
                         "unknown mnemonic '" + mnemonic + "'");
     }
@@ -279,7 +314,9 @@ assemble(const std::string& source)
         code[jump.index].target = it->second;
     }
     return AssembleResult{
-        Program(std::move(code), scratch_bytes, max_iters), ""};
+        Program(std::move(code), scratch_bytes, max_iters,
+                max_spawn_depth),
+        ""};
 }
 
 }  // namespace pulse::isa

@@ -20,9 +20,15 @@
  *     MOVE sp[8:8] data[8:8]
  *     RETURN
  *
- * Directives: ".scratch N" and ".max_iters N" set program limits.
+ * Directives: ".scratch N", ".max_iters N" and ".max_spawn_depth N"
+ * set program limits.
  * Operands: "cur_ptr", "sp[off:w]", "data[off:w]", or a decimal/0x
  * immediate; width defaults to 8 when ":w" is omitted.
+ *
+ * Fork/join extension:
+ *     SPAWN sp[0:16], data[8:8]   ; fork at ptr, copy 16 B of args
+ *     REDUCE 16, 2, ADD           ; accumulator at sp[16], 2 lanes
+ *     JOIN                        ; terminal: wait for the subtrees
  */
 #ifndef PULSE_ISA_ASSEMBLER_H
 #define PULSE_ISA_ASSEMBLER_H

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace pulse::isa {
 namespace {
 
@@ -111,7 +113,11 @@ encode_program(const Program& program)
     out.reserve(encoded_size(program));
     put_u16(out, static_cast<std::uint16_t>(program.size()));
     put_u16(out, static_cast<std::uint16_t>(program.scratch_bytes()));
-    put_u32(out, program.max_iters());
+    PULSE_ASSERT(program.max_iters() < (1u << 24) &&
+                     program.max_spawn_depth() <= kMaxSpawnDepthLimit,
+                 "iter_word packing out of range");
+    put_u32(out, program.max_iters() |
+                     (program.max_spawn_depth() << 24));
     for (const Instruction& insn : program.code()) {
         out.push_back(static_cast<std::uint8_t>(insn.op));
         out.push_back(static_cast<std::uint8_t>(insn.cond));
@@ -131,7 +137,12 @@ decode_program(const std::vector<std::uint8_t>& bytes)
     }
     const std::uint16_t num_insns = get_u16(bytes.data());
     const std::uint16_t scratch_bytes = get_u16(bytes.data() + 2);
-    const std::uint32_t max_iters = get_u32(bytes.data() + 4);
+    const std::uint32_t iter_word = get_u32(bytes.data() + 4);
+    const std::uint32_t max_iters = iter_word & 0xFFFFFF;
+    const std::uint32_t max_spawn_depth = iter_word >> 24;
+    if (max_spawn_depth > kMaxSpawnDepthLimit) {
+        return std::nullopt;
+    }
     if (bytes.size() != kHeaderSize + num_insns * kInsnSize) {
         return std::nullopt;
     }
@@ -140,7 +151,7 @@ decode_program(const std::vector<std::uint8_t>& bytes)
     const std::uint8_t* p = bytes.data() + kHeaderSize;
     for (std::uint16_t i = 0; i < num_insns; i++, p += kInsnSize) {
         Instruction insn;
-        if (p[0] > static_cast<std::uint8_t>(Opcode::kCas) ||
+        if (p[0] > static_cast<std::uint8_t>(Opcode::kJoin) ||
             p[1] > static_cast<std::uint8_t>(Cond::kGe)) {
             return std::nullopt;
         }
@@ -154,7 +165,8 @@ decode_program(const std::vector<std::uint8_t>& bytes)
         }
         code.push_back(insn);
     }
-    return Program(std::move(code), scratch_bytes, max_iters);
+    return Program(std::move(code), scratch_bytes, max_iters,
+                   max_spawn_depth);
 }
 
 }  // namespace pulse::isa

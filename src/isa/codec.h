@@ -9,10 +9,16 @@
  * for honest bandwidth accounting.
  *
  * Layout (little-endian):
- *   header: num_insns u16 | scratch_bytes u16 | max_iters u32   (8 B)
- *   per instruction (36 B fixed):
+ *   header: num_insns u16 | scratch_bytes u16 | iter_word u32    (8 B)
+ *   per instruction (39 B fixed):
  *     op u8 | cond u8 | target u32 | 3 x operand
- *   operand (10 B): kind u8 | width u8 | value u64
+ *   operand (11 B): kind u8 | width u16 | value u64
+ *
+ * iter_word packs max_iters in its low 24 bits and max_spawn_depth
+ * (fork/join extension) in the top byte, so programs with depth 0 —
+ * every sequential program — encode bit-identically to the format
+ * that predates the extension. max_iters must stay below 2^24
+ * (asserted on encode; the engine's global iteration guard is 2^20).
  */
 #ifndef PULSE_ISA_CODEC_H
 #define PULSE_ISA_CODEC_H

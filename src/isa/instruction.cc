@@ -1,6 +1,7 @@
 #include "isa/instruction.h"
 
 #include <cstdio>
+#include <string>
 
 namespace pulse::isa {
 
@@ -23,8 +24,77 @@ opcode_name(Opcode op)
       case Opcode::kReturn: return "RETURN";
       case Opcode::kNextIter: return "NEXT_ITER";
       case Opcode::kCas: return "CAS";
+      case Opcode::kSpawn: return "SPAWN";
+      case Opcode::kReduce: return "REDUCE";
+      case Opcode::kJoin: return "JOIN";
     }
     return "?";
+}
+
+std::uint64_t
+reduce_identity(ReduceOp op)
+{
+    switch (op) {
+      case ReduceOp::kAdd:
+      case ReduceOp::kOr:
+      case ReduceOp::kXor:
+      case ReduceOp::kMax:
+        return 0;
+      case ReduceOp::kAnd:
+      case ReduceOp::kMin:
+        return ~0ull;
+    }
+    return 0;
+}
+
+std::uint64_t
+reduce_apply(ReduceOp op, std::uint64_t acc, std::uint64_t value)
+{
+    switch (op) {
+      case ReduceOp::kAdd: return acc + value;
+      case ReduceOp::kAnd: return acc & value;
+      case ReduceOp::kOr: return acc | value;
+      case ReduceOp::kXor: return acc ^ value;
+      case ReduceOp::kMin: return value < acc ? value : acc;
+      case ReduceOp::kMax: return value > acc ? value : acc;
+    }
+    return acc;
+}
+
+const char*
+reduce_op_name(ReduceOp op)
+{
+    switch (op) {
+      case ReduceOp::kAdd: return "ADD";
+      case ReduceOp::kAnd: return "AND";
+      case ReduceOp::kOr: return "OR";
+      case ReduceOp::kXor: return "XOR";
+      case ReduceOp::kMin: return "MIN";
+      case ReduceOp::kMax: return "MAX";
+    }
+    return "?";
+}
+
+bool
+reduce_op_from_name(const char* name, ReduceOp* out)
+{
+    const std::string text(name);
+    if (text == "ADD") {
+        *out = ReduceOp::kAdd;
+    } else if (text == "AND") {
+        *out = ReduceOp::kAnd;
+    } else if (text == "OR") {
+        *out = ReduceOp::kOr;
+    } else if (text == "XOR") {
+        *out = ReduceOp::kXor;
+    } else if (text == "MIN") {
+        *out = ReduceOp::kMin;
+    } else if (text == "MAX") {
+        *out = ReduceOp::kMax;
+    } else {
+        return false;
+    }
+    return true;
 }
 
 const char*

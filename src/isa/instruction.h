@@ -41,6 +41,31 @@ inline constexpr std::uint32_t kDefaultScratchBytes = 4096;
 /** Default per-request iteration cap (MAX_ITER, section 3.1). */
 inline constexpr std::uint32_t kDefaultMaxIters = 512;
 
+/**
+ * Fork/join extension limits (ROADMAP "Parallel intra-request
+ * traversals"). A forking program may contain at most
+ * kMaxSpawnsPerVisit SPAWN instructions — jumps are forward-only, so
+ * one iteration executes each SPAWN at most once, which statically
+ * bounds the records a visit can emit to the packet SpawnList's
+ * capacity. kSpawnArgBytes bounds the argument window a SPAWN copies
+ * from the parent's scratch_pad into the child's (same offsets, so
+ * scratch-layout constants stay uniform across the DAG).
+ */
+inline constexpr std::uint32_t kMaxSpawnsPerVisit = 8;
+inline constexpr std::uint32_t kSpawnArgBytes = 32;
+
+/** Maximum 64-bit accumulator lanes a REDUCE may declare. */
+inline constexpr std::uint32_t kMaxReduceLanes = 8;
+
+/** Hard ceiling on Program::max_spawn_depth (u8 in the wire header). */
+inline constexpr std::uint32_t kMaxSpawnDepthLimit = 7;
+
+/** Per-root cap on total forked sub-traversals (DAG termination: a
+ *  request terminates iff every spawn subtree does, and the subtree
+ *  node count is bounded by this guard — the dynamic analogue of the
+ *  kGlobalIterationGuard on chains). */
+inline constexpr std::uint32_t kForkNodeGuard = 4096;
+
 /** Operation codes. */
 enum class Opcode : std::uint8_t {
     kLoad,      ///< data[0:len) = mem[cur_ptr : cur_ptr+len)
@@ -66,7 +91,67 @@ enum class Opcode : std::uint8_t {
      * lack an atomic path fault on it.
      */
     kCas,
+    /**
+     * Fork/join extension (ROADMAP "Parallel intra-request
+     * traversals"; the Tiara/emu-style migratory recursive-spawn
+     * idiom). SPAWN emits a sub-traversal record: src1 is the child's
+     * start pointer (a null pointer skips the spawn — the conditional-
+     * fork idiom, mirroring the null-page LOAD semantics), and dst is
+     * a scratch_pad window [offset, offset+width) whose bytes are
+     * captured *at spawn time* and placed at the same offsets in the
+     * child's otherwise-zeroed scratch_pad. The child executes the
+     * same program from the spawned pointer, one fork level deeper;
+     * spawning at max_spawn_depth faults.
+     */
+    kSpawn,
+    /**
+     * Declares the program's commutative join accumulator: dst(imm) is
+     * the scratch_pad byte offset of the accumulator lanes, src1(imm)
+     * the lane count (64-bit lanes), src2(imm) the ReduceOp. When a
+     * forked child completes, each of its accumulator lanes is folded
+     * into the parent's with the declared operator. Commutativity +
+     * associativity make the join result independent of branch
+     * completion order, which is what lets the differential oracle
+     * gate forked traversals exactly. At runtime REDUCE is a no-op
+     * (the declaration is consumed by static analysis).
+     */
+    kReduce,
+    /**
+     * Terminal for forking programs: ends this traversal's own chain
+     * and completes the request once every spawned subtree has
+     * completed and reduced. A JOIN with no outstanding branches
+     * completes immediately (how fork leaves terminate).
+     */
+    kJoin,
 };
+
+/**
+ * Commutative + associative fold operators for kReduce. The identity
+ * element seeds engine-side accumulators, so partial folds compose in
+ * any completion order. MIN/MAX are unsigned (matching the ISA's
+ * zero-extended operand reads).
+ */
+enum class ReduceOp : std::uint8_t {
+    kAdd,
+    kAnd,
+    kOr,
+    kXor,
+    kMin,
+    kMax,
+};
+
+/** Identity element of @p op (the accumulator's initial lane value). */
+std::uint64_t reduce_identity(ReduceOp op);
+
+/** Fold @p value into @p acc with @p op. */
+std::uint64_t reduce_apply(ReduceOp op, std::uint64_t acc,
+                           std::uint64_t value);
+
+/** Mnemonic for @p op ("ADD", "AND", ...). */
+const char* reduce_op_name(ReduceOp op);
+
+/** Parse a reduce-op mnemonic (case-sensitive); false when unknown. */
+bool reduce_op_from_name(const char* name, ReduceOp* out);
 
 /** Branch conditions for kJump. */
 enum class Cond : std::uint8_t {

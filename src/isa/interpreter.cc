@@ -71,6 +71,10 @@ mutation_from_name(const char* name, InterpreterMutation* out)
         *out = InterpreterMutation::kCompareInverted;
     } else if (sv == "store-drop-byte") {
         *out = InterpreterMutation::kStoreDropByte;
+    } else if (sv == "drop-one-branch") {
+        *out = InterpreterMutation::kSpawnDropBranch;
+    } else if (sv == "double-join") {
+        *out = InterpreterMutation::kSpawnDoubleJoin;
     } else {
         return false;
     }
@@ -84,6 +88,7 @@ Workspace::configure(const Program& program)
     data.assign(kMaxLoadBytes, 0);
     cur_ptr = kNullAddr;
     flags = 0;
+    spawn_depth = 0;
 }
 
 std::uint64_t
@@ -127,6 +132,7 @@ run_iteration(const Program& program, Workspace& workspace,
               const CasFn& cas)
 {
     IterationResult result;
+    bool dropped_spawn = false;
     const auto& code = program.code();
     // Skip the LOAD at instruction 0: the memory pipeline performs it.
     std::uint32_t pc = (!code.empty() &&
@@ -238,6 +244,50 @@ run_iteration(const Program& program, Workspace& workspace,
             return result;
           case Opcode::kNextIter:
             result.end = IterEnd::kNextIter;
+            return result;
+          case Opcode::kSpawn: {
+            if (workspace.spawn_depth >= program.max_spawn_depth()) {
+                result.end = IterEnd::kFault;
+                result.fault = ExecFault::kSpawnDepth;
+                return result;
+            }
+            const VirtAddr child = workspace.read(insn.src1);
+            if (child == kNullAddr) {
+                // Null-pointer spawn is a no-op: the conditional-fork
+                // idiom (e.g. padded child-pointer slots).
+                break;
+            }
+            if (g_mutation == InterpreterMutation::kSpawnDropBranch &&
+                !dropped_spawn) {
+                // Mutation: the iteration's first branch vanishes.
+                dropped_spawn = true;
+                break;
+            }
+            SpawnRecord record;
+            record.start_ptr = child;
+            record.arg_offset =
+                static_cast<std::uint16_t>(insn.dst.value);
+            record.arg_length = insn.dst.width;
+            PULSE_ASSERT(record.arg_offset + record.arg_length <=
+                             workspace.scratch.size(),
+                         "spawn args out of range (verifier bug)");
+            std::memcpy(record.args,
+                        workspace.scratch.data() + record.arg_offset,
+                        record.arg_length);
+            result.spawns.push_back(record);
+            if (g_mutation == InterpreterMutation::kSpawnDoubleJoin) {
+                // Mutation: the branch joins twice (the duplicate is a
+                // distinct branch index at the engine).
+                result.spawns.push_back(record);
+            }
+            break;
+          }
+          case Opcode::kReduce:
+            // The declaration is consumed by static analysis; at
+            // runtime it costs one instruction slot and does nothing.
+            break;
+          case Opcode::kJoin:
+            result.end = IterEnd::kJoin;
             return result;
           case Opcode::kCas: {
             if (!cas) {

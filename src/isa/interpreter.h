@@ -31,6 +31,9 @@ struct Workspace
 {
     VirtAddr cur_ptr = kNullAddr;
     int flags = 0;  ///< COMPARE result: sign of (src1 - src2)
+    /** Fork depth of the executing traversal (0 = the root). SPAWN
+     *  faults once this reaches the program's max_spawn_depth. */
+    std::uint32_t spawn_depth = 0;
     std::vector<std::uint8_t> scratch;
     std::vector<std::uint8_t> data;
 
@@ -49,6 +52,8 @@ enum class IterEnd : std::uint8_t {
     kNextIter,  ///< continue: cur_ptr holds the next pointer
     kReturn,    ///< traversal complete; scratch_pad is the result
     kFault,     ///< execution fault (e.g. divide by zero)
+    kJoin,      ///< own chain done; request completes when the spawned
+                ///< subtrees have all reduced (fork/join extension)
 };
 
 /** Faults the logic pipeline can raise. */
@@ -56,6 +61,8 @@ enum class ExecFault : std::uint8_t {
     kNone,
     kDivideByZero,
     kIllegalInstruction,
+    kSpawnDepth,     ///< SPAWN at the program's max_spawn_depth
+    kSpawnOverflow,  ///< spawn-list capacity or fork-node guard hit
 };
 
 /** A STORE captured during the iteration, for the memory pipeline. */
@@ -66,6 +73,20 @@ struct PendingStore
     std::uint32_t length = 0;
 };
 
+/**
+ * A sub-traversal the iteration SPAWNed. The argument bytes are
+ * captured at spawn time (later instructions may overwrite the source
+ * scratch window) and land at [arg_offset, arg_offset+arg_length) of
+ * the child's otherwise-zeroed scratch_pad.
+ */
+struct SpawnRecord
+{
+    VirtAddr start_ptr = kNullAddr;
+    std::uint16_t arg_offset = 0;
+    std::uint16_t arg_length = 0;
+    std::uint8_t args[kSpawnArgBytes] = {};
+};
+
 /** Result of one iteration's logic execution. */
 struct IterationResult
 {
@@ -73,6 +94,7 @@ struct IterationResult
     ExecFault fault = ExecFault::kNone;
     std::uint32_t instructions_executed = 0;
     std::vector<PendingStore> stores;
+    std::vector<SpawnRecord> spawns;
 };
 
 /**
@@ -106,6 +128,15 @@ enum class InterpreterMutation : std::uint8_t {
     kAddOffByOne,      ///< ADD produces src1 + src2 + 1
     kCompareInverted,  ///< COMPARE flags get the opposite sign
     kStoreDropByte,    ///< STORE writes one byte short
+    /**
+     * Fork-aware mutations: the first SPAWN an iteration executes is
+     * silently skipped (a branch goes missing from the DAG), or every
+     * SPAWN emits its record twice (the duplicate is a *new* branch at
+     * the engine, so the join double-counts — a same-branch duplicate
+     * would be absorbed by exactly-once dedup and prove nothing).
+     */
+    kSpawnDropBranch,  ///< "drop-one-branch"
+    kSpawnDoubleJoin,  ///< "double-join"
 };
 
 /** Set the active mutation (process-wide; tests/tools only). */
@@ -116,7 +147,8 @@ InterpreterMutation interpreter_mutation();
 
 /**
  * Parse a mutation name ("none", "add-off-by-one",
- * "compare-inverted", "store-drop-byte"); false on unknown names.
+ * "compare-inverted", "store-drop-byte", "drop-one-branch",
+ * "double-join"); false on unknown names.
  */
 bool mutation_from_name(const char* name, InterpreterMutation* out);
 

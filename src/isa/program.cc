@@ -59,7 +59,8 @@ is_vector(const Operand& operand)
 
 /** MOVE may be a register-vector transfer (both sides vectors of the
  *  same width, up to 256 B); every other access is scalar (1/2/4/8 B,
- *  zero-extending on read, truncating on write). */
+ *  zero-extending on read, truncating on write). SPAWN's dst is an
+ *  argument *window* (byte-copied, any width up to kSpawnArgBytes). */
 bool
 valid_width(const Instruction& insn, const Operand& operand)
 {
@@ -70,6 +71,9 @@ valid_width(const Instruction& insn, const Operand& operand)
     if (wide_move) {
         return operand.width >= 1 && operand.width <= kMaxLoadBytes &&
                insn.dst.width == insn.src1.width;
+    }
+    if (insn.op == Opcode::kSpawn && &operand == &insn.dst) {
+        return operand.width >= 1 && operand.width <= kSpawnArgBytes;
     }
     return scalar_width(operand);
 }
@@ -86,9 +90,10 @@ fail(std::string* error, const std::string& message)
 }  // namespace
 
 Program::Program(std::vector<Instruction> code,
-                 std::uint32_t scratch_bytes, std::uint32_t max_iters)
+                 std::uint32_t scratch_bytes, std::uint32_t max_iters,
+                 std::uint32_t max_spawn_depth)
     : code_(std::move(code)), scratch_bytes_(scratch_bytes),
-      max_iters_(max_iters)
+      max_iters_(max_iters), max_spawn_depth_(max_spawn_depth)
 {
 }
 
@@ -108,6 +113,11 @@ Program::verify(std::string* error) const
         return fail(error, "empty program");
     }
     char buf[160];
+    std::uint32_t spawn_sites = 0;
+    std::uint32_t reduce_sites = 0;
+    bool has_join = false;
+    bool has_return = false;
+    bool has_store = false;
     for (std::size_t i = 0; i < code_.size(); i++) {
         const Instruction& insn = code_[i];
         const auto where = [&](const char* what) {
@@ -157,6 +167,7 @@ Program::verify(std::string* error) const
             if (len == 0 || data_off + len > kMaxLoadBytes) {
                 return fail(error, where("STORE data span out of range"));
             }
+            has_store = true;
             break;
           }
           case Opcode::kAdd:
@@ -194,7 +205,50 @@ Program::verify(std::string* error) const
             }
             break;
           case Opcode::kReturn:
+            has_return = true;
+            break;
           case Opcode::kNextIter:
+            break;
+          case Opcode::kSpawn:
+            spawn_sites++;
+            if (!readable(insn.src1) || insn.src1.width != 8 ||
+                insn.src1.kind == OperandKind::kImm) {
+                return fail(error, where("SPAWN start pointer must be "
+                                         "an 8-byte register read"));
+            }
+            if (insn.dst.kind != OperandKind::kScratch ||
+                insn.dst.width == 0 ||
+                insn.dst.width > kSpawnArgBytes) {
+                return fail(error,
+                            where("SPAWN argument window must be a "
+                                  "scratch_pad span of at most 32 B"));
+            }
+            break;
+          case Opcode::kReduce: {
+            reduce_sites++;
+            if (insn.dst.kind != OperandKind::kImm ||
+                insn.src1.kind != OperandKind::kImm ||
+                insn.src2.kind != OperandKind::kImm) {
+                return fail(error, where("REDUCE operands must be "
+                                         "immediates (off, lanes, op)"));
+            }
+            const auto lanes = insn.src1.value;
+            if (lanes == 0 || lanes > 8) {
+                return fail(error,
+                            where("REDUCE lane count must be in [1, 8]"));
+            }
+            if (insn.dst.value + 8 * lanes > scratch_bytes_) {
+                return fail(error, where("REDUCE accumulator span out "
+                                         "of scratch_pad range"));
+            }
+            if (insn.src2.value > static_cast<std::uint64_t>(
+                                      ReduceOp::kMax)) {
+                return fail(error, where("unknown REDUCE operator"));
+            }
+            break;
+          }
+          case Opcode::kJoin:
+            has_join = true;
             break;
           case Opcode::kCas:
             if (insn.dst.kind != OperandKind::kImm ||
@@ -207,9 +261,53 @@ Program::verify(std::string* error) const
                 return fail(error, where("CAS needs expected and "
                                          "desired sources"));
             }
+            has_store = true;
             break;
         }
         (void)is_alu;
+    }
+
+    // Fork/join structural rules. A forking program terminates through
+    // the join/reduce rendezvous: RETURN would complete the request
+    // while children are still in flight, so it is forbidden; exactly
+    // one REDUCE names the accumulator the engine folds children into;
+    // and memory effects are read-only, which is what makes the DAG's
+    // result independent of branch completion order (the oracle's
+    // order-insensitive gating rule, docs/TESTING.md).
+    if (spawn_sites > 0) {
+        if (max_spawn_depth_ == 0) {
+            return fail(error, "SPAWN requires max_spawn_depth >= 1");
+        }
+        if (spawn_sites > kMaxSpawnsPerVisit) {
+            return fail(error, "SPAWN sites exceed the per-visit "
+                               "spawn-list capacity");
+        }
+        if (reduce_sites != 1) {
+            return fail(error, "a forking program needs exactly one "
+                               "REDUCE declaration");
+        }
+        if (!has_join) {
+            return fail(error, "a forking program must terminate via "
+                               "JOIN");
+        }
+        if (has_return) {
+            return fail(error, "RETURN is illegal in a forking program "
+                               "(use JOIN)");
+        }
+        if (has_store) {
+            return fail(error, "STORE/CAS are illegal in a forking "
+                               "program (forked traversals are "
+                               "read-only)");
+        }
+    } else if (has_join || reduce_sites > 0) {
+        return fail(error, "JOIN/REDUCE without any SPAWN site");
+    }
+    if (max_spawn_depth_ > kMaxSpawnDepthLimit) {
+        return fail(error, "max_spawn_depth exceeds the wire limit");
+    }
+    if (max_spawn_depth_ > 0 && max_iters_ >= (1u << 24)) {
+        return fail(error, "forking programs cap max_iters below 2^24 "
+                           "(header packing)");
     }
 
     // Every fall-through path must end in a terminal instruction: the
@@ -217,9 +315,10 @@ Program::verify(std::string* error) const
     // exist past it (it can't: verified above). Conditional fallthrough
     // off the end is a bug.
     const Opcode last = code_.back().op;
-    if (last != Opcode::kReturn && last != Opcode::kNextIter) {
+    if (last != Opcode::kReturn && last != Opcode::kNextIter &&
+        last != Opcode::kJoin) {
         return fail(error, "program may fall off the end (last "
-                           "instruction is not RETURN/NEXT_ITER)");
+                           "instruction is not RETURN/NEXT_ITER/JOIN)");
     }
     return true;
 }
@@ -249,8 +348,22 @@ Program::disassemble() const
             break;
           case Opcode::kReturn:
           case Opcode::kNextIter:
+          case Opcode::kJoin:
             std::snprintf(buf, sizeof(buf), "%3zu: %s\n", i,
                           opcode_name(insn.op));
+            break;
+          case Opcode::kSpawn:
+            std::snprintf(buf, sizeof(buf), "%3zu: SPAWN %s %s\n", i,
+                          operand_to_string(insn.dst).c_str(),
+                          operand_to_string(insn.src1).c_str());
+            break;
+          case Opcode::kReduce:
+            std::snprintf(
+                buf, sizeof(buf), "%3zu: REDUCE %llu %llu %s\n", i,
+                static_cast<unsigned long long>(insn.dst.value),
+                static_cast<unsigned long long>(insn.src1.value),
+                reduce_op_name(
+                    static_cast<ReduceOp>(insn.src2.value)));
             break;
           case Opcode::kNot:
           case Opcode::kMove:
@@ -430,6 +543,38 @@ ProgramBuilder::ret()
 }
 
 ProgramBuilder&
+ProgramBuilder::spawn(Operand start_ptr, std::uint32_t arg_off,
+                      std::uint32_t arg_len)
+{
+    return emit({.op = Opcode::kSpawn,
+                 .dst = sp(arg_off,
+                           static_cast<std::uint16_t>(arg_len)),
+                 .src1 = start_ptr});
+}
+
+ProgramBuilder&
+ProgramBuilder::reduce(ReduceOp op, std::uint32_t acc_off,
+                       std::uint32_t lanes)
+{
+    return emit({.op = Opcode::kReduce, .dst = imm(acc_off),
+                 .src1 = imm(lanes),
+                 .src2 = imm(static_cast<std::uint64_t>(op))});
+}
+
+ProgramBuilder&
+ProgramBuilder::join()
+{
+    return emit({.op = Opcode::kJoin});
+}
+
+ProgramBuilder&
+ProgramBuilder::max_spawn_depth(std::uint32_t depth)
+{
+    max_spawn_depth_ = depth;
+    return *this;
+}
+
+ProgramBuilder&
 ProgramBuilder::label(const std::string& label)
 {
     labels_.emplace_back(label,
@@ -469,7 +614,8 @@ ProgramBuilder::build() const
                   jump.label.c_str());
         }
     }
-    return Program(std::move(code), scratch_bytes_, max_iters_);
+    return Program(std::move(code), scratch_bytes_, max_iters_,
+                   max_spawn_depth_);
 }
 
 }  // namespace pulse::isa

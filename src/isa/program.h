@@ -34,11 +34,20 @@ class Program
      * @param max_iters    MAX_ITER for this program
      */
     Program(std::vector<Instruction> code, std::uint32_t scratch_bytes,
-            std::uint32_t max_iters);
+            std::uint32_t max_iters,
+            std::uint32_t max_spawn_depth = 0);
 
     const std::vector<Instruction>& code() const { return code_; }
     std::uint32_t scratch_bytes() const { return scratch_bytes_; }
     std::uint32_t max_iters() const { return max_iters_; }
+
+    /**
+     * Fork-depth budget: a traversal at depth d may SPAWN only while
+     * d < max_spawn_depth. 0 (the default) keeps SPAWN illegal — the
+     * sequential ISA — and encodes bit-identically to programs built
+     * before the fork/join extension existed.
+     */
+    std::uint32_t max_spawn_depth() const { return max_spawn_depth_; }
 
     /** Number of instructions. */
     std::uint32_t size() const
@@ -68,6 +77,7 @@ class Program
     std::vector<Instruction> code_;
     std::uint32_t scratch_bytes_ = kDefaultScratchBytes;
     std::uint32_t max_iters_ = kDefaultMaxIters;
+    std::uint32_t max_spawn_depth_ = 0;
 };
 
 /**
@@ -123,6 +133,25 @@ class ProgramBuilder
     ProgramBuilder& next_iter();
     ProgramBuilder& ret();
 
+    /**
+     * Fork/join extension: spawn a child traversal at @p start_ptr,
+     * seeding its scratch_pad with this traversal's scratch bytes
+     * [arg_off, arg_off+arg_len) at the same offsets.
+     */
+    ProgramBuilder& spawn(Operand start_ptr, std::uint32_t arg_off,
+                          std::uint32_t arg_len);
+
+    /** Declare the join accumulator: @p lanes 64-bit lanes at
+     *  scratch_pad offset @p acc_off folded with @p op. */
+    ProgramBuilder& reduce(ReduceOp op, std::uint32_t acc_off,
+                           std::uint32_t lanes);
+
+    /** Terminal for forking programs (see Opcode::kJoin). */
+    ProgramBuilder& join();
+
+    /** Override the fork-depth budget (default 0: no forking). */
+    ProgramBuilder& max_spawn_depth(std::uint32_t depth);
+
     /** Bind @p label to the next instruction index. */
     ProgramBuilder& label(const std::string& label);
 
@@ -152,6 +181,7 @@ class ProgramBuilder
     std::vector<std::pair<std::string, std::uint32_t>> labels_;
     std::uint32_t scratch_bytes_ = kDefaultScratchBytes;
     std::uint32_t max_iters_ = kDefaultMaxIters;
+    std::uint32_t max_spawn_depth_ = 0;
 };
 
 }  // namespace pulse::isa

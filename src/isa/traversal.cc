@@ -72,12 +72,23 @@ run_traversal_impl(const Program& program, VirtAddr start_ptr,
             outcome.status = TraversalStatus::kMemFault;
             break;
         }
+        if (!iter.spawns.empty()) {
+            // This is a single-chain execution site with no fork path
+            // (the engine offloads forking programs; the client
+            // fallback cannot coordinate a join). Same convention as
+            // kCas without a hook.
+            outcome.status = TraversalStatus::kExecFault;
+            outcome.fault = ExecFault::kIllegalInstruction;
+            break;
+        }
         if (iter.end == IterEnd::kFault) {
             outcome.status = TraversalStatus::kExecFault;
             outcome.fault = iter.fault;
             break;
         }
-        if (iter.end == IterEnd::kReturn) {
+        if (iter.end == IterEnd::kReturn ||
+            iter.end == IterEnd::kJoin) {
+            // A JOIN that spawned nothing completes immediately.
             outcome.status = TraversalStatus::kDone;
             break;
         }

@@ -12,7 +12,9 @@
 #ifndef PULSE_NET_PACKET_H
 #define PULSE_NET_PACKET_H
 
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -57,6 +59,86 @@ inline constexpr Bytes kPulseHeaderBytes = 12 + 4 + 4 + 8 + 8;
  * paper's reported 0.92-3.7% band (see DESIGN.md).
  */
 inline constexpr Bytes kCodeIdBytes = 16;
+
+/**
+ * Inline fixed-capacity list of SPAWN records (fork/join extension).
+ * Mirrors ScratchBuffer's design: packets are copied on every hop, so
+ * the list must keep TraversalPacket trivially copyable. Capacity is
+ * isa::kMaxSpawnsPerVisit — the accelerator ends the visit the moment
+ * an iteration emits spawns ("spawn flush"), and verify() caps a
+ * program at 16 static SPAWN sites, so one visit can never overflow
+ * the list (the accelerator faults kSpawnOverflow defensively).
+ */
+class SpawnList
+{
+  public:
+    static constexpr std::size_t kCapacity = isa::kMaxSpawnsPerVisit;
+
+    bool
+    push(const isa::SpawnRecord& record)
+    {
+        if (size_ >= kCapacity) {
+            return false;
+        }
+        records_[size_++] = record;
+        return true;
+    }
+
+    void clear() { size_ = 0; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const isa::SpawnRecord&
+    operator[](std::size_t i) const
+    {
+        return records_[i];
+    }
+
+    const isa::SpawnRecord* begin() const { return records_.data(); }
+    const isa::SpawnRecord* end() const { return records_.data() + size_; }
+
+    /**
+     * Modelled wire bytes: nothing when empty (sequential traffic is
+     * byte-identical to the pre-fork format), else a 2 B count word
+     * plus, per record, the start pointer (8 B), the argument window
+     * descriptor (4 B) and the argument bytes actually shipped.
+     */
+    Bytes
+    wire_bytes() const
+    {
+        if (size_ == 0) {
+            return 0;
+        }
+        Bytes bytes = 2;
+        for (std::size_t i = 0; i < size_; i++) {
+            bytes += 12 + records_[i].arg_length;
+        }
+        return bytes;
+    }
+
+    friend bool
+    operator==(const SpawnList& a, const SpawnList& b)
+    {
+        if (a.size_ != b.size_) {
+            return false;
+        }
+        for (std::size_t i = 0; i < a.size_; i++) {
+            const auto& ra = a.records_[i];
+            const auto& rb = b.records_[i];
+            if (ra.start_ptr != rb.start_ptr ||
+                ra.arg_offset != rb.arg_offset ||
+                ra.arg_length != rb.arg_length ||
+                std::memcmp(ra.args, rb.args, ra.arg_length) != 0) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::array<isa::SpawnRecord, kCapacity> records_ = {};
+    std::uint16_t size_ = 0;
+};
 
 /** Addressable endpoints in the rack. */
 struct EndpointAddr
@@ -155,12 +237,33 @@ struct TraversalPacket
      */
     ScratchBuffer scratch;
 
+    /**
+     * Fork/join extension. A response whose visit executed SPAWNs
+     * carries the spawn records back to the issuing engine, which
+     * forks each into a sub-traversal request of its own. Sub-
+     * traversal packets carry their lineage — the parent's request id
+     * and their branch index — plus their fork depth, so any engine
+     * (or a post-failover replica's) can rendezvous them at the
+     * parent's join record. All three contribute wire bytes only when
+     * set, keeping sequential traffic byte-identical.
+     */
+    SpawnList spawns;
+    std::uint32_t spawn_depth = 0;   ///< 0 = root traversal
+    RequestId parent_id = {};        ///< seq 0 = no parent (root)
+    std::uint32_t branch_index = 0;  ///< index under parent's join
+
     /** Modelled bytes on the wire. */
     Bytes
     wire_size() const
     {
-        return kNetHeaderBytes + kPulseHeaderBytes + code_size +
-               scratch.size();
+        Bytes bytes = kNetHeaderBytes + kPulseHeaderBytes + code_size +
+                      scratch.size() + spawns.wire_bytes();
+        if (parent_id.seq != 0) {
+            // Lineage sideband: parent id (12 B), branch index (2 B),
+            // fork depth (1 B).
+            bytes += 15;
+        }
+        return bytes;
     }
 };
 

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Join-state bookkeeping for fork/join traversals (DAG extension of
+ * the paper's chain model).
+ *
+ * A forking traversal's sub-traversals execute concurrently across
+ * accelerator cores and across memory nodes; they rendezvous at the
+ * parent's join record held by the issuing offload engine. The
+ * JoinAccumulator is that record's arithmetic core: identity-seeded
+ * reduce lanes folded with each completing branch's lanes under the
+ * program's commutative REDUCE operator, so the final result is
+ * independent of branch completion order — the property the golden
+ * oracle's order-insensitive comparison relies on (docs/TESTING.md).
+ *
+ * Branch counting is explicit and checked: register_branch() before a
+ * branch is forked, complete_branch() when it joins. Underflow (a join
+ * with no registered branch) and overflow (registrations beyond the
+ * fork-node guard) are rejected rather than silently absorbed, so a
+ * broken coordinator — or a mutated interpreter emitting duplicate
+ * spawn records — surfaces as a hard error or an oracle mismatch, not
+ * a wrong answer.
+ */
+#ifndef PULSE_OFFLOAD_FORK_JOIN_H
+#define PULSE_OFFLOAD_FORK_JOIN_H
+
+#include <cstdint>
+#include <cstring>
+
+#include "isa/instruction.h"
+
+namespace pulse::offload {
+
+/** Join record arithmetic: identity-seeded commutative reduce lanes. */
+class JoinAccumulator
+{
+  public:
+    /** Seed @p lanes accumulator lanes with @p op's identity. */
+    void
+    configure(isa::ReduceOp op, std::uint32_t lanes)
+    {
+        op_ = op;
+        lanes_ = lanes > isa::kMaxReduceLanes ? isa::kMaxReduceLanes
+                                              : lanes;
+        pending_ = 0;
+        registered_ = 0;
+        for (std::uint32_t i = 0; i < lanes_; i++) {
+            lanes_acc_[i] = isa::reduce_identity(op_);
+        }
+    }
+
+    /**
+     * Account a newly forked branch. Returns false (and registers
+     * nothing) once registrations exceed @p cap — the caller's
+     * fork-node guard.
+     */
+    bool
+    register_branch(std::uint64_t cap = isa::kForkNodeGuard)
+    {
+        if (registered_ >= cap) {
+            return false;
+        }
+        registered_++;
+        pending_++;
+        return true;
+    }
+
+    /**
+     * Fold a completed branch's lanes (read from @p scratch at
+     * @p offset) into the accumulator. Returns false on join-count
+     * underflow: a completion with no outstanding registered branch.
+     */
+    bool
+    complete_branch(const std::uint8_t* scratch,
+                    std::size_t scratch_size, std::uint32_t offset)
+    {
+        if (pending_ == 0) {
+            return false;
+        }
+        pending_--;
+        for (std::uint32_t i = 0; i < lanes_; i++) {
+            const std::size_t at = offset + 8ull * i;
+            std::uint64_t value = 0;
+            if (at + 8 <= scratch_size) {
+                std::memcpy(&value, scratch + at, 8);
+            }
+            lanes_acc_[i] = isa::reduce_apply(op_, lanes_acc_[i], value);
+        }
+        return true;
+    }
+
+    /**
+     * Fold the accumulated lanes into the parent's own lanes in
+     * @p scratch (the parent's chain result), writing the final join
+     * value in place.
+     */
+    void
+    fold_into(std::uint8_t* scratch, std::size_t scratch_size,
+              std::uint32_t offset) const
+    {
+        for (std::uint32_t i = 0; i < lanes_; i++) {
+            const std::size_t at = offset + 8ull * i;
+            if (at + 8 > scratch_size) {
+                break;
+            }
+            std::uint64_t own = 0;
+            std::memcpy(&own, scratch + at, 8);
+            const std::uint64_t folded =
+                isa::reduce_apply(op_, lanes_acc_[i], own);
+            std::memcpy(scratch + at, &folded, 8);
+        }
+    }
+
+    bool all_joined() const { return pending_ == 0; }
+    std::uint32_t pending() const { return pending_; }
+    std::uint64_t registered() const { return registered_; }
+    std::uint32_t lanes() const { return lanes_; }
+    std::uint64_t lane(std::uint32_t i) const { return lanes_acc_[i]; }
+    isa::ReduceOp op() const { return op_; }
+
+  private:
+    isa::ReduceOp op_ = isa::ReduceOp::kAdd;
+    std::uint32_t lanes_ = 0;
+    std::uint32_t pending_ = 0;
+    std::uint64_t registered_ = 0;
+    std::uint64_t lanes_acc_[isa::kMaxReduceLanes] = {};
+};
+
+}  // namespace pulse::offload
+
+#endif  // PULSE_OFFLOAD_FORK_JOIN_H

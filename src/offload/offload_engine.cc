@@ -1,6 +1,7 @@
 #include "offload/offload_engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "common/logging.h"
@@ -70,6 +71,11 @@ OffloadEngine::should_offload(const isa::ProgramAnalysis& analysis) const
     if (analysis.has_cas) {
         return true;
     }
+    // Forking programs always offload: the client fallback executes a
+    // single chain and cannot coordinate a distributed join.
+    if (analysis.has_spawn) {
+        return true;
+    }
     const Time t_c = isa::compute_time(analysis, config_.t_i);
     return static_cast<double>(t_c) <=
            config_.eta_threshold * static_cast<double>(config_.t_d);
@@ -120,6 +126,10 @@ OffloadEngine::save_state(StateWriter& writer) const
     writer.put_u64(stats_.continuations.value());
     writer.put_u64(stats_.failures.value());
     writer.put_u64(stats_.stale_responses.value());
+    // Fork/join join-state record: the quiesce precondition means no
+    // join is open, so the lifetime counters are the whole state.
+    writer.put_u64(forks_spawned_);
+    writer.put_u64(joins_completed_);
     // Installation counts, keyed by content digest in sorted order so
     // the blob is independent of hash-map iteration.
     std::vector<std::pair<std::uint64_t, std::uint32_t>> sends;
@@ -157,6 +167,8 @@ OffloadEngine::load_state(StateReader& reader)
     stats_.continuations.set(reader.get_u64());
     stats_.failures.set(reader.get_u64());
     stats_.stale_responses.set(reader.get_u64());
+    forks_spawned_ = reader.get_u64();
+    joins_completed_ = reader.get_u64();
     restored_code_sends_.clear();
     const std::uint64_t count = reader.get_u64();
     for (std::uint64_t i = 0; i < count; i++) {
@@ -200,6 +212,7 @@ OffloadEngine::submit(Operation&& op)
     InFlight inflight;
     inflight.op = std::move(op);
     inflight.submit_time = queue_.now();
+    inflight.root_key = key;  // a root is its own DAG root
     const VirtAddr start = inflight.op.start_ptr;
     // Trim the shipped scratch_pad to the program's static footprint.
     ScratchBuffer scratch = inflight.op.init_scratch;
@@ -243,6 +256,14 @@ OffloadEngine::issue(std::uint64_t key, VirtAddr cur_ptr,
     packet.visit_echo = iterations_done;
     packet.trace.sampled = tracer_ != nullptr && tracer_->enabled();
     packet.allow_switch_continuation = config_.switch_continuation;
+    // Fork lineage: sub-traversal packets carry their depth, the
+    // parent's request id and their branch index, so the join
+    // rendezvous survives any routing the packet takes.
+    packet.spawn_depth = inflight.depth;
+    if (inflight.parent_key != 0) {
+        packet.parent_id = RequestId{client_, inflight.parent_key};
+        packet.branch_index = inflight.branch_index;
+    }
     attach_program(packet, inflight.op.program);
     // After the program is installed at the accelerators, requests
     // carry a 16-byte program id instead of the code.
@@ -330,12 +351,11 @@ OffloadEngine::on_response(net::TraversalPacket&& packet)
         return;  // not ours (misrouted); drop
     }
     const std::uint64_t key = packet.id.seq;
-    const auto it = inflight_.find(key);
+    auto it = inflight_.find(key);
     if (it == inflight_.end()) {
         return;  // duplicate of an already-completed request
     }
-    InFlight& inflight = it->second;
-    if (packet.visit_echo != inflight.expected_echo) {
+    if (packet.visit_echo != it->second.expected_echo) {
         // Stale duplicate from a leg this op already resumed past
         // (e.g. a replayed kMaxIter response racing the continuation).
         // Dropped *without* quenching the timer: the live leg is still
@@ -343,6 +363,19 @@ OffloadEngine::on_response(net::TraversalPacket&& packet)
         stats_.stale_responses.increment();
         return;
     }
+    if (!packet.spawns.empty()) {
+        // Fork/join: fork the spawned sub-traversals, exactly once.
+        // Advancing the echo first makes any replayed duplicate of
+        // this response stale before the children exist, so a
+        // retransmit-induced replay can never re-fork them (spawns
+        // imply the visit ran >= 1 iteration, so iterations_done is
+        // strictly ahead of the old echo).
+        it->second.expected_echo = packet.iterations_done;
+        process_spawns(key, packet);
+        it = inflight_.find(key);  // re-find: the map may have rehashed
+        PULSE_ASSERT(it != inflight_.end(), "parent vanished mid-fork");
+    }
+    InFlight& inflight = it->second;
     if (config_.adaptive_rto && !inflight.leg_retransmitted) {
         rto_.sample(queue_.now() - inflight.leg_issue_time);
     }
@@ -420,17 +453,185 @@ OffloadEngine::complete(std::uint64_t key, Completion&& completion)
     if (it == inflight_.end()) {
         return;
     }
-    if (tracer_ != nullptr && tracer_->enabled()) {
-        tracer_->record({RequestId{client_, key},
-                         trace::SpanKind::kComplete,
-                         trace::Location::kClient, client_,
-                         it->second.submit_time, completion.latency,
-                         completion.iterations});
+    // Fork/join: an operation whose own chain ended while spawned
+    // subtrees are still in flight parks its completion at the join
+    // record; the last branch to join finalizes it.
+    if (it->second.fork != nullptr &&
+        !it->second.fork->acc.all_joined()) {
+        it->second.fork->parent_done = true;
+        it->second.fork->parent_completion = std::move(completion);
+        return;
     }
-    CompletionFn done = std::move(it->second.op.done);
+    finalize(key, std::move(completion));
+}
+
+OffloadEngine::ForkState&
+OffloadEngine::ensure_fork(std::uint64_t key)
+{
+    auto it = inflight_.find(key);
+    PULSE_ASSERT(it != inflight_.end(),
+                 "fork state for unknown operation");
+    InFlight& inflight = it->second;
+    if (inflight.fork == nullptr) {
+        inflight.fork = std::make_unique<ForkState>();
+        const isa::ProgramAnalysis& analysis =
+            analysis_for(inflight.op.program);
+        inflight.fork->acc.configure(analysis.reduce_op,
+                                     analysis.reduce_lanes);
+        inflight.fork->reduce_offset = analysis.reduce_offset;
+    }
+    return *inflight.fork;
+}
+
+void
+OffloadEngine::process_spawns(std::uint64_t key,
+                              const net::TraversalPacket& packet)
+{
+    // Capture child-creation inputs up front: emplacing children may
+    // rehash the in-flight table and invalidate references.
+    const auto parent_it = inflight_.find(key);
+    PULSE_ASSERT(parent_it != inflight_.end(),
+                 "spawns for unknown parent");
+    const std::shared_ptr<const isa::Program> program =
+        parent_it->second.op.program;
+    const std::uint32_t child_depth = parent_it->second.depth + 1;
+    const std::uint64_t root_key = parent_it->second.root_key;
+    ensure_fork(key);
+    ensure_fork(root_key);
+    const isa::ProgramAnalysis& analysis = analysis_for(program);
+
+    std::uint32_t issued = 0;
+    for (const isa::SpawnRecord& record : packet.spawns) {
+        // DAG termination guard: the total sub-traversals under one
+        // root are capped, the dynamic analogue of the global
+        // iteration guard on chains.
+        ForkState& root_fork = *inflight_.find(root_key)->second.fork;
+        if (root_fork.total_spawned >= isa::kForkNodeGuard) {
+            ForkState& fork = *inflight_.find(key)->second.fork;
+            if (!fork.failed) {
+                fork.failed = true;
+                fork.fail_status = TraversalStatus::kExecFault;
+                fork.fail_fault = isa::ExecFault::kSpawnOverflow;
+            }
+            break;
+        }
+        root_fork.total_spawned++;
+
+        ForkState& fork = *inflight_.find(key)->second.fork;
+        const bool registered = fork.acc.register_branch();
+        PULSE_ASSERT(registered,
+                     "join-count overflow past the fork-node guard");
+
+        const std::uint64_t child_key = next_seq_++;
+        InFlight child;
+        child.op.program = program;
+        child.op.start_ptr = record.start_ptr;
+        child.submit_time = queue_.now();
+        child.parent_key = key;
+        child.branch_index =
+            static_cast<std::uint32_t>(fork.acc.registered() - 1);
+        child.depth = child_depth;
+        child.root_key = root_key;
+        inflight_.emplace(child_key, std::move(child));
+        forks_spawned_++;
+
+        // The child starts from a zeroed scratch_pad with the
+        // spawn-time argument bytes placed at the same offsets they
+        // occupied in the parent.
+        ScratchBuffer scratch;
+        scratch.resize(
+            std::max<std::size_t>(
+                analysis.scratch_footprint,
+                static_cast<std::size_t>(record.arg_offset) +
+                    record.arg_length),
+            0);
+        std::memcpy(scratch.data() + record.arg_offset, record.args,
+                    record.arg_length);
+
+        // Client software builds one request per child, back to back.
+        issued++;
+        const VirtAddr start = record.start_ptr;
+        queue_.schedule_after(
+            config_.response_software_overhead +
+                config_.request_software_overhead * issued,
+            [this, child_key, start, scratch] {
+                issue(child_key, start, scratch, 0);
+            });
+    }
+}
+
+void
+OffloadEngine::finalize(std::uint64_t key, Completion&& completion)
+{
+    auto it = inflight_.find(key);
+    PULSE_ASSERT(it != inflight_.end(), "finalize of unknown operation");
+    InFlight& inflight = it->second;
+    if (inflight.fork != nullptr) {
+        ForkState& fork = *inflight.fork;
+        if (completion.status == TraversalStatus::kDone) {
+            if (fork.failed) {
+                // A branch failed; the join reports the first failure.
+                completion.status = fork.fail_status;
+                completion.fault = fork.fail_fault;
+            } else {
+                // Fold the joined subtree lanes into the own-chain
+                // lanes: the commutative reduce makes this independent
+                // of the order the branches completed in.
+                fork.acc.fold_into(
+                    completion.scratch.data(),
+                    completion.scratch.size(), fork.reduce_offset);
+            }
+        }
+        completion.iterations += fork.child_iterations;
+        joins_completed_++;
+    }
+    const std::uint64_t parent_key = inflight.parent_key;
+    if (parent_key == 0) {
+        if (tracer_ != nullptr && tracer_->enabled()) {
+            tracer_->record({RequestId{client_, key},
+                             trace::SpanKind::kComplete,
+                             trace::Location::kClient, client_,
+                             inflight.submit_time, completion.latency,
+                             completion.iterations});
+        }
+        CompletionFn done = std::move(inflight.op.done);
+        inflight_.erase(it);
+        if (done) {
+            done(std::move(completion));
+        }
+        return;
+    }
     inflight_.erase(it);
-    if (done) {
-        done(std::move(completion));
+    child_joined(parent_key, std::move(completion));
+}
+
+void
+OffloadEngine::child_joined(std::uint64_t parent_key,
+                            Completion&& child_completion)
+{
+    auto it = inflight_.find(parent_key);
+    PULSE_ASSERT(it != inflight_.end(),
+                 "branch joined at an unknown parent");
+    InFlight& parent = it->second;
+    PULSE_ASSERT(parent.fork != nullptr,
+                 "branch joined at a parent without a join record");
+    ForkState& fork = *parent.fork;
+    fork.child_iterations += child_completion.iterations;
+    if (child_completion.status != TraversalStatus::kDone &&
+        !fork.failed) {
+        fork.failed = true;
+        fork.fail_status = child_completion.status;
+        fork.fail_fault = child_completion.fault;
+    }
+    const bool joined = fork.acc.complete_branch(
+        child_completion.scratch.data(),
+        child_completion.scratch.size(), fork.reduce_offset);
+    PULSE_ASSERT(joined,
+                 "join-count underflow: a branch joined with none "
+                 "registered");
+    if (fork.acc.all_joined() && fork.parent_done) {
+        Completion parked = std::move(fork.parent_completion);
+        finalize(parent_key, std::move(parked));
     }
 }
 

@@ -34,6 +34,7 @@
 #include "isa/analysis.h"
 #include "mem/global_memory.h"
 #include "net/network.h"
+#include "offload/fork_join.h"
 #include "offload/rto_estimator.h"
 #include "sim/event_queue.h"
 #include "trace/trace.h"
@@ -234,6 +235,16 @@ class OffloadEngine
     const RtoEstimator& rto_estimator() const { return rto_; }
 
     /**
+     * Fork/join telemetry (not registered stats: the metrics schema —
+     * and therefore every golden metrics JSON — is unchanged when the
+     * feature is unused). forks_spawned counts sub-traversals this
+     * engine forked; joins_completed counts join records that folded
+     * to completion.
+     */
+    std::uint64_t forks_spawned() const { return forks_spawned_; }
+    std::uint64_t joins_completed() const { return joins_completed_; }
+
+    /**
      * Checkpoint support (core/checkpoint.h): requires a quiesced
      * engine (no in-flight operations). Program installation state
      * (code_sends_) is keyed by interned Program pointers, which do
@@ -253,6 +264,31 @@ class OffloadEngine
     void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   private:
+    /**
+     * Join record of a forking in-flight operation (fork/join
+     * extension). Created lazily the first time the operation spawns —
+     * or reaches JOIN — so non-forking operations pay nothing.
+     */
+    struct ForkState
+    {
+        JoinAccumulator acc;
+        /** Scratch offset of the REDUCE accumulator lanes. */
+        std::uint32_t reduce_offset = 0;
+        /** Own chain reached its terminal while branches were open. */
+        bool parent_done = false;
+        /** First branch failure wins; reported at finalize. */
+        bool failed = false;
+        isa::TraversalStatus fail_status = isa::TraversalStatus::kDone;
+        isa::ExecFault fail_fault = isa::ExecFault::kNone;
+        /** The parked own-chain completion (valid iff parent_done). */
+        Completion parent_completion;
+        /** Root only: total sub-traversals in this operation's DAG
+         *  (the kForkNodeGuard counter). */
+        std::uint64_t total_spawned = 0;
+        /** Iterations executed by completed child subtrees. */
+        std::uint64_t child_iterations = 0;
+    };
+
     struct InFlight
     {
         Operation op;
@@ -269,6 +305,16 @@ class OffloadEngine
         bool leg_retransmitted = false;
         /** visit_echo the current leg's response must carry. */
         std::uint64_t expected_echo = 0;
+        /** Fork lineage: the spawning operation's key (0 = a root). */
+        std::uint64_t parent_key = 0;
+        /** This subtree's index under the parent's join record. */
+        std::uint32_t branch_index = 0;
+        /** Fork depth (0 = root; children run at parent depth + 1). */
+        std::uint32_t depth = 0;
+        /** The DAG's root key (== own key for roots). */
+        std::uint64_t root_key = 0;
+        /** Join record; null until this operation forks/joins. */
+        std::unique_ptr<ForkState> fork;
     };
 
     void issue(std::uint64_t key, VirtAddr cur_ptr,
@@ -278,6 +324,14 @@ class OffloadEngine
     void on_response(net::TraversalPacket&& packet);
     void complete(std::uint64_t key, Completion&& completion);
     void run_fallback(Operation&& op);
+
+    /** Fork/join coordination (see offload_engine.cc for the flow). */
+    ForkState& ensure_fork(std::uint64_t key);
+    void process_spawns(std::uint64_t key,
+                        const net::TraversalPacket& packet);
+    void finalize(std::uint64_t key, Completion&& completion);
+    void child_joined(std::uint64_t parent_key,
+                      Completion&& child_completion);
 
     sim::EventQueue& queue_;
     net::Network& network_;
@@ -312,6 +366,8 @@ class OffloadEngine
     RtoEstimator rto_;
     trace::Tracer* tracer_ = nullptr;
     OffloadStats stats_;
+    std::uint64_t forks_spawned_ = 0;
+    std::uint64_t joins_completed_ = 0;
 };
 
 }  // namespace pulse::offload

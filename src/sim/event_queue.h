@@ -52,14 +52,16 @@ namespace pulse::sim {
 /**
  * Inline capture budget for event callbacks, in bytes. Sized for the
  * largest capture the simulator schedules: a network delivery thunk
- * [this, &sink, packet] carrying a TraversalPacket by value — which
- * since the scratch pad moved inline (common/scratch_buffer.h) is a
- * ~500-byte trivially-copyable block. Growing a capture past this is a
+ * [this, &sink, packet] carrying a TraversalPacket by value — a
+ * trivially-copyable block that holds the inline scratch pad
+ * (common/scratch_buffer.h, ~500 B) plus the fork/join SpawnList
+ * (net/packet.h: kMaxSpawnsPerVisit records of ~48 B each) and spawn
+ * lineage fields, ~950 B total. Growing a capture past this is a
  * compile-time error at the schedule site — bump the budget
  * deliberately rather than letting the hot path regress to heap
  * allocation.
  */
-inline constexpr std::size_t kEventInlineCapacity = 576;
+inline constexpr std::size_t kEventInlineCapacity = 1088;
 
 /** Callback executed when an event fires. */
 using EventFn = InlineFunction<kEventInlineCapacity>;

@@ -25,6 +25,9 @@
 
 #include "apps/apps.h"
 #include "check/fuzzer.h"
+#include "common/random.h"
+#include "ds/bptree.h"
+#include "ds/ds_common.h"
 #include "trace/metrics_exporter.h"
 #include "workloads/driver.h"
 
@@ -218,6 +221,75 @@ TEST(Checkpoint, FuzzCorpusSeedReplaysThroughRestore)
     forked.restore_checkpoint(blob);
     const auto restored = fuzz_run(forked, app_b);
 
+    EXPECT_EQ(continued, restored);
+}
+
+/**
+ * Fork/join traversals across a save/restore cycle: the checkpoint
+ * serializer carries the engine's join-state records (fork/join
+ * counters; in-flight join records are empty at the quiesce point by
+ * construction), and a restored run issuing the same forked
+ * aggregates must continue bit-identically — every sub-traversal
+ * spawn, every join fold, every latency sample.
+ */
+TEST(Checkpoint, ForkedWorkRestoresBitIdentically)
+{
+    constexpr std::uint64_t kPhase1 = 100;
+    constexpr std::uint64_t kPhase2 = 80;
+    constexpr std::uint64_t kKeySpan = 20'000;
+
+    const auto build_tree = [](core::Cluster& cluster) {
+        ds::BPTreeConfig bt;
+        bt.inline_values = true;
+        bt.partitions = 2;
+        auto tree = std::make_unique<ds::BPTree>(
+            cluster.memory(), cluster.allocator(), bt);
+        std::vector<ds::BPTreeEntry> entries;
+        Rng rng(31);
+        std::uint64_t key = 100;
+        for (int i = 0; i < 2000; i++) {
+            key += 1 + rng.next_below(18);
+            entries.push_back({key, ds::value_pattern_word(key)});
+        }
+        tree->build(entries);
+        return tree;
+    };
+    // Forked-sum stream deterministic by op index.
+    const auto forked_factory = [](ds::BPTree& tree) {
+        return [&tree](std::uint64_t index) {
+            const std::uint64_t mixed =
+                index * 0x9E3779B97F4A7C15ull;
+            const std::uint64_t lo = 100 + mixed % kKeySpan;
+            return tree.make_aggregate_forked(lo, lo + 4000, nullptr);
+        };
+    };
+    const auto run_forked = [&](core::Cluster& cluster,
+                                ds::BPTree& tree, std::uint64_t ops) {
+        workloads::DriverConfig driver;
+        driver.warmup_ops = 0;
+        driver.measure_ops = ops;
+        driver.concurrency = 6;
+        return run_closed_loop(
+            cluster.queue(),
+            cluster.submitter(core::SystemKind::kPulse),
+            forked_factory(tree), driver);
+    };
+
+    core::Cluster original(test_config());
+    auto tree_a = build_tree(original);
+    run_forked(original, *tree_a, kPhase1);
+    const std::vector<std::uint8_t> blob = original.save_checkpoint();
+    const auto continued =
+        digest(run_forked(original, *tree_a, kPhase2), original);
+
+    core::Cluster forked(test_config());
+    auto tree_b = build_tree(forked);
+    forked.restore_checkpoint(blob);
+    // The snapshot (join-state records included) is byte-stable...
+    EXPECT_EQ(forked.save_checkpoint(), blob);
+    // ...and the restored continuation is bit-identical.
+    const auto restored =
+        digest(run_forked(forked, *tree_b, kPhase2), forked);
     EXPECT_EQ(continued, restored);
 }
 

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Fork/join under the fault plane: sub-traversal packets are routed
+ * like any other traversal, so they ride the same loss / duplication /
+ * reordering machinery and the same replication failover. These tests
+ * assert the join still happens exactly once — the folded sum equals
+ * the host reference bit-for-bit — with 1% link chaos on every link,
+ * and with a memory node blacking out mid-join under k=2 replication.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/cluster.h"
+#include "ds/bptree.h"
+#include "ds/ds_common.h"
+#include "ds/prox_graph.h"
+#include "faults/fault_config.h"
+
+namespace pulse::offload {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::SystemKind;
+
+std::vector<std::uint64_t>
+make_keys(std::uint64_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> keys;
+    std::uint64_t key = 100;
+    for (std::uint64_t i = 0; i < n; i++) {
+        key += 1 + rng.next_below(30);
+        keys.push_back(key);
+    }
+    return keys;
+}
+
+/** 1% loss, 1% duplication, 1% reordering on every link. */
+void
+arm_link_chaos(ClusterConfig* config, std::uint64_t seed)
+{
+    config->faults.seed = seed;
+    config->faults.links.loss = 0.01;
+    config->faults.links.duplicate = 0.01;
+    config->faults.links.reorder = 0.01;
+    config->faults.links.reorder_jitter = micros(5.0);
+    config->offload.adaptive_rto = true;
+    config->offload.retransmit_timeout = micros(2000.0);
+}
+
+TEST(ForkJoinChaos, LossyLinksStillJoinExactlyOnce)
+{
+    ClusterConfig config;
+    config.num_mem_nodes = 4;
+    config.check.oracle = true;
+    config.check.invariants = true;
+    config.check.fail_fast = false;
+    arm_link_chaos(&config, 0xF04C);
+    Cluster cluster(config);
+
+    ds::BPTreeConfig bt;
+    bt.inline_values = true;
+    bt.partitions = config.num_mem_nodes;
+    ds::BPTree tree(cluster.memory(), cluster.allocator(), bt);
+    const auto keys = make_keys(2000, 21);
+    std::vector<ds::BPTreeEntry> entries;
+    entries.reserve(keys.size());
+    for (const std::uint64_t k : keys) {
+        entries.push_back({k, ds::value_pattern_word(k)});
+    }
+    tree.build(entries);
+
+    Rng rng(22);
+    std::uint32_t completed = 0;
+    const int kOps = 24;
+    for (int i = 0; i < kOps; i++) {
+        const std::uint64_t lo =
+            keys.front() + rng.next_below(keys.back() - keys.front());
+        const std::uint64_t hi = lo + 1 + rng.next_below(15000);
+        const auto want =
+            tree.aggregate_reference(ds::AggKind::kSum, lo, hi);
+        offload::Operation op = tree.make_aggregate_forked(lo, hi, {});
+        op.done = [&completed, want, lo,
+                   hi](offload::Completion&& completion) {
+            completed++;
+            ASSERT_EQ(completion.status, isa::TraversalStatus::kDone)
+                << "[" << lo << ", " << hi << "]";
+            const auto got =
+                ds::BPTree::parse_aggregate_forked(completion);
+            ASSERT_TRUE(got.complete);
+            // Exactly-once join: a lost branch would under-count, a
+            // duplicated one would over-count.
+            EXPECT_EQ(got.count, want.count)
+                << "[" << lo << ", " << hi << "]";
+            EXPECT_EQ(got.value, want.value);
+        };
+        cluster.submitter(SystemKind::kPulse)(std::move(op));
+    }
+    cluster.queue().run();
+    EXPECT_EQ(completed, static_cast<std::uint32_t>(kOps));
+    EXPECT_EQ(cluster.verify_quiesce(), 0u);
+}
+
+TEST(ForkJoinChaos, NestedForksSurviveLinkChaos)
+{
+    ClusterConfig config;
+    config.num_mem_nodes = 3;
+    config.alloc_policy = mem::AllocPolicy::kUniform;
+    config.uniform_chunk_bytes = 4 * kKiB;
+    config.check.oracle = true;
+    config.check.invariants = true;
+    config.check.fail_fast = false;
+    arm_link_chaos(&config, 0xF04D);
+    Cluster cluster(config);
+
+    ds::ProxGraph graph(cluster.memory(), cluster.allocator());
+    graph.build(make_keys(128, 23));
+
+    std::uint32_t completed = 0;
+    for (int i = 0; i < 12; i++) {
+        const std::uint32_t hops = 1 + (i % 3);
+        const auto want = graph.nhood_reference(kNullAddr, hops);
+        offload::Operation op = graph.make_nhood(kNullAddr, hops, {});
+        op.done = [&completed, want,
+                   hops](offload::Completion&& completion) {
+            completed++;
+            ASSERT_EQ(completion.status, isa::TraversalStatus::kDone)
+                << "hops " << hops;
+            const auto got = ds::ProxGraph::parse_nhood(completion);
+            ASSERT_TRUE(got.complete);
+            EXPECT_EQ(got.vertices, want.vertices) << "hops " << hops;
+            EXPECT_EQ(got.key_sum, want.key_sum);
+        };
+        cluster.submitter(SystemKind::kPulse)(std::move(op));
+    }
+    cluster.queue().run();
+    EXPECT_EQ(completed, 12u);
+    EXPECT_EQ(cluster.verify_quiesce(), 0u);
+}
+
+TEST(ForkJoinChaos, MidJoinBlackoutWithReplicationJoinsExactlyOnce)
+{
+    ClusterConfig config;
+    config.num_mem_nodes = 3;
+    config.check.invariants = true;
+    config.replication.replication_factor = 2;
+    arm_link_chaos(&config, 0xF04E);
+    // Node 1 blacks out after replicas are established, while forked
+    // aggregates are mid-join, and stays dark long enough for the
+    // failure detector to declare it and fail spans over.
+    config.faults.timeline.push_back(faults::NodeFaultWindow{
+        /*node=*/1, faults::NodeFaultKind::kBlackout, micros(900.0),
+        micros(5000.0)});
+    Cluster cluster(config);
+
+    ds::BPTreeConfig bt;
+    bt.inline_values = true;
+    bt.partitions = config.num_mem_nodes;
+    ds::BPTree tree(cluster.memory(), cluster.allocator(), bt);
+    const auto keys = make_keys(1500, 24);
+    std::vector<ds::BPTreeEntry> entries;
+    entries.reserve(keys.size());
+    for (const std::uint64_t k : keys) {
+        entries.push_back({k, ds::value_pattern_word(k)});
+    }
+    tree.build(entries);
+
+    // A steady stream of forked sums straddling the blackout window:
+    // some join before it, some mid-outage (answered after failover),
+    // some after recovery.
+    Rng rng(25);
+    std::uint32_t completed = 0;
+    const int kOps = 30;
+    for (int i = 0; i < kOps; i++) {
+        const std::uint64_t lo =
+            keys.front() + rng.next_below(keys.back() - keys.front());
+        const std::uint64_t hi = lo + 1 + rng.next_below(12000);
+        const auto want =
+            tree.aggregate_reference(ds::AggKind::kSum, lo, hi);
+        const Time at = micros(200.0 * i);
+        cluster.queue().schedule_after(at, [&cluster, &tree, &completed,
+                                            want, lo, hi] {
+            offload::Operation op =
+                tree.make_aggregate_forked(lo, hi, {});
+            op.done = [&completed, want, lo,
+                       hi](offload::Completion&& completion) {
+                completed++;
+                ASSERT_EQ(completion.status,
+                          isa::TraversalStatus::kDone)
+                    << "[" << lo << ", " << hi << "]";
+                const auto got =
+                    ds::BPTree::parse_aggregate_forked(completion);
+                ASSERT_TRUE(got.complete);
+                EXPECT_EQ(got.count, want.count)
+                    << "[" << lo << ", " << hi << "]";
+                EXPECT_EQ(got.value, want.value);
+            };
+            cluster.submitter(SystemKind::kPulse)(std::move(op));
+        });
+    }
+    cluster.queue().run();
+    EXPECT_EQ(completed, static_cast<std::uint32_t>(kOps));
+
+    // The blackout was actually exercised: the node was declared dead
+    // and spans failed over to the surviving replica.
+    ASSERT_NE(cluster.replication_plane(), nullptr);
+    EXPECT_GE(
+        cluster.replication_plane()->stats().nodes_declared_dead.value(),
+        1u);
+    EXPECT_EQ(cluster.verify_quiesce(), 0u);
+}
+
+}  // namespace
+}  // namespace pulse::offload

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Tests for the fork/join ISA extension (SPAWN / REDUCE / JOIN): codec
+ * round-trips with the packed spawn-depth byte, assembler syntax, the
+ * verifier's structural fork rules, join-count underflow/overflow
+ * rejection in the JoinAccumulator, order-insensitivity of the
+ * commutative reduce, and end-to-end DAG execution through the engine
+ * (nested spawns, depth faults, and both forking workloads against
+ * their host references).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/cluster.h"
+#include "ds/bptree.h"
+#include "ds/ds_common.h"
+#include "ds/prox_graph.h"
+#include "isa/analysis.h"
+#include "isa/assembler.h"
+#include "isa/codec.h"
+#include "isa/program.h"
+#include "offload/fork_join.h"
+
+namespace pulse::isa {
+namespace {
+
+using offload::JoinAccumulator;
+
+/** A minimal valid forking program: fork data[0], fold one lane. */
+Program
+tiny_fork_program(std::uint32_t depth = 1)
+{
+    ProgramBuilder b;
+    b.load(16)
+        .reduce(ReduceOp::kAdd, 8, 1)
+        .add(sp(8), sp(8), dat(8))
+        .spawn(dat(0), 0, 8)
+        .join();
+    b.scratch_bytes(32);
+    b.max_spawn_depth(depth);
+    return b.build();
+}
+
+TEST(ForkJoinIsa, VerifyAcceptsWellFormedForkProgram)
+{
+    std::string error;
+    EXPECT_TRUE(tiny_fork_program().verify(&error)) << error;
+}
+
+TEST(ForkJoinIsa, AnalysisReportsForkShape)
+{
+    const Program program = tiny_fork_program();
+    const ProgramAnalysis analysis = analyze(program);
+    ASSERT_TRUE(analysis.valid) << analysis.error;
+    EXPECT_TRUE(analysis.has_spawn);
+    EXPECT_EQ(analysis.spawn_sites, 1u);
+    EXPECT_EQ(analysis.reduce_op, ReduceOp::kAdd);
+    EXPECT_EQ(analysis.reduce_offset, 8u);
+    EXPECT_EQ(analysis.reduce_lanes, 1u);
+}
+
+TEST(ForkJoinIsa, CodecRoundTripsSpawnPrograms)
+{
+    for (std::uint32_t depth = 1; depth <= kMaxSpawnDepthLimit;
+         depth++) {
+        const Program program = tiny_fork_program(depth);
+        const auto bytes = encode_program(program);
+        const auto decoded = decode_program(bytes);
+        ASSERT_TRUE(decoded.has_value()) << "depth " << depth;
+        EXPECT_EQ(*decoded, program);
+        EXPECT_EQ(decoded->max_spawn_depth(), depth);
+    }
+}
+
+TEST(ForkJoinIsa, DepthZeroEncodingIsUnchanged)
+{
+    // The iter_word packs max_spawn_depth in its top byte: sequential
+    // programs (depth 0) must encode bit-identically to the format
+    // that predates the fork extension — the wire-compat guarantee
+    // the determinism CI lane checks end to end.
+    ProgramBuilder b;
+    b.load(8).move(cur(), dat(0)).next_iter();
+    b.max_iters(100);
+    const Program program = b.build();
+    const auto bytes = encode_program(program);
+    // header: num_insns u16 | scratch u16 | iter_word u32
+    ASSERT_GE(bytes.size(), 8u);
+    EXPECT_EQ(bytes[7], 0u);  // top iter_word byte == depth == 0
+    const auto decoded = decode_program(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->max_iters(), 100u);
+    EXPECT_EQ(decoded->max_spawn_depth(), 0u);
+}
+
+TEST(ForkJoinIsa, AssemblerParsesForkSyntax)
+{
+    const auto result = assemble(R"(
+        .scratch 48
+        .max_spawn_depth 2
+        LOAD 32
+        REDUCE 8, 2, ADD
+        ADD sp[8:8] sp[8:8] data[16:8]
+        COMPARE sp[0:8] 0
+        JUMP_EQ done
+        SUB sp[0:8] sp[0:8] 1
+        SPAWN sp[0:8], data[0:8]
+        SPAWN sp[0:8], data[8:8]
+      done:
+        JOIN
+    )");
+    ASSERT_TRUE(result.ok()) << result.error;
+    const Program& program = *result.program;
+    std::string error;
+    EXPECT_TRUE(program.verify(&error)) << error;
+    EXPECT_EQ(program.max_spawn_depth(), 2u);
+    const ProgramAnalysis analysis = analyze(program);
+    EXPECT_EQ(analysis.spawn_sites, 2u);
+    EXPECT_EQ(analysis.reduce_lanes, 2u);
+    EXPECT_EQ(analysis.reduce_offset, 8u);
+    // The diagnostic disassembly names the fork opcodes.
+    const std::string text = program.disassemble();
+    EXPECT_NE(text.find("SPAWN"), std::string::npos);
+    EXPECT_NE(text.find("REDUCE"), std::string::npos);
+    EXPECT_NE(text.find("JOIN"), std::string::npos);
+}
+
+TEST(ForkJoinIsa, VerifyRejectsSpawnWithoutDepthBudget)
+{
+    ProgramBuilder b;
+    b.load(16)
+        .reduce(ReduceOp::kAdd, 8, 1)
+        .spawn(dat(0), 0, 8)
+        .join();
+    b.scratch_bytes(32);  // max_spawn_depth left at 0
+    std::string error;
+    EXPECT_FALSE(b.build().verify(&error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ForkJoinIsa, VerifyRejectsSpawnWithoutReduce)
+{
+    ProgramBuilder b;
+    b.load(16).spawn(dat(0), 0, 8).join();
+    b.scratch_bytes(32);
+    b.max_spawn_depth(1);
+    std::string error;
+    EXPECT_FALSE(b.build().verify(&error));
+}
+
+TEST(ForkJoinIsa, VerifyRejectsReduceWithoutSpawn)
+{
+    ProgramBuilder b;
+    b.load(16).reduce(ReduceOp::kAdd, 8, 1).ret();
+    b.scratch_bytes(32);
+    std::string error;
+    EXPECT_FALSE(b.build().verify(&error));
+}
+
+TEST(ForkJoinIsa, VerifyRejectsReturnInForkingProgram)
+{
+    ProgramBuilder b;
+    b.load(16)
+        .reduce(ReduceOp::kAdd, 8, 1)
+        .spawn(dat(0), 0, 8)
+        .ret();  // forking programs must end in JOIN
+    b.scratch_bytes(32);
+    b.max_spawn_depth(1);
+    std::string error;
+    EXPECT_FALSE(b.build().verify(&error));
+}
+
+TEST(ForkJoinIsa, VerifyRejectsStoreInForkingProgram)
+{
+    ProgramBuilder b;
+    b.load(16)
+        .reduce(ReduceOp::kAdd, 8, 1)
+        .store(0, 0, 8)
+        .spawn(dat(0), 0, 8)
+        .join();
+    b.scratch_bytes(32);
+    b.max_spawn_depth(1);
+    std::string error;
+    EXPECT_FALSE(b.build().verify(&error));
+}
+
+TEST(ForkJoinIsa, VerifyRejectsExcessSpawnSites)
+{
+    ProgramBuilder b;
+    b.load(256).reduce(ReduceOp::kAdd, 8, 1);
+    for (std::uint32_t i = 0; i <= kMaxSpawnsPerVisit; i++) {
+        b.spawn(dat(i * 8), 0, 8);
+    }
+    b.join();
+    b.scratch_bytes(32);
+    b.max_spawn_depth(1);
+    std::string error;
+    EXPECT_FALSE(b.build().verify(&error));
+}
+
+TEST(ForkJoinIsa, VerifyRejectsDepthBeyondLimit)
+{
+    ProgramBuilder b;
+    b.load(16)
+        .reduce(ReduceOp::kAdd, 8, 1)
+        .spawn(dat(0), 0, 8)
+        .join();
+    b.scratch_bytes(32);
+    b.max_spawn_depth(kMaxSpawnDepthLimit + 1);
+    std::string error;
+    EXPECT_FALSE(b.build().verify(&error));
+}
+
+TEST(ForkJoinIsa, JoinCountUnderflowIsRejected)
+{
+    JoinAccumulator acc;
+    acc.configure(ReduceOp::kAdd, 1);
+    const std::uint8_t scratch[16] = {};
+    // A completion with no registered branch must not be absorbed.
+    EXPECT_FALSE(acc.complete_branch(scratch, sizeof(scratch), 8));
+    ASSERT_TRUE(acc.register_branch());
+    EXPECT_TRUE(acc.complete_branch(scratch, sizeof(scratch), 8));
+    EXPECT_TRUE(acc.all_joined());
+    // ... and the double-join after everything joined is underflow too.
+    EXPECT_FALSE(acc.complete_branch(scratch, sizeof(scratch), 8));
+}
+
+TEST(ForkJoinIsa, JoinCountOverflowIsRejected)
+{
+    JoinAccumulator acc;
+    acc.configure(ReduceOp::kAdd, 1);
+    for (std::uint64_t i = 0; i < 4; i++) {
+        EXPECT_TRUE(acc.register_branch(/*cap=*/4));
+    }
+    EXPECT_FALSE(acc.register_branch(/*cap=*/4));
+    EXPECT_EQ(acc.registered(), 4u);
+    EXPECT_EQ(acc.pending(), 4u);
+}
+
+TEST(ForkJoinIsa, ReduceFoldIsCompletionOrderInsensitive)
+{
+    // Every operator, every permutation of four branch completions:
+    // the folded lanes must be identical — the property the oracle's
+    // order-insensitive exact comparison rests on.
+    const ReduceOp ops[] = {ReduceOp::kAdd, ReduceOp::kAnd,
+                            ReduceOp::kOr,  ReduceOp::kXor,
+                            ReduceOp::kMin, ReduceOp::kMax};
+    const std::uint64_t values[4][2] = {{17, 0xF0F0},
+                                        {0, 0x0FF0},
+                                        {901, 0xFFFF},
+                                        {42, 0x1234}};
+    for (const ReduceOp op : ops) {
+        std::vector<std::size_t> order = {0, 1, 2, 3};
+        std::uint64_t expected[2] = {0, 0};
+        bool first_order = true;
+        do {
+            JoinAccumulator acc;
+            acc.configure(op, 2);
+            for (std::size_t i = 0; i < order.size(); i++) {
+                ASSERT_TRUE(acc.register_branch());
+            }
+            for (const std::size_t branch : order) {
+                std::uint8_t scratch[24] = {};
+                std::memcpy(scratch + 8, &values[branch][0], 8);
+                std::memcpy(scratch + 16, &values[branch][1], 8);
+                ASSERT_TRUE(
+                    acc.complete_branch(scratch, sizeof(scratch), 8));
+            }
+            EXPECT_TRUE(acc.all_joined());
+            if (first_order) {
+                expected[0] = acc.lane(0);
+                expected[1] = acc.lane(1);
+                first_order = false;
+            } else {
+                EXPECT_EQ(acc.lane(0), expected[0])
+                    << reduce_op_name(op);
+                EXPECT_EQ(acc.lane(1), expected[1])
+                    << reduce_op_name(op);
+            }
+        } while (std::next_permutation(order.begin(), order.end()));
+    }
+}
+
+TEST(ForkJoinIsa, ReduceIdentitiesAreNeutral)
+{
+    const ReduceOp ops[] = {ReduceOp::kAdd, ReduceOp::kAnd,
+                            ReduceOp::kOr,  ReduceOp::kXor,
+                            ReduceOp::kMin, ReduceOp::kMax};
+    const std::uint64_t probes[] = {0, 1, 42, ~0ull, 1ull << 63};
+    for (const ReduceOp op : ops) {
+        for (const std::uint64_t x : probes) {
+            EXPECT_EQ(reduce_apply(op, reduce_identity(op), x), x)
+                << reduce_op_name(op);
+        }
+    }
+}
+
+// --- End-to-end DAG execution through the cluster -------------------
+
+offload::Completion
+run_pulse(core::Cluster& cluster, offload::Operation op)
+{
+    offload::Completion result;
+    op.done = [&](offload::Completion&& completion) {
+        result = std::move(completion);
+    };
+    cluster.submitter(core::SystemKind::kPulse)(std::move(op));
+    cluster.queue().run();
+    return result;
+}
+
+std::vector<std::uint64_t>
+make_keys(std::uint64_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> keys;
+    std::uint64_t key = 100;
+    for (std::uint64_t i = 0; i < n; i++) {
+        key += 1 + rng.next_below(40);
+        keys.push_back(key);
+    }
+    return keys;
+}
+
+TEST(ForkJoinDag, NestedSpawnsMatchHostReference)
+{
+    core::ClusterConfig config;
+    config.num_mem_nodes = 3;
+    config.alloc_policy = mem::AllocPolicy::kUniform;
+    config.uniform_chunk_bytes = 4 * kKiB;
+    core::Cluster cluster(config);
+    ds::ProxGraph graph(cluster.memory(), cluster.allocator());
+    graph.build(make_keys(128, 7));
+
+    for (std::uint32_t hops = 1; hops <= 3; hops++) {
+        const auto completion =
+            run_pulse(cluster, graph.make_nhood(kNullAddr, hops, {}));
+        ASSERT_EQ(completion.status, TraversalStatus::kDone)
+            << "hops " << hops;
+        EXPECT_TRUE(completion.offloaded);
+        const auto got = ds::ProxGraph::parse_nhood(completion);
+        const auto want = graph.nhood_reference(kNullAddr, hops);
+        ASSERT_TRUE(got.complete);
+        EXPECT_EQ(got.vertices, want.vertices) << "hops " << hops;
+        EXPECT_EQ(got.key_sum, want.key_sum) << "hops " << hops;
+        // The DAG actually fanned out: a k-hop expansion visits far
+        // more vertices than a chain of the same length.
+        EXPECT_GT(completion.iterations, hops);
+    }
+}
+
+TEST(ForkJoinDag, SpawnBeyondDepthBudgetFaults)
+{
+    core::ClusterConfig config;
+    core::Cluster cluster(config);
+    ds::ProxGraph graph(cluster.memory(), cluster.allocator());
+    graph.build(make_keys(64, 8), 0);
+
+    // A 2-hop request forced through the 1-hop program: the hop-1
+    // children still see hops-remaining > 0 and SPAWN at the depth
+    // budget — the depth check fires before the pointer is even read.
+    offload::Operation op = graph.make_nhood(kNullAddr, 1, {});
+    const std::uint64_t hops = 2;
+    std::memcpy(op.init_scratch.data() + ds::ProxGraph::kNhHops, &hops,
+                8);
+    const auto completion = run_pulse(cluster, std::move(op));
+    EXPECT_EQ(completion.status, TraversalStatus::kExecFault);
+    EXPECT_EQ(completion.fault, ExecFault::kSpawnDepth);
+}
+
+TEST(ForkJoinDag, ForkedBPTreeSumMatchesSequentialAndReference)
+{
+    core::ClusterConfig config;
+    config.num_mem_nodes = 4;
+    core::Cluster cluster(config);
+    ds::BPTreeConfig bt;
+    bt.inline_values = true;
+    bt.partitions = config.num_mem_nodes;
+    ds::BPTree tree(cluster.memory(), cluster.allocator(), bt);
+    const auto keys = make_keys(3000, 9);
+    std::vector<ds::BPTreeEntry> entries;
+    entries.reserve(keys.size());
+    for (const std::uint64_t k : keys) {
+        entries.push_back({k, ds::value_pattern_word(k)});
+    }
+    tree.build(entries);
+
+    Rng rng(10);
+    for (int probe = 0; probe < 12; probe++) {
+        const std::uint64_t lo =
+            keys.front() + rng.next_below(keys.back() - keys.front());
+        const std::uint64_t hi = lo + 1 + rng.next_below(20000);
+        const auto forked =
+            run_pulse(cluster, tree.make_aggregate_forked(lo, hi, {}));
+        ASSERT_EQ(forked.status, TraversalStatus::kDone)
+            << "[" << lo << ", " << hi << "]";
+        const auto got = ds::BPTree::parse_aggregate_forked(forked);
+        ASSERT_TRUE(got.complete);
+        const auto want =
+            tree.aggregate_reference(ds::AggKind::kSum, lo, hi);
+        EXPECT_EQ(got.count, want.count) << "[" << lo << ", " << hi
+                                         << "]";
+        EXPECT_EQ(got.value, want.value);
+        // And the sequential aggregate program agrees.
+        const auto sequential = run_pulse(
+            cluster,
+            tree.make_aggregate(ds::AggKind::kSum, lo, hi, {}));
+        const auto seq = ds::BPTree::parse_aggregate(
+            sequential, ds::AggKind::kSum);
+        ASSERT_TRUE(seq.complete);
+        EXPECT_EQ(got.count, seq.count);
+        EXPECT_EQ(got.value, seq.value);
+    }
+}
+
+TEST(ForkJoinDag, ForkedProgramsPassTheOracle)
+{
+    core::ClusterConfig config;
+    config.num_mem_nodes = 2;
+    config.check.oracle = true;
+    config.check.invariants = true;
+    config.check.fail_fast = false;
+    core::Cluster cluster(config);
+    ds::ProxGraph graph(cluster.memory(), cluster.allocator());
+    graph.build(make_keys(96, 11));
+
+    for (int probe = 0; probe < 8; probe++) {
+        const auto completion = run_pulse(
+            cluster,
+            graph.make_nhood(kNullAddr, 1 + (probe % 3), {}));
+        ASSERT_EQ(completion.status, TraversalStatus::kDone);
+    }
+    EXPECT_EQ(cluster.verify_quiesce(), 0u);
+    EXPECT_GT(cluster.checker()->oracle()->stats().exact, 0u);
+}
+
+}  // namespace
+}  // namespace pulse::isa

@@ -115,7 +115,8 @@ usage()
         "                    [--corpus-out=DIR] [--mutate=NAME]\n"
         "                    [--expect-mismatch]\n"
         "mutations: none, add-off-by-one, compare-inverted,"
-        " store-drop-byte\n");
+        " store-drop-byte,\n"
+        "           drop-one-branch, double-join\n");
 }
 
 bool
