@@ -12,6 +12,15 @@
  * the flooding tenant's own throughput is unaffected (the node stays
  * saturated either way).
  *
+ * The second table is the serving-plane tenant-isolation benchmark
+ * (src/serve): a latency-sensitive tenant's open-loop probes run solo,
+ * then again while a batch tenant saturates the node with scans under
+ * a full QoS contract — WDRR admission weights, a token-bucket quota
+ * on the batch tenant and queue-depth caps. The gate: the latency
+ * tenant's p99 stays within 2x its solo value, while the batch flood
+ * demonstrably hit the quota (throttled > 0) and the shed path
+ * (shed > 0). A violated gate fails the binary (CI uses it directly).
+ *
  * Cells execute on the parallel sweep runner (--threads /
  * PULSE_BENCH_THREADS); each writes its own pre-sized result slot, so
  * outputs are byte-identical to a serial run.
@@ -20,6 +29,7 @@
 
 #include "bench_util.h"
 #include "ds/linked_list.h"
+#include "serve/qos.h"
 #include "sweep_runner.h"
 
 namespace {
@@ -108,6 +118,129 @@ fairness_cell(CellContext& ctx, std::uint32_t flood_depth, Point& out)
                                  flood_depth, nullptr);
 }
 
+// ------------------------------------- serving-plane tenant isolation
+
+struct IsolationResult
+{
+    double solo_p99_us = 0.0;
+    double combined_p99_us = 0.0;
+    std::uint64_t admitted = 0;
+    std::uint64_t throttled = 0;
+    std::uint64_t shed = 0;
+    double batch_kops = 0.0;
+};
+
+IsolationResult g_isolation;
+
+/** The serving contract under test: a latency-sensitive probe tenant
+ *  with a heavy WDRR weight, a quota-capped batch tenant. */
+core::ClusterConfig
+isolation_config()
+{
+    core::ClusterConfig config;
+    config.num_clients = 2;
+    config.accel.sched_policy = accel::SchedPolicy::kWeightedDrr;
+    config.accel.workspaces_per_logic = 4;
+    config.serve.on = true;
+    config.serve.latency_queue_cap = 64;
+    config.serve.batch_queue_cap = 128;
+    config.serve.throttle_park_cap = 8;
+    config.serve.tenants.push_back(
+        {.id = 0,
+         .slo = serve::SloClass::kLatencySensitive,
+         .weight = 8});
+    config.serve.tenants.push_back(
+        {.id = 1,
+         .slo = serve::SloClass::kBatch,
+         .weight = 1,
+         .quota_ops_per_s = 1e5,
+         .quota_burst = 8.0});
+    return config;
+}
+
+/**
+ * Run the latency tenant's open-loop probes, optionally under the
+ * batch tenant's saturating scan flood, and report the probe latency
+ * distribution plus the QoS admission ledger.
+ */
+double
+isolation_run(CellContext& ctx, bool with_batch_flood,
+              IsolationResult* out)
+{
+    core::Cluster cluster(isolation_config());
+    ds::LinkedList list(cluster.memory(), cluster.allocator(), 256);
+    std::vector<std::uint64_t> values(1024);
+    for (std::size_t i = 0; i < values.size(); i++) {
+        values[i] = i;
+    }
+    list.build(values, 0);
+
+    // Batch tenant: a closed loop of scans, issued far over its quota
+    // so the token bucket throttles and (past the park cap) sheds.
+    std::uint64_t batch_issued = 0;
+    std::uint64_t batch_done = 0;
+    constexpr std::uint64_t kBatchBudget = 2000;
+    std::function<void()> batch_one = [&] {
+        batch_issued++;
+        auto op = list.make_walk(128, {});
+        op.tenant = 1;
+        op.done = [&](offload::Completion&& completion) {
+            if (!completion.timed_out) {
+                batch_done++;
+            }
+            if (batch_issued < kBatchBudget) {
+                batch_one();
+            }
+        };
+        cluster.submitter(core::SystemKind::kPulse, 1)(std::move(op));
+    };
+    if (with_batch_flood) {
+        for (int i = 0; i < 32; i++) {
+            batch_one();
+        }
+    }
+
+    // Latency tenant: 200 open-loop probes, one every 25 us — arrival
+    // times fixed by the clock, not by completions, so queueing shows
+    // up as latency instead of a slowed-down generator.
+    Histogram probe_latency;
+    constexpr int kProbes = 200;
+    for (int i = 0; i < kProbes; i++) {
+        cluster.queue().schedule_at(
+            micros(20.0) + i * micros(25.0), [&, i] {
+                auto op = list.make_walk(8, {});
+                op.tenant = 0;
+                op.done = [&](offload::Completion&& completion) {
+                    probe_latency.add(completion.latency);
+                };
+                cluster.submitter(core::SystemKind::kPulse,
+                                  0)(std::move(op));
+            });
+    }
+
+    const Time start = cluster.queue().now();
+    ctx.add_events(cluster.queue().run());
+
+    if (out != nullptr) {
+        const auto& counters =
+            cluster.serve_plane()->tenant_counters().at(1);
+        out->admitted = counters.admitted;
+        out->throttled = counters.throttled;
+        out->shed = counters.shed;
+        out->batch_kops =
+            static_cast<double>(batch_done) /
+            to_seconds(cluster.queue().now() - start) / 1e3;
+    }
+    return to_micros(probe_latency.percentile(0.99));
+}
+
+void
+isolation_cell(CellContext& ctx, IsolationResult& out)
+{
+    out.solo_p99_us = isolation_run(ctx, false, nullptr);
+    out.combined_p99_us = isolation_run(ctx, true, &out);
+}
+
 void
 register_benchmarks()
 {
@@ -140,6 +273,9 @@ main(int argc, char** argv)
                       fairness_cell(ctx, flood, g_points[i]);
                   });
     }
+    sweep.add("isolation", [](CellContext& ctx) {
+        isolation_cell(ctx, g_isolation);
+    });
     sweep.run_all();
     register_benchmarks();
     benchmark::RunSpecifiedBenchmarks();
@@ -156,6 +292,22 @@ main(int argc, char** argv)
     }
     table.print();
 
+    const double ratio =
+        g_isolation.solo_p99_us > 0.0
+            ? g_isolation.combined_p99_us / g_isolation.solo_p99_us
+            : 0.0;
+    Table isolation("Serving plane: latency-tenant p99 (us) solo vs "
+                    "under a quota-capped batch scan flood");
+    isolation.set_header({"solo_p99", "combined_p99", "ratio",
+                          "batch_kops", "throttled", "shed"});
+    isolation.add_row({fmt(g_isolation.solo_p99_us),
+                       fmt(g_isolation.combined_p99_us),
+                       fmt(ratio, "%.2f"),
+                       fmt(g_isolation.batch_kops),
+                       std::to_string(g_isolation.throttled),
+                       std::to_string(g_isolation.shed)});
+    isolation.print();
+
     auto& metrics = MetricsSink::instance().exporter();
     for (const auto& point : g_points) {
         const std::string prefix =
@@ -163,6 +315,34 @@ main(int argc, char** argv)
         metrics.set(prefix + "fifo_us", point.fifo_us);
         metrics.set(prefix + "fair_us", point.fair_us);
     }
+    metrics.set("fairness.isolation.solo_p99_us",
+                g_isolation.solo_p99_us);
+    metrics.set("fairness.isolation.combined_p99_us",
+                g_isolation.combined_p99_us);
+    metrics.set("fairness.isolation.ratio", ratio);
+    metrics.set("fairness.isolation.batch_kops",
+                g_isolation.batch_kops);
+    metrics.set("fairness.isolation.admitted",
+                static_cast<double>(g_isolation.admitted));
+    metrics.set("fairness.isolation.throttled",
+                static_cast<double>(g_isolation.throttled));
+    metrics.set("fairness.isolation.shed",
+                static_cast<double>(g_isolation.shed));
     MetricsSink::instance().flush();
+
+    // The tenant-isolation gate (CI: serving-plane job). The batch
+    // flood must really have been overload (throttled and shed both
+    // nonzero) and the latency tenant must have been isolated from it.
+    if (g_isolation.throttled == 0 || g_isolation.shed == 0 ||
+        ratio > 2.0) {
+        std::fprintf(stderr,
+                     "tenant-isolation gate FAILED: p99 ratio %.2f "
+                     "(limit 2.0), throttled %llu, shed %llu\n",
+                     ratio,
+                     static_cast<unsigned long long>(
+                         g_isolation.throttled),
+                     static_cast<unsigned long long>(g_isolation.shed));
+        return 1;
+    }
     return 0;
 }

@@ -235,6 +235,10 @@ make_config(const RunSpec& spec)
     // any bench run; unset (or =off) constructs nothing and leaves the
     // outputs bit-identical (see docs/REPLICATION.md).
     config.replication = replication::ReplicationConfig::from_env();
+    // PULSE_SERVING=on turns on the multi-tenant serving plane for any
+    // bench run; unset (or =off) constructs nothing and leaves the
+    // outputs bit-identical (see docs/SERVING.md).
+    config.serve = serve::ServeConfig::from_env();
     if (spec.tweak) {
         spec.tweak(config);
     }

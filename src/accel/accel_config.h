@@ -32,6 +32,14 @@ enum class SchedPolicy : std::uint8_t {
      * fairness-and-isolation proposal).
      */
     kFairShare,
+    /**
+     * Weighted deficit round-robin across *tenants* (serving plane,
+     * src/serve): each tenant's queued requests are served in
+     * proportion to its configured QoS weight. Falls back to weight 1
+     * per tenant — i.e. per-tenant kFairShare — when no QosController
+     * is attached.
+     */
+    kWeightedDrr,
 };
 
 /** Tunable parameters of one memory node's accelerator. */

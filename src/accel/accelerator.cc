@@ -4,6 +4,7 @@
 
 #include "common/env_knobs.h"
 #include "common/logging.h"
+#include "serve/qos.h"
 
 namespace pulse::accel {
 
@@ -281,33 +282,134 @@ Accelerator::admit(net::TraversalPacket&& packet)
     }
     queue_.schedule_after(
         dispatch, [this, packet = std::move(packet)]() mutable {
-            if (!try_dispatch(packet)) {
-                if (pending_.size() >= config_.max_pending) {
-                    // Drop; the offload engine's timer retransmits. The
-                    // visit never executed, so forget it — the
-                    // retransmit must be allowed to run.
-                    stats_.queue_drops.increment();
-                    const ReplayWindow::Key key{packet.id,
-                                                packet.iterations_done};
-                    replay_.unmark(key);
-                    if (placement_ != nullptr &&
-                        replay_.consume_handoff(key)) {
-                        // A cutover absorbed this visit as in-progress
-                        // elsewhere; clear those copies too, or the
-                        // retransmit would be suppressed forever.
-                        placement_->mirror_unmark(node_, key);
-                    }
-                    if (replication_ != nullptr) {
-                        // Same for the replicated digest copies: the
-                        // visit never executed, so the retransmit must
-                        // be allowed to run anywhere.
-                        replication_->mirror_unmark(node_, key);
-                    }
+            if (serving_ != nullptr) {
+                // QoS admission: charge fresh roots against the
+                // tenant's traversal quota. A throttled packet is now
+                // owned by the controller (parked; re-enters via
+                // readmit() when the bucket refills).
+                switch (serving_->charge(node_, packet)) {
+                  case serve::QosController::Verdict::kAdmit:
+                    break;
+                  case serve::QosController::Verdict::kThrottle:
+                    return;
+                  case serve::QosController::Verdict::kShed:
+                    shed_reject(std::move(packet));
                     return;
                 }
-                packet.trace.queued_at = queue_.now();
-                pending_.push(std::move(packet));
             }
+            place(std::move(packet));
+        });
+}
+
+void
+Accelerator::place(net::TraversalPacket&& packet)
+{
+    if (try_dispatch(packet)) {
+        return;
+    }
+    if (pending_.size() >= config_.max_pending) {
+        // Drop; the offload engine's timer retransmits. The visit
+        // never executed, so forget it — the retransmit must be
+        // allowed to run.
+        stats_.queue_drops.increment();
+        forget_visit({packet.id, packet.iterations_done});
+        return;
+    }
+    if (serving_ != nullptr &&
+        !serving_->may_enqueue(node_, packet)) {
+        // The tenant's SLO class has exhausted its queue-depth cap at
+        // this node: shed with a typed rejection instead of queueing
+        // (bounded queueing delay for the latency class; the offload
+        // engine surfaces it as a retryable completion).
+        shed_reject(std::move(packet));
+        return;
+    }
+    packet.trace.queued_at = queue_.now();
+    if (serving_ != nullptr) {
+        serving_->note_enqueued(node_, packet.tenant);
+    }
+    pending_.push(std::move(packet));
+}
+
+void
+Accelerator::set_serving(serve::QosController* serving)
+{
+    serving_ = serving;
+    pending_.set_qos(serving);
+}
+
+void
+Accelerator::readmit(net::TraversalPacket&& packet)
+{
+    // The controller stamped queued_at when it parked the packet; the
+    // span covers the full time spent waiting for quota tokens.
+    if (tracing(packet)) {
+        record_span(packet, trace::SpanKind::kAccelQosThrottle,
+                    packet.trace.queued_at,
+                    queue_.now() - packet.trace.queued_at);
+    }
+    place(std::move(packet));
+}
+
+void
+Accelerator::forget_visit(const ReplayWindow::Key& key)
+{
+    // The visit never executed, so every record of it must go — here,
+    // in cutover-absorbed copies, and in the replicated digests — or a
+    // retransmit would be suppressed forever.
+    replay_.unmark(key);
+    if (placement_ != nullptr && replay_.consume_handoff(key)) {
+        placement_->mirror_unmark(node_, key);
+    }
+    if (replication_ != nullptr) {
+        replication_->mirror_unmark(node_, key);
+    }
+}
+
+void
+Accelerator::shed_reject(net::TraversalPacket&& packet)
+{
+    if (serving_ != nullptr) {
+        serving_->note_shed(node_, packet.tenant);
+    }
+    forget_visit({packet.id, packet.iterations_done});
+    if (tracing(packet)) {
+        record_span(packet, trace::SpanKind::kAccelQosShed,
+                    queue_.now(), 0);
+    }
+    // Typed rejection: a response that never executed an iteration.
+    // The offload engine surfaces it as a timed_out+rejected
+    // completion, riding the driver's existing retry/backoff path.
+    net::TraversalPacket response;
+    response.id = packet.id;
+    response.origin = packet.origin;
+    response.tenant = packet.tenant;
+    response.is_response = true;
+    response.status = TraversalStatus::kRejected;
+    response.cur_ptr = packet.cur_ptr;
+    response.iterations_done = packet.iterations_done;
+    response.visit_echo = packet.visit_echo;
+    response.trace.sampled = packet.trace.sampled;
+    response.spawn_depth = packet.spawn_depth;
+    response.parent_id = packet.parent_id;
+    response.branch_index = packet.branch_index;
+    response.code = packet.code;
+    response.code_size = net::kCodeIdBytes;
+    // Never a switch continuation: a rejection always returns to the
+    // origin client.
+    response.allow_switch_continuation = false;
+    response.scratch = packet.scratch;
+    stats_.responses_sent.increment();
+    const Time deparse = scaled(config_.net_stack_latency);
+    stats_.net_stack_time.add(static_cast<double>(deparse));
+    if (tracing(response)) {
+        record_span(response, trace::SpanKind::kAccelNetStackTx,
+                    queue_.now(), deparse);
+    }
+    queue_.schedule_after(
+        deparse, [this, response = std::move(response)]() mutable {
+            network_.send_traversal(net::EndpointAddr::mem_node(node_),
+                                    std::move(response));
         });
 }
 
@@ -655,6 +757,9 @@ Accelerator::finish(CoreId core_id, WorkspaceId ws,
 
     if (!pending_.empty()) {
         net::TraversalPacket next = pending_.pop();
+        if (serving_ != nullptr) {
+            serving_->note_dequeued(node_, next.tenant);
+        }
         // The request waited in the admission queue for a workspace
         // from queued_at until now (Fig. 9's "workspace wait" slice;
         // zero for requests dispatched straight from the scheduler).
@@ -676,6 +781,7 @@ Accelerator::send_response(Context& context, TraversalStatus status,
     net::TraversalPacket response;
     response.id = context.packet.id;
     response.origin = context.packet.origin;
+    response.tenant = context.packet.tenant;
     response.is_response = true;
     response.status = status;
     response.fault = fault;

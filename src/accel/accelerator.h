@@ -44,6 +44,10 @@
 #include "sim/event_queue.h"
 #include "trace/trace.h"
 
+namespace pulse::serve {
+class QosController;
+}
+
 namespace pulse::accel {
 
 /** Aggregated accelerator statistics (drives Figs. 6, 7, 9). */
@@ -144,6 +148,26 @@ class Accelerator
     }
 
     /**
+     * Attach the serving plane's QoS admission controller (nullptr
+     * detaches — the default, and a single null check per packet).
+     * While attached, fresh root requests are charged against their
+     * tenant's traversal quota between the scheduler stage and
+     * placement, queued requests respect per-SLO-class depth caps
+     * (overflow is shed with a typed kRejected response), and the
+     * admission queue's kWeightedDrr policy reads tenant weights from
+     * the controller.
+     */
+    void set_serving(serve::QosController* serving);
+
+    /**
+     * Re-entry point for a quota-throttled packet the QosController
+     * parked and released: continues at placement (the net-stack and
+     * scheduler stages were already paid on the way in) without being
+     * charged again.
+     */
+    void readmit(net::TraversalPacket&& packet);
+
+    /**
      * Attach the cluster's span tracer (nullptr detaches). Every
      * stats_ busy-time addition then also records a span for sampled
      * packets, so trace-derived decompositions can be cross-checked
@@ -226,6 +250,9 @@ class Accelerator
 
     void on_packet(net::TraversalPacket&& packet);
     void admit(net::TraversalPacket&& packet);
+    void place(net::TraversalPacket&& packet);
+    void shed_reject(net::TraversalPacket&& packet);
+    void forget_visit(const ReplayWindow::Key& key);
     bool try_dispatch(net::TraversalPacket& packet);
     void start_memory_phase(CoreId core, WorkspaceId ws);
     void start_logic_phase(CoreId core, WorkspaceId ws, Time mem_done);
@@ -273,6 +300,7 @@ class Accelerator
     placement::PlacementPlane* placement_ = nullptr;
     replication::ReplicationPlane* replication_ = nullptr;
     trace::Tracer* tracer_ = nullptr;
+    serve::QosController* serving_ = nullptr;
     check::InvariantRegistry* invariants_ = nullptr;
     /** Visits that began executing (only tracked while checking). */
     std::unordered_set<ReplayWindow::Key, ReplayWindow::KeyHash>

@@ -5,9 +5,19 @@
  * The paper's scheduler admits pending traversal requests in FIFO
  * order; its supplementary material (section B) proposes extending the
  * signal-driven scheduler with fairness/isolation policies for
- * multi-tenant memory nodes. This queue implements both: kFifo
- * (arrival order) and kFairShare (round-robin across origin clients,
- * so one tenant's flood cannot starve another's requests).
+ * multi-tenant memory nodes. This queue implements three policies:
+ * kFifo (arrival order), kFairShare (round-robin across origin
+ * clients, so one client's flood cannot starve another's requests),
+ * and kWeightedDrr (weighted deficit round-robin across tenants, the
+ * serving plane's QoS scheduler — see src/serve).
+ *
+ * The non-FIFO policies share one mechanism: per-flow FIFOs plus an
+ * explicit service ring of flows with queued work. A flow joins the
+ * ring's *tail* when its first packet arrives and leaves when it
+ * drains, so a flow that drains and re-arrives deterministically waits
+ * one full rotation — the cursor-based round-robin this replaces could
+ * re-serve such a flow immediately (its key sat just after the cursor),
+ * letting a fast re-arriving client starve slower peers of their turn.
  */
 #ifndef PULSE_ACCEL_ADMISSION_QUEUE_H
 #define PULSE_ACCEL_ADMISSION_QUEUE_H
@@ -19,6 +29,10 @@
 #include "common/pool_allocator.h"
 #include "net/packet.h"
 
+namespace pulse::serve {
+class QosController;
+}
+
 namespace pulse::accel {
 
 /** Bounded, policy-driven request queue. */
@@ -29,6 +43,13 @@ class AdmissionQueue
 
     bool empty() const { return size_ == 0; }
     std::size_t size() const { return size_; }
+
+    /**
+     * Attach the serving plane's QoS controller (nullptr detaches):
+     * supplies per-tenant weights for kWeightedDrr. Without one every
+     * tenant weighs 1.
+     */
+    void set_qos(const serve::QosController* qos) { qos_ = qos; }
 
     /** Enqueue a request (caller enforces the capacity bound). */
     void push(net::TraversalPacket&& packet);
@@ -43,8 +64,8 @@ class AdmissionQueue
     pool_fresh() const
     {
         std::uint64_t fresh = fifo_.get_allocator().state()->fresh() +
-                              per_client_.get_allocator().state()->fresh();
-        for (const auto& [client, fifo] : per_client_) {
+                              per_flow_.get_allocator().state()->fresh();
+        for (const auto& [flow, fifo] : per_flow_) {
             fresh += fifo.get_allocator().state()->fresh();
         }
         return fresh;
@@ -56,8 +77,8 @@ class AdmissionQueue
     {
         std::uint64_t reused =
             fifo_.get_allocator().state()->reused() +
-            per_client_.get_allocator().state()->reused();
-        for (const auto& [client, fifo] : per_client_) {
+            per_flow_.get_allocator().state()->reused();
+        for (const auto& [flow, fifo] : per_flow_) {
             reused += fifo.get_allocator().state()->reused();
         }
         return reused;
@@ -72,14 +93,26 @@ class AdmissionQueue
         std::deque<net::TraversalPacket,
                    PoolAllocator<net::TraversalPacket>>;
 
+    /** The scheduling key: origin client (kFairShare) or tenant
+     *  (kWeightedDrr). */
+    std::uint32_t flow_key(const net::TraversalPacket& packet) const;
+
+    /** WDRR quantum of @p flow (its tenant weight; 1 without QoS). */
+    std::uint32_t quantum_of(std::uint32_t flow) const;
+
     SchedPolicy policy_;
     std::size_t size_ = 0;
     PacketDeque fifo_;
-    /** kFairShare: one FIFO per origin client + round-robin cursor. */
-    std::map<ClientId, PacketDeque, std::less<ClientId>,
-             PoolAllocator<std::pair<const ClientId, PacketDeque>>>
-        per_client_;
-    ClientId cursor_ = 0;
+    /** Non-FIFO policies: one FIFO per flow. */
+    std::map<std::uint32_t, PacketDeque, std::less<std::uint32_t>,
+             PoolAllocator<std::pair<const std::uint32_t, PacketDeque>>>
+        per_flow_;
+    /** Flows with queued work, in service order (see file comment). */
+    std::deque<std::uint32_t> ring_;
+    /** kWeightedDrr: remaining deficit of each flow's current round.
+     *  Erased with the flow, so re-arrival starts a fresh round. */
+    std::map<std::uint32_t, std::uint32_t> deficit_;
+    const serve::QosController* qos_ = nullptr;
 };
 
 }  // namespace pulse::accel

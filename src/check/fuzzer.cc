@@ -184,6 +184,30 @@ run_workload_case(const FuzzCase& c)
     // detection and failover race the fuzzed traversals under the
     // oracle and invariants.
     config.replication = replication::ReplicationConfig::from_env();
+    // Per-case opt-in: tenants >= 2 runs the whole mix through the
+    // serving plane — WDRR admission keyed by tenant, quota-capped
+    // batch tenants (throttle + typed shed paths live), tight queue
+    // caps — so QoS decisions race the fuzzed traversals under the
+    // oracle and invariants.
+    const std::uint32_t tenants = c.tenants >= 2 ? c.tenants : 0;
+    if (tenants != 0) {
+        config.serve.on = true;
+        config.accel.sched_policy = accel::SchedPolicy::kWeightedDrr;
+        config.serve.latency_queue_cap = 64;
+        config.serve.throttle_park_cap = 8;
+        config.serve.tenants.push_back(
+            {.id = 0,
+             .slo = serve::SloClass::kLatencySensitive,
+             .weight = 4});
+        for (std::uint32_t t = 1; t < tenants; t++) {
+            config.serve.tenants.push_back(
+                {.id = t,
+                 .slo = serve::SloClass::kBatch,
+                 .weight = 1,
+                 .quota_ops_per_s = 2e5,
+                 .quota_burst = 8.0});
+        }
+    }
 
     core::Cluster cluster(config);
     Rng rng(c.seed * 0x9E3779B97F4A7C15ull + 0xD5);
@@ -334,8 +358,12 @@ run_workload_case(const FuzzCase& c)
     };
     pump = [&] {
         while (submitted < c.ops && submitted - completed < window) {
+            offload::Operation op = make_op();
+            if (tenants != 0) {
+                op.tenant = submitted % tenants;
+            }
             submitted++;
-            submit(make_op());
+            submit(std::move(op));
         }
     };
 
@@ -653,7 +681,8 @@ FuzzCase::to_json() const
     out += u64_json("concurrency", concurrency);
     out += u64_json("nodes", nodes);
     out += u64_json("forks", forks);
-    out += u64_json("fork_depth", fork_depth, /*last=*/true);
+    out += u64_json("fork_depth", fork_depth);
+    out += u64_json("tenants", tenants, /*last=*/true);
     out += "}";
     return out;
 }
@@ -711,6 +740,9 @@ FuzzCase::from_json(const std::string& text, FuzzCase* out,
     }
     if (json_u64(text, "fork_depth", &value)) {
         c.fork_depth = static_cast<std::uint32_t>(value);
+    }
+    if (json_u64(text, "tenants", &value)) {
+        c.tenants = static_cast<std::uint32_t>(value);
     }
     *out = c;
     return true;
@@ -778,6 +810,12 @@ random_case(std::uint64_t seed)
         c.forks = static_cast<std::uint32_t>(1 + rng.next_below(4));
         c.fork_depth = static_cast<std::uint32_t>(1 + rng.next_below(3));
         c.ops = static_cast<std::uint32_t>(8 + rng.next_below(24));
+    }
+    // Serving-plane draw comes after the fork roll (same trailing-roll
+    // discipline): pre-serving seeds keep their exact shape, and a
+    // workload seed only gains tenants via this extra draw.
+    if (c.mode == "workload" && rng.next_bool(0.2)) {
+        c.tenants = static_cast<std::uint32_t>(2 + rng.next_below(3));
     }
     return c;
 }

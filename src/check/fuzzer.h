@@ -69,6 +69,16 @@ struct FuzzCase
     std::uint32_t forks = 0;        ///< fork mode: SPAWN fan-out (1-4)
     std::uint32_t fork_depth = 2;   ///< fork mode: DAG depth (1-3)
 
+    /**
+     * Workload mode: >= 2 runs the case through the serving plane
+     * (src/serve) — ops round-robin across this many tenants under
+     * WDRR admission, with quota-capped batch tenants and tight queue
+     * caps, so QoS throttling, quota-release readmission and typed
+     * load shedding race the fuzzed traversals under the oracle and
+     * invariants. 0 (the default) leaves the plane off.
+     */
+    std::uint32_t tenants = 0;
+
     /** Flat single-line JSON encoding. */
     std::string to_json() const;
 

@@ -22,6 +22,7 @@ status_name(TraversalStatus status)
       case TraversalStatus::kMaxIter: return "max-iter";
       case TraversalStatus::kMemFault: return "mem-fault";
       case TraversalStatus::kExecFault: return "exec-fault";
+      case TraversalStatus::kRejected: return "rejected";
     }
     return "?";
 }

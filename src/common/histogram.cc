@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/serial.h"
+
 namespace pulse {
 
 Histogram::Histogram() = default;
@@ -95,6 +97,34 @@ Time
 Histogram::mean() const
 {
     return count_ ? sum_ / static_cast<Time>(count_) : 0;
+}
+
+void
+Histogram::save_state(StateWriter& writer) const
+{
+    writer.put_tag("HIST");
+    writer.put_u64(buckets_.size());
+    for (const std::uint64_t bucket : buckets_) {
+        writer.put_u64(bucket);
+    }
+    writer.put_u64(count_);
+    writer.put_i64(sum_);
+    writer.put_i64(min_);
+    writer.put_i64(max_);
+}
+
+void
+Histogram::load_state(StateReader& reader)
+{
+    reader.expect_tag("HIST");
+    buckets_.assign(reader.get_u64(), 0);
+    for (std::uint64_t& bucket : buckets_) {
+        bucket = reader.get_u64();
+    }
+    count_ = reader.get_u64();
+    sum_ = reader.get_i64();
+    min_ = reader.get_i64();
+    max_ = reader.get_i64();
 }
 
 Time

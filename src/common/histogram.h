@@ -16,6 +16,9 @@
 
 namespace pulse {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Histogram over non-negative Time samples, with ~3% relative bucket
  * error. Also tracks exact sum/min/max for accurate means.
@@ -58,6 +61,14 @@ class Histogram
      * percentile never exceeds the largest recorded sample.
      */
     Time percentile(double q) const;
+
+    /**
+     * Checkpoint support (common/serial.h): buckets plus the exact
+     * count/sum/min/max, so a restored histogram reports bit-identical
+     * percentiles to the uninterrupted run.
+     */
+    void save_state(StateWriter& writer) const;
+    void load_state(StateReader& reader);
 
   private:
     static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave

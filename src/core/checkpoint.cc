@@ -92,10 +92,10 @@ Cluster::save_checkpoint() const
                  "(%zu events pending)",
                  queue_.pending());
     PULSE_ASSERT(!fault_plane_ && !checker_ && !placement_plane_ &&
-                     !replication_plane_,
+                     !replication_plane_ && !serve_plane_,
                  "checkpoint does not cover the optional planes; build "
-                 "the cluster with faults/check/placement/replication "
-                 "off");
+                 "the cluster with faults/check/placement/replication/"
+                 "serving off");
     PULSE_ASSERT(!tracer_.enabled(),
                  "checkpoint does not cover live trace spans; disable "
                  "tracing first");
@@ -140,7 +140,7 @@ Cluster::restore_checkpoint(const std::vector<std::uint8_t>& bytes)
                  "(%zu events pending)",
                  queue_.pending());
     PULSE_ASSERT(!fault_plane_ && !checker_ && !placement_plane_ &&
-                     !replication_plane_,
+                     !replication_plane_ && !serve_plane_,
                  "restore target must have the optional planes off");
     PULSE_ASSERT(memory_->address_map().remaps().empty(),
                  "restore target must have no migration remaps");

@@ -141,6 +141,22 @@ Cluster::Cluster(const ClusterConfig& config)
             });
     }
 
+    if (config.serve.enabled()) {
+        serve_plane_ =
+            std::make_unique<serve::QosController>(queue_, config.serve);
+        for (NodeId node = 0; node < accelerators_.size(); node++) {
+            accel::Accelerator* accelerator = accelerators_[node].get();
+            accelerator->set_serving(serve_plane_.get());
+            // Released (previously quota-throttled) packets re-enter
+            // at placement: net-stack and scheduler stages were
+            // already paid on the way in.
+            serve_plane_->attach_node(
+                node, [accelerator](net::TraversalPacket&& packet) {
+                    accelerator->readmit(std::move(packet));
+                });
+        }
+    }
+
     for (ClientId client = 0; client < config.num_clients; client++) {
         offload_.push_back(std::make_unique<offload::OffloadEngine>(
             queue_, *network_, *memory_, client, config.offload));
@@ -394,6 +410,9 @@ Cluster::register_stats(StatRegistry& registry)
     if (replication_plane_) {
         replication_plane_->register_stats("replication", registry);
     }
+    if (serve_plane_) {
+        serve_plane_->register_stats("serve", registry);
+    }
     {
         const auto& stats = cache_->stats();
         registry.register_counter("client0.cache.operations",
@@ -463,6 +482,19 @@ Cluster::export_metrics(trace::MetricsExporter& exporter,
             exporter.set(prefix + "replication.node" +
                              std::to_string(node) + ".suspicion",
                          replication_plane_->suspicion(node));
+        }
+    }
+    if (serve_plane_) {
+        for (const auto& [tenant, counters] :
+             serve_plane_->tenant_counters()) {
+            const std::string base =
+                prefix + "serve.tenant" + std::to_string(tenant);
+            exporter.set(base + ".admitted",
+                         static_cast<double>(counters.admitted));
+            exporter.set(base + ".shed",
+                         static_cast<double>(counters.shed));
+            exporter.set(base + ".throttled",
+                         static_cast<double>(counters.throttled));
         }
     }
 }

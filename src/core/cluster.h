@@ -40,6 +40,8 @@
 #include "placement/placement_plane.h"
 #include "replication/replication_config.h"
 #include "replication/replication_plane.h"
+#include "serve/qos.h"
+#include "serve/serve_config.h"
 #include "sim/event_queue.h"
 #include "trace/metrics_exporter.h"
 #include "trace/trace.h"
@@ -135,6 +137,17 @@ struct ClusterConfig
      */
     replication::ReplicationConfig replication;
 
+    /**
+     * Multi-tenant serving plane (src/serve): per-tenant token-bucket
+     * quotas, SLO classes with queue-depth caps and load shedding, and
+     * WDRR admission weights. Off by default — no QosController is
+     * constructed, accelerators keep a null serving pointer, and no
+     * stats keys are registered, so serving-off runs stay bit-identical
+     * to a build without the subsystem. Benches honor the PULSE_SERVING
+     * environment variable (see ServeConfig).
+     */
+    serve::ServeConfig serve;
+
     ClusterConfig();
 
     /** Configure pulse-ACC (section 7.2): continuations bounce through
@@ -191,6 +204,9 @@ class Cluster
     {
         return replication_plane_.get();
     }
+
+    /** The serving plane's QoS controller; nullptr when off. */
+    serve::QosController* serve_plane() { return serve_plane_.get(); }
 
     /**
      * Drain the event queue, then run the quiesce-time structural
@@ -276,6 +292,7 @@ class Cluster
     std::unique_ptr<check::Checker> checker_;
     std::unique_ptr<placement::PlacementPlane> placement_plane_;
     std::unique_ptr<replication::ReplicationPlane> replication_plane_;
+    std::unique_ptr<serve::QosController> serve_plane_;
     std::vector<std::unique_ptr<mem::ChannelSet>> channels_;
     std::vector<std::unique_ptr<accel::Accelerator>> accelerators_;
     std::vector<std::unique_ptr<offload::OffloadEngine>> offload_;

@@ -33,6 +33,13 @@ enum class TraversalStatus : std::uint8_t {
     kExecFault,   ///< logic fault (divide by zero, ...)
     kMemFault,    ///< load/store failed (unmapped or protected address)
     kNotLocal,    ///< cur_ptr left the local node (accelerator use only)
+    /**
+     * QoS admission control rejected the request before any iteration
+     * ran (serving plane, src/serve): a load-shed typed rejection. The
+     * issuing engine completes the operation as a retryable failure, so
+     * the driver's existing retry/backoff path re-submits it.
+     */
+    kRejected,
 };
 
 /** Final state of a traversal (mirrors the response packet payload). */

@@ -174,6 +174,18 @@ struct TraversalPacket
 {
     RequestId id;
     ClientId origin = 0;
+
+    /**
+     * Tenant identity (serving plane, src/serve). Stamped by the
+     * issuing offload engine from Operation::tenant and echoed on
+     * every descendant packet (responses, forwarded continuations,
+     * fork children), so QoS admission control at any memory node can
+     * attribute the request. Rides the existing flags words of the
+     * pulse header (a DSCP-style codepoint), so wire_size() is
+     * unchanged and tenant-less traffic stays byte-identical.
+     */
+    std::uint32_t tenant = 0;
+
     bool is_response = false;
     isa::TraversalStatus status = isa::TraversalStatus::kDone;
     isa::ExecFault fault = isa::ExecFault::kNone;

@@ -247,6 +247,7 @@ OffloadEngine::issue(std::uint64_t key, VirtAddr cur_ptr,
     net::TraversalPacket packet;
     packet.id = RequestId{client_, key};
     packet.origin = client_;
+    packet.tenant = inflight.op.tenant;
     packet.is_response = false;
     packet.cur_ptr = cur_ptr;
     packet.iterations_done = iterations_done;
@@ -428,6 +429,16 @@ OffloadEngine::on_response(net::TraversalPacket&& packet)
     Completion completion;
     completion.status = packet.status;
     completion.fault = packet.fault;
+    if (packet.status == TraversalStatus::kRejected) {
+        // QoS load shed (serving plane): the visit never executed. Mark
+        // the completion retryable exactly like a retransmit give-up so
+        // the driver's backoff path re-submits it, and keep `rejected`
+        // so clients can distinguish shed from loss.
+        completion.timed_out = true;
+        completion.rejected = true;
+        rejections_seen_++;
+        stats_.failures.increment();
+    }
     completion.final_ptr = packet.cur_ptr;
     completion.scratch.assign(packet.scratch.begin(),
                               packet.scratch.end());
@@ -496,6 +507,7 @@ OffloadEngine::process_spawns(std::uint64_t key,
         parent_it->second.op.program;
     const std::uint32_t child_depth = parent_it->second.depth + 1;
     const std::uint64_t root_key = parent_it->second.root_key;
+    const std::uint32_t tenant = parent_it->second.op.tenant;
     ensure_fork(key);
     ensure_fork(root_key);
     const isa::ProgramAnalysis& analysis = analysis_for(program);
@@ -526,6 +538,8 @@ OffloadEngine::process_spawns(std::uint64_t key,
         InFlight child;
         child.op.program = program;
         child.op.start_ptr = record.start_ptr;
+        // Children bill to the spawning tenant.
+        child.op.tenant = tenant;
         child.submit_time = queue_.now();
         child.parent_key = key;
         child.branch_index =

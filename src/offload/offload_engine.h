@@ -142,6 +142,14 @@ struct Completion
     Time latency = 0;              ///< submit -> completion
     bool offloaded = false;        ///< accelerator (true) or fallback
     bool timed_out = false;        ///< gave up after max retransmits
+    /**
+     * QoS admission control shed the request (kRejected response).
+     * Always paired with timed_out = true so the driver's existing
+     * retry/backoff path re-submits without a special case; rejected
+     * distinguishes "load-shed, retry later" from "gave up after max
+     * retransmits" for callers that care (fleet sessions, tests).
+     */
+    bool rejected = false;
     std::uint32_t retransmits = 0;
     std::uint32_t client_bounces = 0;  ///< ACC-mode re-issues
     std::uint32_t continuations = 0;   ///< kMaxIter resumes
@@ -166,6 +174,15 @@ struct Operation
      */
     std::uint64_t object_id = 0;
     Bytes object_bytes = 0;
+
+    /**
+     * Tenant identity (serving plane, src/serve). Travels in every
+     * packet descending from this operation so per-tenant QoS applies
+     * at the accelerator admission point. 0 — the default — is the
+     * anonymous tenant; with the serving plane off the value is
+     * carried but never read.
+     */
+    std::uint32_t tenant = 0;
 
     CompletionFn done;
 };
@@ -243,6 +260,15 @@ class OffloadEngine
      */
     std::uint64_t forks_spawned() const { return forks_spawned_; }
     std::uint64_t joins_completed() const { return joins_completed_; }
+
+    /**
+     * Serving-plane telemetry (same non-registered pattern): responses
+     * carrying kRejected — QoS load sheds — this engine absorbed. The
+     * cluster-level serve.* counters are the registered view when the
+     * plane is on; this accessor exists so tests can assert the
+     * client-side path without touching the metrics schema.
+     */
+    std::uint64_t rejections_seen() const { return rejections_seen_; }
 
     /**
      * Checkpoint support (core/checkpoint.h): requires a quiesced
@@ -368,6 +394,7 @@ class OffloadEngine
     OffloadStats stats_;
     std::uint64_t forks_spawned_ = 0;
     std::uint64_t joins_completed_ = 0;
+    std::uint64_t rejections_seen_ = 0;
 };
 
 }  // namespace pulse::offload

@@ -25,6 +25,8 @@ span_name(SpanKind kind)
       case SpanKind::kAccelLogicPipeline: return "logic_pipeline";
       case SpanKind::kAccelNetStackTx: return "net_stack_tx";
       case SpanKind::kMemChannel: return "mem_channel";
+      case SpanKind::kAccelQosThrottle: return "qos_throttle";
+      case SpanKind::kAccelQosShed: return "qos_shed";
     }
     return "?";
 }

@@ -44,11 +44,13 @@ enum class SpanKind : std::uint8_t {
     kAccelLogicPipeline,///< ISA interpreter, per iteration
     kAccelNetStackTx,   ///< accelerator network stack, deparse side
     kMemChannel,        ///< DRAM channel occupancy
+    kAccelQosThrottle,  ///< serving plane: parked awaiting quota tokens
+    kAccelQosShed,      ///< serving plane: load-shed (kRejected)
 };
 
 /** Number of SpanKind enumerators (aggregation arrays). */
 inline constexpr std::size_t kNumSpanKinds =
-    static_cast<std::size_t>(SpanKind::kMemChannel) + 1;
+    static_cast<std::size_t>(SpanKind::kAccelQosShed) + 1;
 
 /** Stable short name for exports ("net_stack_rx", ...). */
 const char* span_name(SpanKind kind);

@@ -11,6 +11,8 @@
 #include "core/cluster.h"
 #include "ds/hash_table.h"
 #include "ds/linked_list.h"
+#include "serve/qos.h"
+#include "sim/event_queue.h"
 
 namespace pulse {
 namespace {
@@ -81,6 +83,90 @@ TEST(AdmissionQueue, FairShareRoundRobinsManyClients)
         }
         EXPECT_EQ(seen.size(), 4u) << "round " << round;
     }
+}
+
+/**
+ * Regression: a flow that drains and immediately re-arrives must wait
+ * one full rotation, not jump back to the head. The old cursor-based
+ * round-robin left the cursor just past the drained flow's key, so a
+ * fast re-arriving client could be re-served before peers that had
+ * been waiting longer got their turn.
+ */
+TEST(AdmissionQueue, FairShareReArrivingClientWaitsItsTurn)
+{
+    accel::AdmissionQueue queue(accel::SchedPolicy::kFairShare);
+    queue.push(packet_from(0, 1));
+    queue.push(packet_from(0, 2));
+    queue.push(packet_from(0, 3));
+    queue.push(packet_from(1, 100));
+    EXPECT_EQ(queue.pop().id.seq, 1u);    // client 0's turn
+    EXPECT_EQ(queue.pop().id.seq, 100u);  // client 1 drains here
+    // Client 1 re-arrives: it joins the ring's tail, behind client 0.
+    queue.push(packet_from(1, 101));
+    EXPECT_EQ(queue.pop().id.seq, 2u);
+    EXPECT_EQ(queue.pop().id.seq, 101u);
+    EXPECT_EQ(queue.pop().id.seq, 3u);
+    EXPECT_TRUE(queue.empty());
+}
+
+net::TraversalPacket
+tenant_packet(std::uint32_t tenant, std::uint64_t seq)
+{
+    net::TraversalPacket packet = packet_from(0, seq);
+    packet.tenant = tenant;
+    return packet;
+}
+
+TEST(AdmissionQueue, WeightedDrrWithoutQosIsPlainRoundRobin)
+{
+    accel::AdmissionQueue queue(accel::SchedPolicy::kWeightedDrr);
+    for (std::uint64_t i = 0; i < 3; i++) {
+        queue.push(tenant_packet(0, i * 2));
+        queue.push(tenant_packet(1, i * 2 + 1));
+    }
+    // No controller attached: every tenant's quantum is 1.
+    for (int round = 0; round < 3; round++) {
+        EXPECT_EQ(queue.pop().tenant, 0u) << "round " << round;
+        EXPECT_EQ(queue.pop().tenant, 1u) << "round " << round;
+    }
+}
+
+TEST(AdmissionQueue, WeightedDrrServesTenantsInWeightProportion)
+{
+    sim::EventQueue clock;
+    serve::ServeConfig serve_config;
+    serve_config.on = true;
+    serve_config.tenants.push_back({.id = 0, .weight = 3});
+    serve_config.tenants.push_back({.id = 1, .weight = 1});
+    serve::QosController qos(clock, serve_config);
+
+    accel::AdmissionQueue queue(accel::SchedPolicy::kWeightedDrr);
+    queue.set_qos(&qos);
+    for (std::uint64_t i = 0; i < 8; i++) {
+        queue.push(tenant_packet(0, i));
+        queue.push(tenant_packet(1, 100 + i));
+    }
+    // Weight 3 vs 1: each full round serves 3 of tenant 0, then 1 of
+    // tenant 1, and packets within a tenant stay in FIFO order.
+    const std::uint32_t expected[] = {0, 0, 0, 1, 0, 0, 0, 1,
+                                      0, 0, 1, 1};
+    std::uint64_t seq0 = 0;
+    std::uint64_t seq1 = 100;
+    for (std::size_t i = 0; i < std::size(expected); i++) {
+        const auto packet = queue.pop();
+        EXPECT_EQ(packet.tenant, expected[i]) << "pop " << i;
+        if (packet.tenant == 0) {
+            EXPECT_EQ(packet.id.seq, seq0++);
+        } else {
+            EXPECT_EQ(packet.id.seq, seq1++);
+        }
+    }
+    // Tenant 0 drained after 8 pops of its packets; the tail is all
+    // tenant 1.
+    while (!queue.empty()) {
+        EXPECT_EQ(queue.pop().tenant, 1u);
+    }
+    EXPECT_EQ(seq0, 8u);
 }
 
 // ---------------------------------------------------- multi-client

@@ -95,12 +95,12 @@ main(int argc, char** argv)
     }
 
     // The exact fig9_breakdown workload, with tracing switched on.
-    // PULSE_REPLICATION is honoured like everywhere else so the
-    // health section below reflects an opted-in fault-tolerance
-    // plane.
+    // PULSE_REPLICATION and PULSE_SERVING are honoured like everywhere
+    // else so the health sections below reflect opted-in planes.
     core::ClusterConfig config;
     config.trace.enabled = true;
     config.replication = replication::ReplicationConfig::from_env();
+    config.serve = serve::ServeConfig::from_env();
     core::Cluster cluster(config);
     ds::HashTableConfig ht;
     ht.num_buckets = 512;
@@ -220,6 +220,39 @@ main(int argc, char** argv)
                         rstats.heartbeats_sent.value()),
                     static_cast<unsigned long long>(
                         rstats.heartbeat_acks.value()));
+    }
+
+    // Serving-plane admission ledger (only when PULSE_SERVING opted
+    // the QoS plane in): aggregate counters plus the per-tenant view —
+    // contract, what was admitted, what waited for quota, what was
+    // shed with a typed rejection.
+    if (const serve::QosController* plane = cluster.serve_plane()) {
+        const auto& sstats = plane->stats();
+        std::printf("serving: %llu admitted, %llu throttled, "
+                    "%llu shed, %zu parked\n",
+                    static_cast<unsigned long long>(
+                        sstats.admitted.value()),
+                    static_cast<unsigned long long>(
+                        sstats.quota_throttled.value()),
+                    static_cast<unsigned long long>(
+                        sstats.shed.value()),
+                    plane->parked());
+        std::printf("%-8s %-8s %6s %12s %10s %10s %8s\n", "tenant",
+                    "class", "weight", "quota_op_s", "admitted",
+                    "throttled", "shed");
+        for (const auto& [tenant, counters] :
+             plane->tenant_counters()) {
+            const serve::TenantQos qos = plane->config().qos_of(tenant);
+            std::printf("%-8u %-8s %6u %12.0f %10llu %10llu %8llu\n",
+                        tenant, serve::slo_class_name(qos.slo),
+                        qos.weight, qos.quota_ops_per_s,
+                        static_cast<unsigned long long>(
+                            counters.admitted),
+                        static_cast<unsigned long long>(
+                            counters.throttled),
+                        static_cast<unsigned long long>(
+                            counters.shed));
+        }
     }
 
     if (!trace_out.empty() &&
